@@ -1,0 +1,48 @@
+// Fig. 4: average page-table-walk latency in 4-core NDP and CPU systems,
+// and NDP's PTW-latency increment over the CPU. Also prints the SIV-A text
+// statistics (TLB miss rate, PTE share of memory accesses, PTE DRAM traffic
+// ratio NDP vs CPU).
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace ndp;
+
+int main() {
+  bench::header("Fig. 4: avg PTW latency, 4-core NDP vs CPU (Radix)",
+                "paper Fig. 4 + SIV-A statistics");
+
+  Table t({"workload", "NDP PTW (cy)", "CPU PTW (cy)", "NDP increment",
+           "NDP L2TLB miss", "NDP PTE share"});
+  std::vector<double> ndp_lat, cpu_lat, tlb_miss, pte_share;
+  double ndp_pte_dram = 0, cpu_pte_dram = 0;
+  for (const WorkloadInfo& info : all_workload_info()) {
+    const RunResult ndp = run_experiment(
+        bench::base_spec(SystemKind::kNdp, 4, Mechanism::kRadix, info.kind));
+    const RunResult cpu = run_experiment(
+        bench::base_spec(SystemKind::kCpu, 4, Mechanism::kRadix, info.kind));
+    ndp_lat.push_back(ndp.avg_ptw_latency);
+    cpu_lat.push_back(cpu.avg_ptw_latency);
+    tlb_miss.push_back(ndp.l2_tlb_miss_rate);
+    pte_share.push_back(ndp.pte_access_share);
+    ndp_pte_dram += static_cast<double>(ndp.stats.get("dram.metadata"));
+    cpu_pte_dram += static_cast<double>(cpu.stats.get("dram.metadata"));
+    t.add_row({info.name, Table::num(ndp.avg_ptw_latency, 1),
+               Table::num(cpu.avg_ptw_latency, 1),
+               Table::pct(ndp.avg_ptw_latency / cpu.avg_ptw_latency - 1.0),
+               Table::pct(ndp.l2_tlb_miss_rate),
+               Table::pct(ndp.pte_access_share)});
+  }
+  t.add_row({"AVG", Table::num(bench::mean(ndp_lat), 1),
+             Table::num(bench::mean(cpu_lat), 1),
+             Table::pct(bench::mean(ndp_lat) / bench::mean(cpu_lat) - 1.0),
+             Table::pct(bench::mean(tlb_miss)), Table::pct(bench::mean(pte_share))});
+  t.print(std::cout);
+
+  std::cout << "\nPaper reference points: NDP avg PTW = 474.56 cy (up to 1066),"
+               " 229% above CPU;\nTLB miss 91.27%; PTEs = 65.8% of memory"
+               " accesses; PTE DRAM traffic NDP/CPU = 200.4x.\n";
+  std::cout << "Measured PTE DRAM traffic ratio NDP/CPU = "
+            << Table::num(ndp_pte_dram / (cpu_pte_dram + 1e-9), 1) << "x\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 5: percentage of execution time spent on address translation in
+// 4-core NDP and CPU systems (Radix baseline).
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace ndp;
+
+int main() {
+  bench::header("Fig. 5: address-translation share of execution, 4-core",
+                "paper Fig. 5");
+
+  Table t({"workload", "NDP translation", "NDP other", "CPU translation",
+           "CPU other"});
+  std::vector<double> ndp_frac, cpu_frac;
+  for (const WorkloadInfo& info : all_workload_info()) {
+    const RunResult ndp = run_experiment(
+        bench::base_spec(SystemKind::kNdp, 4, Mechanism::kRadix, info.kind));
+    const RunResult cpu = run_experiment(
+        bench::base_spec(SystemKind::kCpu, 4, Mechanism::kRadix, info.kind));
+    ndp_frac.push_back(ndp.translation_fraction);
+    cpu_frac.push_back(cpu.translation_fraction);
+    t.add_row({info.name, Table::pct(ndp.translation_fraction),
+               Table::pct(1 - ndp.translation_fraction),
+               Table::pct(cpu.translation_fraction),
+               Table::pct(1 - cpu.translation_fraction)});
+  }
+  t.add_row({"AVG", Table::pct(bench::mean(ndp_frac)),
+             Table::pct(1 - bench::mean(ndp_frac)),
+             Table::pct(bench::mean(cpu_frac)),
+             Table::pct(1 - bench::mean(cpu_frac))});
+  t.print(std::cout);
+  std::cout << "\nPaper reference points: NDP avg 67.1%, CPU avg 34.51%.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 7: L1 data-cache miss rates in the 4-core NDP system — normal data
+// under the Radix baseline vs the no-translation Ideal (the pollution gap),
+// and the metadata (PTE) miss rate.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace ndp;
+
+int main() {
+  bench::header("Fig. 7: L1 miss rates, data (ideal vs actual) and metadata",
+                "paper Fig. 7");
+
+  Table t({"workload", "data miss (ideal)", "data miss (radix)",
+           "metadata miss", "pollution victims"});
+  std::vector<double> ideal_m, radix_m, meta_m;
+  for (const WorkloadInfo& info : all_workload_info()) {
+    const RunResult radix = run_experiment(
+        bench::base_spec(SystemKind::kNdp, 4, Mechanism::kRadix, info.kind));
+    const RunResult ideal = run_experiment(
+        bench::base_spec(SystemKind::kNdp, 4, Mechanism::kIdeal, info.kind));
+    const double rm = radix.stats.rate("l1.miss.data", "l1.hit.data");
+    const double im = ideal.stats.rate("l1.miss.data", "l1.hit.data");
+    const double mm = radix.stats.rate("l1.miss.meta", "l1.hit.meta");
+    ideal_m.push_back(im);
+    radix_m.push_back(rm);
+    meta_m.push_back(mm);
+    t.add_row({info.name, Table::pct(im), Table::pct(rm), Table::pct(mm),
+               std::to_string(radix.stats.get("l1.pollution_victims"))});
+  }
+  t.add_row({"AVG", Table::pct(bench::mean(ideal_m)),
+             Table::pct(bench::mean(radix_m)), Table::pct(bench::mean(meta_m)),
+             "-"});
+  t.print(std::cout);
+  std::cout << "\nPaper reference points: metadata miss 98.28%; data miss"
+               " 35.89% with translation vs 26.16% ideal (1.37x pollution"
+               " gap).\nNote: this model's metadata miss rate is lower because"
+               " upper-level PTE lines of the scaled datasets retain L1"
+               " residency — see EXPERIMENTS.md.\n";
+  return 0;
+}

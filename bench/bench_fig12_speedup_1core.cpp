@@ -1,0 +1,6 @@
+// Fig. 12: speedup of the evaluated mechanisms over Radix, 1-core NDP.
+// Paper reference: NDPage 1.344 avg (+14.3% over the 2nd best, ECH 1.176);
+// Huge Page 1.08; Ideal above NDPage.
+#include "bench/speedup_common.h"
+
+int main() { return ndp::bench::run_speedup_figure(1, "12"); }

@@ -1,0 +1,5 @@
+// Fig. 13: speedup of the evaluated mechanisms over Radix, 4-core NDP.
+// Paper reference: NDPage 1.426 avg (+9.8% over ECH).
+#include "bench/speedup_common.h"
+
+int main() { return ndp::bench::run_speedup_figure(4, "13"); }

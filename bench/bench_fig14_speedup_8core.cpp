@@ -1,0 +1,6 @@
+// Fig. 14: speedup of the evaluated mechanisms over Radix, 8-core NDP.
+// Paper reference: NDPage 1.407 avg (+30.5% over ECH); Huge Page degrades
+// to 0.901 of Radix (fault latency / bloat / contiguity exhaustion).
+#include "bench/speedup_common.h"
+
+int main() { return ndp::bench::run_speedup_figure(8, "14"); }

@@ -1,0 +1,38 @@
+// Table I: simulation configuration of the CPU and NDP systems.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/system.h"
+
+using namespace ndp;
+
+int main() {
+  bench::header("Table I: simulation configuration", "paper Table I");
+
+  Table t({"component", "CPU system", "NDP system"});
+  const MemorySystemConfig cpu = MemorySystemConfig::cpu(4);
+  const MemorySystemConfig ndp = MemorySystemConfig::ndp(4);
+  auto cache_str = [](const CacheConfig& c) {
+    return std::to_string(c.size_bytes / 1024) + "KB, " +
+           std::to_string(c.ways) + "-way, " + std::to_string(c.latency) +
+           "-cycle";
+  };
+  t.add_row({"Core", "1/4/8 x86-64 2.6GHz", "1/4/8 x86-64 2.6GHz"});
+  t.add_row({"L1D", cache_str(cpu.l1), cache_str(ndp.l1)});
+  t.add_row({"L2", cache_str(*cpu.l2), "none"});
+  t.add_row({"L3 (shared)", cache_str(*cpu.l3) + "/core", "none"});
+  t.add_row({"L1 DTLB", "64-entry, 4-way, 1-cycle (+32x2MB)",
+             "64-entry, 4-way, 1-cycle (+32x2MB)"});
+  t.add_row({"L2 TLB", "1536-entry, 12-cycle (4KB only)",
+             "1536-entry, 12-cycle (4KB only)"});
+  t.add_row({"PWCs", "per level, 32-entry", "per mechanism (SV-C)"});
+  t.add_row({"Interconnect", "mesh, 4-cycle hop", "mesh, 4-cycle hop"});
+  auto dram_str = [](const DramTiming& d) {
+    return d.name + ", " + std::to_string(d.channels) + "ch x " +
+           std::to_string(d.banks_per_channel) + " banks, tRC=" +
+           std::to_string(d.t_rc) + "cy";
+  };
+  t.add_row({"Memory", dram_str(cpu.dram) + ", 16GB", dram_str(ndp.dram) + ", 16GB"});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the benchmark harness (one binary per paper table or
+// figure; each prints the rows/series the paper reports).
+//
+// Runtime control: set NDPAGE_INSTRS to change the per-core instruction
+// budget (default 150k; the paper's shapes are stable well below its 500M
+// because TLB/PWC/cache behaviour converges quickly at these reuse scales).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "workloads/workload.h"
+
+namespace ndp::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(reproduces " << paper_ref << "; instructions/core = "
+            << default_instructions() << ", override with NDPAGE_INSTRS)\n\n";
+}
+
+inline RunSpec base_spec(SystemKind sys, unsigned cores, Mechanism mech,
+                         WorkloadKind wl) {
+  RunSpec s;
+  s.system = sys;
+  s.cores = cores;
+  s.mechanism = mech;
+  s.workload = wl;
+  return s;
+}
+
+/// Arithmetic mean.
+inline double mean(const std::vector<double>& xs) {
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+}  // namespace ndp::bench

@@ -1,0 +1,43 @@
+// Shared driver for Figs. 12/13/14: speedup of ECH / Huge Page / NDPage /
+// Ideal over the Radix baseline on the N-core NDP system, per workload.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace ndp::bench {
+
+inline int run_speedup_figure(unsigned cores, const char* figure) {
+  header("Fig. " + std::string(figure) + ": speedup over Radix, " +
+             std::to_string(cores) + "-core NDP",
+         "paper Fig. " + std::string(figure));
+
+  const std::vector<Mechanism> mechs = {Mechanism::kEch, Mechanism::kHugePage,
+                                        Mechanism::kNdpage, Mechanism::kIdeal};
+  Table t({"workload", "ECH", "HugePage", "NDPage", "Ideal", "radix PTW"});
+  std::vector<double> ge, gh, gn, gi;
+  for (const WorkloadInfo& info : all_workload_info()) {
+    const RunSpec base =
+        base_spec(SystemKind::kNdp, cores, Mechanism::kRadix, info.kind);
+    const MechanismComparison mc = compare_mechanisms(base, mechs);
+    const double e = mc.speedup_over_radix.at(Mechanism::kEch);
+    const double h = mc.speedup_over_radix.at(Mechanism::kHugePage);
+    const double n = mc.speedup_over_radix.at(Mechanism::kNdpage);
+    const double i = mc.speedup_over_radix.at(Mechanism::kIdeal);
+    ge.push_back(e);
+    gh.push_back(h);
+    gn.push_back(n);
+    gi.push_back(i);
+    t.add_row({info.name, Table::num(e, 3), Table::num(h, 3),
+               Table::num(n, 3), Table::num(i, 3),
+               Table::num(mc.results.at(Mechanism::kRadix).avg_ptw_latency, 0)});
+  }
+  t.add_row({"GMEAN", Table::num(geomean(ge), 3), Table::num(geomean(gh), 3),
+             Table::num(geomean(gn), 3), Table::num(geomean(gi), 3), "-"});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace ndp::bench

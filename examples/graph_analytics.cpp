@@ -1,0 +1,46 @@
+// Graph-analytics scenario: the workload class the paper's introduction
+// motivates. Runs all seven GraphBIG kernels on a 4-core NDP system and
+// compares the Radix baseline against NDPage, reporting where the
+// translation time goes.
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace ndp;
+
+int main() {
+  std::cout << "Graph analytics on a 4-core NDP system: Radix vs NDPage\n\n";
+
+  Table t({"kernel", "radix IPC", "radix PTW", "radix trans%", "NDPage IPC",
+           "NDPage PTW", "speedup"});
+  const WorkloadKind kernels[] = {
+      WorkloadKind::kBC, WorkloadKind::kBFS, WorkloadKind::kCC,
+      WorkloadKind::kGC, WorkloadKind::kPR,  WorkloadKind::kTC,
+      WorkloadKind::kSP};
+  for (WorkloadKind wl : kernels) {
+    RunSpec spec;
+    spec.system = SystemKind::kNdp;
+    spec.cores = 4;
+    spec.workload = wl;
+    spec.instructions_per_core = 100'000;
+
+    spec.mechanism = Mechanism::kRadix;
+    const RunResult radix = run_experiment(spec);
+    spec.mechanism = Mechanism::kNdpage;
+    const RunResult ndpage = run_experiment(spec);
+
+    t.add_row({to_string(wl), Table::num(radix.ipc, 3),
+               Table::num(radix.avg_ptw_latency, 0),
+               Table::pct(radix.translation_fraction),
+               Table::num(ndpage.ipc, 3),
+               Table::num(ndpage.avg_ptw_latency, 0),
+               Table::num(double(radix.total_cycles) /
+                              double(ndpage.total_cycles), 3) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe skewed-random neighbor-property accesses overwhelm the"
+               " TLBs; NDPage\nshortens every walk to ~one bypassed memory"
+               " access and keeps PTEs out of the L1.\n";
+  return 0;
+}

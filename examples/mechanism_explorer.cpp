@@ -1,0 +1,80 @@
+// Mechanism explorer: run any (system, mechanism, workload, cores)
+// combination and dump the full component-statistics breakdown — the tool
+// to reach for when a result in the figures looks surprising.
+//
+//   ./mechanism_explorer [NDP|CPU] [mechanism] [workload] [cores] [instrs]
+//   e.g. ./mechanism_explorer NDP NDPage RND 4 200000
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "sim/experiment.h"
+
+using namespace ndp;
+
+namespace {
+
+Mechanism parse_mechanism(const char* s) {
+  for (Mechanism m : kExtendedMechanisms)
+    if (to_string(m) == s) return m;
+  std::fprintf(stderr, "unknown mechanism '%s'; using Radix\n", s);
+  return Mechanism::kRadix;
+}
+
+WorkloadKind parse_workload(const char* s) {
+  for (const WorkloadInfo& info : all_workload_info())
+    if (std::strcmp(info.name, s) == 0) return info.kind;
+  std::fprintf(stderr, "unknown workload '%s'; using RND\n", s);
+  return WorkloadKind::kRND;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunSpec spec;
+  spec.system = (argc > 1 && std::strcmp(argv[1], "CPU") == 0)
+                    ? SystemKind::kCpu
+                    : SystemKind::kNdp;
+  spec.mechanism = argc > 2 ? parse_mechanism(argv[2]) : Mechanism::kNdpage;
+  spec.workload = argc > 3 ? parse_workload(argv[3]) : WorkloadKind::kRND;
+  spec.cores = argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 4;
+  if (argc > 5) spec.instructions_per_core = std::strtoull(argv[5], nullptr, 10);
+
+  std::printf("%s / %s / %s / %u cores\n\n", to_string(spec.system).c_str(),
+              to_string(spec.mechanism).c_str(),
+              to_string(spec.workload).c_str(), spec.cores);
+  const RunResult r = run_experiment(spec);
+
+  std::printf("headline:\n");
+  std::printf("  cycles              %llu\n",
+              static_cast<unsigned long long>(r.total_cycles));
+  std::printf("  IPC (per core)      %.4f\n", r.ipc);
+  std::printf("  avg PTW latency     %.1f cy\n", r.avg_ptw_latency);
+  std::printf("  translation share   %.1f%%\n", 100 * r.translation_fraction);
+  std::printf("  L1 TLB miss         %.1f%%\n", 100 * r.l1_tlb_miss_rate);
+  std::printf("  L2 TLB miss         %.1f%%\n", 100 * r.l2_tlb_miss_rate);
+  std::printf("  PTE traffic share   %.1f%%\n\n", 100 * r.pte_access_share);
+
+  std::printf("per-core decomposition (cycles):\n");
+  for (std::size_t c = 0; c < r.cores.size(); ++c) {
+    const CoreStats& cs = r.cores[c];
+    std::printf("  core %zu: instrs=%llu refs=%llu trans=%llu data=%llu "
+                "gap=%llu fault=%llu\n",
+                c, static_cast<unsigned long long>(cs.instructions),
+                static_cast<unsigned long long>(cs.memrefs),
+                static_cast<unsigned long long>(cs.translation_cycles),
+                static_cast<unsigned long long>(cs.data_cycles),
+                static_cast<unsigned long long>(cs.gap_cycles),
+                static_cast<unsigned long long>(cs.fault_cycles));
+  }
+
+  std::printf("\ncomponent counters:\n");
+  for (const auto& [k, v] : r.stats.counters())
+    std::printf("  %-32s %llu\n", k.c_str(),
+                static_cast<unsigned long long>(v));
+  std::printf("\ncomponent averages:\n");
+  for (const auto& [k, a] : r.stats.averages())
+    std::printf("  %-32s mean=%.2f n=%llu max=%.0f\n", k.c_str(), a.mean(),
+                static_cast<unsigned long long>(a.count()), a.max());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: simulate one workload on the NDP system with the Radix
+// baseline and with NDPage, and print the headline comparison.
+//
+//   ./quickstart [workload] [cores]     (defaults: RND 4)
+//
+// This is the smallest end-to-end use of the library: pick a system, a
+// translation mechanism and a workload; run; read the metrics.
+#include <cstdio>
+#include <cstring>
+
+#include "sim/experiment.h"
+
+using namespace ndp;
+
+int main(int argc, char** argv) {
+  WorkloadKind wl = WorkloadKind::kRND;
+  if (argc > 1) {
+    bool found = false;
+    for (const WorkloadInfo& info : all_workload_info())
+      if (std::strcmp(argv[1], info.name) == 0) {
+        wl = info.kind;
+        found = true;
+      }
+    if (!found) {
+      std::fprintf(stderr, "unknown workload '%s' (try PR, RND, XS, ...)\n",
+                   argv[1]);
+      return 1;
+    }
+  }
+  const unsigned cores = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  std::printf("NDPage quickstart: %s on a %u-core NDP system\n",
+              to_string(wl).c_str(), cores);
+
+  RunSpec spec;
+  spec.system = SystemKind::kNdp;
+  spec.cores = cores;
+  spec.workload = wl;
+  spec.instructions_per_core = 100'000;
+
+  spec.mechanism = Mechanism::kRadix;
+  const RunResult radix = run_experiment(spec);
+  spec.mechanism = Mechanism::kNdpage;
+  const RunResult ndpage = run_experiment(spec);
+
+  auto report = [](const char* name, const RunResult& r) {
+    std::printf(
+        "  %-7s cycles=%-10llu IPC=%.3f  PTW=%.0f cy  translation=%.1f%%  "
+        "PTE share of traffic=%.1f%%\n",
+        name, static_cast<unsigned long long>(r.total_cycles), r.ipc,
+        r.avg_ptw_latency, 100 * r.translation_fraction,
+        100 * r.pte_access_share);
+  };
+  report("Radix", radix);
+  report("NDPage", ndpage);
+  std::printf("  NDPage speedup over Radix: %.3fx\n",
+              double(radix.total_cycles) / double(ndpage.total_cycles));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Recommendation-inference scenario: DLRM sparse-length-sum embedding
+// gathers, scaling from 1 to 8 NDP cores. Shows how translation overhead
+// grows with contention under the Radix baseline and how much of the
+// Ideal's headroom NDPage recovers.
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace ndp;
+
+int main() {
+  std::cout << "DLRM embedding gathers on NDP: core scaling\n\n";
+
+  Table t({"cores", "radix IPC", "radix PTW", "NDPage IPC", "NDPage speedup",
+           "Ideal speedup", "headroom recovered"});
+  for (unsigned cores : {1u, 4u, 8u}) {
+    RunSpec spec;
+    spec.system = SystemKind::kNdp;
+    spec.cores = cores;
+    spec.workload = WorkloadKind::kDLRM;
+    spec.instructions_per_core = 100'000;
+
+    spec.mechanism = Mechanism::kRadix;
+    const RunResult radix = run_experiment(spec);
+    spec.mechanism = Mechanism::kNdpage;
+    const RunResult ndpage = run_experiment(spec);
+    spec.mechanism = Mechanism::kIdeal;
+    const RunResult ideal = run_experiment(spec);
+
+    const double s_ndpage =
+        double(radix.total_cycles) / double(ndpage.total_cycles);
+    const double s_ideal =
+        double(radix.total_cycles) / double(ideal.total_cycles);
+    t.add_row({std::to_string(cores), Table::num(radix.ipc, 3),
+               Table::num(radix.avg_ptw_latency, 0), Table::num(ndpage.ipc, 3),
+               Table::num(s_ndpage, 3) + "x", Table::num(s_ideal, 3) + "x",
+               Table::pct((s_ndpage - 1) / (s_ideal - 1))});
+  }
+  t.print(std::cout);
+  std::cout << "\n'Headroom recovered' = NDPage's gain as a share of the"
+               " no-translation Ideal's gain.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "cache/cache.h"
+
+#include <cassert>
+
+namespace ndp {
+
+Cache::Cache(CacheConfig cfg) : cfg_(std::move(cfg)), rng_(0xCACE5EEDull) {
+  assert(cfg_.ways > 0);
+  const std::uint64_t num_lines = cfg_.size_bytes / kCacheLineSize;
+  assert(num_lines % cfg_.ways == 0);
+  num_sets_ = static_cast<unsigned>(num_lines / cfg_.ways);
+  assert(num_sets_ > 0);
+  lines_.resize(num_lines);
+}
+
+bool Cache::probe(std::uint64_t line) const {
+  const unsigned set = set_of(line);
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    const Line& l = lines_[static_cast<std::size_t>(set) * cfg_.ways + w];
+    if (l.valid && l.tag == line) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(std::uint64_t line) {
+  const unsigned set = set_of(line);
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& l = lines_[static_cast<std::size_t>(set) * cfg_.ways + w];
+    if (l.valid && l.tag == line) {
+      l.valid = false;
+      return l.dirty;
+    }
+  }
+  return false;
+}
+
+unsigned Cache::pick_victim(unsigned set) {
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  // Invalid way first, for every policy.
+  for (unsigned w = 0; w < cfg_.ways; ++w)
+    if (!base[w].valid) return w;
+
+  switch (cfg_.repl) {
+    case ReplPolicy::kRandom:
+      return static_cast<unsigned>(rng_.below(cfg_.ways));
+    case ReplPolicy::kSrrip: {
+      // Find a line with RRPV == max (3); age everyone until one appears.
+      while (true) {
+        for (unsigned w = 0; w < cfg_.ways; ++w)
+          if (base[w].rrpv >= 3) return w;
+        for (unsigned w = 0; w < cfg_.ways; ++w) ++base[w].rrpv;
+      }
+    }
+    case ReplPolicy::kLru:
+    default: {
+      unsigned victim = 0;
+      for (unsigned w = 1; w < cfg_.ways; ++w)
+        if (base[w].lru < base[victim].lru) victim = w;
+      return victim;
+    }
+  }
+}
+
+CacheOutcome Cache::access(std::uint64_t line, AccessType type,
+                           AccessClass cls) {
+  const unsigned set = set_of(line);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  ++tick_;
+
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == line) {
+      l.lru = tick_;
+      l.rrpv = 0;
+      if (type == AccessType::kWrite) l.dirty = true;
+      ++counters_.hit[static_cast<int>(cls)];
+      return CacheOutcome{.hit = true};
+    }
+  }
+
+  ++counters_.miss[static_cast<int>(cls)];
+
+  const unsigned w = pick_victim(set);
+  Line& victim = base[w];
+  CacheOutcome out;
+  out.hit = false;
+  if (victim.valid) {
+    out.evicted = true;
+    out.victim_dirty = victim.dirty;
+    out.victim_line = victim.tag;
+    out.victim_class = victim.cls;
+    // Pollution accounting: a metadata fill displacing a data line is the
+    // effect the paper's bypass mechanism removes.
+    if (cls == AccessClass::kMetadata && victim.cls == AccessClass::kData)
+      ++counters_.pollution_victims;
+  }
+  victim.tag = line;
+  victim.valid = true;
+  victim.dirty = (type == AccessType::kWrite);
+  victim.cls = cls;
+  victim.lru = tick_;
+  victim.rrpv = 2;  // SRRIP: insert at long re-reference
+  return out;
+}
+
+StatSet Cache::snapshot() const {
+  StatSet s;
+  s.inc("hit.data", counters_.hit[0]);
+  s.inc("hit.meta", counters_.hit[1]);
+  s.inc("miss.data", counters_.miss[0]);
+  s.inc("miss.meta", counters_.miss[1]);
+  s.inc("pollution_victims", counters_.pollution_victims);
+  return s;
+}
+
+double Cache::miss_rate(AccessClass cls) const {
+  const double h = static_cast<double>(counters_.hits(cls));
+  const double m = static_cast<double>(counters_.misses(cls));
+  return (h + m) > 0 ? m / (h + m) : 0.0;
+}
+
+double Cache::metadata_occupancy() const {
+  std::uint64_t valid = 0, meta = 0;
+  for (const Line& l : lines_) {
+    if (!l.valid) continue;
+    ++valid;
+    if (l.cls == AccessClass::kMetadata) ++meta;
+  }
+  return valid ? static_cast<double>(meta) / static_cast<double>(valid) : 0.0;
+}
+
+}  // namespace ndp

@@ -1,0 +1,99 @@
+// Set-associative cache model (tags only — the simulator is trace driven and
+// never stores data bytes).
+//
+// The model tracks, per line, which AccessClass filled it. That is how the
+// paper's pollution analysis (Fig. 7) is measured: PTE fills evicting data
+// lines show up as "pollution victims", and per-class hit/miss counters give
+// the metadata vs normal-data miss-rate split.
+//
+// Statistics are plain counters (the access path is the simulator's hottest
+// loop); snapshot() materializes them into a named StatSet for reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ndp {
+
+enum class ReplPolicy : std::uint8_t { kLru, kRandom, kSrrip };
+
+struct CacheConfig {
+  std::string name = "L1D";
+  std::uint64_t size_bytes = 32 * 1024;
+  unsigned ways = 8;
+  Cycle latency = 4;
+  ReplPolicy repl = ReplPolicy::kLru;
+};
+
+/// Result of a lookup-and-fill access.
+struct CacheOutcome {
+  bool hit = false;
+  bool evicted = false;              ///< a valid line was displaced on fill
+  bool victim_dirty = false;         ///< displaced line needs write-back
+  std::uint64_t victim_line = 0;     ///< line address of the displaced line
+  AccessClass victim_class = AccessClass::kData;
+};
+
+/// Per-class hit/miss counters (index by AccessClass).
+struct CacheCounters {
+  std::uint64_t hit[2] = {0, 0};
+  std::uint64_t miss[2] = {0, 0};
+  std::uint64_t pollution_victims = 0;  ///< metadata fill evicted a data line
+
+  std::uint64_t hits(AccessClass c) const { return hit[static_cast<int>(c)]; }
+  std::uint64_t misses(AccessClass c) const { return miss[static_cast<int>(c)]; }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg);
+
+  /// Lookup `line`; on miss, fill it (possibly evicting). Write hits mark the
+  /// line dirty. Statistics are recorded per AccessClass.
+  CacheOutcome access(std::uint64_t line, AccessType type, AccessClass cls);
+  /// Tag probe with no state change.
+  bool probe(std::uint64_t line) const;
+  /// Drop a line if present (returns true if it was dirty).
+  bool invalidate(std::uint64_t line);
+
+  const CacheConfig& config() const { return cfg_; }
+  unsigned num_sets() const { return num_sets_; }
+  const CacheCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = CacheCounters{}; }
+  /// Named statistics snapshot ("cache.hit.data", "cache.miss.meta", ...).
+  StatSet snapshot() const;
+
+  /// Miss rate restricted to one access class (Fig. 7's quantities).
+  double miss_rate(AccessClass cls) const;
+  /// Fraction of currently valid lines filled by metadata (pollution level).
+  double metadata_occupancy() const;
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    AccessClass cls = AccessClass::kData;
+    std::uint64_t lru = 0;   ///< higher == more recent
+    std::uint8_t rrpv = 3;   ///< SRRIP re-reference prediction value
+  };
+
+  unsigned set_of(std::uint64_t line) const {
+    return static_cast<unsigned>(line % num_sets_);
+  }
+  unsigned pick_victim(unsigned set);
+
+  CacheConfig cfg_;
+  unsigned num_sets_;
+  std::vector<Line> lines_;  ///< num_sets_ x ways, row-major
+  std::uint64_t tick_ = 0;   ///< LRU clock
+  Rng rng_;                  ///< for kRandom replacement
+  CacheCounters counters_;
+};
+
+}  // namespace ndp

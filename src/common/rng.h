@@ -1,0 +1,114 @@
+// Deterministic random-number utilities.
+//
+// All stochastic behaviour in the simulator (workload address streams,
+// fragmentation injection) flows through these generators so that every
+// experiment is reproducible from a seed. No global state.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ndp {
+
+/// SplitMix64: used to seed Xoshiro and as a stateless hash.
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x + 0x1234ABCDull);
+      word = x;
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // bias is < 2^-64 * bound, irrelevant for simulation workloads.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Zipf sampler over [0, n) with exponent s, using the rejection-inversion
+/// method (Hörmann & Derflinger). O(1) per sample, no O(n) table, which
+/// matters because graph workloads draw billions of skewed vertex ids.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double s) : n_(n), s_(s) {
+    assert(n >= 1);
+    h_x1_ = h(1.5) - std::exp(-s_ * std::log(1.0));
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    dist_ = h_x1_ - h_n_;
+  }
+
+  std::uint64_t operator()(Rng& rng) const {
+    if (n_ == 1) return 0;
+    while (true) {
+      const double u = h_n_ + rng.uniform() * dist_;
+      const double x = h_inv(u);
+      auto k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      if (std::abs(static_cast<double>(k) - x) <= 0.5 ||
+          u >= h(static_cast<double>(k) + 0.5) - std::exp(-s_ * std::log(static_cast<double>(k)))) {
+        return k - 1;  // return 0-based rank, rank 0 hottest
+      }
+    }
+  }
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double h(double x) const {
+    // integral of x^-s  (handles s == 1 via log)
+    if (std::abs(1.0 - s_) < 1e-9) return std::log(x);
+    return std::exp((1.0 - s_) * std::log(x)) / (1.0 - s_);
+  }
+  double h_inv(double u) const {
+    if (std::abs(1.0 - s_) < 1e-9) return std::exp(u);
+    return std::exp(std::log((1.0 - s_) * u) / (1.0 - s_));
+  }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_, h_n_, dist_;
+};
+
+}  // namespace ndp

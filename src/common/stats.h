@@ -1,0 +1,116 @@
+// Lightweight statistics primitives used by every simulated component.
+//
+// A StatSet is a named registry of counters/averages owned by a component;
+// the experiment runner snapshots them after a run. Counters are plain
+// uint64 — the simulator is single-threaded by design (the multi-core model
+// interleaves core *clocks*, not host threads).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ndp {
+
+/// Running mean + extremes without storing samples.
+class Average {
+ public:
+  void add(double v) {
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+  }
+  /// Exact merge of two sample sets (count/sum/min/max are all associative).
+  void merge(const Average& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  void reset() { *this = Average{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0, min_ = 0.0, max_ = 0.0;
+};
+
+/// Power-of-two bucketed histogram for latency distributions.
+class Histogram {
+ public:
+  explicit Histogram(unsigned num_buckets = 24) : buckets_(num_buckets, 0) {}
+
+  void add(std::uint64_t v) {
+    avg_.add(static_cast<double>(v));
+    unsigned b = 0;
+    while (b + 1 < buckets_.size() && (1ull << (b + 1)) <= v) ++b;
+    ++buckets_[b];
+  }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  const Average& summary() const { return avg_; }
+  /// Approximate percentile: upper bound of the bucket holding quantile p.
+  std::uint64_t percentile(double p) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  Average avg_;
+};
+
+/// Named counter registry. Components expose one so tests and benches can
+/// read e.g. stats.get("tlb.l1d.miss") without bespoke accessors everywhere.
+class StatSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
+  void add_sample(const std::string& name, double v) { averages_[name].add(v); }
+  /// Merge a whole Average (exact) under `name` — used when re-keying
+  /// component stats with a prefix.
+  void merge_average(const std::string& name, const Average& a) {
+    averages_[name].merge(a);
+  }
+
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const Average* average(const std::string& name) const {
+    auto it = averages_.find(name);
+    return it == averages_.end() ? nullptr : &it->second;
+  }
+  double mean(const std::string& name) const {
+    const Average* a = average(name);
+    return a ? a->mean() : 0.0;
+  }
+  /// Ratio helper: num/(num+den) with 0 on empty denominator.
+  double rate(const std::string& num, const std::string& den) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, Average>& averages() const { return averages_; }
+  void clear() {
+    counters_.clear();
+    averages_.clear();
+  }
+  /// Merge another StatSet into this one (counter sums, exact sample merges).
+  void merge(const StatSet& other);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Average> averages_;
+};
+
+}  // namespace ndp

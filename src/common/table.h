@@ -1,0 +1,32 @@
+// Console table / CSV emitter used by the benchmark harness to print the
+// rows and series of every figure and table in the paper's evaluation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ndp {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so bench output is diff-able across runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  ///< 0.345 -> "34.5%"
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ndp

@@ -1,0 +1,62 @@
+// Core address/time vocabulary shared by every module.
+//
+// The simulator is trace driven: virtual addresses come from workload
+// generators, physical addresses from the OS substrate, and time is an
+// integral cycle count at the core clock (2.6 GHz in Table I of the paper).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ndp {
+
+/// Virtual address (full 64-bit, canonical x86-64 user-space range).
+using VirtAddr = std::uint64_t;
+/// Physical address.
+using PhysAddr = std::uint64_t;
+/// Virtual page number (VirtAddr >> 12 for 4 KB pages).
+using Vpn = std::uint64_t;
+/// Physical frame number (PhysAddr >> 12).
+using Pfn = std::uint64_t;
+/// Simulation time in core clock cycles.
+using Cycle = std::uint64_t;
+
+inline constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+inline constexpr unsigned kPageShift = 12;                   ///< 4 KB base page
+inline constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+inline constexpr unsigned kHugePageShift = 21;               ///< 2 MB huge page
+inline constexpr std::uint64_t kHugePageSize = 1ull << kHugePageShift;
+inline constexpr unsigned kCacheLineShift = 6;               ///< 64 B lines
+inline constexpr std::uint64_t kCacheLineSize = 1ull << kCacheLineShift;
+inline constexpr unsigned kPteSize = 8;                      ///< 64-bit PTEs
+inline constexpr unsigned kPtesPerNode = 512;                ///< 2^9 per 4 KB node
+
+inline constexpr Vpn vpn_of(VirtAddr va) { return va >> kPageShift; }
+inline constexpr VirtAddr page_offset(VirtAddr va) { return va & (kPageSize - 1); }
+inline constexpr PhysAddr frame_base(Pfn pfn) { return pfn << kPageShift; }
+inline constexpr Pfn pfn_of(PhysAddr pa) { return pa >> kPageShift; }
+inline constexpr std::uint64_t line_of(PhysAddr pa) { return pa >> kCacheLineShift; }
+
+/// x86-64 4-level radix indices. Level 4 is the root (PML4), level 1 holds
+/// leaf PTEs. Each index is 9 bits of the virtual address.
+inline constexpr unsigned radix_index(Vpn vpn, unsigned level) {
+  return static_cast<unsigned>((vpn >> (9u * (level - 1u))) & 0x1FFu);
+}
+
+/// NDPage's flattened L2/L1 node is indexed by 18 VA bits (paper §V-B).
+inline constexpr unsigned flat_index(Vpn vpn) {
+  return static_cast<unsigned>(vpn & 0x3FFFFu);
+}
+
+/// Tag identifying what a memory request is for. The cache hierarchy keeps
+/// per-class statistics, and the bypass policy applies only to kMetadata.
+enum class AccessClass : std::uint8_t {
+  kData,      ///< normal program data
+  kMetadata,  ///< page-table entries (the paper's "metadata")
+};
+
+/// Read/write intent of a memory request.
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+}  // namespace ndp

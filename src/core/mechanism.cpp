@@ -1,0 +1,88 @@
+#include "core/mechanism.h"
+
+#include <cassert>
+
+#include "core/flat_page_table.h"
+#include "translate/dipta_page_table.h"
+#include "translate/ech_page_table.h"
+#include "translate/radix_page_table.h"
+
+namespace ndp {
+
+std::string to_string(Mechanism m) {
+  switch (m) {
+    case Mechanism::kRadix: return "Radix";
+    case Mechanism::kEch: return "ECH";
+    case Mechanism::kHugePage: return "HugePage";
+    case Mechanism::kNdpage: return "NDPage";
+    case Mechanism::kIdeal: return "Ideal";
+    case Mechanism::kDipta: return "DIPTA";
+  }
+  return "?";
+}
+
+bool uses_huge_pages(Mechanism m) { return m == Mechanism::kHugePage; }
+
+bool models_translation(Mechanism m) { return m != Mechanism::kIdeal; }
+
+std::unique_ptr<PageTable> make_page_table(Mechanism m, PhysicalMemory& pm) {
+  switch (m) {
+    case Mechanism::kRadix:
+      return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
+    case Mechanism::kEch:
+      return std::make_unique<EchPageTable>(pm);
+    case Mechanism::kHugePage:
+      return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/2);
+    case Mechanism::kNdpage:
+      return std::make_unique<FlatPageTable>(pm);
+    case Mechanism::kIdeal:
+      // Ideal still needs a functional map to place data physically; the
+      // radix structure is never timed because the walker is never invoked.
+      return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
+    case Mechanism::kDipta:
+      return std::make_unique<DiptaPageTable>(pm);
+  }
+  assert(false);
+  return nullptr;
+}
+
+WalkerConfig make_walker_config(Mechanism m) {
+  WalkerConfig cfg;
+  switch (m) {
+    case Mechanism::kRadix:
+      // Conventional MMU: one PWC per level (paper §V-C observes L4/L3
+      // nearly always hit while L2/L1 average ~15%).
+      cfg.pwc_levels = {4, 3, 2, 1};
+      cfg.bypass_caches_for_metadata = false;
+      break;
+    case Mechanism::kEch:
+      // Hashed table: no radix prefixes to cache; PTEs stay cacheable.
+      cfg.pwc_levels = {};
+      cfg.bypass_caches_for_metadata = false;
+      break;
+    case Mechanism::kHugePage:
+      // 3-level walk; the PD (L2) leaf is the translation itself and is
+      // covered by the TLB, so PWCs sit at L4/L3.
+      cfg.pwc_levels = {4, 3};
+      cfg.bypass_caches_for_metadata = false;
+      break;
+    case Mechanism::kNdpage:
+      // Paper §V: keep the high-hit-rate L4/L3 PWCs, no PWC for the
+      // flattened level, and bypass the cache hierarchy for metadata.
+      cfg.pwc_levels = {4, 3};
+      cfg.bypass_caches_for_metadata = true;
+      break;
+    case Mechanism::kIdeal:
+      cfg.pwc_levels = {};
+      cfg.bypass_caches_for_metadata = false;
+      break;
+    case Mechanism::kDipta:
+      // One near-data tag access per walk; no radix prefixes to cache.
+      cfg.pwc_levels = {};
+      cfg.bypass_caches_for_metadata = false;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace ndp

@@ -1,0 +1,53 @@
+// The five evaluated address-translation mechanisms (paper §VI):
+//   Radix     — 4-level x86-64 radix table, PWCs at every level.
+//   ECH       — elastic cuckoo hash table, 3 parallel probes, no PWCs.
+//   HugePage  — 2 MB pages on a 3-level radix table, PWCs at L4/L3.
+//   NDPage    — this paper: flattened L2/L1 table + metadata cache bypass,
+//               PWCs retained at L4/L3 only (§V-C).
+//   Ideal     — every translation hits a zero-latency TLB (the limit case).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/phys_mem.h"
+#include "translate/page_table.h"
+#include "translate/walker.h"
+
+namespace ndp {
+
+enum class Mechanism {
+  kRadix,
+  kEch,
+  kHugePage,
+  kNdpage,
+  kIdeal,
+  /// Extension beyond the paper's five: DIPTA-style restricted-associativity
+  /// translation (SVIII related work), for the related-work bench.
+  kDipta,
+};
+
+/// The five mechanisms of the paper's evaluation (SVI).
+inline constexpr Mechanism kAllMechanisms[] = {
+    Mechanism::kRadix, Mechanism::kEch, Mechanism::kHugePage,
+    Mechanism::kNdpage, Mechanism::kIdeal};
+/// The paper's five plus implemented related-work comparators.
+inline constexpr Mechanism kExtendedMechanisms[] = {
+    Mechanism::kRadix, Mechanism::kEch, Mechanism::kHugePage,
+    Mechanism::kNdpage, Mechanism::kIdeal, Mechanism::kDipta};
+
+std::string to_string(Mechanism m);
+
+/// Does this mechanism map memory with 2 MB pages?
+bool uses_huge_pages(Mechanism m);
+/// Does this mechanism model translation at all? (false for Ideal)
+bool models_translation(Mechanism m);
+
+/// Build the page-table structure for a mechanism.
+std::unique_ptr<PageTable> make_page_table(Mechanism m, PhysicalMemory& pm);
+
+/// The walker configuration a mechanism prescribes (PWC levels + bypass).
+WalkerConfig make_walker_config(Mechanism m);
+
+}  // namespace ndp

@@ -1,0 +1,103 @@
+#include "core/system.h"
+
+#include <cassert>
+
+namespace ndp {
+
+std::string to_string(SystemKind k) {
+  return k == SystemKind::kCpu ? "CPU" : "NDP";
+}
+
+SystemConfig SystemConfig::ndp(unsigned cores, Mechanism m) {
+  SystemConfig cfg;
+  cfg.kind = SystemKind::kNdp;
+  cfg.num_cores = cores;
+  cfg.mechanism = m;
+  return cfg;
+}
+
+SystemConfig SystemConfig::cpu(unsigned cores, Mechanism m) {
+  SystemConfig cfg;
+  cfg.kind = SystemKind::kCpu;
+  cfg.num_cores = cores;
+  cfg.mechanism = m;
+  return cfg;
+}
+
+System::System(const SystemConfig& cfg) : cfg_(cfg) {
+  assert(cfg_.num_cores >= 1);
+  mlp_ = cfg_.mlp ? cfg_.mlp : 8u;
+
+  PhysMemConfig pmc;
+  pmc.bytes = cfg_.phys_bytes;
+  pmc.noise_fraction = cfg_.noise_fraction;
+  pmc.seed = cfg_.seed;
+  phys_ = std::make_unique<PhysicalMemory>(pmc);
+
+  MemorySystemConfig msc = cfg_.kind == SystemKind::kNdp
+                               ? MemorySystemConfig::ndp(cfg_.num_cores)
+                               : MemorySystemConfig::cpu(cfg_.num_cores);
+  if (cfg_.dram_override) msc.dram = *cfg_.dram_override;
+  mem_ = std::make_unique<MemorySystem>(msc);
+
+  space_ = std::make_unique<AddressSpace>(
+      *phys_, make_page_table(cfg_.mechanism, *phys_),
+      uses_huge_pages(cfg_.mechanism));
+
+  MmuConfig mmuc;
+  mmuc.walker = make_walker_config(cfg_.mechanism);
+  if (cfg_.bypass_override)
+    mmuc.walker.bypass_caches_for_metadata = *cfg_.bypass_override;
+  if (cfg_.pwc_levels_override)
+    mmuc.walker.pwc_levels = *cfg_.pwc_levels_override;
+  mmuc.ideal = !models_translation(cfg_.mechanism);
+  for (unsigned c = 0; c < cfg_.num_cores; ++c)
+    mmus_.push_back(std::make_unique<Mmu>(mmuc, *space_, *mem_, c));
+
+  // Reclaim/compaction tear-downs must not leave stale TLB entries.
+  space_->set_shootdown_hook([this](Vpn vpn) {
+    const VirtAddr va = vpn << kPageShift;
+    for (auto& mmu : mmus_) {
+      mmu->l1_dtlb().invalidate(va);
+      mmu->l2_tlb().invalidate(va);
+    }
+  });
+}
+
+void System::reset_stats() {
+  mem_->reset_stats();
+  phys_->stats().clear();
+  space_->stats().clear();
+  for (auto& mmu : mmus_) {
+    mmu->reset_counters();
+    mmu->l1_dtlb().reset_counters();
+    mmu->l2_tlb().reset_counters();
+    mmu->walker().reset_counters();
+    for (unsigned level : mmu->walker().pwcs().levels())
+      mmu->walker().pwcs().level(level)->reset_counters();
+  }
+}
+
+StatSet System::collect_stats() const {
+  StatSet out = mem_->collect_stats();
+  auto add_all = [&out](const StatSet& s, const std::string& prefix) {
+    for (const auto& [k, v] : s.counters()) out.inc(prefix + "." + k, v);
+    for (const auto& [k, a] : s.averages()) out.merge_average(prefix + "." + k, a);
+  };
+  add_all(phys_->stats(), "os");
+  add_all(space_->stats(), "as");
+  for (unsigned c = 0; c < cfg_.num_cores; ++c) {
+    const Mmu& m = *mmus_[c];
+    add_all(m.snapshot(), "mmu");
+    add_all(m.l1_dtlb().snapshot(), "tlb.l1d");
+    add_all(m.l2_tlb().snapshot(), "tlb.l2");
+    add_all(m.walker().snapshot(), "walker");
+    for (unsigned level : m.walker().pwcs().levels()) {
+      const Pwc* p = m.walker().pwcs().level(level);
+      add_all(p->snapshot(), "pwc.l" + std::to_string(level));
+    }
+  }
+  return out;
+}
+
+}  // namespace ndp

@@ -1,0 +1,80 @@
+// Whole-system assembly: Table I of the paper as a constructor.
+//
+// A System owns the physical-memory substrate, the cache/NoC/DRAM memory
+// system, one address space (the NDP kernels run as one multi-threaded
+// process), and a per-core MMU configured for the chosen translation
+// mechanism. The simulation engine (src/sim) drives it with workload
+// traces.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "core/mechanism.h"
+#include "dram/dram.h"
+#include "core/mmu.h"
+#include "os/phys_mem.h"
+#include "translate/address_space.h"
+
+namespace ndp {
+
+enum class SystemKind { kCpu, kNdp };
+
+std::string to_string(SystemKind k);
+
+struct SystemConfig {
+  SystemKind kind = SystemKind::kNdp;
+  unsigned num_cores = 1;
+  Mechanism mechanism = Mechanism::kRadix;
+  std::uint64_t phys_bytes = 16ull << 30;  ///< Table I: 16 GB
+  double noise_fraction = 0.03;
+  std::uint64_t seed = 0x5EED;
+  /// Per-core memory-level parallelism: how many memory operations a core
+  /// may have in flight. Table I uses the same x86-64 cores in both systems,
+  /// so both default to 8 (a typical L1 MSHR budget).
+  unsigned mlp = 0;  ///< 0 = default (8)
+
+  // --- Ablation overrides (default: the mechanism's own configuration) ---
+  /// Force the metadata cache bypass on/off regardless of mechanism.
+  std::optional<bool> bypass_override;
+  /// Replace the mechanism's PWC level set (e.g. {} to disable PWCs).
+  std::optional<std::vector<unsigned>> pwc_levels_override;
+  /// Replace the DRAM device model (e.g. channel-count sweeps).
+  std::optional<DramTiming> dram_override;
+
+  static SystemConfig ndp(unsigned cores, Mechanism m);
+  static SystemConfig cpu(unsigned cores, Mechanism m);
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg);
+
+  const SystemConfig& config() const { return cfg_; }
+  unsigned num_cores() const { return cfg_.num_cores; }
+  unsigned mlp() const { return mlp_; }
+  PhysicalMemory& phys() { return *phys_; }
+  MemorySystem& mem() { return *mem_; }
+  AddressSpace& space() { return *space_; }
+  Mmu& mmu(unsigned core) { return *mmus_[core]; }
+  const Mmu& mmu(unsigned core) const { return *mmus_[core]; }
+
+  /// Snapshot of every component's statistics, prefixed per component.
+  StatSet collect_stats() const;
+  /// Clear every component's statistics (after warmup). Timing state —
+  /// cache tags, TLB/PWC contents, DRAM bank clocks — is preserved.
+  void reset_stats();
+
+ private:
+  SystemConfig cfg_;
+  unsigned mlp_;
+  std::unique_ptr<PhysicalMemory> phys_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::unique_ptr<AddressSpace> space_;
+  std::vector<std::unique_ptr<Mmu>> mmus_;
+};
+
+}  // namespace ndp

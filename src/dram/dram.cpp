@@ -1,0 +1,135 @@
+#include "dram/dram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ndp {
+
+DramTiming DramTiming::ddr4_2400() {
+  DramTiming t;
+  t.name = "DDR4-2400";
+  t.channels = 2;
+  t.banks_per_channel = 32;  // 16 banks x 2 ranks per channel
+  // DDR4-2400 CL17: ~16.7 ns => 43 core cycles at 2.6 GHz for the common
+  // 16-16-16 bin. tRC ~46 ns => 120 cycles.
+  t.t_cl = 43;
+  t.t_rcd = 43;
+  t.t_rp = 43;
+  t.t_rc = 120;
+  t.t_burst = 9;    // 64 B = 8 beats on a 64-bit bus at 2400 MT/s = ~3.3 ns
+  t.t_service = 9;  // data-bus occupancy bounds channel throughput
+  t.t_static = 40;  // off-chip link + controller pipeline
+  t.row_bytes = 8192;
+  return t;
+}
+
+DramTiming DramTiming::hbm2() {
+  DramTiming t;
+  t.name = "HBM2";
+  t.channels = 2;
+  t.banks_per_channel = 16;
+  // HBM2 core timings are DDR4-like; the win is the on-stack path (short
+  // static latency) and the wide bus (short bursts).
+  t.t_cl = 36;
+  t.t_rcd = 36;
+  t.t_rp = 36;
+  t.t_rc = 117;
+  t.t_burst = 5;    // 64 B over a 128-bit channel at 2 Gb/s/pin = ~2 ns
+  t.t_service = 6;  // vault controller slot
+  t.t_static = 36;  // vault-controller pipeline + TSV (no off-chip hop)
+  t.row_bytes = 2048;
+  return t;
+}
+
+Dram::Dram(DramTiming timing) : timing_(std::move(timing)) {
+  assert(timing_.channels > 0 && timing_.banks_per_channel > 0);
+  channels_.resize(timing_.channels);
+  for (auto& ch : channels_) ch.banks.resize(timing_.banks_per_channel);
+}
+
+unsigned Dram::channel_of(PhysAddr pa) const {
+  // Line interleaving across channels spreads sequential traffic; XOR-folding
+  // higher address bits (permutation-based interleaving, as in real memory
+  // controllers) breaks the bank/channel aliasing that power-of-2 strided
+  // access patterns would otherwise cause.
+  const std::uint64_t l = line_of(pa);
+  return static_cast<unsigned>((l ^ (l >> 11)) % timing_.channels);
+}
+
+unsigned Dram::bank_of(PhysAddr pa) const {
+  const std::uint64_t l = line_of(pa);
+  return static_cast<unsigned>(((l / timing_.channels) ^ (l >> 9) ^ (l >> 15)) %
+                               timing_.banks_per_channel);
+}
+
+std::uint64_t Dram::row_of(PhysAddr pa) const {
+  const std::uint64_t lines_per_row = timing_.row_bytes / kCacheLineSize;
+  return (line_of(pa) / timing_.channels / timing_.banks_per_channel) /
+         lines_per_row;
+}
+
+double Dram::random_capacity_per_cycle() const {
+  return static_cast<double>(timing_.channels * timing_.banks_per_channel) /
+         static_cast<double>(timing_.t_rc);
+}
+
+DramResult Dram::access(Cycle now, PhysAddr pa, AccessType type,
+                        AccessClass cls) {
+  Channel& ch = channels_[channel_of(pa)];
+  Bank& bank = ch.banks[bank_of(pa)];
+  const std::uint64_t row = row_of(pa);
+
+  // Wait for a controller slot on this channel, then for the bank.
+  const Cycle slot_start = std::max(now, ch.next_slot);
+  ch.next_slot = slot_start + timing_.t_service;
+  const Cycle bank_start = std::max(slot_start, bank.busy_until);
+
+  Cycle access_lat;
+  bool row_hit = false;
+  if (bank.row_open && bank.open_row == row) {
+    row_hit = true;
+    access_lat = timing_.t_cl;
+    bank.busy_until = bank_start + timing_.t_burst;
+  } else {
+    // Open-page policy: a mismatch pays precharge + activate + CAS; an idle
+    // bank skips the precharge.
+    access_lat = (bank.row_open ? timing_.t_rp : 0) + timing_.t_rcd + timing_.t_cl;
+    bank.open_row = row;
+    bank.row_open = true;
+    // The bank cannot accept another activate until tRC after this one.
+    bank.busy_until = bank_start + std::max<Cycle>(timing_.t_rc, access_lat);
+  }
+
+  const Cycle finish = bank_start + access_lat + timing_.t_burst + timing_.t_static;
+  const Cycle queue_delay = bank_start - now;
+
+  ++counters_.access;
+  ++(type == AccessType::kWrite ? counters_.writes : counters_.reads);
+  ++(cls == AccessClass::kMetadata ? counters_.metadata : counters_.data);
+  ++(row_hit ? counters_.row_hit : counters_.row_miss);
+  counters_.queue_delay.add(static_cast<double>(queue_delay));
+  counters_.latency.add(static_cast<double>(finish - now));
+  counters_.slot_wait.add(static_cast<double>(slot_start - now));
+  counters_.bank_wait.add(static_cast<double>(bank_start - slot_start));
+
+  return DramResult{finish, queue_delay, row_hit};
+}
+
+StatSet Dram::snapshot() const {
+  StatSet s;
+  s.inc("access", counters_.access);
+  s.inc("read", counters_.reads);
+  s.inc("write", counters_.writes);
+  s.inc("data", counters_.data);
+  s.inc("metadata", counters_.metadata);
+  s.inc("row_hit", counters_.row_hit);
+  s.inc("row_miss", counters_.row_miss);
+  s.merge_average("queue_delay", counters_.queue_delay);
+  s.merge_average("latency", counters_.latency);
+  s.merge_average("slot_wait", counters_.slot_wait);
+  s.merge_average("bank_wait", counters_.bank_wait);
+  return s;
+}
+
+}  // namespace ndp

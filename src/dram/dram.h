@@ -1,0 +1,106 @@
+// Bank/channel DRAM timing model.
+//
+// This is the memory substrate under both simulated systems (Table I of the
+// paper): DDR4-2400 behind the CPU's cache hierarchy, and an HBM2 stack under
+// the NDP logic layer. The model tracks, per bank, the open row and the
+// busy-until time (row-cycle time tRC gates back-to-back activates — this is
+// the throughput limiter for the paper's highly random PTE traffic), and per
+// channel a command/data service slot (controller arbitration + bus
+// occupancy). Queue delay is therefore emergent from concurrent traffic, not
+// scripted: multi-core runs see longer PTW latency exactly as the paper's
+// Fig. 4/6 report.
+//
+// All timings are expressed in *core* cycles at 2.6 GHz so the rest of the
+// simulator needs no clock-domain conversion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ndp {
+
+/// Device + controller timing parameters (core cycles @ 2.6 GHz).
+struct DramTiming {
+  std::string name;
+  unsigned channels = 2;
+  unsigned banks_per_channel = 16;
+  Cycle t_cl = 43;       ///< CAS latency
+  Cycle t_rcd = 43;      ///< RAS-to-CAS
+  Cycle t_rp = 43;       ///< precharge
+  Cycle t_rc = 120;      ///< row cycle: min gap between activates to a bank
+  Cycle t_burst = 17;    ///< 64 B data burst occupancy on the channel bus
+  Cycle t_service = 10;  ///< controller slot: min gap between requests/channel
+  Cycle t_static = 40;   ///< fixed path: controller pipeline + PHY + link
+  std::uint64_t row_bytes = 8192;  ///< row-buffer reach per bank
+
+  /// DDR4-2400, dual channel: the CPU system's main memory.
+  static DramTiming ddr4_2400();
+  /// One HBM2 stack as seen from the NDP logic layer: wider/faster interface,
+  /// much shorter static path (no off-chip hop), smaller rows.
+  static DramTiming hbm2();
+};
+
+/// Outcome of one line access.
+struct DramResult {
+  Cycle finish = 0;       ///< absolute completion time
+  Cycle queue_delay = 0;  ///< waiting on channel slot + bank availability
+  bool row_hit = false;
+};
+
+/// A multi-channel, multi-bank DRAM device with an open-page policy.
+///
+/// access() is the whole interface: given a start time and a physical
+/// address, it updates bank/channel state and returns the completion time.
+/// Callers issue requests in approximately non-decreasing time order (the
+/// multi-core engine guarantees this), so per-bank state stays causal.
+class Dram {
+ public:
+  explicit Dram(DramTiming timing);
+
+  struct Counters {
+    std::uint64_t access = 0, reads = 0, writes = 0;
+    std::uint64_t data = 0, metadata = 0;
+    std::uint64_t row_hit = 0, row_miss = 0;
+    Average queue_delay;
+    Average latency;
+    Average slot_wait;  ///< waiting on the channel service slot
+    Average bank_wait;  ///< waiting on the bank (tRC occupancy)
+  };
+
+  DramResult access(Cycle now, PhysAddr pa, AccessType type, AccessClass cls);
+
+  const DramTiming& timing() const { return timing_; }
+  const Counters& counters() const { return counters_; }
+  /// Named statistics snapshot; counters are PODs on the hot path.
+  StatSet snapshot() const;
+  void reset_counters() { counters_ = Counters{}; }
+
+  unsigned channel_of(PhysAddr pa) const;
+  unsigned bank_of(PhysAddr pa) const;
+  std::uint64_t row_of(PhysAddr pa) const;
+
+  /// Peak random-access service rate in requests/cycle (banks / tRC summed
+  /// over channels). Used by tests and capacity-planning asserts.
+  double random_capacity_per_cycle() const;
+
+ private:
+  struct Bank {
+    Cycle busy_until = 0;
+    std::uint64_t open_row = 0;
+    bool row_open = false;
+  };
+  struct Channel {
+    Cycle next_slot = 0;
+    std::vector<Bank> banks;
+  };
+
+  DramTiming timing_;
+  std::vector<Channel> channels_;
+  Counters counters_;
+};
+
+}  // namespace ndp

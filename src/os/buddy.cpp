@@ -1,0 +1,125 @@
+#include "os/buddy.h"
+
+#include <cassert>
+
+namespace ndp {
+
+BuddyAllocator::BuddyAllocator(std::uint64_t num_frames)
+    : num_frames_(num_frames),
+      free_frames_(num_frames),
+      free_lists_(kMaxOrder + 1),
+      free_bit_(num_frames, true),
+      block_order_(num_frames, 0) {
+  const std::uint64_t max_block = 1ull << kMaxOrder;
+  assert(num_frames_ > 0 && num_frames_ % max_block == 0);
+  for (Pfn base = 0; base < num_frames_; base += max_block)
+    insert_free(base, kMaxOrder);
+}
+
+void BuddyAllocator::insert_free(Pfn base, unsigned order) {
+  free_lists_[order].insert(base);
+  block_order_[base] = static_cast<std::uint8_t>(order);
+}
+
+void BuddyAllocator::remove_free(Pfn base, unsigned order) {
+  free_lists_[order].erase(base);
+}
+
+std::optional<Pfn> BuddyAllocator::alloc(unsigned order) {
+  assert(order <= kMaxOrder);
+  unsigned o = order;
+  while (o <= kMaxOrder && free_lists_[o].empty()) ++o;
+  if (o > kMaxOrder) return std::nullopt;
+
+  // Take the lowest-address block for determinism, split down to `order`.
+  Pfn base = *free_lists_[o].begin();
+  remove_free(base, o);
+  while (o > order) {
+    --o;
+    insert_free(base + (1ull << o), o);
+  }
+  const std::uint64_t size = 1ull << order;
+  for (std::uint64_t i = 0; i < size; ++i) free_bit_[base + i] = false;
+  free_frames_ -= size;
+  return base;
+}
+
+void BuddyAllocator::free(Pfn base, unsigned order) {
+  assert(order <= kMaxOrder);
+  const std::uint64_t size = 1ull << order;
+  assert(base % size == 0 && base + size <= num_frames_);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    assert(!free_bit_[base + i] && "double free");
+    free_bit_[base + i] = true;
+  }
+  free_frames_ += size;
+
+  // Coalesce with the buddy while it is wholly free at the same order.
+  unsigned o = order;
+  while (o < kMaxOrder) {
+    const Pfn buddy = base ^ (1ull << o);
+    if (buddy >= num_frames_ || !free_bit_[buddy] ||
+        free_lists_[o].count(buddy) == 0) {
+      break;
+    }
+    remove_free(buddy, o);
+    base = std::min(base, buddy);
+    ++o;
+  }
+  insert_free(base, o);
+}
+
+bool BuddyAllocator::alloc_specific(Pfn frame) {
+  if (frame >= num_frames_ || !free_bit_[frame]) return false;
+  // Find the free block containing this frame.
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    const Pfn base = frame & ~((1ull << o) - 1);
+    if (free_lists_[o].count(base) == 0) continue;
+    remove_free(base, o);
+    // Split down, always keeping the half that contains `frame`.
+    Pfn keep = base;
+    for (unsigned cur = o; cur > 0; --cur) {
+      const unsigned child = cur - 1;
+      const Pfn lo = keep;
+      const Pfn hi = keep + (1ull << child);
+      if (frame >= hi) {
+        insert_free(lo, child);
+        keep = hi;
+      } else {
+        insert_free(hi, child);
+        keep = lo;
+      }
+    }
+    assert(keep == frame);
+    free_bit_[frame] = false;
+    --free_frames_;
+    return true;
+  }
+  assert(false && "free_bit set but no containing free block");
+  return false;
+}
+
+int BuddyAllocator::largest_available_order() const {
+  for (int o = static_cast<int>(kMaxOrder); o >= 0; --o)
+    if (!free_lists_[static_cast<unsigned>(o)].empty()) return o;
+  return -1;
+}
+
+std::uint64_t BuddyAllocator::free_in_window(Pfn window_base,
+                                             unsigned order) const {
+  const std::uint64_t size = 1ull << order;
+  assert(window_base % size == 0);
+  std::uint64_t n = 0;
+  for (std::uint64_t i = 0; i < size && window_base + i < num_frames_; ++i)
+    if (free_bit_[window_base + i]) ++n;
+  return n;
+}
+
+double BuddyAllocator::fragmentation() const {
+  if (free_frames_ == 0) return 0.0;
+  const int o = largest_available_order();
+  const double largest = o < 0 ? 0.0 : static_cast<double>(1ull << o);
+  return 1.0 - largest / static_cast<double>(free_frames_);
+}
+
+}  // namespace ndp

@@ -1,0 +1,64 @@
+// Buddy allocator over the physical frame space.
+//
+// This is the OS-substrate piece behind the paper's Huge Page baseline
+// discussion (§VII-B): 2 MB allocations need an order-9 buddy block, and
+// once memory is fragmented those stop being available — the allocator
+// reports it honestly instead of applying a fudge factor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndp {
+
+class BuddyAllocator {
+ public:
+  static constexpr unsigned kMaxOrder = 10;  ///< up to 4 MB blocks
+
+  /// num_frames must be a multiple of 2^kMaxOrder (the pool is built from
+  /// max-order blocks).
+  explicit BuddyAllocator(std::uint64_t num_frames);
+
+  /// Allocate a 2^order-frame block aligned to its size. Returns the base
+  /// PFN, or nullopt if no such block exists (fragmentation or exhaustion).
+  std::optional<Pfn> alloc(unsigned order);
+  /// Return a previously allocated block; buddies coalesce eagerly.
+  void free(Pfn base, unsigned order);
+  /// Allocate exactly `frame` (order 0), splitting whatever free block
+  /// contains it. Returns false if the frame is not free. Used for
+  /// boot-time fragmentation injection and for compaction window reserve.
+  bool alloc_specific(Pfn frame);
+
+  bool is_free(Pfn frame) const { return free_bit_[frame]; }
+  /// Is a block of this order currently available (without compaction)?
+  bool can_alloc(unsigned order) const {
+    for (unsigned o = order; o <= kMaxOrder; ++o)
+      if (!free_lists_[o].empty()) return true;
+    return false;
+  }
+  std::uint64_t num_frames() const { return num_frames_; }
+  std::uint64_t free_frames() const { return free_frames_; }
+  /// Largest order for which a block is currently available.
+  int largest_available_order() const;
+  /// Free frames inside the aligned 2^order window containing `base`.
+  std::uint64_t free_in_window(Pfn window_base, unsigned order) const;
+
+  /// External fragmentation in [0,1]: 1 - (largest free block / free frames).
+  double fragmentation() const;
+
+ private:
+  void insert_free(Pfn base, unsigned order);
+  void remove_free(Pfn base, unsigned order);
+
+  std::uint64_t num_frames_;
+  std::uint64_t free_frames_;
+  std::vector<std::set<Pfn>> free_lists_;  ///< per order, sorted for determinism
+  std::vector<bool> free_bit_;             ///< per frame
+  std::vector<std::uint8_t> block_order_;  ///< order of the free block starting here
+};
+
+}  // namespace ndp

@@ -1,0 +1,187 @@
+#include "os/phys_mem.h"
+
+#include <cassert>
+
+namespace ndp {
+
+namespace {
+constexpr unsigned kHugeOrder = 9;  // 512 frames = 2 MB
+
+bool movable(FrameUse u) { return u == FrameUse::kData || u == FrameUse::kNoise; }
+bool unmovable(FrameUse u) {
+  return u == FrameUse::kPageTable || u == FrameUse::kHugePart;
+}
+}  // namespace
+
+PhysicalMemory::PhysicalMemory(const PhysMemConfig& cfg)
+    : cfg_(cfg), buddy_(cfg.bytes / kPageSize),
+      use_(cfg.bytes / kPageSize, FrameUse::kFree),
+      win_movable_((cfg.bytes / kPageSize) >> 9, 0),
+      win_unmovable_((cfg.bytes / kPageSize) >> 9, 0),
+      rng_(cfg.seed) {
+  // Boot-time fragmentation injection: scatter "system" pages uniformly.
+  // A long-running machine never presents a pristine buddy pool; this is the
+  // environment in which THP-style 2 MB allocation struggles.
+  const auto target =
+      static_cast<std::uint64_t>(cfg_.noise_fraction *
+                                 static_cast<double>(buddy_.num_frames()));
+  std::uint64_t placed = 0;
+  while (placed < target) {
+    const Pfn f = rng_.below(buddy_.num_frames());
+    if (buddy_.alloc_specific(f)) {
+      set_use(f, FrameUse::kNoise);
+      ++placed;
+    }
+  }
+  stats_.inc("noise_frames", placed);
+}
+
+void PhysicalMemory::set_use(Pfn pfn, FrameUse next) {
+  const FrameUse prev = use_[pfn];
+  if (prev == next) return;
+  const std::uint64_t w = window_of(pfn);
+  if (movable(prev)) --win_movable_[w];
+  if (unmovable(prev)) --win_unmovable_[w];
+  if (movable(next)) ++win_movable_[w];
+  if (unmovable(next)) ++win_unmovable_[w];
+  use_[pfn] = next;
+}
+
+Pfn PhysicalMemory::alloc_frame(FrameUse use) {
+  assert(use != FrameUse::kFree);
+  auto f = buddy_.alloc(0);
+  assert(f.has_value() && "physical memory exhausted — size the experiment down");
+  set_use(*f, use);
+  stats_.inc("frame_alloc");
+  if (use == FrameUse::kPageTable) stats_.inc("pt_frames");
+  return *f;
+}
+
+Pfn PhysicalMemory::alloc_table_block(unsigned order) {
+  auto got = buddy_.alloc(order);
+  if (!got && order == 9) {
+    // A fragmented pool (boot noise) rarely has pristine order-9 blocks;
+    // page-table structures (NDPage flattened nodes, ECH ways) are worth
+    // compacting for, exactly like huge-page data blocks.
+    if (auto c = compact_for_huge()) {
+      for (std::uint64_t i = 0; i < (1ull << order); ++i)
+        set_use(c->base + i, FrameUse::kPageTable);
+      stats_.inc("table_block_alloc");
+      stats_.inc("pt_frames", 1ull << order);
+      return c->base;
+    }
+  }
+  assert(got.has_value() &&
+         "no contiguous block for a page-table structure — allocate tables "
+         "before data");
+  for (std::uint64_t i = 0; i < (1ull << order); ++i)
+    set_use(*got + i, FrameUse::kPageTable);
+  stats_.inc("table_block_alloc");
+  stats_.inc("pt_frames", 1ull << order);
+  return *got;
+}
+
+void PhysicalMemory::free_table_block(Pfn base, unsigned order) {
+  for (std::uint64_t i = 0; i < (1ull << order); ++i) {
+    assert(use_[base + i] == FrameUse::kPageTable);
+    set_use(base + i, FrameUse::kFree);
+  }
+  buddy_.free(base, order);
+  stats_.inc("table_block_free");
+}
+
+void PhysicalMemory::free_frame(Pfn pfn) {
+  assert(use_[pfn] != FrameUse::kFree);
+  set_use(pfn, FrameUse::kFree);
+  buddy_.free(pfn, 0);
+  stats_.inc("frame_free");
+}
+
+std::optional<PhysicalMemory::CompactResult> PhysicalMemory::compact_for_huge() {
+  const std::uint64_t win = 1ull << kHugeOrder;
+  if (buddy_.free_frames() < win) return std::nullopt;
+
+  // Pick the movable window with the fewest occupants (fewest relocations).
+  const std::uint64_t num_windows = buddy_.num_frames() >> kHugeOrder;
+  std::uint64_t best_w = num_windows;
+  std::uint64_t best_moves = win + 1;
+  for (std::uint64_t w = 0; w < num_windows; ++w) {
+    if (win_unmovable_[w] != 0) continue;
+    const std::uint64_t moves = win_movable_[w];
+    if (moves < best_moves) {
+      best_moves = moves;
+      best_w = w;
+      if (moves == 0) break;
+    }
+  }
+  if (best_w == num_windows) return std::nullopt;
+
+  // Reserve the window's free frames first so relocation targets land
+  // outside it, then move the occupants out.
+  const Pfn base = best_w << kHugeOrder;
+  for (std::uint64_t i = 0; i < win; ++i)
+    if (use_[base + i] == FrameUse::kFree) {
+      const bool ok = buddy_.alloc_specific(base + i);
+      assert(ok);
+      set_use(base + i, FrameUse::kHugePart);
+    }
+  std::uint64_t moved = 0;
+  for (std::uint64_t i = 0; i < win; ++i) {
+    const Pfn f = base + i;
+    const FrameUse u = use_[f];
+    if (u == FrameUse::kHugePart) continue;
+    auto dst = buddy_.alloc(0);
+    if (!dst) {
+      // Free memory ran out mid-compaction. The partially assembled window
+      // stays as kHugePart frames (a later attempt reuses it); report
+      // failure so the caller falls back to 4 KB pages.
+      stats_.inc("compaction_abort");
+      return std::nullopt;
+    }
+    set_use(*dst, u);
+    if (u == FrameUse::kData && relocate_hook_) relocate_hook_(f, *dst);
+    set_use(f, FrameUse::kHugePart);
+    ++moved;
+  }
+  stats_.inc("compaction");
+  stats_.inc("compaction_moves", moved);
+  stats_.add_sample("compaction_moved", static_cast<double>(moved));
+  return CompactResult{base, moved};
+}
+
+PhysicalMemory::HugeResult PhysicalMemory::alloc_huge() {
+  HugeResult r;
+  r.cost = cfg_.costs.fault_2m_base();
+  if (auto got = buddy_.alloc(kHugeOrder)) {
+    for (std::uint64_t i = 0; i < (1ull << kHugeOrder); ++i)
+      set_use(*got + i, FrameUse::kHugePart);
+    r.base = *got;
+    stats_.inc("huge_alloc");
+    return r;
+  }
+  // Buddy pool has no contiguous 2 MB: try compaction.
+  if (auto got = compact_for_huge()) {
+    r.base = got->base;
+    r.used_compaction = true;
+    r.frames_moved = got->moved;
+    r.cost += got->moved * cfg_.costs.compact_per_frame;
+    stats_.inc("huge_alloc_compacted");
+    return r;
+  }
+  r.fell_back = true;
+  stats_.inc("huge_fallback");
+  return r;
+}
+
+void PhysicalMemory::free_huge(Pfn base) {
+  const std::uint64_t win = 1ull << kHugeOrder;
+  assert(base % win == 0);
+  for (std::uint64_t i = 0; i < win; ++i) {
+    assert(use_[base + i] == FrameUse::kHugePart);
+    set_use(base + i, FrameUse::kFree);
+    buddy_.free(base + i, 0);
+  }
+  stats_.inc("huge_free");
+}
+
+}  // namespace ndp

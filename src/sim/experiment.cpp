@@ -1,0 +1,76 @@
+#include "sim/experiment.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace ndp {
+
+std::uint64_t default_instructions() {
+  if (const char* env = std::getenv("NDPAGE_INSTRS")) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 150'000;
+}
+
+RunResult run_experiment(const RunSpec& spec) {
+  SystemConfig sc = spec.system == SystemKind::kNdp
+                        ? SystemConfig::ndp(spec.cores, spec.mechanism)
+                        : SystemConfig::cpu(spec.cores, spec.mechanism);
+  sc.seed = spec.seed;
+  sc.bypass_override = spec.bypass_override;
+  sc.pwc_levels_override = spec.pwc_levels_override;
+  sc.dram_override = spec.dram_override;
+  System system(sc);
+
+  WorkloadParams wp;
+  wp.num_cores = spec.cores;
+  if (spec.scale > 0) wp.scale = spec.scale;
+  wp.seed = spec.seed;
+  auto trace = make_workload(spec.workload, wp);
+
+  EngineConfig ec;
+  ec.instructions_per_core = spec.instructions_per_core
+                                 ? spec.instructions_per_core
+                                 : default_instructions();
+  ec.warmup_refs_per_core =
+      spec.warmup_refs ? spec.warmup_refs : ec.instructions_per_core / 15;
+
+  Engine engine(system, *trace, ec);
+  return engine.run();
+}
+
+MechanismComparison compare_mechanisms(const RunSpec& base,
+                                       const std::vector<Mechanism>& mechs) {
+  MechanismComparison out;
+  RunSpec radix = base;
+  radix.mechanism = Mechanism::kRadix;
+  out.results.emplace(Mechanism::kRadix, run_experiment(radix));
+  const double radix_cycles =
+      static_cast<double>(out.results.at(Mechanism::kRadix).total_cycles);
+  out.speedup_over_radix[Mechanism::kRadix] = 1.0;
+
+  for (Mechanism m : mechs) {
+    if (m == Mechanism::kRadix) continue;
+    RunSpec s = base;
+    s.mechanism = m;
+    RunResult r = run_experiment(s);
+    const double cycles = static_cast<double>(r.total_cycles);
+    out.speedup_over_radix[m] = cycles > 0 ? radix_cycles / cycles : 0.0;
+    out.results.emplace(m, std::move(r));
+  }
+  return out;
+}
+
+double geomean(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  double log_sum = 0.0;
+  for (double x : xs) {
+    assert(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace ndp

@@ -1,0 +1,51 @@
+// Experiment runner: one call = one (system, cores, mechanism, workload)
+// cell of the paper's evaluation. Benches compose these into the figures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/system.h"
+#include "sim/engine.h"
+#include "workloads/workload.h"
+
+namespace ndp {
+
+struct RunSpec {
+  SystemKind system = SystemKind::kNdp;
+  unsigned cores = 1;
+  Mechanism mechanism = Mechanism::kRadix;
+  WorkloadKind workload = WorkloadKind::kRND;
+  std::uint64_t instructions_per_core = 0;  ///< 0 = default_instructions()
+  std::uint64_t warmup_refs = 0;            ///< 0 = instructions/15
+  double scale = 0;                         ///< 0 = WorkloadParams default
+  std::uint64_t seed = 42;
+  /// Ablation overrides, forwarded to SystemConfig.
+  std::optional<bool> bypass_override;
+  std::optional<std::vector<unsigned>> pwc_levels_override;
+  std::optional<DramTiming> dram_override;
+};
+
+/// Per-core instruction budget: NDPAGE_INSTRS env override, else 150k.
+/// (The paper simulates 500M instructions/core on Sniper; the shape-level
+/// results reported in EXPERIMENTS.md are stable from a few hundred
+/// thousand instructions once TLBs/caches are warm.)
+std::uint64_t default_instructions();
+
+/// Build the system + workload and run the engine.
+RunResult run_experiment(const RunSpec& spec);
+
+/// Cycles for each mechanism on one workload (shared spec otherwise), plus
+/// speedups over Radix — one bar group of Figs. 12-14.
+struct MechanismComparison {
+  std::map<Mechanism, RunResult> results;
+  std::map<Mechanism, double> speedup_over_radix;
+};
+MechanismComparison compare_mechanisms(const RunSpec& base,
+                                       const std::vector<Mechanism>& mechs);
+
+/// Geometric mean over positive values.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace ndp

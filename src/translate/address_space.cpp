@@ -1,0 +1,213 @@
+#include "translate/address_space.h"
+
+#include <cassert>
+
+namespace ndp {
+
+namespace {
+// kswapd-style watermarks as fractions of the pool: reclaim kicks in below
+// low_watermark() free frames and recovers up to high_watermark().
+// (16 GB pool: low = 64 MB, high = 192 MB.)
+std::uint64_t low_watermark(const PhysicalMemory& pm) {
+  return pm.num_frames() / 256;
+}
+std::uint64_t high_watermark(const PhysicalMemory& pm) {
+  return pm.num_frames() / 256 * 3;
+}
+}  // namespace
+
+AddressSpace::AddressSpace(PhysicalMemory& pm, std::unique_ptr<PageTable> pt,
+                           bool use_huge_pages)
+    : pm_(pm), pt_(std::move(pt)), huge_(use_huge_pages) {
+  pm_.set_relocate_hook(
+      [this](Pfn oldf, Pfn newf) { on_relocate(oldf, newf); });
+}
+
+AddressSpace::~AddressSpace() {
+  pm_.set_relocate_hook(nullptr);
+  // Return data frames; the page table returns its own frames in its dtor.
+  for (const auto& [pfn, vpn] : frame_owner_) {
+    (void)vpn;
+    pm_.free_frame(pfn);
+  }
+  for (const auto& [vpn, base] : huge_blocks_) {
+    (void)vpn;
+    pm_.free_huge(base);
+  }
+}
+
+void AddressSpace::add_region(VmRegion region) {
+  assert(region.bytes > 0);
+  assert(page_offset(region.base) == 0 && "regions must be page aligned");
+  regions_.push_back(std::move(region));
+}
+
+void AddressSpace::prefault_all() {
+  for (const VmRegion& r : regions_) {
+    if (!r.prefault) continue;
+    if (huge_) {
+      // Round the region outward to 2 MB boundaries; THP-style policy maps
+      // the whole extent with huge pages where possible.
+      const Vpn first = vpn_of(r.base) & ~0x1FFull;
+      const Vpn last = vpn_of(r.end() - 1) | 0x1FFull;
+      for (Vpn v = first; v <= last; v += 512) {
+        if (!pt_->lookup(v)) fault_in_2m(v);
+      }
+    } else {
+      for (Vpn v = vpn_of(r.base); v <= vpn_of(r.end() - 1); ++v) {
+        if (!pt_->lookup(v)) fault_in_4k(v);
+      }
+    }
+  }
+  stats_.inc("prefault_done");
+}
+
+Cycle AddressSpace::maybe_reclaim(std::uint64_t frames_needed) {
+  if (pm_.free_frames() >= low_watermark(pm_) + frames_needed) return 0;
+  Cycle cost = pm_.costs().shootdown;  // one IPI round per reclaim batch
+  std::uint64_t freed = 0;
+  const std::uint64_t goal = high_watermark(pm_) + frames_needed;
+  auto unmap_4k = [&](Vpn vpn) -> bool {
+    const auto pfn = pt_->lookup(vpn);
+    if (!pfn) return false;
+    // Only 4 KB mappings sit in fifo_4k_; huge blocks live in fifo_2m_.
+    if (!pt_->unmap(vpn)) return false;
+    frame_owner_.erase(*pfn);
+    pm_.free_frame(*pfn);
+    --mapped_4k_;
+    ++freed;
+    cost += pm_.costs().reclaim_per_frame;
+    if (shootdown_) shootdown_(vpn);
+    return true;
+  };
+  while (pm_.free_frames() < goal && (!fifo_4k_.empty() || !fifo_2m_.empty())) {
+    // Alternate: prefer reclaiming huge blocks first when present — they
+    // recover 512 frames per unmap and are the bloat we are fighting.
+    if (!fifo_2m_.empty()) {
+      const Vpn base = fifo_2m_.front();
+      fifo_2m_.pop_front();
+      auto it = huge_blocks_.find(base);
+      if (it == huge_blocks_.end()) continue;  // stale entry
+      pt_->unmap(base);
+      pm_.free_huge(it->second);
+      huge_blocks_.erase(it);
+      --mapped_2m_;
+      freed += 512;
+      // Sequential writeback of 2 MB is far cheaper per frame than random
+      // 4 KB swaps; charge a quarter of the per-frame rate.
+      cost += 512 * (pm_.costs().reclaim_per_frame / 4);
+      if (shootdown_) shootdown_(base);
+      continue;
+    }
+    const Vpn vpn = fifo_4k_.front();
+    fifo_4k_.pop_front();
+    unmap_4k(vpn);
+  }
+  stats_.inc("reclaim_events");
+  stats_.inc("reclaimed_frames", freed);
+  stats_.inc("reclaim_cycles", cost);
+  return cost;
+}
+
+Cycle AddressSpace::fault_in_4k(Vpn vpn) {
+  const Pfn pfn = pm_.alloc_frame(FrameUse::kData);
+  const MapResult mr = pt_->map(vpn, pfn, kPageShift);
+  frame_owner_[pfn] = vpn;
+  fifo_4k_.push_back(vpn);
+  ++mapped_4k_;
+  stats_.inc("fault_4k");
+  Cycle extra = 0;
+  if (mr.evicted) {
+    // Restricted-associativity set conflict: the displaced page is gone —
+    // release its frame, forget it, and shoot down stale TLB entries. The
+    // page re-faults on its next touch (DIPTA's page-conflict penalty).
+    const auto [evpn, epfn] = *mr.evicted;
+    frame_owner_.erase(epfn);
+    pm_.free_frame(epfn);
+    --mapped_4k_;
+    if (shootdown_) shootdown_(evpn);
+    stats_.inc("set_conflict_evictions");
+    extra += pm_.costs().reclaim_per_frame + pm_.costs().shootdown;
+  }
+  // Node allocations are zeroed 4 KB frames: charge like small faults.
+  return extra + pm_.costs().fault_4k() +
+         (mr.bytes_allocated / 1024) * pm_.costs().zero_per_kb;
+}
+
+Cycle AddressSpace::fault_in_2m(Vpn vpn_aligned) {
+  assert((vpn_aligned & 0x1FFull) == 0);
+  const PhysicalMemory::HugeResult hr = pm_.alloc_huge();
+  if (!hr.fell_back) {
+    const MapResult mr = pt_->map(vpn_aligned, hr.base, kHugePageShift);
+    huge_blocks_[vpn_aligned] = hr.base;
+    fifo_2m_.push_back(vpn_aligned);
+    ++mapped_2m_;
+    stats_.inc("fault_2m");
+    if (hr.used_compaction) stats_.inc("fault_2m_compacted");
+    return hr.cost + (mr.bytes_allocated / 1024) * pm_.costs().zero_per_kb;
+  }
+  // THP failure: splinter to a single 4 KB page for the touched vpn's slot.
+  // The failed huge attempt still cost the allocation/compaction scan.
+  stats_.inc("fault_2m_fallback");
+  return pm_.costs().huge_fault_extra + fault_in_4k(vpn_aligned);
+}
+
+AddressSpace::TouchResult AddressSpace::touch(VirtAddr va, Cycle now) {
+  const Vpn vpn = vpn_of(va);
+  if (pt_->lookup(vpn)) return TouchResult{};
+  TouchResult r;
+  r.faulted = true;
+  // mmap-lock: wait out any fault still being serviced.
+  const Cycle lock_wait = now < fault_lock_until_ ? fault_lock_until_ - now : 0;
+  Cycle work = maybe_reclaim(huge_ ? 512 : 1);
+  if (huge_) {
+    const Vpn aligned = vpn & ~0x1FFull;
+    work += fault_in_2m(aligned);
+    // Splintered fallback maps only `aligned`; make sure the touched page
+    // itself is resident.
+    if (!pt_->lookup(vpn)) work += fault_in_4k(vpn);
+  } else {
+    work += fault_in_4k(vpn);
+  }
+  fault_lock_until_ = std::max(fault_lock_until_, now) + work;
+  r.cost = lock_wait + work;
+  stats_.inc("demand_faults");
+  stats_.inc("fault_cycles", r.cost);
+  stats_.inc("fault_lock_wait", lock_wait);
+  return r;
+}
+
+void AddressSpace::touch_untimed(VirtAddr va) {
+  const Vpn vpn = vpn_of(va);
+  if (pt_->lookup(vpn)) return;
+  if (huge_) {
+    const Vpn aligned = vpn & ~0x1FFull;
+    fault_in_2m(aligned);
+    if (!pt_->lookup(vpn)) fault_in_4k(vpn);
+  } else {
+    fault_in_4k(vpn);
+  }
+}
+
+std::optional<PhysAddr> AddressSpace::translate(VirtAddr va) const {
+  const auto pfn = pt_->lookup(vpn_of(va));
+  if (!pfn) return std::nullopt;
+  return frame_base(*pfn) + page_offset(va);
+}
+
+void AddressSpace::on_relocate(Pfn old_pfn, Pfn new_pfn) {
+  auto it = frame_owner_.find(old_pfn);
+  assert(it != frame_owner_.end() &&
+         "compaction moved a data frame this space does not own");
+  const Vpn vpn = it->second;
+  const bool ok = pt_->remap(vpn, new_pfn);
+  assert(ok && "reverse map points at an unmapped vpn");
+  (void)ok;
+  frame_owner_.erase(it);
+  frame_owner_[new_pfn] = vpn;
+  // The frame moved under the translation: TLBs must not serve the old pa.
+  if (shootdown_) shootdown_(vpn);
+  stats_.inc("relocated_frames");
+}
+
+}  // namespace ndp

@@ -1,0 +1,113 @@
+// Process address space: VM regions, demand paging, pre-faulting, and the
+// OS fault-cost model — the software half of translation.
+//
+// Workload generators declare their data structures as VM regions. Regions
+// marked `prefault` are populated before timing starts (the paper measures
+// steady state after the 8-33 GB datasets are resident); the rest fault on
+// first touch during the run, which is where the Huge Page baseline pays
+// its allocation/compaction bill.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "os/phys_mem.h"
+#include "translate/page_table.h"
+
+namespace ndp {
+
+struct VmRegion {
+  std::string name;
+  VirtAddr base = 0;
+  std::uint64_t bytes = 0;
+  bool prefault = true;
+
+  VirtAddr end() const { return base + bytes; }
+  bool contains(VirtAddr va) const { return va >= base && va < end(); }
+};
+
+class AddressSpace {
+ public:
+  /// `use_huge_pages`: map at 2 MB granularity (the Huge Page baseline);
+  /// requires a page table whose preferred leaf supports it.
+  AddressSpace(PhysicalMemory& pm, std::unique_ptr<PageTable> pt,
+               bool use_huge_pages = false);
+  ~AddressSpace();
+
+  void add_region(VmRegion region);
+  const std::vector<VmRegion>& regions() const { return regions_; }
+
+  /// Map every prefault region (no timing; setup phase).
+  void prefault_all();
+
+  struct TouchResult {
+    bool faulted = false;
+    Cycle cost = 0;  ///< OS cycles charged to the faulting access
+  };
+  /// Demand paging: ensure the page of va is mapped. Runs watermark-based
+  /// reclaim first when free physical memory is low (kswapd-style), which
+  /// is where the Huge Page baseline's bloat turns into thrashing.
+  ///
+  /// Faults serialize on the address-space lock (mmap-lock semantics): a
+  /// fault arriving at `now` while an earlier fault is still being serviced
+  /// waits for it. This is the mechanism behind huge-page latency spikes
+  /// under concurrency — 2 MB zero+compaction holds the lock ~50x longer
+  /// than a 4 KB fault, so fault-heavy multi-core runs queue behind it.
+  TouchResult touch(VirtAddr va, Cycle now = 0);
+  /// Map without charging costs or taking the lock (the Ideal mechanism).
+  void touch_untimed(VirtAddr va);
+
+  /// Invoked for every vpn whose translation is torn down by reclaim, so
+  /// the owner can shoot down TLBs. Set by the System assembly.
+  void set_shootdown_hook(std::function<void(Vpn)> fn) {
+    shootdown_ = std::move(fn);
+  }
+
+  /// Functional translation (no timing); nullopt if unmapped.
+  std::optional<PhysAddr> translate(VirtAddr va) const;
+
+  PageTable& page_table() { return *pt_; }
+  const PageTable& page_table() const { return *pt_; }
+  PhysicalMemory& phys() { return pm_; }
+  bool huge_pages() const { return huge_; }
+  StatSet& stats() { return stats_; }
+  const StatSet& stats() const { return stats_; }
+  std::uint64_t mapped_pages() const { return mapped_4k_ + mapped_2m_ * 512; }
+  std::uint64_t mapped_bytes() const { return mapped_pages() * kPageSize; }
+
+ private:
+  Cycle fault_in_4k(Vpn vpn);
+  Cycle fault_in_2m(Vpn vpn_aligned);
+  /// Evict FIFO victims until free memory recovers; returns cycles charged.
+  Cycle maybe_reclaim(std::uint64_t frames_needed);
+  void on_relocate(Pfn old_pfn, Pfn new_pfn);
+
+  PhysicalMemory& pm_;
+  std::unique_ptr<PageTable> pt_;
+  bool huge_;
+  std::vector<VmRegion> regions_;
+  /// Reverse map for compaction: data frame -> vpn (4 KB mappings only;
+  /// 2 MB blocks and page-table frames are never relocated).
+  std::unordered_map<Pfn, Vpn> frame_owner_;
+  /// 2 MB blocks owned by this space: base vpn -> base pfn.
+  std::unordered_map<Vpn, Pfn> huge_blocks_;
+  /// Reclaim FIFOs (allocation order). Entries may be stale (already
+  /// reclaimed or relocated); validated on pop.
+  std::deque<Vpn> fifo_4k_;
+  std::deque<Vpn> fifo_2m_;
+  std::function<void(Vpn)> shootdown_;
+  Cycle fault_lock_until_ = 0;  ///< mmap-lock busy horizon
+  std::uint64_t mapped_4k_ = 0;
+  std::uint64_t mapped_2m_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace ndp

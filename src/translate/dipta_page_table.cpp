@@ -1,0 +1,129 @@
+#include "translate/dipta_page_table.h"
+
+#include <cassert>
+
+namespace ndp {
+
+namespace {
+// One 8 B tag word per set (way tags packed): the whole tag array for a
+// 16 GB machine is 8 MB, stored in real order-9 table blocks.
+constexpr std::uint64_t kTagBytesPerSet = 8;
+constexpr std::uint64_t kBlockBytes = 2ull << 20;
+constexpr unsigned kBlockOrder = 9;
+}  // namespace
+
+DiptaPageTable::DiptaPageTable(PhysicalMemory& pm, DiptaConfig cfg)
+    : pm_(pm), cfg_(cfg) {
+  assert(cfg_.ways >= 1 && cfg_.ways <= 16);
+  const std::uint64_t frames =
+      cfg_.coverage_frames ? cfg_.coverage_frames : pm.num_frames();
+  num_sets_ = frames / cfg_.ways;
+  assert(num_sets_ > 0);
+  ways_.resize(num_sets_ * cfg_.ways);
+  const std::uint64_t tag_bytes = num_sets_ * kTagBytesPerSet;
+  const std::uint64_t blocks = (tag_bytes + kBlockBytes - 1) / kBlockBytes;
+  for (std::uint64_t b = 0; b < blocks; ++b)
+    tag_blocks_.push_back(pm_.alloc_table_block(kBlockOrder));
+}
+
+DiptaPageTable::~DiptaPageTable() {
+  for (Pfn base : tag_blocks_) pm_.free_table_block(base, kBlockOrder);
+}
+
+PhysAddr DiptaPageTable::tag_addr(std::uint64_t set) const {
+  const std::uint64_t byte = set * kTagBytesPerSet;
+  return frame_base(tag_blocks_[byte / kBlockBytes]) + (byte % kBlockBytes);
+}
+
+MapResult DiptaPageTable::map(Vpn vpn, Pfn pfn, unsigned page_shift) {
+  assert(page_shift == kPageShift && "DIPTA places 4 KB pages");
+  (void)page_shift;
+  MapResult r;
+  const std::uint64_t set = set_of(vpn);
+  Way* base = &ways_[set * cfg_.ways];
+  ++tick_;
+  // Refresh if present.
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].vpn == vpn) {
+      base[w].pfn = pfn;
+      base[w].lru = tick_;
+      r.replaced = true;
+      return r;
+    }
+  }
+  // Free way, else evict the set's LRU page (an OS-level conflict: the
+  // displaced translation is simply lost, like an eviction to swap).
+  Way* victim = base;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid) {
+    ++conflict_evictions_;
+    --live_;
+    r.evicted = {victim->vpn, victim->pfn};
+  }
+  *victim = Way{vpn, pfn, true, tick_};
+  ++live_;
+  return r;
+}
+
+bool DiptaPageTable::unmap(Vpn vpn) {
+  Way* base = &ways_[set_of(vpn) * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].vpn == vpn) {
+      base[w].valid = false;
+      --live_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Pfn> DiptaPageTable::lookup(Vpn vpn) const {
+  const Way* base = &ways_[set_of(vpn) * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w)
+    if (base[w].valid && base[w].vpn == vpn) return base[w].pfn;
+  return std::nullopt;
+}
+
+bool DiptaPageTable::remap(Vpn vpn, Pfn new_pfn) {
+  Way* base = &ways_[set_of(vpn) * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].vpn == vpn) {
+      base[w].pfn = new_pfn;
+      return true;
+    }
+  }
+  return false;
+}
+
+WalkPath DiptaPageTable::walk(Vpn vpn) const {
+  // One access to the set's way-tag word resolves the translation.
+  WalkPath path;
+  path.steps.push_back(WalkStep{tag_addr(set_of(vpn)), WalkStep::kHashLevel, 0});
+  if (auto pfn = lookup(vpn)) {
+    path.mapped = true;
+    path.pfn = *pfn;
+    path.page_shift = kPageShift;
+  }
+  return path;
+}
+
+std::vector<LevelOccupancy> DiptaPageTable::occupancy() const {
+  LevelOccupancy o;
+  o.level = "DIPTA";
+  o.nodes = num_sets_;
+  o.valid = live_;
+  o.capacity = num_sets_ * cfg_.ways;
+  return {o};
+}
+
+std::uint64_t DiptaPageTable::table_bytes() const {
+  return tag_blocks_.size() * kBlockBytes;
+}
+
+}  // namespace ndp

@@ -1,0 +1,73 @@
+// DIPTA-style restricted-associativity translation (Picorel et al.,
+// "Near-Memory Address Translation", PACT'17) — the second related-work
+// system the paper discusses (SVIII).
+//
+// Idea: restrict where a virtual page may live physically to a small
+// associative set determined by its VA. Translation then only needs to
+// resolve *which way* of the set holds the page — metadata small enough to
+// sit next to the data — so a walk is a single memory access to the set's
+// way-tag array. The cost is page-conflict pressure: when more hot pages
+// map to a set than it has ways, the OS must evict/migrate pages
+// (set-conflict faults), the degradation the paper cites.
+//
+// Implementation: physical memory is carved into a direct region of
+// `ways`-page sets. map() places a page in its set (evicting the LRU way
+// if full — an OS-visible conflict), lookup/walk resolve through the
+// per-set tag array whose storage is a real physical table-block, so the
+// timing model sees genuine metadata accesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "os/phys_mem.h"
+#include "translate/page_table.h"
+
+namespace ndp {
+
+struct DiptaConfig {
+  unsigned ways = 4;           ///< pages per set (placement associativity)
+  std::uint64_t coverage_frames = 0;  ///< 0 = size from physical memory
+};
+
+class DiptaPageTable : public PageTable {
+ public:
+  DiptaPageTable(PhysicalMemory& pm, DiptaConfig cfg = {});
+  ~DiptaPageTable() override;
+
+  MapResult map(Vpn vpn, Pfn pfn, unsigned page_shift = kPageShift) override;
+  bool unmap(Vpn vpn) override;
+  std::optional<Pfn> lookup(Vpn vpn) const override;
+  bool remap(Vpn vpn, Pfn new_pfn) override;
+  WalkPath walk(Vpn vpn) const override;
+  std::vector<LevelOccupancy> occupancy() const override;
+  std::string name() const override { return "DIPTA"; }
+  std::uint64_t table_bytes() const override;
+
+  /// Pages displaced because their set was full — the page-conflict
+  /// pathology the paper's related-work section points at.
+  std::uint64_t conflict_evictions() const { return conflict_evictions_; }
+  std::uint64_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    Vpn vpn = 0;
+    Pfn pfn = 0;  ///< actual frame backing the page (OS-allocated)
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+
+  std::uint64_t set_of(Vpn vpn) const { return splitmix64(vpn) % num_sets_; }
+  PhysAddr tag_addr(std::uint64_t set) const;
+
+  PhysicalMemory& pm_;
+  DiptaConfig cfg_;
+  std::uint64_t num_sets_;
+  std::vector<Way> ways_;  ///< num_sets_ x cfg_.ways
+  std::vector<Pfn> tag_blocks_;  ///< physical storage of the way tags
+  std::uint64_t tick_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t conflict_evictions_ = 0;
+};
+
+}  // namespace ndp

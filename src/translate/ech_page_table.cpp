@@ -1,0 +1,224 @@
+#include "translate/ech_page_table.h"
+
+#include <cassert>
+
+namespace ndp {
+
+namespace {
+// Way storage comes in order-9 (2 MB) blocks: the largest size the OS can
+// guarantee via compaction on a fragmented pool.
+constexpr std::uint64_t kChunkFrames = 1ull << 9;
+constexpr std::uint64_t kChunkBytes = kChunkFrames * kPageSize;
+
+constexpr std::uint64_t kWaySeed[8] = {
+    0x9E3779B97F4A7C15ull, 0xC2B2AE3D27D4EB4Full, 0x165667B19E3779F9ull,
+    0x27D4EB2F165667C5ull, 0x85EBCA77C2B2AE63ull, 0x2545F4914F6CDD1Dull,
+    0xFF51AFD7ED558CCDull, 0xC4CEB9FE1A85EC53ull};
+}  // namespace
+
+EchPageTable::EchPageTable(PhysicalMemory& pm, EchConfig cfg)
+    : pm_(pm), cfg_(cfg), entries_per_way_(cfg.initial_entries_per_way),
+      rng_(0xEC8C00C00ull) {
+  assert(cfg_.ways >= 2 && cfg_.ways <= 8);
+  // Round entries per way up to a power of two for mask hashing.
+  std::uint64_t n = 1;
+  while (n < entries_per_way_) n <<= 1;
+  entries_per_way_ = n;
+  ways_ = allocate_ways(entries_per_way_);
+}
+
+EchPageTable::~EchPageTable() { release_ways(ways_, entries_per_way_); }
+
+std::uint64_t EchPageTable::block_bytes_for(std::uint64_t epw) {
+  const std::uint64_t way_bytes = epw * kPteSize;
+  return std::min<std::uint64_t>(std::max<std::uint64_t>(way_bytes, kPageSize),
+                                 kChunkBytes);
+}
+
+unsigned EchPageTable::block_order_for(std::uint64_t epw) {
+  unsigned order = 0;
+  while ((kPageSize << order) < block_bytes_for(epw)) ++order;
+  return order;
+}
+
+std::vector<EchPageTable::Way> EchPageTable::allocate_ways(std::uint64_t epw) {
+  std::vector<Way> ways(cfg_.ways);
+  const std::uint64_t way_bytes = std::max<std::uint64_t>(epw * kPteSize, kPageSize);
+  const std::uint64_t bb = block_bytes_for(epw);
+  const std::uint64_t blocks = (way_bytes + bb - 1) / bb;
+  for (auto& way : ways) {
+    way.slots.assign(epw, Slot{});
+    for (std::uint64_t b = 0; b < blocks; ++b)
+      way.blocks.push_back(pm_.alloc_table_block(block_order_for(epw)));
+  }
+  return ways;
+}
+
+void EchPageTable::release_ways(std::vector<Way>& ways, std::uint64_t epw) {
+  for (auto& way : ways) {
+    for (Pfn base : way.blocks) pm_.free_table_block(base, block_order_for(epw));
+    way.blocks.clear();
+  }
+}
+
+std::uint64_t EchPageTable::hash(unsigned way, Vpn vpn) const {
+  return splitmix64(vpn ^ kWaySeed[way]) & (entries_per_way_ - 1);
+}
+
+PhysAddr EchPageTable::slot_addr(unsigned way, std::uint64_t idx) const {
+  const Way& w = ways_[way];
+  const std::uint64_t byte = idx * kPteSize;
+  const std::uint64_t bb = block_bytes_for(entries_per_way_);
+  return frame_base(w.blocks[byte / bb]) + (byte % bb);
+}
+
+bool EchPageTable::insert(Vpn vpn, Pfn pfn, unsigned depth_budget) {
+  // Overwrite if present in any way.
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Slot& s = ways_[w].slots[hash(w, vpn)];
+    if (s.valid && s.vpn == vpn) {
+      s.pfn = pfn;
+      return true;
+    }
+  }
+  Vpn cur_vpn = vpn;
+  Pfn cur_pfn = pfn;
+  unsigned way = static_cast<unsigned>(rng_.below(cfg_.ways));
+  for (unsigned d = 0; d < depth_budget; ++d) {
+    // Prefer any empty candidate bucket first.
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+      Slot& s = ways_[w].slots[hash(w, cur_vpn)];
+      if (!s.valid) {
+        s = Slot{cur_vpn, cur_pfn, true};
+        ++live_;
+        return true;
+      }
+    }
+    // Displace the occupant of a pseudo-random way and re-home it.
+    Slot& victim = ways_[way].slots[hash(way, cur_vpn)];
+    std::swap(cur_vpn, victim.vpn);
+    std::swap(cur_pfn, victim.pfn);
+    way = (way + 1 + static_cast<unsigned>(rng_.below(cfg_.ways - 1))) % cfg_.ways;
+  }
+  // Put the homeless entry back is unnecessary: the displaced chain keeps
+  // all *other* entries stored; only (cur_vpn, cur_pfn) is pending. The
+  // caller resizes and re-inserts it.
+  pending_ = Slot{cur_vpn, cur_pfn, true};
+  return false;
+}
+
+void EchPageTable::resize() {
+  ++resizes_;
+  // Allocate the doubled geometry while the current table is still live:
+  // block allocation can trigger compaction, whose relocation callbacks
+  // consult this table via remap().
+  const std::uint64_t new_epw = entries_per_way_ << 1;
+  std::vector<Way> new_ways = allocate_ways(new_epw);
+
+  std::vector<Slot> live;
+  live.reserve(live_ + 1);
+  for (auto& way : ways_)
+    for (Slot& s : way.slots)
+      if (s.valid) live.push_back(s);
+  if (pending_.valid) {
+    live.push_back(pending_);
+    pending_.valid = false;
+  }
+
+  std::vector<Way> old_ways = std::move(ways_);
+  const std::uint64_t old_epw = entries_per_way_;
+  ways_ = std::move(new_ways);
+  entries_per_way_ = new_epw;
+  live_ = 0;
+  for (const Slot& s : live) {
+    const bool ok = insert(s.vpn, s.pfn, cfg_.max_displacements);
+    assert(ok && "resize rehash failed — table badly undersized");
+    (void)ok;
+  }
+  release_ways(old_ways, old_epw);
+}
+
+MapResult EchPageTable::map(Vpn vpn, Pfn pfn, unsigned page_shift) {
+  assert(page_shift == kPageShift &&
+         "this ECH instantiation stores 4 KB translations");
+  (void)page_shift;
+  MapResult r;
+  if (load_factor() > cfg_.max_load_factor) {
+    resize();
+    r.nodes_allocated += 1;  // resize charged as one big event
+    r.bytes_allocated += table_bytes();
+  }
+  while (!insert(vpn, pfn, cfg_.max_displacements)) {
+    resize();
+    r.nodes_allocated += 1;
+    r.bytes_allocated += table_bytes();
+  }
+  return r;
+}
+
+bool EchPageTable::unmap(Vpn vpn) {
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Slot& s = ways_[w].slots[hash(w, vpn)];
+    if (s.valid && s.vpn == vpn) {
+      s.valid = false;
+      --live_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Pfn> EchPageTable::lookup(Vpn vpn) const {
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    const Slot& s = ways_[w].slots[hash(w, vpn)];
+    if (s.valid && s.vpn == vpn) return s.pfn;
+  }
+  return std::nullopt;
+}
+
+bool EchPageTable::remap(Vpn vpn, Pfn new_pfn) {
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Slot& s = ways_[w].slots[hash(w, vpn)];
+    if (s.valid && s.vpn == vpn) {
+      s.pfn = new_pfn;
+      return true;
+    }
+  }
+  return false;
+}
+
+WalkPath EchPageTable::walk(Vpn vpn) const {
+  WalkPath path;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    // All ways probe in parallel: one shared group.
+    path.steps.push_back(
+        WalkStep{slot_addr(w, hash(w, vpn)), WalkStep::kHashLevel, 0});
+  }
+  if (auto pfn = lookup(vpn)) {
+    path.mapped = true;
+    path.pfn = *pfn;
+    path.page_shift = kPageShift;
+  }
+  return path;
+}
+
+std::vector<LevelOccupancy> EchPageTable::occupancy() const {
+  LevelOccupancy o;
+  o.level = "ECH";
+  o.nodes = cfg_.ways;
+  o.valid = live_;
+  o.capacity = static_cast<std::uint64_t>(cfg_.ways) * entries_per_way_;
+  return {o};
+}
+
+std::uint64_t EchPageTable::table_bytes() const {
+  return static_cast<std::uint64_t>(cfg_.ways) * entries_per_way_ * kPteSize;
+}
+
+double EchPageTable::load_factor() const {
+  return static_cast<double>(live_) /
+         static_cast<double>(static_cast<std::uint64_t>(cfg_.ways) *
+                             entries_per_way_);
+}
+
+}  // namespace ndp

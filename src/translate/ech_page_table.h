@@ -1,0 +1,90 @@
+// Elastic Cuckoo Hash page table (Skarlatos et al., ASPLOS'20) — the
+// paper's strongest baseline ("ECH").
+//
+// Translations live in a d-way cuckoo hash table in physical memory. A walk
+// probes one bucket per way; all d probes are independent, so the hardware
+// issues them in parallel — that is ECH's latency advantage over the radix
+// walk and is expressed here as d WalkSteps sharing group 0.
+//
+// Insertion uses BFS-free classic cuckoo displacement with a bounded loop;
+// when the loop exceeds its bound the table resizes (double capacity and
+// rehash). The original proposal resizes gradually ("elastically"); we
+// perform a stop-the-world rehash and charge its cost to the OS — the
+// difference is invisible to steady-state walk timing, which is what the
+// paper measures (see DESIGN.md substitutions).
+//
+// Way storage is allocated from PhysicalMemory in max-order buddy chunks and
+// tagged kPageTable, so bucket PTE addresses are real physical addresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "os/phys_mem.h"
+#include "translate/page_table.h"
+
+namespace ndp {
+
+struct EchConfig {
+  unsigned ways = 3;
+  std::uint64_t initial_entries_per_way = 1ull << 15;  ///< 32 K (grows)
+  double max_load_factor = 0.6;  ///< resize above this occupancy
+  unsigned max_displacements = 32;
+};
+
+class EchPageTable : public PageTable {
+ public:
+  EchPageTable(PhysicalMemory& pm, EchConfig cfg = {});
+  ~EchPageTable() override;
+
+  MapResult map(Vpn vpn, Pfn pfn, unsigned page_shift = kPageShift) override;
+  bool unmap(Vpn vpn) override;
+  std::optional<Pfn> lookup(Vpn vpn) const override;
+  bool remap(Vpn vpn, Pfn new_pfn) override;
+  WalkPath walk(Vpn vpn) const override;
+  std::vector<LevelOccupancy> occupancy() const override;
+  std::string name() const override { return "ECH"; }
+  std::uint64_t table_bytes() const override;
+
+  std::uint64_t entries_per_way() const { return entries_per_way_; }
+  std::uint64_t size() const { return live_; }
+  std::uint64_t resizes() const { return resizes_; }
+  double load_factor() const;
+
+ private:
+  struct Slot {
+    Vpn vpn = 0;
+    Pfn pfn = 0;
+    bool valid = false;
+  };
+  struct Way {
+    std::vector<Slot> slots;
+    std::vector<Pfn> blocks;  ///< base PFN of each physical block
+  };
+
+  std::uint64_t hash(unsigned way, Vpn vpn) const;
+  PhysAddr slot_addr(unsigned way, std::uint64_t idx) const;
+  /// Bytes of one physical block backing a way of `epw` entries (power of
+  /// two, <= 2 MB).
+  static std::uint64_t block_bytes_for(std::uint64_t epw);
+  static unsigned block_order_for(std::uint64_t epw);
+  /// Build way storage for `epw` entries per way (does not touch members —
+  /// block allocation may trigger compaction, which must still see a
+  /// consistent table via remap()).
+  std::vector<Way> allocate_ways(std::uint64_t epw);
+  void release_ways(std::vector<Way>& ways, std::uint64_t epw);
+  void resize();
+  bool insert(Vpn vpn, Pfn pfn, unsigned depth_budget);
+
+  PhysicalMemory& pm_;
+  EchConfig cfg_;
+  std::uint64_t entries_per_way_;
+  std::vector<Way> ways_;
+  Slot pending_{};  ///< entry displaced out by a failed insert, re-homed on resize
+  std::uint64_t live_ = 0;
+  std::uint64_t resizes_ = 0;
+  Rng rng_;  ///< way choice on displacement
+};
+
+}  // namespace ndp

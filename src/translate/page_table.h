@@ -1,0 +1,91 @@
+// Page-table abstraction shared by every translation mechanism.
+//
+// A PageTable is both a *functional* map (vpn -> pfn, used to place data in
+// physical memory) and a *structural* description of the memory accesses a
+// hardware page-table walk must perform (used by the timing model). Keeping
+// the two views in one object guarantees the timing model walks exactly the
+// structure the OS populated — PTE physical addresses are real frame
+// addresses, so they land in real DRAM banks and real cache sets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndp {
+
+/// One PTE memory access of a walk, root first.
+struct WalkStep {
+  PhysAddr pte_addr = 0;  ///< physical address of the entry to read
+  /// Structural level id: 4..1 for radix levels, kFlatLevel for NDPage's
+  /// merged L2/L1 node, kHashLevel for ECH ways.
+  unsigned level = 0;
+  /// Steps sharing a group id may be issued in parallel (ECH's d ways);
+  /// groups execute in ascending order.
+  unsigned group = 0;
+
+  static constexpr unsigned kFlatLevel = 21;  ///< NDPage flattened L2/L1
+  static constexpr unsigned kHashLevel = 99;  ///< ECH hashed buckets
+};
+
+/// Full walk description for one virtual page.
+struct WalkPath {
+  std::vector<WalkStep> steps;
+  Pfn pfn = 0;
+  bool mapped = false;
+  unsigned page_shift = kPageShift;  ///< 12, or 21 for a huge-page leaf
+};
+
+/// Per-level occupancy snapshot (the quantity of the paper's Fig. 8).
+struct LevelOccupancy {
+  std::string level;             ///< "PL4", "PL3", "PL2", "PL1", "PL2/PL1"
+  std::uint64_t nodes = 0;       ///< allocated table nodes at this level
+  std::uint64_t valid = 0;       ///< valid entries across those nodes
+  std::uint64_t capacity = 0;    ///< nodes x entries-per-node
+  double rate() const {
+    return capacity ? static_cast<double>(valid) / static_cast<double>(capacity)
+                    : 0.0;
+  }
+};
+
+/// Outcome of a map() call, for OS cost accounting.
+struct MapResult {
+  unsigned nodes_allocated = 0;  ///< new table nodes the OS had to allocate
+  std::uint64_t bytes_allocated = 0;  ///< table bytes those nodes cover
+  bool replaced = false;         ///< an existing translation was overwritten
+  /// A *different* translation this map displaced (restricted-associativity
+  /// designs like DIPTA evict set conflicts). The owner must release the
+  /// evicted page's frame and shoot down its TLB entries.
+  std::optional<std::pair<Vpn, Pfn>> evicted;
+};
+
+class PageTable {
+ public:
+  virtual ~PageTable() = default;
+
+  /// Install vpn -> pfn. `page_shift` selects the leaf size (12 or 21);
+  /// a 21 mapping covers 512 consecutive vpns with one leaf entry.
+  virtual MapResult map(Vpn vpn, Pfn pfn, unsigned page_shift = kPageShift) = 0;
+  /// Remove a translation (used by tests and by huge-page splintering).
+  virtual bool unmap(Vpn vpn) = 0;
+  /// Functional lookup (no timing).
+  virtual std::optional<Pfn> lookup(Vpn vpn) const = 0;
+  /// Re-point an existing translation at a new frame (compaction support).
+  virtual bool remap(Vpn vpn, Pfn new_pfn) = 0;
+
+  /// The memory accesses a hardware walker performs for `vpn`, assuming no
+  /// page-walk-cache hits. For an unmapped vpn, steps cover the levels
+  /// actually visited before the walk faults.
+  virtual WalkPath walk(Vpn vpn) const = 0;
+
+  virtual std::vector<LevelOccupancy> occupancy() const = 0;
+  virtual std::string name() const = 0;
+  /// Bytes of physical memory consumed by table nodes.
+  virtual std::uint64_t table_bytes() const = 0;
+};
+
+}  // namespace ndp

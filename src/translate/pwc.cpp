@@ -1,0 +1,94 @@
+#include "translate/pwc.h"
+
+#include <cassert>
+
+namespace ndp {
+
+Pwc::Pwc(unsigned level, PwcConfig cfg) : level_(level), cfg_(cfg) {
+  assert(cfg_.entries % cfg_.ways == 0);
+  num_sets_ = cfg_.entries / cfg_.ways;
+  lines_.resize(cfg_.entries);
+}
+
+bool Pwc::lookup(Vpn vpn) {
+  ++tick_;
+  const std::uint64_t tag = prefix_of(vpn);
+  const unsigned set = static_cast<unsigned>(tag % num_sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = tick_;
+      ++counters_.hits;
+      return true;
+    }
+  }
+  ++counters_.misses;
+  return false;
+}
+
+StatSet Pwc::snapshot() const {
+  StatSet s;
+  s.inc("hit", counters_.hits);
+  s.inc("miss", counters_.misses);
+  return s;
+}
+
+void Pwc::insert(Vpn vpn) {
+  ++tick_;
+  const std::uint64_t tag = prefix_of(vpn);
+  const unsigned set = static_cast<unsigned>(tag % num_sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  Line* victim = base;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {  // already present: refresh
+      base[w].lru = tick_;
+      return;
+    }
+    if (!base[w].valid) {
+      victim = &base[w];
+    } else if (victim->valid && base[w].lru < victim->lru) {
+      victim = &base[w];
+    }
+  }
+  *victim = Line{tag, true, tick_};
+}
+
+PwcSet::PwcSet(const std::vector<unsigned>& levels, PwcConfig cfg) : cfg_(cfg) {
+  for (unsigned l : levels) caches_.emplace(l, Pwc(l, cfg));
+}
+
+unsigned PwcSet::deepest_hit(Vpn vpn) {
+  unsigned deepest = 0;
+  // std::map iterates levels ascending: the first hit is the deepest.
+  for (auto& [l, pwc] : caches_) {
+    if (pwc.lookup(vpn) && deepest == 0) deepest = l;
+  }
+  return deepest;
+}
+
+void PwcSet::fill(Vpn vpn, const std::vector<unsigned>& walked_levels) {
+  for (unsigned l : walked_levels) {
+    auto it = caches_.find(l);
+    if (it != caches_.end()) it->second.insert(vpn);
+  }
+}
+
+bool PwcSet::has_level(unsigned level) const { return caches_.count(level) > 0; }
+
+Pwc* PwcSet::level(unsigned l) {
+  auto it = caches_.find(l);
+  return it == caches_.end() ? nullptr : &it->second;
+}
+
+const Pwc* PwcSet::level(unsigned l) const {
+  auto it = caches_.find(l);
+  return it == caches_.end() ? nullptr : &it->second;
+}
+
+std::vector<unsigned> PwcSet::levels() const {
+  std::vector<unsigned> out;
+  for (const auto& [l, pwc] : caches_) out.push_back(l);
+  return out;
+}
+
+}  // namespace ndp

@@ -1,0 +1,92 @@
+// Page-walk caches (paper §V-C; Barr et al., "Translation caching").
+//
+// PWC for level k caches *entries of level-k tables*, keyed by the virtual
+// address prefix that indexes levels 4..k. A hit at level k lets the walker
+// skip the memory accesses for levels 4..k and resume at level k-1.
+//
+// The paper's NDPage keeps PWCs for L4 and L3 only; the Radix baseline has
+// one per level (L4..L1) — the configuration lives with the mechanism
+// (core/mechanism.*), this file is the structure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ndp {
+
+struct PwcConfig {
+  unsigned entries = 32;
+  unsigned ways = 4;
+  Cycle latency = 2;  ///< all levels probe in parallel; charged once per walk
+};
+
+/// One level's PWC.
+class Pwc {
+ public:
+  Pwc(unsigned level, PwcConfig cfg);
+
+  /// Prefix for this level: the VA bits that index levels 4..level.
+  std::uint64_t prefix_of(Vpn vpn) const {
+    return vpn >> (9u * (level_ - 1u));
+  }
+
+  bool lookup(Vpn vpn);
+  void insert(Vpn vpn);
+
+  struct Counters {
+    std::uint64_t hits = 0, misses = 0;
+  };
+
+  unsigned level() const { return level_; }
+  const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = Counters{}; }
+  StatSet snapshot() const;
+  double hit_rate() const {
+    const double t = static_cast<double>(counters_.hits + counters_.misses);
+    return t > 0 ? static_cast<double>(counters_.hits) / t : 0.0;
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+
+  unsigned level_;
+  PwcConfig cfg_;
+  unsigned num_sets_;
+  std::vector<Line> lines_;
+  std::uint64_t tick_ = 0;
+  Counters counters_;
+};
+
+/// The per-walker collection: one Pwc per configured level.
+class PwcSet {
+ public:
+  /// `levels`: which radix levels get a PWC (e.g. {4,3,2,1} or {4,3}).
+  PwcSet(const std::vector<unsigned>& levels, PwcConfig cfg);
+
+  /// Deepest (smallest) level with a hit for vpn, or 0 if none. Probes every
+  /// level (hardware probes in parallel), so per-level stats stay honest.
+  unsigned deepest_hit(Vpn vpn);
+  /// Record the traversed levels of a completed walk.
+  void fill(Vpn vpn, const std::vector<unsigned>& walked_levels);
+
+  bool has_level(unsigned level) const;
+  Pwc* level(unsigned l);
+  const Pwc* level(unsigned l) const;
+  Cycle latency() const { return caches_.empty() ? 0 : cfg_.latency; }
+  std::vector<unsigned> levels() const;
+
+ private:
+  PwcConfig cfg_;
+  std::map<unsigned, Pwc> caches_;  ///< key: level
+};
+
+}  // namespace ndp

@@ -1,0 +1,86 @@
+#include "translate/walker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ndp {
+
+Walker::Walker(PageTable& pt, MemorySystem& mem, WalkerConfig cfg)
+    : pt_(pt), mem_(mem), cfg_(std::move(cfg)), pwcs_(cfg_.pwc_levels, cfg_.pwc) {}
+
+Walker::WalkPlan Walker::plan(Vpn vpn) {
+  WalkPlan p;
+  p.path = pt_.walk(vpn);
+  if (cfg_.pwc_levels.empty()) return p;
+
+  p.start_latency = pwcs_.latency();
+  if (const unsigned deepest = pwcs_.deepest_hit(vpn)) {
+    // Skip every step up to and including the level the PWC resolved.
+    for (std::size_t i = 0; i < p.path.steps.size(); ++i) {
+      if (p.path.steps[i].level == deepest) {
+        p.first_step = i + 1;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+void Walker::finish(Vpn vpn, const WalkPlan& plan, Cycle start, Cycle end,
+                    unsigned mem_accesses) {
+  if (!cfg_.pwc_levels.empty()) {
+    std::vector<unsigned> walked;
+    walked.reserve(plan.path.steps.size());
+    for (const WalkStep& s : plan.path.steps) walked.push_back(s.level);
+    pwcs_.fill(vpn, walked);
+  }
+  ++counters_.walks;
+  counters_.mem_accesses += mem_accesses;
+  counters_.latency.add(static_cast<double>(end - start));
+  counters_.accesses_per_walk.add(static_cast<double>(mem_accesses));
+  if (!plan.path.mapped) ++counters_.faulting_walks;
+}
+
+StatSet Walker::snapshot() const {
+  StatSet s;
+  s.inc("walks", counters_.walks);
+  s.inc("mem_accesses", counters_.mem_accesses);
+  s.inc("faulting_walks", counters_.faulting_walks);
+  s.merge_average("latency", counters_.latency);
+  s.merge_average("accesses_per_walk", counters_.accesses_per_walk);
+  return s;
+}
+
+WalkTiming Walker::walk(Cycle now, unsigned core, VirtAddr va) {
+  const Vpn vpn = vpn_of(va);
+  const WalkPlan p = plan(vpn);
+
+  WalkTiming out;
+  out.mapped = p.path.mapped;
+  out.pfn = p.path.pfn;
+  out.page_shift = p.path.page_shift;
+  out.pwc_skips = static_cast<unsigned>(p.first_step);
+
+  Cycle t = now + p.start_latency;
+  // Issue the remaining steps; steps sharing a group go out concurrently.
+  std::size_t i = p.first_step;
+  while (i < p.path.steps.size()) {
+    const unsigned group = p.path.steps[i].group;
+    Cycle group_finish = t;
+    for (; i < p.path.steps.size() && p.path.steps[i].group == group; ++i) {
+      const MemAccessResult r =
+          mem_.access(t, core, p.path.steps[i].pte_addr, AccessType::kRead,
+                      AccessClass::kMetadata,
+                      cfg_.bypass_caches_for_metadata);
+      group_finish = std::max(group_finish, r.finish);
+      ++out.mem_accesses;
+    }
+    t = group_finish;
+  }
+
+  out.finish = t;
+  finish(vpn, p, now, t, out.mem_accesses);
+  return out;
+}
+
+}  // namespace ndp

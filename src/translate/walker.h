@@ -1,0 +1,87 @@
+// Hardware page-table walker: turns a PageTable's WalkPath into timed
+// memory accesses (paper Fig. 3's PTW, plus NDPage's §V-D workflow).
+//
+// The walker
+//   * probes the configured PWC levels in parallel (one latency charge),
+//   * skips every step at or above the deepest PWC hit,
+//   * issues the remaining PTE reads through the memory hierarchy — with
+//     AccessClass::kMetadata always, and with cache bypass when the
+//     mechanism asks for it (NDPage §V-A),
+//   * issues steps sharing a group id concurrently (ECH's parallel ways),
+//   * refills the PWCs with the levels it traversed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "translate/page_table.h"
+#include "translate/pwc.h"
+
+namespace ndp {
+
+struct WalkerConfig {
+  /// NDPage's metadata-bypass mechanism: PTE requests skip the caches.
+  bool bypass_caches_for_metadata = false;
+  /// Which radix levels get a PWC ({4,3,2,1} Radix, {4,3} NDPage/Huge,
+  /// empty for ECH/Ideal).
+  std::vector<unsigned> pwc_levels{4, 3, 2, 1};
+  PwcConfig pwc;
+};
+
+struct WalkTiming {
+  Cycle finish = 0;
+  bool mapped = false;
+  Pfn pfn = 0;
+  unsigned page_shift = kPageShift;
+  unsigned mem_accesses = 0;  ///< PTE reads actually issued
+  unsigned pwc_skips = 0;     ///< steps avoided by the deepest PWC hit
+};
+
+class Walker {
+ public:
+  Walker(PageTable& pt, MemorySystem& mem, WalkerConfig cfg);
+
+  /// Perform a timed walk for va issued by `core` at `now`. Functionally
+  /// read-only: faults are the MMU front-end's job (it maps and re-walks).
+  /// Convenience wrapper over plan()/finish() that issues all PTE accesses
+  /// back-to-back; the event-driven engine uses the stepwise API instead so
+  /// shared-resource state is touched in global time order.
+  WalkTiming walk(Cycle now, unsigned core, VirtAddr va);
+
+  /// Stepwise API — phase 1: probe PWCs and lay out the PTE accesses.
+  struct WalkPlan {
+    WalkPath path;              ///< full structural path
+    std::size_t first_step = 0; ///< first step to execute after PWC skip
+    Cycle start_latency = 0;    ///< PWC probe latency to charge up front
+  };
+  WalkPlan plan(Vpn vpn);
+  /// Stepwise API — phase 2 (after the caller executed the steps): refill
+  /// PWCs and record statistics.
+  void finish(Vpn vpn, const WalkPlan& plan, Cycle start, Cycle end,
+              unsigned mem_accesses);
+
+  struct Counters {
+    std::uint64_t walks = 0, mem_accesses = 0, faulting_walks = 0;
+    Average latency;
+    Average accesses_per_walk;
+  };
+
+  PwcSet& pwcs() { return pwcs_; }
+  const PwcSet& pwcs() const { return pwcs_; }
+  const WalkerConfig& config() const { return cfg_; }
+  const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = Counters{}; }
+  StatSet snapshot() const;
+
+ private:
+  PageTable& pt_;
+  MemorySystem& mem_;
+  WalkerConfig cfg_;
+  PwcSet pwcs_;
+  Counters counters_;
+};
+
+}  // namespace ndp

@@ -1,0 +1,69 @@
+#include "workloads/dlrm.h"
+
+#include <cassert>
+
+namespace ndp {
+
+DlrmWorkload::DlrmWorkload(const WorkloadParams& params)
+    : params_(params),
+      dataset_bytes_(static_cast<std::uint64_t>(
+          static_cast<double>(paper_dataset_bytes()) * params.scale)),
+      rows_((dataset_bytes_ - kMlpBytes) / kRowBytes),
+      row_dist_(rows_, 0.85),  // long-tail embedding row popularity
+      cores_(params.num_cores) {
+  assert(dataset_bytes_ > 2 * kMlpBytes);
+  for (unsigned c = 0; c < params_.num_cores; ++c) {
+    cores_[c].rng = Rng(splitmix64(params_.seed + 0xD12A * (c + 1)));
+    // Stagger MLP cursors so threads stream different lines.
+    cores_[c].mlp_pos = (kMlpBytes / params_.num_cores) * c;
+  }
+  layout_ = regions();
+}
+
+std::vector<VmRegion> DlrmWorkload::regions() const {
+  const VirtAddr base = dataset_base();
+  auto align = [](std::uint64_t b) {
+    return (b + kPageSize - 1) & ~(kPageSize - 1);
+  };
+  const std::uint64_t emb_bytes = align(rows_ * kRowBytes);
+  std::vector<VmRegion> rs;
+  rs.push_back(VmRegion{"embeddings", base, emb_bytes, true});
+  rs.push_back(VmRegion{"mlp", base + emb_bytes + kPageSize, kMlpBytes, true});
+  // Per-thread output batches: preallocated and reused, so prefaulted.
+  for (unsigned c = 0; c < params_.num_cores; ++c)
+    rs.push_back(VmRegion{"output." + std::to_string(c), private_base(c),
+                          64ull << 20, true});
+  return rs;
+}
+
+MemRef DlrmWorkload::next(unsigned core) {
+  CoreState& st = cores_[core];
+  const std::vector<VmRegion>& rs = layout_;
+  const VmRegion& emb = rs[0];
+  const VmRegion& mlp = rs[1];
+
+  if (st.lookups_left == 0 && st.mlp_left == 0 && st.out_left == 0) {
+    st.lookups_left = kLookupsPerSample;
+    st.mlp_left = kMlpReadsPerSample;
+    st.out_left = kOutWritesPerSample;
+  }
+
+  if (st.lookups_left > 0) {
+    --st.lookups_left;
+    // Popularity rank -> scattered row id (embedding rows are not sorted by
+    // access frequency).
+    const std::uint64_t rank = row_dist_(st.rng);
+    const std::uint64_t row = splitmix64(rank * 0xD1B54A32D192ED03ull) % rows_;
+    return MemRef{3, emb.base + row * kRowBytes, AccessType::kRead};
+  }
+  if (st.mlp_left > 0) {
+    --st.mlp_left;
+    st.mlp_pos = (st.mlp_pos + kCacheLineSize) % kMlpBytes;
+    return MemRef{2, mlp.base + st.mlp_pos, AccessType::kRead};
+  }
+  --st.out_left;
+  st.out_pos = (st.out_pos + kCacheLineSize) % (64ull << 20);
+  return MemRef{2, private_base(core) + st.out_pos, AccessType::kWrite};
+}
+
+}  // namespace ndp

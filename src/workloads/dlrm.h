@@ -1,0 +1,50 @@
+// DLRM sparse-length-sum (DLRM): recommendation-model embedding gathers.
+//
+// Per sample: a batch of embedding-row gathers with Zipf-distributed row
+// popularity (hot rows cache well, the long tail does not), a dense MLP
+// pass over a small hot weight region (cache-friendly sequential reuse),
+// and sequential writes to a demand-paged interaction/output buffer.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ndp {
+
+class DlrmWorkload final : public TraceSource {
+ public:
+  explicit DlrmWorkload(const WorkloadParams& params);
+
+  std::string name() const override { return "DLRM"; }
+  std::string suite() const override { return "DLRM"; }
+  std::uint64_t paper_dataset_bytes() const override { return 10ull << 30; }
+  std::uint64_t dataset_bytes() const override { return dataset_bytes_; }
+  std::vector<VmRegion> regions() const override;
+  MemRef next(unsigned core) override;
+
+ private:
+  struct CoreState {
+    Rng rng{1};
+    unsigned lookups_left = 0;
+    unsigned mlp_left = 0;
+    unsigned out_left = 0;
+    std::uint64_t mlp_pos = 0;
+    std::uint64_t out_pos = 0;
+  };
+
+  static constexpr unsigned kLookupsPerSample = 48;
+  static constexpr unsigned kMlpReadsPerSample = 24;
+  static constexpr unsigned kOutWritesPerSample = 8;
+  static constexpr std::uint64_t kRowBytes = 128;
+  static constexpr std::uint64_t kMlpBytes = 32ull << 20;
+
+  WorkloadParams params_;
+  std::uint64_t dataset_bytes_;
+  std::uint64_t rows_;
+  Zipf row_dist_;
+  std::vector<CoreState> cores_;
+  std::vector<VmRegion> layout_;
+};
+
+}  // namespace ndp

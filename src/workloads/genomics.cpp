@@ -1,0 +1,78 @@
+#include "workloads/genomics.h"
+
+#include <cassert>
+
+namespace ndp {
+
+GenomicsWorkload::GenomicsWorkload(const WorkloadParams& params)
+    : params_(params),
+      // GEN's paper dataset (33 GB) is scaled more aggressively than the
+      // rest so the stream plus the hash span fits 16 GB; the stream is
+      // sequential, so its absolute length does not change miss behaviour.
+      dataset_bytes_(static_cast<std::uint64_t>(
+          static_cast<double>(paper_dataset_bytes()) * params.scale / 4.0)),
+      stream_bytes_(dataset_bytes_),
+      bucket_dist_(kHotBuckets, 1.1), cores_(params.num_cores) {
+  assert(stream_bytes_ > (64ull << 20));
+  for (unsigned c = 0; c < params_.num_cores; ++c) {
+    cores_[c].rng = Rng(splitmix64(params_.seed + 0x6E4 * (c + 1)));
+    // Threads scan disjoint slices of the shared read stream.
+    cores_[c].stream_pos = (stream_bytes_ / params_.num_cores) * c;
+    cores_[c].stream_pos &= ~(kCacheLineSize - 1);
+  }
+}
+
+std::vector<VmRegion> GenomicsWorkload::regions() const {
+  const VirtAddr base = dataset_base();
+  auto align = [](std::uint64_t b) {
+    return (b + kPageSize - 1) & ~(kPageSize - 1);
+  };
+  std::vector<VmRegion> rs;
+  rs.push_back(VmRegion{"reads", base, align(stream_bytes_), true});
+  // The k-mer hash table: large virtual span, sparse demand-paged touches.
+  rs.push_back(VmRegion{"kmer_table", base + align(stream_bytes_) + kPageSize,
+                        kHashSpanBytes, false});
+  return rs;
+}
+
+VirtAddr GenomicsWorkload::bucket_va(std::uint64_t bucket) const {
+  const VirtAddr table_base =
+      dataset_base() + ((stream_bytes_ + kPageSize - 1) & ~(kPageSize - 1)) +
+      kPageSize;
+  // Bucket id -> permuted page inside the sparse span, plus a slot.
+  const std::uint64_t page =
+      splitmix64(bucket * 0x9E3779B97F4A7C15ull) % (kHashSpanBytes / kPageSize);
+  const std::uint64_t slot = splitmix64(bucket ^ 0xABCD) % (kPageSize / 8);
+  return table_base + page * kPageSize + slot * 8;
+}
+
+std::vector<VirtAddr> GenomicsWorkload::warm_pages() const {
+  std::vector<VirtAddr> pages;
+  pages.reserve(kWarmBuckets);
+  for (std::uint64_t b = 0; b < kWarmBuckets; ++b)
+    pages.push_back(bucket_va(b));
+  return pages;
+}
+
+MemRef GenomicsWorkload::next(unsigned core) {
+  CoreState& st = cores_[core];
+  const VirtAddr reads_base = dataset_base();
+
+  if (st.write_pending) {
+    st.write_pending = false;
+    return MemRef{1, st.probe_va, AccessType::kWrite};  // count increment
+  }
+  if (st.probes_left > 0) {
+    --st.probes_left;
+    st.probe_va = bucket_va(bucket_dist_(st.rng));
+    st.write_pending = true;
+    return MemRef{3, st.probe_va, AccessType::kRead};
+  }
+  // Stream the next 64 B chunk of reads and start its probe burst.
+  const MemRef r{2, reads_base + st.stream_pos, AccessType::kRead};
+  st.stream_pos = (st.stream_pos + kCacheLineSize) % stream_bytes_;
+  st.probes_left = kProbesPerChunk;
+  return r;
+}
+
+}  // namespace ndp

@@ -1,0 +1,57 @@
+// GenomicsBench k-mer counting (GEN): streaming reads + hash-table updates.
+//
+// A sequential scan of the read stream produces k-mers whose counts live in
+// a hash table spread *sparsely* over a large virtual region and touched on
+// demand. This is the workload where huge-page bloat bites: every touched
+// 4 KB bucket page drags a whole 2 MB mapping in under the Huge Page
+// baseline, multiplying resident memory — the Ingens-style pathology the
+// paper cites for its 8-core Huge Page slowdown.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ndp {
+
+class GenomicsWorkload final : public TraceSource {
+ public:
+  explicit GenomicsWorkload(const WorkloadParams& params);
+
+  std::string name() const override { return "GEN"; }
+  std::string suite() const override { return "GenomicsBench"; }
+  std::uint64_t paper_dataset_bytes() const override { return 33ull << 30; }
+  std::uint64_t dataset_bytes() const override { return dataset_bytes_; }
+  std::vector<VmRegion> regions() const override;
+  std::vector<VirtAddr> warm_pages() const override;
+  MemRef next(unsigned core) override;
+
+ private:
+  struct CoreState {
+    Rng rng{1};
+    std::uint64_t stream_pos = 0;
+    unsigned probes_left = 0;
+    VirtAddr probe_va = 0;
+    bool write_pending = false;
+  };
+
+  static constexpr unsigned kProbesPerChunk = 3;
+  /// Virtual span of the hash table (sparsely touched).
+  static constexpr std::uint64_t kHashSpanBytes = 3ull << 30;
+  /// Distinct buckets referenced (Zipf over these).
+  static constexpr std::uint64_t kHotBuckets = 1ull << 18;
+  /// Buckets whose pages exist before the measured window (the table was
+  /// built while processing earlier reads); colder tail buckets still fault
+  /// in new pages at runtime — the dynamically growing part.
+  static constexpr std::uint64_t kWarmBuckets = kHotBuckets - 4096;
+
+  VirtAddr bucket_va(std::uint64_t bucket) const;
+
+  WorkloadParams params_;
+  std::uint64_t dataset_bytes_;
+  std::uint64_t stream_bytes_;
+  Zipf bucket_dist_;
+  std::vector<CoreState> cores_;
+};
+
+}  // namespace ndp

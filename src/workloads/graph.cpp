@@ -1,0 +1,215 @@
+#include "workloads/graph.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ndp {
+
+namespace {
+// Shard layout (offsets from the shard base). Region sizes derive from the
+// vertex count V: offsets 8V, edges 8*20V (capacity), up to three 64 B/vertex
+// property arrays (GraphBIG keeps per-vertex property structs, not packed
+// scalars — this is what makes the random neighbor accesses span hundreds of
+// MB and overwhelm TLB/PWC reach), frontier 8V (demand paged).
+constexpr std::uint64_t kEdgeSlotsPerVertex = 20;
+constexpr std::uint64_t kMaxDegree = 2048;
+constexpr std::uint64_t kPropBytes = 64;  ///< per-vertex property struct
+
+std::uint64_t vertices_for_bytes(std::uint64_t bytes) {
+  // bytes = 8V (offsets) + 160V (edges) + 3*64V (properties) + 64V (out)
+  //         + 8V (frontier)
+  return bytes / (8 * (1 + kEdgeSlotsPerVertex + 1) + 4 * kPropBytes);
+}
+}  // namespace
+
+GraphKernelSpec graph_spec(WorkloadKind kind) {
+  GraphKernelSpec s;
+  s.kind = kind;
+  switch (kind) {
+    case WorkloadKind::kBC:
+      // Betweenness centrality: forward BFS + dependency accumulation;
+      // touches dist + sigma + delta, writes often, keeps a frontier.
+      s.write_neighbor_prob = 0.5;
+      s.property_arrays = 3;
+      s.use_frontier = true;
+      s.gap_vertex = 5;
+      s.gap_neighbor = 3;
+      s.zipf_s = 0.55;
+      break;
+    case WorkloadKind::kBFS:
+      // Frontier-driven traversal: visited + dist, one write per discovery.
+      s.write_neighbor_prob = 0.35;
+      s.property_arrays = 2;
+      s.use_frontier = true;
+      s.gap_vertex = 4;
+      s.gap_neighbor = 2;
+      s.zipf_s = 0.55;
+      break;
+    case WorkloadKind::kCC:
+      // Edge-centric label propagation: read+write component labels.
+      s.write_neighbor_prob = 0.6;
+      s.property_arrays = 1;
+      s.gap_vertex = 3;
+      s.gap_neighbor = 2;
+      s.zipf_s = 0.5;
+      break;
+    case WorkloadKind::kGC:
+      // Coloring: reads neighbor colors, writes own color.
+      s.write_neighbor_prob = 0.05;
+      s.write_vertex = true;
+      s.property_arrays = 1;
+      s.gap_vertex = 6;
+      s.gap_neighbor = 3;
+      s.zipf_s = 0.55;
+      break;
+    case WorkloadKind::kPR:
+      // PageRank: pure gather of neighbor ranks, one write per vertex.
+      s.write_neighbor_prob = 0.0;
+      s.write_vertex = true;
+      s.property_arrays = 1;
+      s.gap_vertex = 5;
+      s.gap_neighbor = 2;
+      s.zipf_s = 0.6;
+      break;
+    case WorkloadKind::kTC:
+      // Triangle counting: adjacency intersections — two property arrays
+      // (hash-set probes), compute heavy; writes its per-vertex count.
+      s.write_neighbor_prob = 0.0;
+      s.write_vertex = true;
+      s.property_arrays = 2;
+      s.gap_vertex = 8;
+      s.gap_edge = 3;
+      s.gap_neighbor = 5;
+      s.zipf_s = 0.7;
+      break;
+    case WorkloadKind::kSP:
+      // Shortest path (delta-stepping flavor): dist reads/writes + frontier.
+      s.write_neighbor_prob = 0.4;
+      s.property_arrays = 2;
+      s.use_frontier = true;
+      s.gap_vertex = 4;
+      s.gap_neighbor = 3;
+      s.zipf_s = 0.55;
+      break;
+    default:
+      assert(false && "not a graph kernel");
+  }
+  return s;
+}
+
+GraphWorkload::GraphWorkload(const GraphKernelSpec& spec,
+                             const WorkloadParams& params)
+    : spec_(spec), params_(params),
+      dataset_bytes_(static_cast<std::uint64_t>(
+          static_cast<double>(paper_dataset_bytes()) * params.scale)),
+      num_vertices_(vertices_for_bytes(dataset_bytes_)),
+      num_edges_(num_vertices_ * kEdgeSlotsPerVertex),
+      neighbor_dist_(num_vertices_, spec.zipf_s),
+      cores_(params.num_cores), layout_(regions()) {
+  assert(num_vertices_ > 1024);
+  for (unsigned c = 0; c < params_.num_cores; ++c) {
+    cores_[c].rng = Rng(splitmix64(params_.seed + 0x9E37 * (c + 1)));
+    // Threads partition the vertex range: staggered starting points keep
+    // them on different offsets/edges pages while sharing the structure.
+    cores_[c].v = (num_vertices_ / params_.num_cores) * c;
+    cores_[c].epos = (cores_[c].v * 16) % num_edges_;
+  }
+}
+
+std::string GraphWorkload::name() const { return ndp::to_string(spec_.kind); }
+
+std::vector<VmRegion> GraphWorkload::regions() const {
+  const VirtAddr base = dataset_base();
+  const std::uint64_t v8 = num_vertices_ * 8;
+  std::vector<VmRegion> rs;
+  VirtAddr at = base;
+  auto push = [&](const std::string& n, std::uint64_t bytes, bool prefault) {
+    const std::uint64_t aligned = (bytes + kPageSize - 1) & ~(kPageSize - 1);
+    rs.push_back(VmRegion{n, at, aligned, prefault});
+    at += aligned + kPageSize;  // one guard page between regions
+  };
+  push("offsets", v8 + 8, true);
+  push("edges", num_edges_ * 8, true);
+  for (unsigned p = 0; p < spec_.property_arrays; ++p)
+    push("prop" + std::to_string(p), num_vertices_ * kPropBytes, true);
+  if (spec_.write_vertex) push("out", num_vertices_ * kPropBytes, true);
+  if (spec_.use_frontier) {
+    // Per-thread frontiers grow dynamically at runtime: demand paged.
+    for (unsigned c = 0; c < params_.num_cores; ++c)
+      rs.push_back(VmRegion{"frontier." + std::to_string(c), private_base(c),
+                            (v8 + kPageSize - 1) & ~(kPageSize - 1), false});
+  }
+  return rs;
+}
+
+std::uint64_t GraphWorkload::degree_of(std::uint64_t v) const {
+  // Truncated Pareto via hashing: deg = 5 * u^-0.7, mean ~16.7.
+  const double u =
+      (static_cast<double>(splitmix64(v ^ params_.seed) >> 11) + 1.0) *
+      0x1.0p-53;
+  const double d = 5.0 * std::pow(u, -0.7);
+  const auto deg = static_cast<std::uint64_t>(d);
+  return std::min<std::uint64_t>(std::max<std::uint64_t>(deg, 1), kMaxDegree);
+}
+
+void GraphWorkload::emit_vertex(unsigned core) {
+  CoreState& st = cores_[core];
+  const std::vector<VmRegion>& rs = layout_;
+  std::size_t ri = 0;
+  const VmRegion& r_off = rs[ri++];
+  const VmRegion& r_edges = rs[ri++];
+  const VmRegion* props[3] = {};
+  for (unsigned p = 0; p < spec_.property_arrays; ++p) props[p] = &rs[ri++];
+  const VmRegion* r_out = spec_.write_vertex ? &rs[ri++] : nullptr;
+  const VmRegion* r_frontier =
+      spec_.use_frontier ? &rs[ri + core] : nullptr;
+
+  const std::uint64_t v = st.v;
+  st.v = (st.v + 1) % num_vertices_;
+
+  // offsets[v] and offsets[v+1] share a line almost always: one reference.
+  st.pending.push_back(
+      MemRef{spec_.gap_vertex, r_off.base + v * 8, AccessType::kRead});
+
+  const std::uint64_t deg = degree_of(v);
+  const std::uint64_t lines = (deg + 7) / 8;  // 8 edge ids per 64 B line
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    const std::uint64_t e = (st.epos + l * 8) % num_edges_;
+    st.pending.push_back(
+        MemRef{spec_.gap_edge, r_edges.base + e * 8, AccessType::kRead});
+  }
+  st.epos = (st.epos + deg) % num_edges_;
+
+  for (std::uint64_t k = 0; k < deg; ++k) {
+    // Zipf gives the popularity *rank*; real CSR vertex ids are not sorted
+    // by popularity, so scatter ranks over the id space. Hot vertices stay
+    // hot (TLB-relevant) but land on uniformly spread pages (PWC-relevant).
+    const std::uint64_t rank = neighbor_dist_(st.rng);
+    const std::uint64_t u = splitmix64(rank * 0x9E3779B97F4A7C15ull) % num_vertices_;
+    const VmRegion* prop = props[k % spec_.property_arrays];
+    const bool write = st.rng.chance(spec_.write_neighbor_prob);
+    st.pending.push_back(
+        MemRef{spec_.gap_neighbor, prop->base + u * kPropBytes,
+               write ? AccessType::kWrite : AccessType::kRead});
+  }
+
+  if (r_out)
+    st.pending.push_back(
+        MemRef{2, r_out->base + v * kPropBytes, AccessType::kWrite});
+
+  if (r_frontier && st.rng.chance(0.3)) {
+    st.pending.push_back(MemRef{2, r_frontier->base + st.frontier_pos * 8,
+                                AccessType::kWrite});
+    st.frontier_pos = (st.frontier_pos + 1) % num_vertices_;
+  }
+}
+
+MemRef GraphWorkload::next(unsigned core) {
+  CoreState& st = cores_[core];
+  while (st.pending.empty()) emit_vertex(core);
+  const MemRef r = st.pending.front();
+  st.pending.pop_front();
+  return r;
+}
+
+}  // namespace ndp

@@ -1,0 +1,75 @@
+// GraphBIG kernels over a synthetic power-law CSR graph.
+//
+// All seven kernels (BC, BFS, CC, GC, PR, TC, SP) walk the same shared
+// structure — offsets[] (sequential), edges[] (streamed bursts), per-vertex
+// 64 B property structs (skewed-random, the TLB killer) — and differ in the
+// reference mix: how many property arrays they touch per edge, their write
+// ratio, whether they maintain a frontier, and their compute density (gap
+// sizes). Those knobs are what distinguish the kernels' translation
+// behaviour in the paper's per-workload bars.
+//
+// Cores are threads of one application: they share the graph and partition
+// the vertex range (staggered starting points, private RNG streams).
+//
+// Degrees follow a truncated Pareto (mean ~16, heavy tail); neighbor ids
+// follow a Zipf distribution over all vertices, both computed on the fly
+// from hashes, so no edge list is materialized in host memory.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ndp {
+
+struct GraphKernelSpec {
+  WorkloadKind kind = WorkloadKind::kPR;
+  double write_neighbor_prob = 0.0;  ///< P(write to the neighbor property)
+  bool write_vertex = false;         ///< write own property after the scan
+  bool use_frontier = false;         ///< append to a demand-paged frontier
+  unsigned property_arrays = 1;      ///< arrays touched per neighbor (1..3)
+  std::uint32_t gap_vertex = 6;      ///< instrs before the offsets read
+  std::uint32_t gap_edge = 2;        ///< instrs per edge-burst line
+  std::uint32_t gap_neighbor = 3;    ///< instrs per neighbor access
+  double zipf_s = 0.8;               ///< neighbor popularity skew
+};
+
+GraphKernelSpec graph_spec(WorkloadKind kind);
+
+class GraphWorkload final : public TraceSource {
+ public:
+  GraphWorkload(const GraphKernelSpec& spec, const WorkloadParams& params);
+
+  std::string name() const override;
+  std::string suite() const override { return "GraphBIG"; }
+  std::uint64_t paper_dataset_bytes() const override { return 8ull << 30; }
+  std::uint64_t dataset_bytes() const override { return dataset_bytes_; }
+  std::vector<VmRegion> regions() const override;
+  MemRef next(unsigned core) override;
+
+  std::uint64_t vertices() const { return num_vertices_; }
+
+ private:
+  struct CoreState {
+    Rng rng{1};
+    std::deque<MemRef> pending;
+    std::uint64_t v = 0;          ///< current vertex
+    std::uint64_t epos = 0;       ///< position in the edge stream
+    std::uint64_t frontier_pos = 0;
+  };
+
+  std::uint64_t degree_of(std::uint64_t v) const;
+  void emit_vertex(unsigned core);
+
+  GraphKernelSpec spec_;
+  WorkloadParams params_;
+  std::uint64_t dataset_bytes_;
+  std::uint64_t num_vertices_;
+  std::uint64_t num_edges_;  ///< edge-slot capacity of the edges array
+  Zipf neighbor_dist_;
+  std::vector<CoreState> cores_;
+  std::vector<VmRegion> layout_;  ///< shared region cache
+};
+
+}  // namespace ndp

@@ -1,0 +1,36 @@
+#include "workloads/gups.h"
+
+#include <cassert>
+
+namespace ndp {
+
+GupsWorkload::GupsWorkload(const WorkloadParams& params)
+    : params_(params),
+      dataset_bytes_(static_cast<std::uint64_t>(
+          static_cast<double>(paper_dataset_bytes()) * params.scale)),
+      table_words_(dataset_bytes_ / 8), cores_(params.num_cores) {
+  assert(table_words_ > 0);
+  for (unsigned c = 0; c < params_.num_cores; ++c)
+    cores_[c].rng = Rng(splitmix64(params_.seed + 0x6B5 * (c + 1)));
+}
+
+std::vector<VmRegion> GupsWorkload::regions() const {
+  return {VmRegion{"table", dataset_base(),
+                   (dataset_bytes_ + kPageSize - 1) & ~(kPageSize - 1), true}};
+}
+
+MemRef GupsWorkload::next(unsigned core) {
+  CoreState& st = cores_[core];
+  if (st.pending_write) {
+    // The update half of the RMW: xor + store, one instruction apart.
+    const VirtAddr va = st.pending_write;
+    st.pending_write = 0;
+    return MemRef{1, va, AccessType::kWrite};
+  }
+  const VirtAddr va =
+      dataset_base() + st.rng.below(table_words_) * 8;
+  st.pending_write = va;
+  return MemRef{2, va, AccessType::kRead};
+}
+
+}  // namespace ndp

@@ -1,0 +1,37 @@
+// GUPS / HPCC RandomAccess (RND): the pure pointer-chase stressor.
+//
+// Read-modify-write of random 8 B words in one huge table — near-zero
+// locality, the worst case for TLBs and the cleanest probe of raw
+// translation overhead (the paper's RND bars are its largest speedups).
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ndp {
+
+class GupsWorkload final : public TraceSource {
+ public:
+  explicit GupsWorkload(const WorkloadParams& params);
+
+  std::string name() const override { return "RND"; }
+  std::string suite() const override { return "GUPS"; }
+  std::uint64_t paper_dataset_bytes() const override { return 10ull << 30; }
+  std::uint64_t dataset_bytes() const override { return dataset_bytes_; }
+  std::vector<VmRegion> regions() const override;
+  MemRef next(unsigned core) override;
+
+ private:
+  struct CoreState {
+    Rng rng{1};
+    VirtAddr pending_write = 0;  ///< RMW: write follows its read
+  };
+
+  WorkloadParams params_;
+  std::uint64_t dataset_bytes_;
+  std::uint64_t table_words_;
+  std::vector<CoreState> cores_;
+};
+
+}  // namespace ndp

@@ -1,0 +1,105 @@
+#include "workloads/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace ndp {
+
+namespace {
+constexpr char kMagic[8] = {'N', 'D', 'P', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+template <typename T>
+bool read_pod(std::FILE* f, T& v) {
+  return std::fread(&v, sizeof(T), 1, f) == 1;
+}
+}  // namespace
+
+bool record_trace(TraceSource& source, unsigned cores,
+                  std::uint64_t refs_per_core, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  ok = ok && write_pod(f, kVersion);
+  ok = ok && write_pod(f, cores);
+  ok = ok && write_pod(f, refs_per_core);
+  const auto regions = source.regions();
+  ok = ok && write_pod(f, static_cast<std::uint32_t>(regions.size()));
+  for (const VmRegion& r : regions) {
+    ok = ok && write_pod(f, r.base) && write_pod(f, r.bytes);
+    ok = ok && write_pod(f, static_cast<std::uint8_t>(r.prefault));
+    const auto len = static_cast<std::uint16_t>(r.name.size());
+    ok = ok && write_pod(f, len);
+    ok = ok && (len == 0 || std::fwrite(r.name.data(), 1, len, f) == len);
+  }
+  for (std::uint64_t i = 0; ok && i < refs_per_core; ++i) {
+    for (unsigned c = 0; ok && c < cores; ++c) {
+      const MemRef r = source.next(c);
+      ok = write_pod(f, r.va) && write_pod(f, r.gap) &&
+           write_pod(f, static_cast<std::uint8_t>(r.type));
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+FileTraceSource::FileTraceSource(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("trace file not found: " + path);
+  auto fail = [&](const char* why) {
+    std::fclose(f);
+    throw std::runtime_error(std::string("bad trace file: ") + why);
+  };
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    fail("magic");
+  std::uint32_t version = 0, cores = 0, region_count = 0;
+  if (!read_pod(f, version) || version != kVersion) fail("version");
+  if (!read_pod(f, cores) || cores == 0 || cores > 1024) fail("core count");
+  if (!read_pod(f, refs_per_core_) || refs_per_core_ == 0) fail("ref count");
+  if (!read_pod(f, region_count) || region_count > 4096) fail("region count");
+  for (std::uint32_t i = 0; i < region_count; ++i) {
+    VmRegion r;
+    std::uint8_t prefault = 0;
+    std::uint16_t len = 0;
+    if (!read_pod(f, r.base) || !read_pod(f, r.bytes) ||
+        !read_pod(f, prefault) || !read_pod(f, len))
+      fail("region header");
+    r.prefault = prefault != 0;
+    r.name.resize(len);
+    if (len > 0 && std::fread(r.name.data(), 1, len, f) != len) fail("region name");
+    dataset_bytes_ += r.bytes;
+    regions_.push_back(std::move(r));
+  }
+  per_core_.assign(cores, {});
+  cursor_.assign(cores, 0);
+  for (auto& v : per_core_) v.reserve(refs_per_core_);
+  for (std::uint64_t i = 0; i < refs_per_core_; ++i) {
+    for (std::uint32_t c = 0; c < cores; ++c) {
+      MemRef r;
+      std::uint8_t type = 0;
+      if (!read_pod(f, r.va) || !read_pod(f, r.gap) || !read_pod(f, type))
+        fail("truncated records");
+      r.type = type ? AccessType::kWrite : AccessType::kRead;
+      per_core_[c].push_back(r);
+    }
+  }
+  std::fclose(f);
+  name_ = "replay:" + path;
+}
+
+MemRef FileTraceSource::next(unsigned core) {
+  auto& v = per_core_.at(core % per_core_.size());
+  auto& cur = cursor_[core % cursor_.size()];
+  const MemRef r = v[cur];
+  cur = (cur + 1) % v.size();
+  return r;
+}
+
+}  // namespace ndp

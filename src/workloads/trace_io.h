@@ -1,0 +1,55 @@
+// Trace record/replay: capture any TraceSource's reference stream to a
+// compact binary file and replay it later.
+//
+// Why this exists: the built-in generators are deterministic, but replay
+// decouples experiments from generator code (compare simulator versions on
+// bit-identical inputs), and FileTraceSource is the adapter for traces
+// captured *outside* this repo (e.g. converted Pin/DynamoRIO traces of the
+// paper's real benchmarks).
+//
+// File layout (little-endian):
+//   header:  magic "NDPTRACE", u32 version, u32 cores, u64 refs_per_core,
+//            u32 region_count
+//   regions: {u64 base, u64 bytes, u8 prefault, u16 name_len, name bytes}*
+//   records: cores interleaved round-robin: {u64 va, u32 gap, u8 type}*
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace ndp {
+
+/// Pull `refs_per_core` references per core from `source` and write them,
+/// with the region table, to `path`. Returns false on I/O failure.
+bool record_trace(TraceSource& source, unsigned cores,
+                  std::uint64_t refs_per_core, const std::string& path);
+
+/// A TraceSource replaying a recorded file. The stream loops when a core
+/// exhausts its recorded references (so any instruction budget works).
+class FileTraceSource final : public TraceSource {
+ public:
+  /// Throws std::runtime_error on malformed files.
+  explicit FileTraceSource(const std::string& path);
+
+  std::string name() const override { return name_; }
+  std::string suite() const override { return "replay"; }
+  std::uint64_t paper_dataset_bytes() const override { return dataset_bytes_; }
+  std::uint64_t dataset_bytes() const override { return dataset_bytes_; }
+  std::vector<VmRegion> regions() const override { return regions_; }
+  MemRef next(unsigned core) override;
+
+  unsigned recorded_cores() const { return static_cast<unsigned>(per_core_.size()); }
+  std::uint64_t refs_per_core() const { return refs_per_core_; }
+
+ private:
+  std::string name_;
+  std::uint64_t dataset_bytes_ = 0;
+  std::uint64_t refs_per_core_ = 0;
+  std::vector<VmRegion> regions_;
+  std::vector<std::vector<MemRef>> per_core_;
+  std::vector<std::size_t> cursor_;
+};
+
+}  // namespace ndp

@@ -1,0 +1,63 @@
+#include "workloads/workload.h"
+
+#include <cassert>
+
+#include "workloads/dlrm.h"
+#include "workloads/genomics.h"
+#include "workloads/graph.h"
+#include "workloads/gups.h"
+#include "workloads/xsbench.h"
+
+namespace ndp {
+
+const std::vector<WorkloadInfo>& all_workload_info() {
+  static const std::vector<WorkloadInfo> kInfo = {
+      {WorkloadKind::kBC, "BC", "GraphBIG", 8ull << 30},
+      {WorkloadKind::kBFS, "BFS", "GraphBIG", 8ull << 30},
+      {WorkloadKind::kCC, "CC", "GraphBIG", 8ull << 30},
+      {WorkloadKind::kGC, "GC", "GraphBIG", 8ull << 30},
+      {WorkloadKind::kPR, "PR", "GraphBIG", 8ull << 30},
+      {WorkloadKind::kTC, "TC", "GraphBIG", 8ull << 30},
+      {WorkloadKind::kSP, "SP", "GraphBIG", 8ull << 30},
+      {WorkloadKind::kXS, "XS", "XSBench", 9ull << 30},
+      {WorkloadKind::kRND, "RND", "GUPS", 10ull << 30},
+      {WorkloadKind::kDLRM, "DLRM", "DLRM", 10ull << 30},
+      {WorkloadKind::kGEN, "GEN", "GenomicsBench", 33ull << 30},
+  };
+  return kInfo;
+}
+
+const WorkloadInfo& info_of(WorkloadKind kind) {
+  for (const WorkloadInfo& i : all_workload_info())
+    if (i.kind == kind) return i;
+  assert(false);
+  return all_workload_info().front();
+}
+
+std::string to_string(WorkloadKind kind) { return info_of(kind).name; }
+
+std::unique_ptr<TraceSource> make_workload(WorkloadKind kind,
+                                           const WorkloadParams& params) {
+  switch (kind) {
+    case WorkloadKind::kBC:
+    case WorkloadKind::kBFS:
+    case WorkloadKind::kCC:
+    case WorkloadKind::kGC:
+    case WorkloadKind::kPR:
+    case WorkloadKind::kTC:
+    case WorkloadKind::kSP:
+      return std::make_unique<GraphWorkload>(graph_spec(kind), params);
+    case WorkloadKind::kXS:
+      return std::make_unique<XsBenchWorkload>(params);
+    case WorkloadKind::kRND:
+      return std::make_unique<GupsWorkload>(params);
+    case WorkloadKind::kDLRM:
+      return std::make_unique<DlrmWorkload>(params);
+    case WorkloadKind::kGEN:
+      return std::make_unique<GenomicsWorkload>(params);
+  }
+  assert(false);
+  return nullptr;
+}
+
+}  // namespace ndp

@@ -1,0 +1,76 @@
+#include "workloads/xsbench.h"
+
+#include <cassert>
+
+namespace ndp {
+
+XsBenchWorkload::XsBenchWorkload(const WorkloadParams& params)
+    : params_(params),
+      dataset_bytes_(static_cast<std::uint64_t>(
+          static_cast<double>(paper_dataset_bytes()) * params.scale)),
+      cores_(params.num_cores) {
+  // Dataset = egrid (8 B/point) + index grid (64 B/point), shared by all
+  // particles (threads).
+  grid_points_ = dataset_bytes_ / (8 + kIndexRowBytes);
+  assert(grid_points_ > 4096);
+  for (unsigned c = 0; c < params_.num_cores; ++c)
+    cores_[c].rng = Rng(splitmix64(params_.seed + 0xA5A5 * (c + 1)));
+  layout_ = regions();
+}
+
+std::vector<VmRegion> XsBenchWorkload::regions() const {
+  const VirtAddr base = dataset_base();
+  auto align = [](std::uint64_t b) {
+    return (b + kPageSize - 1) & ~(kPageSize - 1);
+  };
+  const std::uint64_t egrid_bytes = align(grid_points_ * 8);
+  const std::uint64_t index_bytes = align(grid_points_ * kIndexRowBytes);
+  std::vector<VmRegion> rs;
+  rs.push_back(VmRegion{"egrid", base, egrid_bytes, true});
+  rs.push_back(
+      VmRegion{"index", base + egrid_bytes + kPageSize, index_bytes, true});
+  // Per-thread tally buffers: preallocated by XSBench, so prefaulted.
+  for (unsigned c = 0; c < params_.num_cores; ++c)
+    rs.push_back(VmRegion{"tally." + std::to_string(c), private_base(c),
+                          64ull << 20, true});
+  return rs;
+}
+
+MemRef XsBenchWorkload::next(unsigned core) {
+  CoreState& st = cores_[core];
+  const std::vector<VmRegion>& rs = layout_;
+  const VmRegion& egrid = rs[0];
+  const VmRegion& index = rs[1];
+
+  if (st.phase == 0) {
+    if (st.hi <= st.lo) {
+      // Start a new lookup: fresh random energy key.
+      st.key = st.rng.below(grid_points_);
+      st.lo = 0;
+      st.hi = grid_points_;
+    }
+    const std::uint64_t mid = (st.lo + st.hi) / 2;
+    MemRef r{4, egrid.base + mid * 8, AccessType::kRead};
+    if (mid <= st.key) st.lo = mid + 1; else st.hi = mid;
+    if (st.hi <= st.lo) {
+      st.phase = 1;
+      st.gather_left = kNuclideReads;
+    }
+    return r;
+  }
+
+  // Gather phase: read index rows near the found grid point, then a tally
+  // write ends the lookup.
+  if (st.gather_left > 0) {
+    --st.gather_left;
+    const std::uint64_t point =
+        (st.key + st.gather_left * 7919) % grid_points_;  // scattered rows
+    return MemRef{5, index.base + point * kIndexRowBytes, AccessType::kRead};
+  }
+  st.phase = 0;
+  st.lo = st.hi = 0;
+  const std::uint64_t slot = st.rng.below((64ull << 20) / 8);
+  return MemRef{3, private_base(core) + slot * 8, AccessType::kWrite};
+}
+
+}  // namespace ndp

@@ -1,0 +1,48 @@
+// XSBench (XS): Monte Carlo neutron-transport cross-section lookups.
+//
+// Each macroscopic cross-section lookup binary-searches the unionized
+// energy grid (log2 N probes; the first probes reuse a handful of hot
+// pages, the deep probes land on effectively random pages) and then gathers
+// rows from the nuclide index grid — the access pattern XSBench's authors
+// designed the proxy app around, and the reason it stresses TLBs.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ndp {
+
+class XsBenchWorkload final : public TraceSource {
+ public:
+  explicit XsBenchWorkload(const WorkloadParams& params);
+
+  std::string name() const override { return "XS"; }
+  std::string suite() const override { return "XSBench"; }
+  std::uint64_t paper_dataset_bytes() const override { return 9ull << 30; }
+  std::uint64_t dataset_bytes() const override { return dataset_bytes_; }
+  std::vector<VmRegion> regions() const override;
+  MemRef next(unsigned core) override;
+
+  std::uint64_t grid_points() const { return grid_points_; }
+
+ private:
+  struct CoreState {
+    Rng rng{1};
+    // Binary-search progress for the in-flight lookup.
+    std::uint64_t lo = 0, hi = 0, key = 0;
+    unsigned phase = 0;      ///< 0 = searching, 1..n = gather reads
+    unsigned gather_left = 0;
+  };
+
+  static constexpr unsigned kNuclideReads = 6;  ///< index-row gathers/lookup
+  static constexpr std::uint64_t kIndexRowBytes = 64;
+
+  WorkloadParams params_;
+  std::uint64_t dataset_bytes_;
+  std::uint64_t grid_points_;
+  std::vector<CoreState> cores_;
+  std::vector<VmRegion> layout_;
+};
+
+}  // namespace ndp

@@ -1,0 +1,223 @@
+// Unit tests for the common substrate: RNG, Zipf, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace ndp {
+namespace {
+
+TEST(Types, PageArithmetic) {
+  EXPECT_EQ(vpn_of(0x12345678), 0x12345ull);
+  EXPECT_EQ(page_offset(0x12345678), 0x678ull);
+  EXPECT_EQ(frame_base(0x12345), 0x12345000ull);
+  EXPECT_EQ(pfn_of(0x12345FFF), 0x12345ull);
+  EXPECT_EQ(line_of(0x1000), 0x40ull);
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(kHugePageSize, 2u * 1024 * 1024);
+}
+
+TEST(Types, RadixIndexSplitsVpn) {
+  // vpn bits [35:27][26:18][17:9][8:0] map to levels 4..1.
+  const Vpn vpn = (0x1ABull << 27) | (0x0CDull << 18) | (0x0EFull << 9) | 0x123;
+  EXPECT_EQ(radix_index(vpn, 4), 0x1ABu);
+  EXPECT_EQ(radix_index(vpn, 3), 0x0CDu);
+  EXPECT_EQ(radix_index(vpn, 2), 0x0EFu);
+  EXPECT_EQ(radix_index(vpn, 1), 0x123u);
+}
+
+TEST(Types, FlatIndexIs18Bits) {
+  const Vpn vpn = (7ull << 18) | 0x2FFFF;
+  EXPECT_EQ(flat_index(vpn), 0x2FFFFu);
+  EXPECT_EQ(flat_index(0x40000), 0u);  // bit 18 not part of the index
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Splitmix, DeterministicAndDispersed) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions on consecutive inputs
+}
+
+class ZipfParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfParamTest, SamplesInRangeAndSkewed) {
+  const double s = GetParam();
+  const std::uint64_t n = 10000;
+  Zipf z(n, s);
+  Rng rng(42);
+  std::uint64_t top_decile = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = z(rng);
+    ASSERT_LT(v, n);
+    if (v < n / 10) ++top_decile;
+  }
+  // Any Zipf with s > 0 concentrates more than 10% of mass in the first
+  // decile of ranks.
+  EXPECT_GT(top_decile, 20000 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfParamTest,
+                         ::testing::Values(0.3, 0.55, 0.8, 0.99, 1.0, 1.2));
+
+TEST(Zipf, RankZeroIsHottest) {
+  Zipf z(1000, 0.9);
+  Rng rng(1);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z(rng)];
+  EXPECT_GT(counts[0], counts[500]);
+  EXPECT_GT(counts[0], counts[99]);
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  Zipf z(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z(rng), 0u);
+}
+
+TEST(Average, TracksMeanMinMax) {
+  Average a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  a.add(10);
+  a.add(20);
+  a.add(0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
+TEST(Average, MergeIsExact) {
+  Average a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 60; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Average, MergeWithEmptySides) {
+  Average a, empty;
+  a.add(5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Average e2;
+  e2.merge(a);
+  EXPECT_EQ(e2.count(), 1u);
+  EXPECT_DOUBLE_EQ(e2.mean(), 5.0);
+}
+
+TEST(Histogram, BucketsPowersOfTwo) {
+  Histogram h;
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1000);
+  EXPECT_EQ(h.summary().count(), 4u);
+  EXPECT_DOUBLE_EQ(h.summary().max(), 1000.0);
+  std::uint64_t total = 0;
+  for (auto c : h.buckets()) total += c;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<std::uint64_t>(i));
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+  EXPECT_GE(h.percentile(0.99), 512u);
+}
+
+TEST(StatSet, CountersAndRates) {
+  StatSet s;
+  s.inc("hit", 3);
+  s.inc("miss");
+  EXPECT_EQ(s.get("hit"), 3u);
+  EXPECT_EQ(s.get("absent"), 0u);
+  EXPECT_DOUBLE_EQ(s.rate("miss", "hit"), 0.25);
+  EXPECT_DOUBLE_EQ(s.rate("a", "b"), 0.0);
+}
+
+TEST(StatSet, MergeSumsAndCombines) {
+  StatSet a, b;
+  a.inc("x", 1);
+  b.inc("x", 2);
+  b.inc("y", 5);
+  a.add_sample("lat", 10);
+  b.add_sample("lat", 30);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 3u);
+  EXPECT_EQ(a.get("y"), 5u);
+  EXPECT_DOUBLE_EQ(a.average("lat")->mean(), 20.0);
+}
+
+TEST(Table, AlignedOutputAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.5)});
+  t.add_row({"b", Table::pct(0.345)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("34.5%"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("alpha,1.50"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,167 @@
+// Unit tests for the DRAM bank/channel timing model.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "dram/dram.h"
+
+namespace ndp {
+namespace {
+
+DramTiming tiny_timing() {
+  DramTiming t = DramTiming::hbm2();
+  return t;
+}
+
+TEST(DramTiming, PresetsAreSane) {
+  const DramTiming ddr = DramTiming::ddr4_2400();
+  const DramTiming hbm = DramTiming::hbm2();
+  EXPECT_GT(ddr.t_static, hbm.t_static) << "off-chip path must cost more";
+  EXPECT_GT(ddr.t_burst, hbm.t_burst) << "HBM bus is wider";
+  EXPECT_GT(ddr.row_bytes, hbm.row_bytes);
+  EXPECT_GT(hbm.t_rc, hbm.t_rcd);
+}
+
+TEST(Dram, FirstAccessLatencyIsRowMissWithoutPrecharge) {
+  Dram d(tiny_timing());
+  const DramResult r = d.access(100, 0x10000, AccessType::kRead, AccessClass::kData);
+  const DramTiming& t = d.timing();
+  // Idle bank: activate + CAS, no precharge.
+  EXPECT_EQ(r.finish, 100 + t.t_rcd + t.t_cl + t.t_burst + t.t_static);
+  EXPECT_FALSE(r.row_hit);
+  EXPECT_EQ(r.queue_delay, 0u);
+}
+
+// Find an address in the same (channel, bank) as `pa` but a different row
+// (the mapping is XOR-hashed, so search rather than compute).
+PhysAddr same_bank_other_row(const Dram& d, PhysAddr pa) {
+  for (PhysAddr cand = pa + kCacheLineSize;; cand += kCacheLineSize) {
+    if (d.channel_of(cand) == d.channel_of(pa) &&
+        d.bank_of(cand) == d.bank_of(pa) && d.row_of(cand) != d.row_of(pa))
+      return cand;
+  }
+}
+
+TEST(Dram, RowHitIsFasterThanConflict) {
+  Dram d(tiny_timing());
+  const PhysAddr pa = 0x40000;
+  const DramResult first = d.access(0, pa, AccessType::kRead, AccessClass::kData);
+  // Same line again, long after the bank freed up: row hit.
+  const Cycle later = first.finish + 10000;
+  const DramResult hit = d.access(later, pa, AccessType::kRead, AccessClass::kData);
+  EXPECT_TRUE(hit.row_hit);
+  // A different row in the same bank: precharge + activate.
+  const PhysAddr conflict_pa = same_bank_other_row(d, pa);
+  const DramResult miss =
+      d.access(hit.finish + 10000, conflict_pa, AccessType::kRead, AccessClass::kData);
+  EXPECT_FALSE(miss.row_hit);
+  EXPECT_GT(miss.finish - (hit.finish + 10000), hit.finish - later);
+}
+
+TEST(Dram, BankOccupiedForRowCycleTime) {
+  Dram d(tiny_timing());
+  const PhysAddr pa = 0x40000;
+  const PhysAddr pa2 = same_bank_other_row(d, pa);
+  d.access(0, pa, AccessType::kRead, AccessClass::kData);
+  // Immediately after: the second activate must wait for tRC.
+  const DramResult r2 = d.access(1, pa2, AccessType::kRead, AccessClass::kData);
+  EXPECT_GE(r2.queue_delay, d.timing().t_rc - 1);
+}
+
+TEST(Dram, ParallelAccessesToDifferentBanksDontSerialize) {
+  Dram d(tiny_timing());
+  // Find two addresses on different channels.
+  PhysAddr a = 0, b = kCacheLineSize;
+  while (d.channel_of(b) == d.channel_of(a)) b += kCacheLineSize;
+  const DramResult ra = d.access(0, a, AccessType::kRead, AccessClass::kData);
+  const DramResult rb = d.access(0, b, AccessType::kRead, AccessClass::kData);
+  EXPECT_EQ(ra.queue_delay, 0u);
+  EXPECT_EQ(rb.queue_delay, 0u);
+}
+
+TEST(Dram, ChannelServiceSlotSerializesSameChannel) {
+  Dram d(tiny_timing());
+  // Two different banks on the same channel, back to back.
+  PhysAddr a = 0;
+  PhysAddr b = kCacheLineSize;
+  while (d.channel_of(b) != d.channel_of(a) || d.bank_of(b) == d.bank_of(a))
+    b += kCacheLineSize;
+  d.access(0, a, AccessType::kRead, AccessClass::kData);
+  const DramResult rb = d.access(0, b, AccessType::kRead, AccessClass::kData);
+  EXPECT_GE(rb.queue_delay, d.timing().t_service);
+}
+
+TEST(Dram, AddressMappingCoversAllBanksEvenly) {
+  Dram d(tiny_timing());
+  std::map<std::pair<unsigned, unsigned>, int> hits;
+  Rng rng(5);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const PhysAddr pa = rng.below(1ull << 32) & ~(kCacheLineSize - 1);
+    ++hits[{d.channel_of(pa), d.bank_of(pa)}];
+  }
+  const int banks = static_cast<int>(d.timing().channels * d.timing().banks_per_channel);
+  EXPECT_EQ(static_cast<int>(hits.size()), banks);
+  for (const auto& [k, c] : hits) {
+    (void)k;
+    EXPECT_GT(c, n / banks / 3);
+    EXPECT_LT(c, n / banks * 3);
+  }
+}
+
+TEST(Dram, PowerOfTwoStridesDontAliasOneBank) {
+  // The regression that motivated XOR bank hashing: binary-search midpoints
+  // (power-of-2-ish strides) must spread over banks.
+  Dram d(tiny_timing());
+  std::map<std::pair<unsigned, unsigned>, int> hits;
+  const int n = 1024;
+  for (int i = 0; i < n; ++i) {
+    const PhysAddr pa = static_cast<PhysAddr>(i) * (1ull << 16);  // 64 KB stride
+    ++hits[{d.channel_of(pa), d.bank_of(pa)}];
+  }
+  const int banks = static_cast<int>(d.timing().channels * d.timing().banks_per_channel);
+  EXPECT_GT(static_cast<int>(hits.size()), banks / 2);
+  for (const auto& [k, c] : hits) {
+    (void)k;
+    EXPECT_LT(c, n / 4) << "stride pattern collapsed onto one bank";
+  }
+}
+
+TEST(Dram, MonotoneArrivalsGiveMonotoneFinishPerBank) {
+  Dram d(tiny_timing());
+  const PhysAddr pa = 0x123400;
+  Cycle prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    const DramResult r =
+        d.access(static_cast<Cycle>(i) * 3, pa, AccessType::kRead, AccessClass::kData);
+    EXPECT_GE(r.finish, prev);
+    prev = r.finish;
+  }
+}
+
+TEST(Dram, CountersTrackAccessMix) {
+  Dram d(tiny_timing());
+  d.access(0, 0x1000, AccessType::kRead, AccessClass::kData);
+  d.access(10, 0x2000, AccessType::kWrite, AccessClass::kMetadata);
+  d.access(20, 0x3000, AccessType::kRead, AccessClass::kMetadata);
+  EXPECT_EQ(d.counters().access, 3u);
+  EXPECT_EQ(d.counters().reads, 2u);
+  EXPECT_EQ(d.counters().writes, 1u);
+  EXPECT_EQ(d.counters().metadata, 2u);
+  EXPECT_EQ(d.counters().data, 1u);
+  const StatSet s = d.snapshot();
+  EXPECT_EQ(s.get("access"), 3u);
+  d.reset_counters();
+  EXPECT_EQ(d.counters().access, 0u);
+}
+
+TEST(Dram, RandomCapacityMatchesGeometry) {
+  const Dram d(tiny_timing());
+  const DramTiming& t = d.timing();
+  EXPECT_DOUBLE_EQ(d.random_capacity_per_cycle(),
+                   double(t.channels * t.banks_per_channel) / double(t.t_rc));
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,118 @@
+// Tests for the discrete-event engine and experiment runner.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/experiment.h"
+
+namespace ndp {
+namespace {
+
+RunSpec tiny_spec(Mechanism m = Mechanism::kRadix, unsigned cores = 1) {
+  RunSpec s;
+  s.system = SystemKind::kNdp;
+  s.cores = cores;
+  s.mechanism = m;
+  s.workload = WorkloadKind::kRND;
+  s.instructions_per_core = 15'000;
+  s.warmup_refs = 500;
+  s.scale = 1.0 / 64.0;
+  return s;
+}
+
+TEST(Engine, RespectsInstructionBudget) {
+  const RunResult r = run_experiment(tiny_spec());
+  ASSERT_EQ(r.cores.size(), 1u);
+  EXPECT_GE(r.cores[0].instructions, 15'000u);
+  EXPECT_LT(r.cores[0].instructions, 16'000u) << "overshoot bounded by one ref";
+  EXPECT_GT(r.cores[0].memrefs, 0u);
+  EXPECT_GT(r.total_cycles, r.cores[0].instructions / 8)
+      << "cannot exceed the front-end width";
+}
+
+TEST(Engine, AllCoresComplete) {
+  const RunResult r = run_experiment(tiny_spec(Mechanism::kRadix, 4));
+  ASSERT_EQ(r.cores.size(), 4u);
+  for (const CoreStats& c : r.cores) {
+    EXPECT_GE(c.instructions, 15'000u);
+    EXPECT_GT(c.cycles(), 0u);
+  }
+}
+
+TEST(Engine, AccountingDecomposesOpLatency) {
+  const RunResult r = run_experiment(tiny_spec());
+  const CoreStats& c = r.cores[0];
+  EXPECT_GT(c.translation_cycles, 0u);
+  EXPECT_GT(c.data_cycles, 0u);
+  EXPECT_GT(c.gap_cycles, 0u);
+  EXPECT_GT(r.translation_fraction, 0.0);
+  EXPECT_LT(r.translation_fraction, 1.0);
+}
+
+TEST(Engine, HeadlineMetricsPopulated) {
+  const RunResult r = run_experiment(tiny_spec());
+  EXPECT_GT(r.avg_ptw_latency, 0.0);
+  EXPECT_GT(r.l1_tlb_miss_rate, 0.0);
+  EXPECT_GT(r.l2_tlb_miss_rate, 0.0);
+  EXPECT_GT(r.pte_access_share, 0.0);
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_GT(r.stats.get("walker.walks"), 0u);
+  EXPECT_GT(r.stats.get("dram.access"), 0u);
+}
+
+TEST(Engine, IdealHasNoTranslationCost) {
+  const RunResult ideal = run_experiment(tiny_spec(Mechanism::kIdeal));
+  EXPECT_DOUBLE_EQ(ideal.translation_fraction, 0.0);
+  EXPECT_EQ(ideal.stats.get("walker.walks"), 0u);
+  EXPECT_EQ(ideal.stats.get("mem.access.meta"), 0u);
+}
+
+TEST(Engine, IdealIsFastest) {
+  const RunResult radix = run_experiment(tiny_spec(Mechanism::kRadix));
+  const RunResult ideal = run_experiment(tiny_spec(Mechanism::kIdeal));
+  EXPECT_LT(ideal.total_cycles, radix.total_cycles);
+}
+
+TEST(Engine, NdpageBypassesAndNeverTouchesL1WithMetadata) {
+  const RunResult r = run_experiment(tiny_spec(Mechanism::kNdpage));
+  EXPECT_GT(r.stats.get("mem.bypassed"), 0u);
+  EXPECT_EQ(r.stats.get("l1.hit.meta"), 0u);
+  EXPECT_EQ(r.stats.get("l1.miss.meta"), 0u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const RunResult a = run_experiment(tiny_spec());
+  const RunResult b = run_experiment(tiny_spec());
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.stats.get("walker.walks"), b.stats.get("walker.walks"));
+  EXPECT_EQ(a.stats.get("dram.access"), b.stats.get("dram.access"));
+}
+
+TEST(Engine, MoreCoresMoreAggregateWork) {
+  const RunResult one = run_experiment(tiny_spec(Mechanism::kRadix, 1));
+  const RunResult four = run_experiment(tiny_spec(Mechanism::kRadix, 4));
+  EXPECT_GT(four.total_instructions(), 3 * one.total_instructions());
+  // Shared-resource contention: 4 cores cannot be faster per core.
+  EXPECT_GE(four.total_cycles * 10, one.total_cycles * 9);
+}
+
+TEST(Experiment, CompareMechanismsProducesSpeedups) {
+  const MechanismComparison mc = compare_mechanisms(
+      tiny_spec(), {Mechanism::kNdpage, Mechanism::kIdeal});
+  EXPECT_DOUBLE_EQ(mc.speedup_over_radix.at(Mechanism::kRadix), 1.0);
+  EXPECT_GT(mc.speedup_over_radix.at(Mechanism::kIdeal), 1.0);
+  EXPECT_GT(mc.speedup_over_radix.at(Mechanism::kNdpage), 0.5);
+  EXPECT_EQ(mc.results.size(), 3u);
+}
+
+TEST(Experiment, GeomeanBasics) {
+  EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0}), 1.0);
+}
+
+TEST(Experiment, DefaultInstructionsOverridableByEnv) {
+  // No env set in tests: default value.
+  EXPECT_GE(default_instructions(), 100'000u);
+}
+
+}  // namespace
+}  // namespace ndp

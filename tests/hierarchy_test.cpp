@@ -1,0 +1,121 @@
+// Tests for the memory-system composition (caches + NoC + DRAM), including
+// the NDPage bypass attribute — the hardware half of the paper's §V-A.
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.h"
+
+namespace ndp {
+namespace {
+
+TEST(MemorySystemConfig, TableOneShapes) {
+  const MemorySystemConfig ndp = MemorySystemConfig::ndp(4);
+  EXPECT_FALSE(ndp.l2.has_value());
+  EXPECT_FALSE(ndp.l3.has_value());
+  EXPECT_EQ(ndp.dram.name, "HBM2");
+  EXPECT_EQ(ndp.l1.size_bytes, 32u * 1024);
+
+  const MemorySystemConfig cpu = MemorySystemConfig::cpu(4);
+  ASSERT_TRUE(cpu.l2.has_value());
+  ASSERT_TRUE(cpu.l3.has_value());
+  EXPECT_EQ(cpu.l2->size_bytes, 512u * 1024);
+  EXPECT_EQ(cpu.l3->size_bytes, 2u * 1024 * 1024);  // per core
+  EXPECT_EQ(cpu.dram.name, "DDR4-2400");
+}
+
+TEST(MemorySystem, L1HitIsL1Latency) {
+  MemorySystem ms(MemorySystemConfig::ndp(1));
+  const PhysAddr pa = 0x10000;
+  ms.access(0, 0, pa, AccessType::kRead, AccessClass::kData);  // fill
+  const MemAccessResult r =
+      ms.access(1000, 0, pa, AccessType::kRead, AccessClass::kData);
+  EXPECT_EQ(r.served_by, ServedBy::kL1);
+  EXPECT_EQ(r.finish, 1000 + ms.l1(0).config().latency);
+}
+
+TEST(MemorySystem, NdpMissGoesStraightToDram) {
+  MemorySystem ms(MemorySystemConfig::ndp(1));
+  const MemAccessResult r =
+      ms.access(0, 0, 0x20000, AccessType::kRead, AccessClass::kData);
+  EXPECT_EQ(r.served_by, ServedBy::kDram);
+  EXPECT_EQ(ms.counters().served_dram, 1u);
+}
+
+TEST(MemorySystem, CpuFillsAllLevels) {
+  MemorySystem ms(MemorySystemConfig::cpu(1));
+  const PhysAddr pa = 0x30000;
+  ms.access(0, 0, pa, AccessType::kRead, AccessClass::kData);  // miss to DRAM
+  // Now resident in L1, L2 and L3.
+  EXPECT_TRUE(ms.l1(0).probe(line_of(pa)));
+  EXPECT_TRUE(ms.l2(0)->probe(line_of(pa)));
+  EXPECT_TRUE(ms.l3()->probe(line_of(pa)));
+  // Evict from L1 only; next access is an L2 hit.
+  ms.l1(0).invalidate(line_of(pa));
+  const MemAccessResult r =
+      ms.access(5000, 0, pa, AccessType::kRead, AccessClass::kData);
+  EXPECT_EQ(r.served_by, ServedBy::kL2);
+}
+
+TEST(MemorySystem, BypassSkipsAndNeverAllocates) {
+  MemorySystem ms(MemorySystemConfig::ndp(1));
+  const PhysAddr pa = 0x40000;
+  const MemAccessResult r = ms.access(0, 0, pa, AccessType::kRead,
+                                      AccessClass::kMetadata, /*bypass=*/true);
+  EXPECT_EQ(r.served_by, ServedBy::kDram);
+  EXPECT_FALSE(ms.l1(0).probe(line_of(pa))) << "bypassed request must not fill L1";
+  EXPECT_EQ(ms.counters().bypassed, 1u);
+  // Even a resident line is not consulted when bypassing.
+  ms.access(100, 0, pa, AccessType::kRead, AccessClass::kData);  // fill L1
+  const MemAccessResult r2 = ms.access(20000, 0, pa, AccessType::kRead,
+                                       AccessClass::kMetadata, /*bypass=*/true);
+  EXPECT_EQ(r2.served_by, ServedBy::kDram);
+}
+
+TEST(MemorySystem, MetadataFillsPolluteWithoutBypass) {
+  MemorySystem ms(MemorySystemConfig::ndp(1));
+  // Fill the whole L1 with data lines, then stream metadata through it.
+  const std::uint64_t lines = ms.l1(0).config().size_bytes / kCacheLineSize;
+  for (std::uint64_t l = 0; l < lines; ++l)
+    ms.access(l * 10, 0, l << kCacheLineShift, AccessType::kRead,
+              AccessClass::kData);
+  const std::uint64_t before = ms.l1(0).counters().pollution_victims;
+  for (std::uint64_t l = 0; l < 64; ++l)
+    ms.access(100000 + l * 10, 0, (0x100000ull + l) << kCacheLineShift,
+              AccessType::kRead, AccessClass::kMetadata, /*bypass=*/false);
+  EXPECT_GT(ms.l1(0).counters().pollution_victims, before);
+}
+
+TEST(MemorySystem, DirtyEvictionsGenerateDramWrites) {
+  MemorySystem ms(MemorySystemConfig::ndp(1));
+  // Write a set's worth of lines, then stream reads mapping to the same set
+  // to force dirty evictions.
+  const unsigned sets = ms.l1(0).num_sets();
+  const unsigned ways = ms.l1(0).config().ways;
+  for (unsigned w = 0; w <= ways; ++w)
+    ms.access(w * 100, 0,
+              static_cast<PhysAddr>(w) * sets * kCacheLineSize,
+              AccessType::kWrite, AccessClass::kData);
+  EXPECT_GT(ms.counters().writebacks, 0u);
+  EXPECT_GT(ms.dram().counters().writes, 0u);
+}
+
+TEST(MemorySystem, SharedL3ScalesWithCores) {
+  MemorySystem ms(MemorySystemConfig::cpu(4));
+  EXPECT_EQ(ms.l3()->config().size_bytes, 4u * 2 * 1024 * 1024);
+}
+
+TEST(MemorySystem, CollectAndResetStats) {
+  MemorySystem ms(MemorySystemConfig::cpu(2));
+  ms.access(0, 0, 0x1000, AccessType::kRead, AccessClass::kData);
+  ms.access(10, 1, 0x2000, AccessType::kRead, AccessClass::kMetadata);
+  StatSet s = ms.collect_stats();
+  EXPECT_EQ(s.get("mem.access"), 2u);
+  EXPECT_EQ(s.get("mem.access.meta"), 1u);
+  EXPECT_GT(s.get("dram.access"), 0u);
+  ms.reset_stats();
+  s = ms.collect_stats();
+  EXPECT_EQ(s.get("mem.access"), 0u);
+  EXPECT_EQ(s.get("dram.access"), 0u);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,155 @@
+// Cross-module integration tests: the paper's mechanisms compared on small
+// end-to-end runs, checking the *structural* claims rather than magnitudes.
+#include <gtest/gtest.h>
+
+#include "core/flat_page_table.h"
+#include "sim/experiment.h"
+#include "translate/radix_page_table.h"
+
+namespace ndp {
+namespace {
+
+RunSpec spec(Mechanism m, WorkloadKind wl = WorkloadKind::kRND,
+             unsigned cores = 1) {
+  RunSpec s;
+  s.system = SystemKind::kNdp;
+  s.cores = cores;
+  s.mechanism = m;
+  s.workload = wl;
+  s.instructions_per_core = 25'000;
+  s.warmup_refs = 1'500;
+  s.scale = 1.0 / 32.0;
+  return s;
+}
+
+TEST(Integration, NdpageWalksNeedFewerAccessesThanRadix) {
+  const RunResult radix = run_experiment(spec(Mechanism::kRadix));
+  const RunResult ndpage = run_experiment(spec(Mechanism::kNdpage));
+  const double radix_apw = radix.stats.average("walker.accesses_per_walk")->mean();
+  const double ndpage_apw = ndpage.stats.average("walker.accesses_per_walk")->mean();
+  EXPECT_LT(ndpage_apw, radix_apw)
+      << "flattening + L4/L3 PWCs must shorten walks (paper SV-B/SV-C)";
+  EXPECT_LE(ndpage_apw, 1.2) << "typical NDPage walk is a single access";
+}
+
+TEST(Integration, EchProbesThreeWaysInParallel) {
+  const RunResult ech = run_experiment(spec(Mechanism::kEch));
+  const double apw = ech.stats.average("walker.accesses_per_walk")->mean();
+  EXPECT_NEAR(apw, 3.0, 0.05) << "d = 3 cuckoo ways";
+  // But walk latency must be far below 3 sequential DRAM accesses.
+  const double lat = ech.avg_ptw_latency;
+  const double one_access =
+      ech.stats.average("dram.latency") ? ech.stats.average("dram.latency")->mean() : 100.0;
+  EXPECT_LT(lat, 2.2 * one_access) << "parallel probes must overlap";
+}
+
+TEST(Integration, HugePageReachCutsWalksAndMetadataTraffic) {
+  // 2 MB mappings give the Huge Page baseline more TLB reach and one fewer
+  // radix level per walk: both fewer walks and fewer PTE accesses per walk
+  // than the Radix baseline. (The demand-fault mechanics of 2 MB mappings
+  // themselves are unit-tested in translate_test's AddressSpace suite.)
+  const RunResult hp = run_experiment(spec(Mechanism::kHugePage));
+  const RunResult radix = run_experiment(spec(Mechanism::kRadix));
+  EXPECT_LT(hp.stats.get("walker.walks"), radix.stats.get("walker.walks"));
+  EXPECT_LT(hp.pte_access_share, radix.pte_access_share);
+  const double hp_apw = hp.stats.average("walker.accesses_per_walk")->mean();
+  EXPECT_LE(hp_apw, 1.5) << "PWC-covered 3-level walks average ~1 access";
+}
+
+TEST(Integration, BypassEliminatesPollutionVictims) {
+  const RunResult radix = run_experiment(spec(Mechanism::kRadix));
+  const RunResult ndpage = run_experiment(spec(Mechanism::kNdpage));
+  EXPECT_GT(radix.stats.get("l1.pollution_victims"), 0u)
+      << "cacheable PTEs displace data (paper SIV-A)";
+  EXPECT_EQ(ndpage.stats.get("l1.pollution_victims"), 0u)
+      << "bypassed PTEs never allocate (paper SV-A)";
+}
+
+TEST(Integration, NdpageDataMissRateNotWorseThanRadix) {
+  // Fig. 7's pollution effect: removing PTE fills must not hurt (and
+  // normally helps) the normal-data L1 miss rate.
+  const RunResult radix = run_experiment(spec(Mechanism::kRadix));
+  const RunResult ndpage = run_experiment(spec(Mechanism::kNdpage));
+  const double radix_miss =
+      radix.stats.rate("l1.miss.data", "l1.hit.data");
+  const double ndpage_miss =
+      ndpage.stats.rate("l1.miss.data", "l1.hit.data");
+  EXPECT_LE(ndpage_miss, radix_miss + 0.01);
+}
+
+TEST(Integration, PteTrafficShareShrinksWithNdpage) {
+  const RunResult radix = run_experiment(spec(Mechanism::kRadix));
+  const RunResult ndpage = run_experiment(spec(Mechanism::kNdpage));
+  EXPECT_LT(ndpage.pte_access_share, radix.pte_access_share);
+}
+
+TEST(Integration, OccupancyMatchesFigEightShape) {
+  // Build the radix and flattened tables for the same workload and compare
+  // occupancy: PL1/PL2 nearly full, PL3/PL4 nearly empty (paper SIV-B).
+  const RunResult r = run_experiment(spec(Mechanism::kRadix, WorkloadKind::kRND));
+  (void)r;
+  PhysMemConfig pmc;
+  pmc.bytes = 2ull << 30;
+  pmc.noise_fraction = 0.0;
+  PhysicalMemory pm(pmc);
+  RadixPageTable radix(pm, 1);
+  FlatPageTable flat(pm);
+  // Map a dense 1 GB region the way prefaulting a dataset does.
+  const std::uint64_t pages = (1ull << 30) / kPageSize;
+  for (Vpn v = 0; v < pages; ++v) {
+    const Pfn f = v + 100;
+    radix.map(0x8000000ull + v, f);
+    flat.map(0x8000000ull + v, f);
+  }
+  const auto occ = radix.occupancy();
+  ASSERT_EQ(occ.size(), 4u);
+  const double pl4 = occ[0].rate(), pl3 = occ[1].rate(), pl2 = occ[2].rate(),
+               pl1 = occ[3].rate();
+  EXPECT_GT(pl1, 0.95);
+  EXPECT_GT(pl2, 0.95);
+  EXPECT_LT(pl3, 0.05);
+  EXPECT_LT(pl4, 0.05);
+  const auto focc = flat.occupancy();
+  EXPECT_GT(focc[2].rate(), 0.95) << "combined PL2/PL1 stays full";
+}
+
+TEST(Integration, MechanismsAgreeFunctionally) {
+  // Same workload, same seed: every mechanism must translate the same
+  // virtual stream (physical placements differ, program behaviour must not).
+  for (Mechanism m : kAllMechanisms) {
+    const RunResult r = run_experiment(spec(m, WorkloadKind::kPR));
+    EXPECT_GT(r.total_instructions(), 24'000u) << to_string(m);
+  }
+}
+
+TEST(Integration, CpuSystemFiltersPteTrafficFromDram) {
+  RunSpec ndp_spec = spec(Mechanism::kRadix, WorkloadKind::kPR);
+  RunSpec cpu_spec = ndp_spec;
+  cpu_spec.system = SystemKind::kCpu;
+  const RunResult ndp = run_experiment(ndp_spec);
+  const RunResult cpu = run_experiment(cpu_spec);
+  // In the CPU system most PTE requests are absorbed by L2/L3 (the paper's
+  // motivation for why NDP suffers more).
+  const double ndp_meta_dram =
+      static_cast<double>(ndp.stats.get("dram.metadata"));
+  const double cpu_meta_dram =
+      static_cast<double>(cpu.stats.get("dram.metadata"));
+  const double ndp_walk_accesses =
+      static_cast<double>(ndp.stats.get("walker.mem_accesses"));
+  const double cpu_walk_accesses =
+      static_cast<double>(cpu.stats.get("walker.mem_accesses"));
+  ASSERT_GT(ndp_walk_accesses, 0.0);
+  ASSERT_GT(cpu_walk_accesses, 0.0);
+  EXPECT_LT(cpu_meta_dram / cpu_walk_accesses,
+            ndp_meta_dram / ndp_walk_accesses);
+}
+
+TEST(Integration, MultiCoreRaisesNdpPtwLatency) {
+  const RunResult one = run_experiment(spec(Mechanism::kRadix, WorkloadKind::kRND, 1));
+  const RunResult eight = run_experiment(spec(Mechanism::kRadix, WorkloadKind::kRND, 8));
+  EXPECT_GT(eight.avg_ptw_latency, one.avg_ptw_latency)
+      << "shared-memory contention must grow PTW latency (paper Fig. 6a)";
+}
+
+}  // namespace
+}  // namespace ndp

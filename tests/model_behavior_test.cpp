@@ -1,0 +1,190 @@
+// Deeper behavioural tests of the timing model: the specific effects the
+// paper's argument rests on, checked at component scale where they are
+// unambiguous.
+#include <gtest/gtest.h>
+
+#include "core/mmu.h"
+#include "core/system.h"
+#include "sim/experiment.h"
+
+namespace ndp {
+namespace {
+
+PhysMemConfig pm_cfg(std::uint64_t mb = 128) {
+  PhysMemConfig cfg;
+  cfg.bytes = mb << 20;
+  cfg.noise_fraction = 0.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+struct Rig {
+  PhysicalMemory pm{pm_cfg()};
+  MemorySystem mem{MemorySystemConfig::ndp(1)};
+  AddressSpace space;
+  Mmu mmu;
+
+  explicit Rig(Mechanism m)
+      : space(pm, make_page_table(m, pm), uses_huge_pages(m)),
+        mmu(make_cfg(m), space, mem, 0) {}
+  static MmuConfig make_cfg(Mechanism m) {
+    MmuConfig cfg;
+    cfg.walker = make_walker_config(m);
+    cfg.ideal = !models_translation(m);
+    return cfg;
+  }
+  /// Drive a stepwise op to completion, returning total latency.
+  Cycle run_op(Cycle at, VirtAddr va, AccessType ty = AccessType::kRead) {
+    MmuOp op;
+    Cycle t = op.begin(mmu, at, va, ty);
+    while (!op.done()) t = op.step(t);
+    return op.finish_time() - at;
+  }
+};
+
+TEST(ModelBehavior, ColdWalkCostOrdering) {
+  // On identical cold state, walk cost must order:
+  //   NDPage (1 access) <= HugePage-ish <= Radix (2+ accesses, cold PWCs).
+  Rig radix(Mechanism::kRadix);
+  Rig ndpage(Mechanism::kNdpage);
+  // Prefault one page each, then translate it cold (TLBs empty).
+  radix.space.touch(0x12345000, 0);
+  ndpage.space.touch(0x12345000, 0);
+  const TranslateResult r = radix.mmu.translate(0, 0x12345000);
+  const TranslateResult n = ndpage.mmu.translate(0, 0x12345000);
+  ASSERT_TRUE(r.walked);
+  ASSERT_TRUE(n.walked);
+  // Cold PWCs: radix pays 4 memory accesses, NDPage pays 3.
+  EXPECT_LT(n.walk_cycles, r.walk_cycles);
+}
+
+TEST(ModelBehavior, WarmPwcsShortenBothWalks) {
+  Rig radix(Mechanism::kRadix);
+  for (Vpn v = 0; v < 64; ++v) radix.space.touch(v << kPageShift, 0);
+  // Warm the PWCs with one walk, then measure a sibling page's walk.
+  radix.mmu.translate(0, 0);
+  const TranslateResult warm = radix.mmu.translate(1'000'000, 5 << kPageShift);
+  ASSERT_TRUE(warm.walked);
+  const auto& pwcs = radix.mmu.walker().pwcs();
+  EXPECT_GT(pwcs.level(2)->counters().hits + pwcs.level(3)->counters().hits,
+            0u);
+}
+
+TEST(ModelBehavior, BypassedWalkIsImmuneToCacheState) {
+  // The same PTE access costs the same no matter how often it repeats:
+  // bypass goes straight to memory (SV-A), so there is no cache-warming
+  // effect. (The first walk is excluded: it warms the L4/L3 PWCs, which
+  // NDPage keeps by design.)
+  Rig ndpage(Mechanism::kNdpage);
+  ndpage.space.touch(0x7000, 0);
+  ndpage.run_op(0, 0x7000);  // warms PWCs
+  ndpage.mmu.l1_dtlb().flush();
+  ndpage.mmu.l2_tlb().flush();
+  const Cycle second = ndpage.run_op(10'000'000, 0x7000);
+  ndpage.mmu.l1_dtlb().flush();
+  ndpage.mmu.l2_tlb().flush();
+  const Cycle third = ndpage.run_op(20'000'000, 0x7000);
+  EXPECT_NEAR(double(second), double(third), 60.0)
+      << "row-buffer state may differ slightly, nothing else";
+}
+
+TEST(ModelBehavior, RadixRepeatWalkBenefitsFromCachedPte) {
+  // Opposite of the bypass case: a radix re-walk of the same page hits the
+  // L1-resident PTE line and is much faster — the very effect that makes
+  // PTEs pollute the cache.
+  Rig radix(Mechanism::kRadix);
+  radix.space.touch(0x9000, 0);
+  const Cycle first = radix.run_op(0, 0x9000);
+  radix.mmu.l1_dtlb().flush();
+  radix.mmu.l2_tlb().flush();
+  const Cycle second = radix.run_op(1'000, 0x9000);
+  EXPECT_LT(second, first);
+}
+
+TEST(ModelBehavior, HugePageTlbReachBeatsRadix) {
+  Rig radix(Mechanism::kRadix);
+  Rig huge(Mechanism::kHugePage);
+  // Touch 256 pages spanning 1 MB: one 2 MB entry covers them all for the
+  // huge-page rig, while radix needs 256 distinct 4 KB entries.
+  for (Vpn v = 0; v < 256; ++v) {
+    radix.space.touch(v << kPageShift, 0);
+    huge.space.touch(v << kPageShift, 0);
+  }
+  Cycle t = 1'000'000;
+  for (Vpn v = 0; v < 256; ++v) {
+    radix.run_op(t, v << kPageShift);
+    huge.run_op(t, v << kPageShift);
+    t += 10'000;
+  }
+  EXPECT_LT(huge.mmu.counters().walks, radix.mmu.counters().walks / 4);
+}
+
+TEST(ModelBehavior, EchParallelWalkBeatsSequentialRadixColdCache) {
+  // With cold caches and cold PWCs, ECH's 3 parallel probes finish faster
+  // than radix's 4 dependent accesses.
+  Rig radix(Mechanism::kRadix);
+  Rig ech(Mechanism::kEch);
+  radix.space.touch(0xA000, 0);
+  ech.space.touch(0xA000, 0);
+  const TranslateResult r = radix.mmu.translate(0, 0xA000);
+  const TranslateResult e = ech.mmu.translate(0, 0xA000);
+  EXPECT_LT(e.walk_cycles, r.walk_cycles);
+}
+
+TEST(ModelBehavior, FaultChargesAppearOnceNotTwice) {
+  Rig radix(Mechanism::kRadix);
+  MmuOp op;
+  Cycle t = op.begin(radix.mmu, 0, 0xB000, AccessType::kRead);
+  while (!op.done()) t = op.step(t);
+  EXPECT_TRUE(op.faulted());
+  // A replayed op on the now-mapped page must not fault again.
+  radix.mmu.l1_dtlb().flush();
+  radix.mmu.l2_tlb().flush();
+  MmuOp op2;
+  t = op2.begin(radix.mmu, t + 1000, 0xB000, AccessType::kRead);
+  while (!op2.done()) t = op2.step(t);
+  EXPECT_FALSE(op2.faulted());
+  EXPECT_EQ(radix.mmu.counters().faults, 1u);
+}
+
+TEST(ModelBehavior, SharedL3GivesCpuPteReuseAcrossCores) {
+  // Two CPU cores walking the same page table share PTE lines through the
+  // L3: the second core's walk is cheaper. This is the CPU-side mechanism
+  // behind Fig. 4's NDP-vs-CPU gap.
+  PhysicalMemory pm(pm_cfg());
+  MemorySystem mem{MemorySystemConfig::cpu(2)};
+  AddressSpace space(pm, make_page_table(Mechanism::kRadix, pm), false);
+  MmuConfig cfg;
+  cfg.walker = make_walker_config(Mechanism::kRadix);
+  Mmu mmu0(cfg, space, mem, 0), mmu1(cfg, space, mem, 1);
+  space.touch(0xC000, 0);
+  const TranslateResult a = mmu0.translate(0, 0xC000);
+  const TranslateResult b = mmu1.translate(100'000, 0xC000);
+  ASSERT_TRUE(a.walked);
+  ASSERT_TRUE(b.walked);
+  EXPECT_LT(b.walk_cycles, a.walk_cycles);
+}
+
+TEST(ModelBehavior, TranslationFractionTracksMechanismQuality) {
+  // End-to-end: translation share must order Ideal < NDPage < Radix on the
+  // pure-random workload.
+  auto frac = [](Mechanism m) {
+    RunSpec s;
+    s.system = SystemKind::kNdp;
+    s.cores = 1;
+    s.mechanism = m;
+    s.workload = WorkloadKind::kRND;
+    s.instructions_per_core = 20'000;
+    s.warmup_refs = 1'000;
+    s.scale = 1.0 / 32.0;
+    return run_experiment(s).translation_fraction;
+  };
+  const double radix = frac(Mechanism::kRadix);
+  const double ndpage = frac(Mechanism::kNdpage);
+  const double ideal = frac(Mechanism::kIdeal);
+  EXPECT_LT(ideal, ndpage);
+  EXPECT_LT(ndpage, radix);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,215 @@
+// Tests for the OS substrate: buddy allocator and physical-memory manager
+// (noise injection, compaction, huge allocation, table blocks).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "os/buddy.h"
+#include "os/phys_mem.h"
+
+namespace ndp {
+namespace {
+
+constexpr std::uint64_t kFrames = 16 * 1024;  // 64 MB pool
+
+TEST(Buddy, StartsFullyFree) {
+  BuddyAllocator b(kFrames);
+  EXPECT_EQ(b.free_frames(), kFrames);
+  EXPECT_EQ(b.largest_available_order(), int(BuddyAllocator::kMaxOrder));
+  EXPECT_DOUBLE_EQ(b.fragmentation(), 1.0 - 1024.0 / kFrames);
+}
+
+TEST(Buddy, AllocAlignedAndSized) {
+  BuddyAllocator b(kFrames);
+  for (unsigned order = 0; order <= BuddyAllocator::kMaxOrder; ++order) {
+    auto f = b.alloc(order);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(*f % (1ull << order), 0u) << "block must be size-aligned";
+    b.free(*f, order);
+  }
+  EXPECT_EQ(b.free_frames(), kFrames);
+}
+
+TEST(Buddy, SplitAndCoalesce) {
+  BuddyAllocator b(kFrames);
+  auto a0 = b.alloc(0);
+  ASSERT_TRUE(a0);
+  EXPECT_EQ(b.free_frames(), kFrames - 1);
+  // The max-order block containing a0 is split; freeing restores it.
+  b.free(*a0, 0);
+  EXPECT_EQ(b.largest_available_order(), int(BuddyAllocator::kMaxOrder));
+}
+
+TEST(Buddy, ExhaustionReturnsNullopt) {
+  BuddyAllocator b(1ull << BuddyAllocator::kMaxOrder);  // one max block
+  auto big = b.alloc(BuddyAllocator::kMaxOrder);
+  ASSERT_TRUE(big);
+  EXPECT_FALSE(b.alloc(0).has_value());
+  b.free(*big, BuddyAllocator::kMaxOrder);
+  EXPECT_TRUE(b.alloc(0).has_value());
+}
+
+TEST(Buddy, AllocSpecificSplitsAroundFrame) {
+  BuddyAllocator b(kFrames);
+  EXPECT_TRUE(b.alloc_specific(1234));
+  EXPECT_FALSE(b.is_free(1234));
+  EXPECT_FALSE(b.alloc_specific(1234)) << "already taken";
+  EXPECT_EQ(b.free_frames(), kFrames - 1);
+  // Everything around it still allocatable.
+  auto n = b.alloc(0);
+  ASSERT_TRUE(n);
+  EXPECT_NE(*n, 1234u);
+  b.free(1234, 0);
+  b.free(*n, 0);
+  EXPECT_EQ(b.free_frames(), kFrames);
+  EXPECT_EQ(b.largest_available_order(), int(BuddyAllocator::kMaxOrder));
+}
+
+TEST(Buddy, FragmentationBlocksLargeOrders) {
+  BuddyAllocator b(1ull << BuddyAllocator::kMaxOrder);
+  // Take one frame in the middle: no max-order block remains.
+  ASSERT_TRUE(b.alloc_specific(512));
+  EXPECT_FALSE(b.alloc(BuddyAllocator::kMaxOrder).has_value());
+  EXPECT_GT(b.fragmentation(), 0.0);
+}
+
+TEST(Buddy, RandomStressPreservesInvariants) {
+  // Property test: random allocs/frees never overlap and always restore the
+  // pool when everything is released.
+  BuddyAllocator b(kFrames);
+  Rng rng(77);
+  std::vector<std::pair<Pfn, unsigned>> held;
+  std::set<Pfn> owned;
+  for (int it = 0; it < 3000; ++it) {
+    if (held.empty() || rng.chance(0.55)) {
+      const unsigned order = static_cast<unsigned>(rng.below(6));
+      auto f = b.alloc(order);
+      if (!f) continue;
+      for (std::uint64_t i = 0; i < (1ull << order); ++i) {
+        ASSERT_TRUE(owned.insert(*f + i).second) << "overlapping allocation";
+      }
+      held.push_back({*f, order});
+    } else {
+      const std::size_t k = rng.below(held.size());
+      auto [base, order] = held[k];
+      held.erase(held.begin() + static_cast<long>(k));
+      for (std::uint64_t i = 0; i < (1ull << order); ++i) owned.erase(base + i);
+      b.free(base, order);
+    }
+    ASSERT_EQ(b.free_frames(), kFrames - owned.size());
+  }
+  for (auto [base, order] : held) b.free(base, order);
+  EXPECT_EQ(b.free_frames(), kFrames);
+  EXPECT_EQ(b.largest_available_order(), int(BuddyAllocator::kMaxOrder));
+}
+
+PhysMemConfig small_pm(double noise = 0.03) {
+  PhysMemConfig cfg;
+  cfg.bytes = kFrames * kPageSize;
+  cfg.noise_fraction = noise;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(PhysMem, NoiseInjectionFragmentsPool) {
+  PhysicalMemory pm(small_pm(0.05));
+  const auto expected = static_cast<std::uint64_t>(0.05 * kFrames);
+  EXPECT_EQ(pm.stats().get("noise_frames"), expected);
+  EXPECT_EQ(pm.free_frames(), kFrames - expected);
+  // With 5% scattered noise, pristine 2 MB blocks are essentially gone.
+  EXPECT_LT(pm.buddy().largest_available_order(), 10);
+}
+
+TEST(PhysMem, FrameUseTracking) {
+  PhysicalMemory pm(small_pm(0.0));
+  const Pfn d = pm.alloc_frame(FrameUse::kData);
+  const Pfn t = pm.alloc_frame(FrameUse::kPageTable);
+  EXPECT_EQ(pm.use_of(d), FrameUse::kData);
+  EXPECT_TRUE(pm.is_page_table_frame(t));
+  EXPECT_FALSE(pm.is_page_table_frame(d));
+  pm.free_frame(d);
+  EXPECT_EQ(pm.use_of(d), FrameUse::kFree);
+}
+
+TEST(PhysMem, HugeAllocWithoutNoiseIsDirect) {
+  PhysicalMemory pm(small_pm(0.0));
+  const auto r = pm.alloc_huge();
+  EXPECT_FALSE(r.fell_back);
+  EXPECT_FALSE(r.used_compaction);
+  EXPECT_EQ(r.base % 512, 0u);
+  EXPECT_EQ(r.cost, pm.costs().fault_2m_base());
+  pm.free_huge(r.base);
+}
+
+TEST(PhysMem, HugeAllocCompactsThroughNoise) {
+  PhysicalMemory pm(small_pm(0.05));
+  // Direct order-9 blocks may or may not survive the noise injection.
+  const auto r = pm.alloc_huge();
+  ASSERT_FALSE(r.fell_back);
+  if (r.used_compaction) {
+    EXPECT_GT(r.frames_moved, 0u);
+    EXPECT_GT(r.cost, pm.costs().fault_2m_base());
+  }
+  // The block is real: all 512 frames owned.
+  for (std::uint64_t i = 0; i < 512; ++i)
+    EXPECT_EQ(pm.use_of(r.base + i), FrameUse::kHugePart);
+  pm.free_huge(r.base);
+}
+
+TEST(PhysMem, CompactionRelocatesDataWithHook) {
+  PhysicalMemory pm(small_pm(0.0));
+  // Fill the pool with data, then free a scattered third of it: every 2 MB
+  // window still holds data, so a huge allocation must compact and the
+  // relocation hook must fire for each moved data frame.
+  std::vector<Pfn> data;
+  while (pm.free_frames() > 0) data.push_back(pm.alloc_frame(FrameUse::kData));
+  std::set<Pfn> freed;
+  for (std::size_t i = 0; i < data.size(); i += 3) {
+    pm.free_frame(data[i]);
+    freed.insert(data[i]);
+  }
+  ASSERT_FALSE(pm.buddy().can_alloc(9)) << "setup must fragment";
+
+  std::uint64_t relocations = 0;
+  pm.set_relocate_hook([&](Pfn oldf, Pfn newf) {
+    ++relocations;
+    EXPECT_NE(oldf, newf);
+    EXPECT_EQ(pm.use_of(newf), FrameUse::kData);
+  });
+  const auto r = pm.alloc_huge();
+  pm.set_relocate_hook(nullptr);
+  ASSERT_FALSE(r.fell_back);
+  EXPECT_TRUE(r.used_compaction);
+  EXPECT_EQ(relocations, r.frames_moved);
+  EXPECT_GT(relocations, 0u);
+  EXPECT_GT(r.cost, pm.costs().fault_2m_base());
+}
+
+TEST(PhysMem, TableBlockAllocatesContiguousAndTagged) {
+  PhysicalMemory pm(small_pm(0.04));
+  const Pfn base = pm.alloc_table_block(9);  // needs compaction under noise
+  for (std::uint64_t i = 0; i < 512; ++i)
+    EXPECT_TRUE(pm.is_page_table_frame(base + i));
+  pm.free_table_block(base, 9);
+  EXPECT_FALSE(pm.is_page_table_frame(base));
+}
+
+TEST(PhysMem, HugeFallbackWhenMemoryExhausted) {
+  PhysicalMemory pm(small_pm(0.0));
+  // Drain almost everything.
+  std::vector<Pfn> frames;
+  while (pm.free_frames() > 256) frames.push_back(pm.alloc_frame(FrameUse::kData));
+  const auto r = pm.alloc_huge();
+  EXPECT_TRUE(r.fell_back);
+  for (Pfn f : frames) pm.free_frame(f);
+}
+
+TEST(OsCosts, FaultCostOrdering) {
+  const OsCosts c;
+  EXPECT_GT(c.fault_2m_base(), 30 * c.fault_4k())
+      << "2 MB faults must be far heavier than 4 KB faults";
+}
+
+}  // namespace
+}  // namespace ndp

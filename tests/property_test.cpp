@@ -1,0 +1,237 @@
+// Property-based tests: randomized sequences checked against reference
+// models / invariants, parameterized over configurations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/flat_page_table.h"
+#include "dram/dram.h"
+#include "os/phys_mem.h"
+#include "translate/ech_page_table.h"
+#include "translate/radix_page_table.h"
+#include "translate/tlb.h"
+
+namespace ndp {
+namespace {
+
+PhysMemConfig pm_cfg(std::uint64_t mb = 128) {
+  PhysMemConfig cfg;
+  cfg.bytes = mb << 20;
+  cfg.noise_fraction = 0.0;
+  cfg.seed = 13;
+  return cfg;
+}
+
+// Every page-table design must behave as the same map<vpn, pfn> under random
+// map/remap/unmap/lookup sequences.
+enum class TableKind { kRadix4, kFlat, kEch };
+
+class PageTablePropertyTest : public ::testing::TestWithParam<TableKind> {
+ protected:
+  std::unique_ptr<PageTable> make(PhysicalMemory& pm) {
+    switch (GetParam()) {
+      case TableKind::kRadix4: return std::make_unique<RadixPageTable>(pm, 1);
+      case TableKind::kFlat: return std::make_unique<FlatPageTable>(pm);
+      case TableKind::kEch: return std::make_unique<EchPageTable>(pm);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(PageTablePropertyTest, MatchesReferenceMapUnderRandomOps) {
+  PhysicalMemory pm(pm_cfg());
+  auto pt = make(pm);
+  std::unordered_map<Vpn, Pfn> ref;
+  Rng rng(1234);
+  // Cluster vpns so radix nodes get reused (more interesting paths).
+  auto random_vpn = [&] {
+    return (rng.below(8) << 18) | rng.below(4096);
+  };
+  for (int it = 0; it < 30000; ++it) {
+    const Vpn vpn = random_vpn();
+    switch (rng.below(4)) {
+      case 0: {  // map
+        const Pfn pfn = 1 + rng.below(1u << 20);
+        pt->map(vpn, pfn);
+        ref[vpn] = pfn;
+        break;
+      }
+      case 1: {  // unmap
+        const bool had = ref.erase(vpn) > 0;
+        EXPECT_EQ(pt->unmap(vpn), had);
+        break;
+      }
+      case 2: {  // remap
+        const Pfn pfn = 1 + rng.below(1u << 20);
+        const bool had = ref.count(vpn) > 0;
+        EXPECT_EQ(pt->remap(vpn, pfn), had);
+        if (had) ref[vpn] = pfn;
+        break;
+      }
+      default: {  // lookup
+        const auto got = pt->lookup(vpn);
+        const auto it2 = ref.find(vpn);
+        if (it2 == ref.end()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, it2->second);
+        }
+      }
+    }
+  }
+  // Final sweep: every reference entry resolves, walk agrees with lookup.
+  for (const auto& [vpn, pfn] : ref) {
+    ASSERT_EQ(*pt->lookup(vpn), pfn);
+    const WalkPath p = pt->walk(vpn);
+    ASSERT_TRUE(p.mapped);
+    EXPECT_EQ(p.pfn, pfn);
+  }
+}
+
+TEST_P(PageTablePropertyTest, WalkAddressesAreUniquePerLookup) {
+  PhysicalMemory pm(pm_cfg());
+  auto pt = make(pm);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) pt->map(rng.below(1 << 20), i + 1);
+  for (int i = 0; i < 500; ++i) {
+    const WalkPath p = pt->walk(rng.below(1 << 20));
+    std::map<PhysAddr, int> seen;
+    for (const WalkStep& s : p.steps) ++seen[s.pte_addr];
+    for (const auto& [addr, n] : seen) {
+      (void)addr;
+      EXPECT_EQ(n, 1) << "a walk never reads the same PTE twice";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables, PageTablePropertyTest,
+                         ::testing::Values(TableKind::kRadix4, TableKind::kFlat,
+                                           TableKind::kEch),
+                         [](const ::testing::TestParamInfo<TableKind>& info) {
+                           switch (info.param) {
+                             case TableKind::kRadix4: return "Radix4";
+                             case TableKind::kFlat: return "Flat";
+                             case TableKind::kEch: return "ECH";
+                           }
+                           return "?";
+                         });
+
+// TLB against a reference model (ignoring capacity: the reference only
+// checks that hits return correct frames, never wrong translations).
+TEST(TlbProperty, NeverReturnsWrongFrame) {
+  Tlb tlb(TlbConfig{.name = "t", .entries = 64, .ways = 4, .latency = 1});
+  std::unordered_map<Vpn, Pfn> ref;
+  Rng rng(99);
+  for (int it = 0; it < 50000; ++it) {
+    const Vpn vpn = rng.below(4096);
+    const VirtAddr va = (vpn << kPageShift) | rng.below(kPageSize);
+    if (rng.chance(0.5)) {
+      const Pfn pfn = rng.below(1 << 22);
+      tlb.insert(va, pfn, kPageShift);
+      ref[vpn] = pfn;
+    } else {
+      const auto e = tlb.lookup(va);
+      if (e.has_value()) {
+        ASSERT_TRUE(ref.count(vpn)) << "TLB invented a translation";
+        EXPECT_EQ(e->pfn, ref[vpn]) << "stale TLB entry served";
+      }
+    }
+  }
+}
+
+// DRAM timing invariants under random traffic.
+class DramPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DramPropertyTest, FinishAlwaysAfterMinimumLatency) {
+  const DramTiming t = std::string(GetParam()) == "hbm2"
+                           ? DramTiming::hbm2()
+                           : DramTiming::ddr4_2400();
+  Dram d(t);
+  Rng rng(3);
+  Cycle now = 0;
+  for (int i = 0; i < 30000; ++i) {
+    now += rng.below(20);
+    const PhysAddr pa = rng.below(1ull << 33) & ~(kCacheLineSize - 1);
+    const DramResult r = d.access(
+        now, pa, rng.chance(0.3) ? AccessType::kWrite : AccessType::kRead,
+        rng.chance(0.5) ? AccessClass::kMetadata : AccessClass::kData);
+    // Lower bound: CAS + burst + static path (row hit, no queue).
+    ASSERT_GE(r.finish - now, t.t_cl + t.t_burst + t.t_static);
+    // Upper bound sanity: queue delay is bounded by the backlog the closed
+    // loop can build — for this single stream, a handful of tRCs.
+    ASSERT_LE(r.queue_delay, 64 * t.t_rc);
+  }
+  EXPECT_EQ(d.counters().access, 30000u);
+  EXPECT_EQ(d.counters().row_hit + d.counters().row_miss, 30000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timings, DramPropertyTest,
+                         ::testing::Values("hbm2", "ddr4"));
+
+// Buddy + physical memory: huge blocks never overlap data, table tagging is
+// exact, and everything is released.
+TEST(PhysMemProperty, RandomMixedAllocationStress) {
+  PhysicalMemory pm(pm_cfg(96));
+  Rng rng(21);
+  std::vector<Pfn> frames;
+  std::vector<Pfn> huges;
+  std::vector<std::pair<Pfn, unsigned>> blocks;
+  const std::uint64_t initial_free = pm.free_frames();
+  for (int it = 0; it < 4000; ++it) {
+    const auto dice = rng.below(100);
+    if (dice < 50) {
+      frames.push_back(pm.alloc_frame(rng.chance(0.3) ? FrameUse::kPageTable
+                                                      : FrameUse::kData));
+    } else if (dice < 65 && pm.free_frames() > 2048) {
+      const auto r = pm.alloc_huge();
+      if (!r.fell_back) huges.push_back(r.base);
+    } else if (dice < 72 && pm.free_frames() > 2048) {
+      blocks.push_back({pm.alloc_table_block(6), 6});
+    } else if (dice < 86 && !frames.empty()) {
+      const auto k = rng.below(frames.size());
+      pm.free_frame(frames[k]);
+      frames.erase(frames.begin() + static_cast<long>(k));
+    } else if (dice < 93 && !huges.empty()) {
+      pm.free_huge(huges.back());
+      huges.pop_back();
+    } else if (!blocks.empty()) {
+      pm.free_table_block(blocks.back().first, blocks.back().second);
+      blocks.pop_back();
+    }
+  }
+  for (Pfn f : frames) pm.free_frame(f);
+  for (Pfn h : huges) pm.free_huge(h);
+  for (auto [b, o] : blocks) pm.free_table_block(b, o);
+  EXPECT_EQ(pm.free_frames(), initial_free);
+}
+
+// Zipf + permutation: the workload-side scattering must preserve skew.
+TEST(WorkloadProperty, PermutedZipfKeepsHotSetSmall) {
+  Zipf z(1u << 20, 0.8);
+  Rng rng(4);
+  std::unordered_map<std::uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t rank = z(rng);
+    const std::uint64_t id = splitmix64(rank * 0x9E3779B97F4A7C15ull) % (1u << 20);
+    ++counts[id];
+  }
+  // Hot ids exist (skew preserved through the permutation)...
+  int max_count = 0;
+  for (const auto& [id, c] : counts) {
+    (void)id;
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, n / 2000);
+  // ...but are scattered across the id space, not clustered at low ids.
+  std::uint64_t low_half_mass = 0;
+  for (const auto& [id, c] : counts)
+    if (id < (1u << 19)) low_half_mass += static_cast<std::uint64_t>(c);
+  EXPECT_NEAR(static_cast<double>(low_half_mass) / n, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,27 @@
+// End-to-end smoke: a tiny run of every mechanism completes and produces
+// sane headline metrics.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace ndp {
+namespace {
+
+TEST(Smoke, EveryMechanismRuns) {
+  for (Mechanism m : kAllMechanisms) {
+    RunSpec spec;
+    spec.system = SystemKind::kNdp;
+    spec.cores = 1;
+    spec.mechanism = m;
+    spec.workload = WorkloadKind::kRND;
+    spec.instructions_per_core = 20'000;
+    spec.warmup_refs = 1'000;
+    spec.scale = 1.0 / 64.0;
+    RunResult r = run_experiment(spec);
+    EXPECT_GT(r.total_cycles, 0u) << to_string(m);
+    EXPECT_GT(r.total_instructions(), 0u) << to_string(m);
+  }
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,95 @@
+// Tests for trace record/replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/engine.h"
+#include "workloads/trace_io.h"
+
+namespace ndp {
+namespace {
+
+std::string tmp_path(const char* tag) {
+  return std::string(::testing::TempDir()) + "/ndp_trace_" + tag + ".bin";
+}
+
+WorkloadParams tiny_params() {
+  WorkloadParams p;
+  p.num_cores = 2;
+  p.scale = 1.0 / 64.0;
+  p.seed = 42;
+  return p;
+}
+
+TEST(TraceIo, RoundTripPreservesStreamAndRegions) {
+  const std::string path = tmp_path("roundtrip");
+  auto gen = make_workload(WorkloadKind::kPR, tiny_params());
+  ASSERT_TRUE(record_trace(*gen, 2, 500, path));
+
+  // A fresh generator replays the same deterministic stream to diff against.
+  auto ref = make_workload(WorkloadKind::kPR, tiny_params());
+  FileTraceSource replay(path);
+  EXPECT_EQ(replay.recorded_cores(), 2u);
+  EXPECT_EQ(replay.refs_per_core(), 500u);
+  ASSERT_EQ(replay.regions().size(), ref->regions().size());
+  for (std::size_t i = 0; i < replay.regions().size(); ++i) {
+    EXPECT_EQ(replay.regions()[i].base, ref->regions()[i].base);
+    EXPECT_EQ(replay.regions()[i].bytes, ref->regions()[i].bytes);
+    EXPECT_EQ(replay.regions()[i].prefault, ref->regions()[i].prefault);
+    EXPECT_EQ(replay.regions()[i].name, ref->regions()[i].name);
+  }
+  for (int i = 0; i < 500; ++i) {
+    for (unsigned c = 0; c < 2; ++c) {
+      const MemRef a = ref->next(c);
+      const MemRef b = replay.next(c);
+      ASSERT_EQ(a.va, b.va);
+      ASSERT_EQ(a.gap, b.gap);
+      ASSERT_EQ(a.type, b.type);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayLoopsWhenExhausted) {
+  const std::string path = tmp_path("loop");
+  auto gen = make_workload(WorkloadKind::kRND, tiny_params());
+  ASSERT_TRUE(record_trace(*gen, 2, 100, path));
+  FileTraceSource replay(path);
+  const MemRef first = replay.next(0);
+  for (int i = 0; i < 99; ++i) replay.next(0);
+  const MemRef wrapped = replay.next(0);
+  EXPECT_EQ(first.va, wrapped.va);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayDrivesTheEngine) {
+  const std::string path = tmp_path("engine");
+  auto gen = make_workload(WorkloadKind::kRND, tiny_params());
+  ASSERT_TRUE(record_trace(*gen, 2, 4000, path));
+  FileTraceSource replay(path);
+
+  SystemConfig sc = SystemConfig::ndp(2, Mechanism::kNdpage);
+  System system(sc);
+  EngineConfig ec;
+  ec.instructions_per_core = 5'000;
+  ec.warmup_refs_per_core = 200;
+  Engine engine(system, replay, ec);
+  const RunResult r = engine.run();
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_GT(r.stats.get("walker.walks"), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMalformedFiles) {
+  const std::string path = tmp_path("bad");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  EXPECT_THROW(FileTraceSource{path}, std::runtime_error);
+  EXPECT_THROW(FileTraceSource{"/nonexistent/trace.bin"}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,442 @@
+// Tests for the translation substrate: radix/huge/ECH page tables, TLBs,
+// PWCs, the walker, and the address space (demand paging/reclaim).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/hierarchy.h"
+#include "common/rng.h"
+#include "os/phys_mem.h"
+#include "translate/address_space.h"
+#include "translate/ech_page_table.h"
+#include "translate/page_table.h"
+#include "translate/pwc.h"
+#include "translate/radix_page_table.h"
+#include "translate/tlb.h"
+#include "translate/walker.h"
+
+namespace ndp {
+namespace {
+
+PhysMemConfig pm_cfg(std::uint64_t mb = 64, double noise = 0.0) {
+  PhysMemConfig cfg;
+  cfg.bytes = mb << 20;
+  cfg.noise_fraction = noise;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- Radix ---
+
+TEST(RadixPageTable, MapLookupUnmap) {
+  PhysicalMemory pm(pm_cfg());
+  RadixPageTable pt(pm, 1);
+  EXPECT_FALSE(pt.lookup(0x1234).has_value());
+  pt.map(0x1234, 777);
+  ASSERT_TRUE(pt.lookup(0x1234).has_value());
+  EXPECT_EQ(*pt.lookup(0x1234), 777u);
+  EXPECT_TRUE(pt.unmap(0x1234));
+  EXPECT_FALSE(pt.lookup(0x1234).has_value());
+  EXPECT_FALSE(pt.unmap(0x1234));
+}
+
+TEST(RadixPageTable, MapReportsNodeAllocations) {
+  PhysicalMemory pm(pm_cfg());
+  RadixPageTable pt(pm, 1);
+  const MapResult r1 = pt.map(0, 1);
+  EXPECT_EQ(r1.nodes_allocated, 3u);  // L3, L2, L1 under the root
+  EXPECT_EQ(r1.bytes_allocated, 3 * kPageSize);
+  const MapResult r2 = pt.map(1, 2);  // same L1 node
+  EXPECT_EQ(r2.nodes_allocated, 0u);
+  const MapResult r3 = pt.map(512, 3);  // same L2, new L1
+  EXPECT_EQ(r3.nodes_allocated, 1u);
+}
+
+TEST(RadixPageTable, WalkStepsAreFourSequentialLevels) {
+  PhysicalMemory pm(pm_cfg());
+  RadixPageTable pt(pm, 1);
+  pt.map(0xABCDE, 42);
+  const WalkPath p = pt.walk(0xABCDE);
+  ASSERT_TRUE(p.mapped);
+  EXPECT_EQ(p.pfn, 42u);
+  EXPECT_EQ(p.page_shift, kPageShift);
+  ASSERT_EQ(p.steps.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.steps[i].level, 4 - i);
+    EXPECT_EQ(p.steps[i].group, i) << "radix levels are sequential";
+    EXPECT_TRUE(pm.is_page_table_frame(pfn_of(p.steps[i].pte_addr)));
+  }
+}
+
+TEST(RadixPageTable, UnmappedWalkTruncates) {
+  PhysicalMemory pm(pm_cfg());
+  RadixPageTable pt(pm, 1);
+  pt.map(0, 1);
+  // Same L4 entry region, different L3 subtree: walk stops where the path
+  // ends.
+  const WalkPath p = pt.walk(1ull << 27);
+  EXPECT_FALSE(p.mapped);
+  EXPECT_LT(p.steps.size(), 4u);
+}
+
+TEST(RadixPageTable, RemapChangesFrameOnly) {
+  PhysicalMemory pm(pm_cfg());
+  RadixPageTable pt(pm, 1);
+  pt.map(55, 100);
+  EXPECT_TRUE(pt.remap(55, 200));
+  EXPECT_EQ(*pt.lookup(55), 200u);
+  EXPECT_FALSE(pt.remap(56, 300));
+}
+
+TEST(RadixPageTable, HugeMapCoversAlignedRange) {
+  PhysicalMemory pm(pm_cfg());
+  RadixPageTable pt(pm, 2);
+  pt.map(0x200, 4096, kHugePageShift);  // vpn 0x200 is 2 MB aligned
+  EXPECT_EQ(*pt.lookup(0x200), 4096u);
+  EXPECT_EQ(*pt.lookup(0x200 + 0x1FF), 4096u + 0x1FF);
+  const WalkPath p = pt.walk(0x200 + 5);
+  ASSERT_TRUE(p.mapped);
+  EXPECT_EQ(p.page_shift, kHugePageShift);
+  EXPECT_EQ(p.steps.size(), 3u) << "huge walk ends at PL2";
+  EXPECT_EQ(p.pfn, 4096u + 5);
+}
+
+TEST(RadixPageTable, SplinterMixes4kUnderHugeMode) {
+  PhysicalMemory pm(pm_cfg());
+  RadixPageTable pt(pm, 2);
+  pt.map(0x999, 7, kPageShift);  // 4 KB splinter
+  EXPECT_EQ(*pt.lookup(0x999), 7u);
+  const WalkPath p = pt.walk(0x999);
+  EXPECT_EQ(p.steps.size(), 4u) << "splinter walks to PL1";
+  EXPECT_EQ(p.page_shift, kPageShift);
+}
+
+TEST(RadixPageTable, OccupancyCountsPerLevel) {
+  PhysicalMemory pm(pm_cfg());
+  RadixPageTable pt(pm, 1);
+  // Fill one full L1 node (512 pages) and one entry of another.
+  for (Vpn v = 0; v < 512; ++v) pt.map(v, v + 1);
+  pt.map(512, 1000);
+  const auto occ = pt.occupancy();
+  ASSERT_EQ(occ.size(), 4u);
+  EXPECT_EQ(occ[0].level, "PL4");
+  EXPECT_EQ(occ[3].level, "PL1");
+  EXPECT_EQ(occ[3].nodes, 2u);
+  EXPECT_EQ(occ[3].valid, 513u);
+  EXPECT_NEAR(occ[3].rate(), 513.0 / 1024.0, 1e-9);
+  EXPECT_EQ(occ[0].valid, 1u);  // one L4 entry
+}
+
+TEST(RadixPageTable, FramesReturnedOnDestruction) {
+  PhysicalMemory pm(pm_cfg());
+  const std::uint64_t before = pm.free_frames();
+  {
+    RadixPageTable pt(pm, 1);
+    for (Vpn v = 0; v < 2000; v += 17) pt.map(v, v);
+    EXPECT_LT(pm.free_frames(), before);
+  }
+  EXPECT_EQ(pm.free_frames(), before);
+}
+
+// ------------------------------------------------------------------ ECH ---
+
+TEST(EchPageTable, MapLookupUnmapRemap) {
+  PhysicalMemory pm(pm_cfg());
+  EchPageTable pt(pm);
+  pt.map(42, 99);
+  EXPECT_EQ(*pt.lookup(42), 99u);
+  EXPECT_TRUE(pt.remap(42, 100));
+  EXPECT_EQ(*pt.lookup(42), 100u);
+  EXPECT_TRUE(pt.unmap(42));
+  EXPECT_FALSE(pt.lookup(42).has_value());
+}
+
+TEST(EchPageTable, WalkIsParallelProbes) {
+  PhysicalMemory pm(pm_cfg());
+  EchPageTable pt(pm);
+  pt.map(1000, 5);
+  const WalkPath p = pt.walk(1000);
+  ASSERT_TRUE(p.mapped);
+  ASSERT_EQ(p.steps.size(), 3u) << "d = 3 ways";
+  for (const WalkStep& s : p.steps) {
+    EXPECT_EQ(s.group, 0u) << "ways probe in parallel";
+    EXPECT_EQ(s.level, WalkStep::kHashLevel);
+    EXPECT_TRUE(pm.is_page_table_frame(pfn_of(s.pte_addr)));
+  }
+  // Probe addresses must hit distinct ways (distinct slots).
+  std::set<PhysAddr> addrs;
+  for (const WalkStep& s : p.steps) addrs.insert(s.pte_addr);
+  EXPECT_EQ(addrs.size(), 3u);
+}
+
+TEST(EchPageTable, ResizesUnderLoadAndKeepsAllMappings) {
+  PhysicalMemory pm(pm_cfg(128));
+  EchConfig cfg;
+  cfg.initial_entries_per_way = 1024;
+  EchPageTable pt(pm, cfg);
+  const std::uint64_t n = 20000;  // >> 3 * 1024 slots
+  for (Vpn v = 0; v < n; ++v) pt.map(v * 7 + 1, v + 10);
+  EXPECT_GT(pt.resizes(), 0u);
+  EXPECT_EQ(pt.size(), n);
+  for (Vpn v = 0; v < n; ++v) ASSERT_EQ(*pt.lookup(v * 7 + 1), v + 10);
+  EXPECT_LE(pt.load_factor(), 0.75);
+}
+
+TEST(EchPageTable, OverwriteDoesNotGrow) {
+  PhysicalMemory pm(pm_cfg());
+  EchPageTable pt(pm);
+  pt.map(5, 1);
+  pt.map(5, 2);
+  EXPECT_EQ(pt.size(), 1u);
+  EXPECT_EQ(*pt.lookup(5), 2u);
+}
+
+// ------------------------------------------------------------------ TLB ---
+
+TEST(Tlb, HitAfterInsert) {
+  Tlb tlb(TlbConfig{.name = "t", .entries = 16, .ways = 4, .latency = 1});
+  EXPECT_FALSE(tlb.lookup(0x5000).has_value());
+  tlb.insert(0x5000, 42, kPageShift);
+  auto e = tlb.lookup(0x5123);  // same page, different offset
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->pfn, 42u);
+  EXPECT_EQ(tlb.counters().hits, 1u);
+  EXPECT_EQ(tlb.counters().misses, 1u);
+}
+
+TEST(Tlb, HugeEntryCoversTwoMegabytes) {
+  Tlb tlb(TlbConfig{.name = "t", .entries = 16, .ways = 4, .latency = 1,
+                    .huge_entries = 8, .huge_ways = 4});
+  tlb.insert(0x200000, 512, kHugePageShift);
+  auto e = tlb.lookup(0x200000 + 0x12345);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->page_shift, kHugePageShift);
+  EXPECT_EQ(e->pfn, 512u);
+  // Outside the huge page: miss.
+  EXPECT_FALSE(tlb.lookup(0x400000).has_value());
+}
+
+TEST(Tlb, NoHugeCapacityDropsHugeInserts) {
+  Tlb tlb(TlbConfig{.name = "l2", .entries = 16, .ways = 4, .latency = 12,
+                    .huge_entries = 0, .huge_ways = 1});
+  tlb.insert(0x200000, 512, kHugePageShift);
+  EXPECT_FALSE(tlb.lookup(0x200000).has_value())
+      << "this TLB does not cache 2 MB translations";
+  tlb.insert(0x200000, 512, kPageShift);
+  EXPECT_TRUE(tlb.lookup(0x200000).has_value());
+}
+
+TEST(Tlb, LruEvictionWithinSet) {
+  Tlb tlb(TlbConfig{.name = "t", .entries = 4, .ways = 4, .latency = 1});
+  // One set: 4 ways.
+  for (VirtAddr p = 0; p < 4; ++p) tlb.insert(p << kPageShift, p, kPageShift);
+  tlb.lookup(0);                       // page 0 most recent
+  tlb.insert(4ull << kPageShift, 4, kPageShift);  // evicts page 1
+  EXPECT_TRUE(tlb.lookup(0).has_value());
+  EXPECT_FALSE(tlb.lookup(1ull << kPageShift).has_value());
+  EXPECT_EQ(tlb.counters().evictions, 1u);
+}
+
+TEST(Tlb, InvalidateAndFlush) {
+  Tlb tlb(TlbConfig{.name = "t", .entries = 16, .ways = 4, .latency = 1});
+  tlb.insert(0x1000, 1, kPageShift);
+  tlb.invalidate(0x1000);
+  EXPECT_FALSE(tlb.lookup(0x1000).has_value());
+  tlb.insert(0x2000, 2, kPageShift);
+  tlb.flush();
+  EXPECT_FALSE(tlb.lookup(0x2000).has_value());
+  EXPECT_EQ(tlb.counters().flushes, 1u);
+}
+
+TEST(Tlb, PeekDoesNotTouchStats) {
+  Tlb tlb(TlbConfig{.name = "t", .entries = 16, .ways = 4, .latency = 1});
+  tlb.insert(0x1000, 1, kPageShift);
+  const auto before = tlb.counters().hits + tlb.counters().misses;
+  EXPECT_TRUE(tlb.peek(0x1000).has_value());
+  EXPECT_FALSE(tlb.peek(0x9000).has_value());
+  EXPECT_EQ(tlb.counters().hits + tlb.counters().misses, before);
+}
+
+// ------------------------------------------------------------------ PWC ---
+
+TEST(Pwc, PrefixSharingHits) {
+  Pwc pwc(2, PwcConfig{});
+  const Vpn a = 0x12345678;
+  const Vpn b = (a & ~0x1FFull) | 0x45;  // same level-2 prefix
+  EXPECT_FALSE(pwc.lookup(a));
+  pwc.insert(a);
+  EXPECT_TRUE(pwc.lookup(b));
+  EXPECT_DOUBLE_EQ(pwc.hit_rate(), 0.5);
+}
+
+TEST(PwcSet, DeepestHitWins) {
+  PwcSet set({4, 3, 2}, PwcConfig{});
+  const Vpn vpn = 0xABCDE12;
+  EXPECT_EQ(set.deepest_hit(vpn), 0u);
+  set.fill(vpn, {4, 3});
+  EXPECT_EQ(set.deepest_hit(vpn), 3u);
+  set.fill(vpn, {2});
+  EXPECT_EQ(set.deepest_hit(vpn), 2u);
+  EXPECT_TRUE(set.has_level(4));
+  EXPECT_FALSE(set.has_level(1));
+}
+
+TEST(PwcSet, EmptySetHasNoLatency) {
+  PwcSet none({}, PwcConfig{});
+  EXPECT_EQ(none.latency(), 0u);
+  PwcSet some({4, 3}, PwcConfig{});
+  EXPECT_GT(some.latency(), 0u);
+}
+
+// --------------------------------------------------------------- Walker ---
+
+struct WalkerRig {
+  PhysicalMemory pm{pm_cfg()};
+  MemorySystem mem{MemorySystemConfig::ndp(1)};
+  RadixPageTable pt{pm, 1};
+};
+
+TEST(Walker, FullWalkWithoutPwcsDoesFourAccesses) {
+  WalkerRig rig;
+  rig.pt.map(0x777, 9);
+  WalkerConfig cfg;
+  cfg.pwc_levels = {};
+  Walker w(rig.pt, rig.mem, cfg);
+  const WalkTiming t = w.walk(1000, 0, 0x777ull << kPageShift);
+  EXPECT_TRUE(t.mapped);
+  EXPECT_EQ(t.pfn, 9u);
+  EXPECT_EQ(t.mem_accesses, 4u);
+  EXPECT_GT(t.finish, 1000u);
+}
+
+TEST(Walker, PwcHitSkipsUpperLevels) {
+  WalkerRig rig;
+  rig.pt.map(0x777, 9);
+  rig.pt.map(0x778, 10);
+  WalkerConfig cfg;  // default PWCs at 4,3,2,1
+  Walker w(rig.pt, rig.mem, cfg);
+  const WalkTiming first = w.walk(0, 0, 0x777ull << kPageShift);
+  EXPECT_EQ(first.mem_accesses, 4u);
+  // Second walk in the same PL1 node: PWC level 2 (or deeper) hits.
+  const WalkTiming second = w.walk(100000, 0, 0x778ull << kPageShift);
+  EXPECT_LE(second.mem_accesses, 1u);
+  EXPECT_GT(second.pwc_skips, 0u);
+}
+
+TEST(Walker, BypassedWalkLeavesL1Clean) {
+  WalkerRig rig;
+  rig.pt.map(0x999, 5);
+  WalkerConfig cfg;
+  cfg.pwc_levels = {};
+  cfg.bypass_caches_for_metadata = true;
+  Walker w(rig.pt, rig.mem, cfg);
+  w.walk(0, 0, 0x999ull << kPageShift);
+  EXPECT_EQ(rig.mem.l1(0).counters().hits(AccessClass::kMetadata), 0u);
+  EXPECT_EQ(rig.mem.l1(0).counters().misses(AccessClass::kMetadata), 0u);
+  EXPECT_EQ(rig.mem.counters().bypassed, 4u);
+}
+
+TEST(Walker, StatsAccumulate) {
+  WalkerRig rig;
+  rig.pt.map(1, 1);
+  Walker w(rig.pt, rig.mem, WalkerConfig{});
+  w.walk(0, 0, 1ull << kPageShift);
+  w.walk(50000, 0, 1ull << kPageShift);
+  EXPECT_EQ(w.counters().walks, 2u);
+  EXPECT_GT(w.counters().mem_accesses, 0u);
+  EXPECT_GT(w.snapshot().average("latency")->mean(), 0.0);
+}
+
+// --------------------------------------------------------- AddressSpace ---
+
+TEST(AddressSpace, PrefaultMapsDeclaredRegions) {
+  PhysicalMemory pm(pm_cfg());
+  AddressSpace as(pm, std::make_unique<RadixPageTable>(pm, 1), false);
+  as.add_region(VmRegion{"a", 0x100000, 16 * kPageSize, true});
+  as.add_region(VmRegion{"cold", 0x200000, 16 * kPageSize, false});
+  as.prefault_all();
+  EXPECT_TRUE(as.translate(0x100000).has_value());
+  EXPECT_TRUE(as.translate(0x100000 + 15 * kPageSize).has_value());
+  EXPECT_FALSE(as.translate(0x200000).has_value()) << "demand region stays cold";
+  EXPECT_EQ(as.mapped_pages(), 16u);
+}
+
+TEST(AddressSpace, TouchFaultsOnceAndChargesCost) {
+  PhysicalMemory pm(pm_cfg());
+  AddressSpace as(pm, std::make_unique<RadixPageTable>(pm, 1), false);
+  const auto r1 = as.touch(0x5000, 100);
+  EXPECT_TRUE(r1.faulted);
+  EXPECT_GE(r1.cost, pm.costs().fault_4k());
+  const auto r2 = as.touch(0x5000, 200);
+  EXPECT_FALSE(r2.faulted);
+  EXPECT_EQ(r2.cost, 0u);
+}
+
+TEST(AddressSpace, FaultLockSerializesConcurrentFaults) {
+  PhysicalMemory pm(pm_cfg());
+  AddressSpace as(pm, std::make_unique<RadixPageTable>(pm, 1), false);
+  const auto r1 = as.touch(0x1000, 1000);
+  // A second fault arriving while the first is in service waits it out.
+  const auto r2 = as.touch(0x2000, 1001);
+  EXPECT_GT(r2.cost, r1.cost) << "lock wait must be charged";
+  // A fault long after the lock released pays only its own work.
+  const auto r3 = as.touch(0x3000, 10'000'000);
+  EXPECT_LE(r3.cost, r1.cost + 1);
+}
+
+TEST(AddressSpace, HugeModeMapsTwoMegabytes) {
+  PhysicalMemory pm(pm_cfg());
+  AddressSpace as(pm, std::make_unique<RadixPageTable>(pm, 2), true);
+  const auto r = as.touch(0x200000ull + 0x3456, 0);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_GE(r.cost, pm.costs().fault_2m_base());
+  // The whole 2 MB extent is now resident.
+  EXPECT_TRUE(as.translate(0x200000).has_value());
+  EXPECT_TRUE(as.translate(0x3FF000).has_value());
+  EXPECT_EQ(as.mapped_pages(), 512u);
+}
+
+TEST(AddressSpace, CompactionRemapKeepsTranslationsCoherent) {
+  // 3% boot noise removes pristine 2 MB blocks; filling most of the pool
+  // with data leaves no noise-only window, so the order-9 table block below
+  // must compact over *data* frames and rewire the page table via remap().
+  PhysicalMemory pm(pm_cfg(64, 0.03));
+  AddressSpace as(pm, std::make_unique<RadixPageTable>(pm, 1), false);
+  const std::uint64_t to_map = pm.num_frames() * 3 / 4;
+  for (Vpn v = 0; v < to_map; ++v)
+    as.touch((0x100000ull + v) << kPageShift, 0);
+  ASSERT_FALSE(pm.buddy().can_alloc(9));
+  ASSERT_GE(pm.free_frames(), 1024u);
+
+  const Pfn blk = pm.alloc_table_block(9);
+  EXPECT_GT(as.stats().get("relocated_frames"), 0u);
+  // Every translation still resolves after the relocations.
+  for (Vpn v = 0; v < to_map; v += 97) {
+    const VirtAddr va = (0x100000ull + v) << kPageShift;
+    ASSERT_TRUE(as.translate(va).has_value());
+  }
+  pm.free_table_block(blk, 9);
+}
+
+TEST(AddressSpace, ReclaimEvictsWhenMemoryLow) {
+  // 192 MB pool: the low watermark (64 MB) is reachable quickly.
+  PhysicalMemory pm(pm_cfg(192));
+  AddressSpace as(pm, std::make_unique<RadixPageTable>(pm, 1), false);
+  int shootdowns = 0;
+  as.set_shootdown_hook([&](Vpn) { ++shootdowns; });
+  const std::uint64_t total = pm.num_frames();
+  // Touch pages until well past the watermark.
+  Vpn v = 0x400000;
+  while (pm.free_frames() > total / 8) as.touch(v++ << kPageShift, 0);
+  const std::uint64_t faults_before = as.stats().get("demand_faults");
+  for (int i = 0; i < 20000; ++i) as.touch(v++ << kPageShift, 0);
+  EXPECT_GT(as.stats().get("reclaim_events"), 0u);
+  EXPECT_GT(as.stats().get("reclaimed_frames"), 0u);
+  EXPECT_GT(shootdowns, 0);
+  EXPECT_GT(as.stats().get("demand_faults"), faults_before);
+  // Reclaimed pages are unmapped: an early page should be gone.
+  EXPECT_FALSE(as.translate(0x400000ull << kPageShift).has_value());
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,177 @@
+// Tests for the 11 workload trace generators: determinism, region
+// containment, footprints, per-core independence, reference mixes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/workload.h"
+
+namespace ndp {
+namespace {
+
+WorkloadParams tiny_params(unsigned cores = 2) {
+  WorkloadParams p;
+  p.num_cores = cores;
+  p.scale = 1.0 / 32.0;  // keep constructors fast
+  p.seed = 42;
+  return p;
+}
+
+TEST(WorkloadRegistry, ElevenWorkloadsWithTableTwoSizes) {
+  EXPECT_EQ(all_workload_info().size(), 11u);
+  EXPECT_EQ(info_of(WorkloadKind::kGEN).paper_bytes, 33ull << 30);
+  EXPECT_EQ(info_of(WorkloadKind::kXS).paper_bytes, 9ull << 30);
+  EXPECT_EQ(std::string(info_of(WorkloadKind::kPR).suite), "GraphBIG");
+  EXPECT_EQ(to_string(WorkloadKind::kRND), "RND");
+}
+
+class WorkloadParamTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadParamTest, DeterministicStreams) {
+  auto a = make_workload(GetParam(), tiny_params());
+  auto b = make_workload(GetParam(), tiny_params());
+  for (int i = 0; i < 2000; ++i) {
+    const MemRef ra = a->next(0);
+    const MemRef rb = b->next(0);
+    ASSERT_EQ(ra.va, rb.va);
+    ASSERT_EQ(ra.gap, rb.gap);
+    ASSERT_EQ(ra.type, rb.type);
+  }
+}
+
+TEST_P(WorkloadParamTest, ReferencesStayInsideDeclaredRegions) {
+  auto w = make_workload(GetParam(), tiny_params());
+  const auto regions = w->regions();
+  ASSERT_FALSE(regions.empty());
+  for (unsigned core = 0; core < 2; ++core) {
+    for (int i = 0; i < 20000; ++i) {
+      const MemRef r = w->next(core);
+      bool inside = false;
+      for (const VmRegion& reg : regions)
+        if (reg.contains(r.va)) {
+          inside = true;
+          break;
+        }
+      ASSERT_TRUE(inside) << to_string(GetParam()) << " va=0x" << std::hex
+                          << r.va << " core " << core;
+    }
+  }
+}
+
+TEST_P(WorkloadParamTest, RegionsArePageAlignedAndDisjoint) {
+  auto w = make_workload(GetParam(), tiny_params());
+  const auto regions = w->regions();
+  for (const VmRegion& r : regions) {
+    EXPECT_EQ(page_offset(r.base), 0u);
+    EXPECT_GT(r.bytes, 0u);
+  }
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      const bool disjoint = regions[i].end() <= regions[j].base ||
+                            regions[j].end() <= regions[i].base;
+      EXPECT_TRUE(disjoint) << regions[i].name << " vs " << regions[j].name;
+    }
+}
+
+TEST_P(WorkloadParamTest, CoresProduceDistinctButSharedFootprints) {
+  auto w = make_workload(GetParam(), tiny_params());
+  std::set<VirtAddr> s0, s1;
+  int identical = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const MemRef a = w->next(0);
+    const MemRef b = w->next(1);
+    s0.insert(a.va & ~(kPageSize - 1));
+    s1.insert(b.va & ~(kPageSize - 1));
+    identical += (a.va == b.va);
+  }
+  // Threads work on the same shared structures but not in lockstep.
+  EXPECT_LT(identical, 300);
+}
+
+TEST_P(WorkloadParamTest, GapsAreBounded) {
+  auto w = make_workload(GetParam(), tiny_params());
+  for (int i = 0; i < 5000; ++i) {
+    const MemRef r = w->next(0);
+    ASSERT_LE(r.gap, 64u) << "implausible non-memory gap";
+  }
+}
+
+TEST_P(WorkloadParamTest, MixContainsReadsAndWrites) {
+  auto w = make_workload(GetParam(), tiny_params());
+  int writes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    writes += (w->next(0).type == AccessType::kWrite);
+  EXPECT_GT(writes, 0) << "every kernel updates something";
+  EXPECT_LT(writes, n) << "every kernel reads something";
+}
+
+TEST_P(WorkloadParamTest, DatasetScalesWithParameter) {
+  WorkloadParams big = tiny_params();
+  big.scale = 1.0 / 16.0;
+  auto small_wl = make_workload(GetParam(), tiny_params());
+  auto big_wl = make_workload(GetParam(), big);
+  EXPECT_GT(big_wl->dataset_bytes(), small_wl->dataset_bytes());
+  EXPECT_LE(small_wl->dataset_bytes(), small_wl->paper_dataset_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadParamTest, ::testing::ValuesIn(kAllWorkloads),
+    [](const ::testing::TestParamInfo<WorkloadKind>& info) {
+      return to_string(info.param);
+    });
+
+TEST(GraphWorkload, PrefaultRegionsDominateFootprint) {
+  auto w = make_workload(WorkloadKind::kPR, tiny_params());
+  std::uint64_t prefault = 0, demand = 0;
+  for (const VmRegion& r : w->regions())
+    (r.prefault ? prefault : demand) += r.bytes;
+  EXPECT_GT(prefault, 0u);
+}
+
+TEST(GraphWorkload, FrontierKernelsDeclarePerCoreDemandRegions) {
+  auto w = make_workload(WorkloadKind::kBFS, tiny_params(4));
+  int demand_regions = 0;
+  for (const VmRegion& r : w->regions()) demand_regions += !r.prefault;
+  EXPECT_EQ(demand_regions, 4) << "one dynamic frontier per thread";
+}
+
+TEST(GupsWorkload, ReadModifyWritePairs) {
+  auto w = make_workload(WorkloadKind::kRND, tiny_params(1));
+  for (int i = 0; i < 100; ++i) {
+    const MemRef read = w->next(0);
+    const MemRef write = w->next(0);
+    ASSERT_EQ(read.type, AccessType::kRead);
+    ASSERT_EQ(write.type, AccessType::kWrite);
+    ASSERT_EQ(read.va, write.va) << "GUPS updates the word it read";
+  }
+}
+
+TEST(GenomicsWorkload, WarmPagesLieInDemandRegion) {
+  auto w = make_workload(WorkloadKind::kGEN, tiny_params(1));
+  const auto warm = w->warm_pages();
+  ASSERT_FALSE(warm.empty());
+  const auto regions = w->regions();
+  const VmRegion* table = nullptr;
+  for (const VmRegion& r : regions)
+    if (!r.prefault) table = &r;
+  ASSERT_NE(table, nullptr);
+  for (std::size_t i = 0; i < warm.size(); i += 997)
+    EXPECT_TRUE(table->contains(warm[i]));
+}
+
+TEST(XsBenchWorkload, BinarySearchConverges) {
+  // The probe stream for one lookup must be a strictly shrinking interval:
+  // successive egrid addresses bounce around but stay inside the grid.
+  auto w = make_workload(WorkloadKind::kXS, tiny_params(1));
+  const auto regions = w->regions();
+  const VmRegion& egrid = regions[0];
+  int in_egrid = 0;
+  for (int i = 0; i < 1000; ++i)
+    in_egrid += egrid.contains(w->next(0).va);
+  EXPECT_GT(in_egrid, 500) << "search probes dominate the XS mix";
+}
+
+}  // namespace
+}  // namespace ndp
