@@ -17,7 +17,7 @@ int main() {
     dt.channels = channels;
     RunSpec radix = bench::base_spec(SystemKind::kNdp, 8, Mechanism::kRadix,
                                      WorkloadKind::kRND);
-    radix.dram_override = dt;
+    radix.overrides.dram = dt;
     RunSpec ndpage = radix;
     ndpage.mechanism = Mechanism::kNdpage;
     const RunResult r = run_experiment(radix);

@@ -26,10 +26,10 @@ int main() {
           static_cast<double>(run_experiment(radix_spec).total_cycles);
 
       RunSpec bypass_only = radix_spec;
-      bypass_only.bypass_override = true;  // radix table + metadata bypass
+      bypass_only.overrides.bypass = true;  // radix table + metadata bypass
       RunSpec flatten_only =
           bench::base_spec(SystemKind::kNdp, cores, Mechanism::kNdpage, wl);
-      flatten_only.bypass_override = false;  // flat table, cacheable PTEs
+      flatten_only.overrides.bypass = false;  // flat table, cacheable PTEs
       const RunSpec full =
           bench::base_spec(SystemKind::kNdp, cores, Mechanism::kNdpage, wl);
 

@@ -41,7 +41,7 @@ int main() {
     const RunResult with_pwc = run_experiment(
         bench::base_spec(SystemKind::kNdp, 4, Mechanism::kNdpage, wl));
     RunSpec no_pwc = bench::base_spec(SystemKind::kNdp, 4, Mechanism::kNdpage, wl);
-    no_pwc.pwc_levels_override = std::vector<unsigned>{};
+    no_pwc.overrides.pwc_levels = std::vector<unsigned>{};
     const RunResult without = run_experiment(no_pwc);
     t2.add_row({to_string(wl), Table::num(with_pwc.avg_ptw_latency, 1),
                 Table::num(without.avg_ptw_latency, 1),

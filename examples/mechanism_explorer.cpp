@@ -2,6 +2,9 @@
 // combination and dump the full component-statistics breakdown — the tool
 // to reach for when a result in the figures looks surprising.
 //
+// Mechanism and workload names resolve through the open registry — any
+// mechanism registered via register_mechanism() works here by name.
+//
 //   ./mechanism_explorer [NDP|CPU] [mechanism] [workload] [cores] [instrs]
 //   e.g. ./mechanism_explorer NDP NDPage RND 4 200000
 #include <cstdio>
@@ -12,37 +15,24 @@
 
 using namespace ndp;
 
-namespace {
-
-Mechanism parse_mechanism(const char* s) {
-  for (Mechanism m : kExtendedMechanisms)
-    if (to_string(m) == s) return m;
-  std::fprintf(stderr, "unknown mechanism '%s'; using Radix\n", s);
-  return Mechanism::kRadix;
-}
-
-WorkloadKind parse_workload(const char* s) {
-  for (const WorkloadInfo& info : all_workload_info())
-    if (std::strcmp(info.name, s) == 0) return info.kind;
-  std::fprintf(stderr, "unknown workload '%s'; using RND\n", s);
-  return WorkloadKind::kRND;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   RunSpec spec;
-  spec.system = (argc > 1 && std::strcmp(argv[1], "CPU") == 0)
-                    ? SystemKind::kCpu
-                    : SystemKind::kNdp;
-  spec.mechanism = argc > 2 ? parse_mechanism(argv[2]) : Mechanism::kNdpage;
-  spec.workload = argc > 3 ? parse_workload(argv[3]) : WorkloadKind::kRND;
-  spec.cores = argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 4;
-  if (argc > 5) spec.instructions_per_core = std::strtoull(argv[5], nullptr, 10);
+  try {
+    RunSpecBuilder b;
+    b.system(argc > 1 ? argv[1] : "ndp");
+    b.mechanism(argc > 2 ? argv[2] : "ndpage");
+    b.workload(argc > 3 ? argv[3] : "gups");
+    b.cores(argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 4);
+    if (argc > 5) b.instructions(std::strtoull(argv[5], nullptr, 10));
+    spec = b.build();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   std::printf("%s / %s / %s / %u cores\n\n", to_string(spec.system).c_str(),
-              to_string(spec.mechanism).c_str(),
-              to_string(spec.workload).c_str(), spec.cores);
+              spec.mechanism_label().c_str(),
+              spec.workload_label().c_str(), spec.cores);
   const RunResult r = run_experiment(spec);
 
   std::printf("headline:\n");

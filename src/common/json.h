@@ -1,0 +1,47 @@
+// Minimal streaming JSON writer — enough to emit run results and stat sets
+// without an external dependency. Scopes are explicit (begin/end), keys are
+// escaped, and number formatting round-trips doubles.
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("cycles").value(std::uint64_t{42});
+//   w.key("cores").begin_array().value(1.0).value(2.0).end_array();
+//   w.end_object();
+//   std::string out = w.str();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndp {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  const std::string& str() const { return out_; }
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void maybe_comma();
+
+  std::string out_;
+  /// Per open scope: does the next element need a ',' separator?
+  std::vector<bool> need_comma_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace ndp

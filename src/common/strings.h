@@ -1,0 +1,20 @@
+// Small string helpers shared by the name-resolution paths (mechanism
+// registry, workload lookup, system-kind parsing).
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace ndp {
+
+/// Case-insensitive equality (ASCII).
+inline bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+}  // namespace ndp

@@ -8,6 +8,89 @@
 #include "translate/radix_page_table.h"
 
 namespace ndp {
+namespace detail {
+
+void register_builtin_mechanisms(MechanismRegistry& registry) {
+  // Paper §VI baseline. One PWC per level (§V-C observes L4/L3 nearly
+  // always hit while L2/L1 average ~15%).
+  MechanismDescriptor radix;
+  radix.name = "Radix";
+  radix.aliases = {"x86", "baseline"};
+  radix.summary = "4-level x86-64 radix table, PWCs at every level";
+  radix.make_page_table = [](PhysicalMemory& pm) {
+    return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
+  };
+  radix.walker.pwc_levels = {4, 3, 2, 1};
+  radix.builtin = true;
+  registry.add(std::move(radix));
+
+  // Hashed table: no radix prefixes to cache; PTEs stay cacheable.
+  MechanismDescriptor ech;
+  ech.name = "ECH";
+  ech.aliases = {"elastic-cuckoo"};
+  ech.summary = "elastic cuckoo hash table, 3 parallel probes, no PWCs";
+  ech.make_page_table = [](PhysicalMemory& pm) {
+    return std::make_unique<EchPageTable>(pm);
+  };
+  ech.walker.pwc_levels = {};
+  ech.builtin = true;
+  registry.add(std::move(ech));
+
+  // 3-level walk; the PD (L2) leaf is the translation itself and is covered
+  // by the TLB, so PWCs sit at L4/L3.
+  MechanismDescriptor huge;
+  huge.name = "HugePage";
+  huge.aliases = {"huge", "thp"};
+  huge.summary = "2 MB pages on a 3-level radix table, PWCs at L4/L3";
+  huge.make_page_table = [](PhysicalMemory& pm) {
+    return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/2);
+  };
+  huge.walker.pwc_levels = {4, 3};
+  huge.huge_pages = true;
+  huge.builtin = true;
+  registry.add(std::move(huge));
+
+  // Paper §V: keep the high-hit-rate L4/L3 PWCs, no PWC for the flattened
+  // level, and bypass the cache hierarchy for metadata.
+  MechanismDescriptor ndpage;
+  ndpage.name = "NDPage";
+  ndpage.aliases = {"flat"};
+  ndpage.summary = "flattened L2/L1 table + metadata cache bypass (this paper)";
+  ndpage.make_page_table = [](PhysicalMemory& pm) {
+    return std::make_unique<FlatPageTable>(pm);
+  };
+  ndpage.walker.pwc_levels = {4, 3};
+  ndpage.walker.bypass_caches_for_metadata = true;
+  ndpage.builtin = true;
+  registry.add(std::move(ndpage));
+
+  // Ideal still needs a functional map to place data physically; the radix
+  // structure is never timed because the walker is never invoked.
+  MechanismDescriptor ideal;
+  ideal.name = "Ideal";
+  ideal.aliases = {"perfect-tlb"};
+  ideal.summary = "every translation hits a zero-latency TLB (limit case)";
+  ideal.make_page_table = [](PhysicalMemory& pm) {
+    return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
+  };
+  ideal.walker.pwc_levels = {};
+  ideal.models_translation = false;
+  ideal.builtin = true;
+  registry.add(std::move(ideal));
+
+  // One near-data tag access per walk; no radix prefixes to cache.
+  MechanismDescriptor dipta;
+  dipta.name = "DIPTA";
+  dipta.summary = "restricted-associativity near-data translation (related work)";
+  dipta.make_page_table = [](PhysicalMemory& pm) {
+    return std::make_unique<DiptaPageTable>(pm);
+  };
+  dipta.walker.pwc_levels = {};
+  dipta.builtin = true;
+  registry.add(std::move(dipta));
+}
+
+}  // namespace detail
 
 std::string to_string(Mechanism m) {
   switch (m) {
@@ -21,68 +104,34 @@ std::string to_string(Mechanism m) {
   return "?";
 }
 
-bool uses_huge_pages(Mechanism m) { return m == Mechanism::kHugePage; }
+const MechanismDescriptor& descriptor_of(Mechanism m) {
+  return MechanismRegistry::instance().at(to_string(m));
+}
 
-bool models_translation(Mechanism m) { return m != Mechanism::kIdeal; }
+const MechanismDescriptor& resolve_mechanism(Mechanism fallback,
+                                             std::string_view name) {
+  return name.empty() ? descriptor_of(fallback)
+                      : MechanismRegistry::instance().at(name);
+}
+
+std::optional<Mechanism> mechanism_from_string(std::string_view name) {
+  const MechanismDescriptor* d = MechanismRegistry::instance().find(name);
+  if (!d) return std::nullopt;
+  for (Mechanism m : kExtendedMechanisms)
+    if (to_string(m) == d->name) return m;
+  return std::nullopt;  // registered, but not a built-in
+}
+
+bool uses_huge_pages(Mechanism m) { return descriptor_of(m).huge_pages; }
+
+bool models_translation(Mechanism m) {
+  return descriptor_of(m).models_translation;
+}
 
 std::unique_ptr<PageTable> make_page_table(Mechanism m, PhysicalMemory& pm) {
-  switch (m) {
-    case Mechanism::kRadix:
-      return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
-    case Mechanism::kEch:
-      return std::make_unique<EchPageTable>(pm);
-    case Mechanism::kHugePage:
-      return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/2);
-    case Mechanism::kNdpage:
-      return std::make_unique<FlatPageTable>(pm);
-    case Mechanism::kIdeal:
-      // Ideal still needs a functional map to place data physically; the
-      // radix structure is never timed because the walker is never invoked.
-      return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
-    case Mechanism::kDipta:
-      return std::make_unique<DiptaPageTable>(pm);
-  }
-  assert(false);
-  return nullptr;
+  return descriptor_of(m).make_page_table(pm);
 }
 
-WalkerConfig make_walker_config(Mechanism m) {
-  WalkerConfig cfg;
-  switch (m) {
-    case Mechanism::kRadix:
-      // Conventional MMU: one PWC per level (paper §V-C observes L4/L3
-      // nearly always hit while L2/L1 average ~15%).
-      cfg.pwc_levels = {4, 3, 2, 1};
-      cfg.bypass_caches_for_metadata = false;
-      break;
-    case Mechanism::kEch:
-      // Hashed table: no radix prefixes to cache; PTEs stay cacheable.
-      cfg.pwc_levels = {};
-      cfg.bypass_caches_for_metadata = false;
-      break;
-    case Mechanism::kHugePage:
-      // 3-level walk; the PD (L2) leaf is the translation itself and is
-      // covered by the TLB, so PWCs sit at L4/L3.
-      cfg.pwc_levels = {4, 3};
-      cfg.bypass_caches_for_metadata = false;
-      break;
-    case Mechanism::kNdpage:
-      // Paper §V: keep the high-hit-rate L4/L3 PWCs, no PWC for the
-      // flattened level, and bypass the cache hierarchy for metadata.
-      cfg.pwc_levels = {4, 3};
-      cfg.bypass_caches_for_metadata = true;
-      break;
-    case Mechanism::kIdeal:
-      cfg.pwc_levels = {};
-      cfg.bypass_caches_for_metadata = false;
-      break;
-    case Mechanism::kDipta:
-      // One near-data tag access per walk; no radix prefixes to cache.
-      cfg.pwc_levels = {};
-      cfg.bypass_caches_for_metadata = false;
-      break;
-  }
-  return cfg;
-}
+WalkerConfig make_walker_config(Mechanism m) { return descriptor_of(m).walker; }
 
 }  // namespace ndp

@@ -1,16 +1,25 @@
-// The five evaluated address-translation mechanisms (paper §VI):
+// The evaluated address-translation mechanisms (paper §VI):
 //   Radix     — 4-level x86-64 radix table, PWCs at every level.
 //   ECH       — elastic cuckoo hash table, 3 parallel probes, no PWCs.
 //   HugePage  — 2 MB pages on a 3-level radix table, PWCs at L4/L3.
 //   NDPage    — this paper: flattened L2/L1 table + metadata cache bypass,
 //               PWCs retained at L4/L3 only (§V-C).
 //   Ideal     — every translation hits a zero-latency TLB (the limit case).
+//
+// These (plus DIPTA) are built-in entries of the open MechanismRegistry
+// (core/mechanism_registry.h); everything below is a thin shim over their
+// descriptors, kept so existing enum-based call sites compile unchanged.
+// New mechanisms register with the registry and are selected by string —
+// they need no enum value and no edits to this header.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/mechanism_registry.h"
 #include "os/phys_mem.h"
 #include "translate/page_table.h"
 #include "translate/walker.h"
@@ -38,6 +47,20 @@ inline constexpr Mechanism kExtendedMechanisms[] = {
     Mechanism::kNdpage, Mechanism::kIdeal, Mechanism::kDipta};
 
 std::string to_string(Mechanism m);
+
+/// The registry descriptor backing a built-in enum value.
+const MechanismDescriptor& descriptor_of(Mechanism m);
+
+/// Resolve the (enum, name) selector pair used by SystemConfig and RunSpec:
+/// the string wins when non-empty, otherwise the enum. Throws
+/// std::out_of_range (listing registered names) on an unknown name.
+const MechanismDescriptor& resolve_mechanism(Mechanism fallback,
+                                             std::string_view name);
+
+/// Resolve a name/alias (case-insensitive) to a built-in enum value.
+/// Registered mechanisms beyond the built-ins have no enum value — resolve
+/// those through MechanismRegistry::find() instead.
+std::optional<Mechanism> mechanism_from_string(std::string_view name);
 
 /// Does this mechanism map memory with 2 MB pages?
 bool uses_huge_pages(Mechanism m);

@@ -1,0 +1,74 @@
+#include "core/mechanism_registry.h"
+
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace ndp {
+namespace {
+
+bool answers_to(const MechanismDescriptor& d, std::string_view name) {
+  if (iequals(d.name, name)) return true;
+  for (const std::string& alias : d.aliases)
+    if (iequals(alias, name)) return true;
+  return false;
+}
+
+}  // namespace
+
+MechanismRegistry::MechanismRegistry() {
+  detail::register_builtin_mechanisms(*this);
+}
+
+MechanismRegistry& MechanismRegistry::instance() {
+  static MechanismRegistry registry;
+  return registry;
+}
+
+bool MechanismRegistry::add(MechanismDescriptor desc) {
+  if (desc.name.empty() || !desc.make_page_table) return false;
+  if (contains(desc.name)) return false;
+  for (const std::string& alias : desc.aliases)
+    if (contains(alias)) return false;
+  descriptors_.push_back(std::move(desc));
+  return true;
+}
+
+const MechanismDescriptor* MechanismRegistry::find(
+    std::string_view name) const {
+  for (const MechanismDescriptor& d : descriptors_)
+    if (answers_to(d, name)) return &d;
+  return nullptr;
+}
+
+const MechanismDescriptor& MechanismRegistry::at(std::string_view name) const {
+  if (const MechanismDescriptor* d = find(name)) return *d;
+  std::string msg = "unknown mechanism '";
+  msg.append(name);
+  msg += "'; registered mechanisms:";
+  for (const MechanismDescriptor& d : descriptors_) {
+    msg += ' ';
+    msg += d.name;
+  }
+  throw std::out_of_range(msg);
+}
+
+std::vector<std::string> MechanismRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(descriptors_.size());
+  for (const MechanismDescriptor& d : descriptors_) out.push_back(d.name);
+  return out;
+}
+
+std::vector<std::string> MechanismRegistry::builtin_names() const {
+  std::vector<std::string> out;
+  for (const MechanismDescriptor& d : descriptors_)
+    if (d.builtin) out.push_back(d.name);
+  return out;
+}
+
+bool register_mechanism(MechanismDescriptor desc) {
+  return MechanismRegistry::instance().add(std::move(desc));
+}
+
+}  // namespace ndp

@@ -1,0 +1,103 @@
+// Open mechanism registry: translation mechanisms as named, self-describing
+// plug-ins instead of a closed enum.
+//
+// A MechanismDescriptor bundles everything the System needs to instantiate a
+// translation design: a page-table factory, the walker configuration (PWC
+// levels + metadata bypass), and the mapping flags (huge pages, whether
+// translation is modelled at all). Descriptors live in the process-wide
+// MechanismRegistry and are resolved by case-insensitive name or alias, so
+// experiments select mechanisms by string ("ndpage", "ech", ...) and new
+// designs register from any translation unit — no core header edits, no
+// recompiling call sites:
+//
+//   MechanismDescriptor d;
+//   d.name = "MyMech";
+//   d.make_page_table = [](PhysicalMemory& pm) { return ...; };
+//   d.walker.pwc_levels = {4, 3};
+//   register_mechanism(std::move(d));
+//   ...
+//   RunSpecBuilder().mechanism("mymech")...   // or ndpsim --mechanism=mymech
+//
+// The six built-ins (radix, ech, hugepage, ndpage, ideal, dipta) are
+// registered by the registry itself on first use; the legacy `Mechanism`
+// enum API in core/mechanism.h is a thin shim over their descriptors.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/phys_mem.h"
+#include "translate/page_table.h"
+#include "translate/walker.h"
+
+namespace ndp {
+
+struct MechanismDescriptor {
+  /// Canonical display name (e.g. "NDPage"). Lookup is case-insensitive.
+  std::string name;
+  /// Alternative lookup names (e.g. {"flat"} for NDPage).
+  std::vector<std::string> aliases;
+  /// One-line description, shown by `ndpsim --list-mechanisms`.
+  std::string summary;
+  /// Build the page-table structure this mechanism walks.
+  std::function<std::unique_ptr<PageTable>(PhysicalMemory&)> make_page_table;
+  /// Walker configuration (PWC levels + metadata cache bypass).
+  WalkerConfig walker;
+  /// Map memory with 2 MB pages?
+  bool huge_pages = false;
+  /// Model translation at all? (false = every access hits a free TLB.)
+  bool models_translation = true;
+  /// Set for the six built-ins; user registrations leave it false.
+  bool builtin = false;
+};
+
+class MechanismRegistry {
+ public:
+  /// The process-wide registry; built-ins are registered on first call.
+  static MechanismRegistry& instance();
+
+  /// Register a mechanism. Returns false (and registers nothing) if the
+  /// name or any alias collides with an existing entry, or if `desc` has no
+  /// name or no page-table factory.
+  bool add(MechanismDescriptor desc);
+
+  /// Case-insensitive lookup by name or alias; nullptr if unknown.
+  const MechanismDescriptor* find(std::string_view name) const;
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  /// Like find(), but throws std::out_of_range with a message listing the
+  /// registered names when `name` is unknown.
+  const MechanismDescriptor& at(std::string_view name) const;
+
+  /// Canonical names in registration order (built-ins first).
+  std::vector<std::string> names() const;
+  /// Canonical names of the built-in mechanisms only.
+  std::vector<std::string> builtin_names() const;
+
+  const std::deque<MechanismDescriptor>& descriptors() const {
+    return descriptors_;
+  }
+
+ private:
+  MechanismRegistry();
+
+  /// Deque, not vector: find()/at() hand out pointers into this container,
+  /// and registration must never invalidate them.
+  std::deque<MechanismDescriptor> descriptors_;
+};
+
+/// Convenience wrapper over MechanismRegistry::instance().add().
+bool register_mechanism(MechanismDescriptor desc);
+
+namespace detail {
+/// Defined in mechanism.cpp next to the enum shims; called once by
+/// MechanismRegistry's constructor so built-ins can never be dead-stripped
+/// or observed half-initialised, whatever the link order.
+void register_builtin_mechanisms(MechanismRegistry& registry);
+}  // namespace detail
+
+}  // namespace ndp

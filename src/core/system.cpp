@@ -2,10 +2,28 @@
 
 #include <cassert>
 
+#include "common/strings.h"
+
 namespace ndp {
 
 std::string to_string(SystemKind k) {
   return k == SystemKind::kCpu ? "CPU" : "NDP";
+}
+
+std::optional<SystemKind> system_kind_from_string(std::string_view name) {
+  if (iequals(name, "ndp")) return SystemKind::kNdp;
+  if (iequals(name, "cpu")) return SystemKind::kCpu;
+  return std::nullopt;
+}
+
+WalkerConfig Overrides::apply_to(WalkerConfig walker) const {
+  if (bypass) walker.bypass_caches_for_metadata = *bypass;
+  if (pwc_levels) walker.pwc_levels = *pwc_levels;
+  return walker;
+}
+
+const MechanismDescriptor& SystemConfig::descriptor() const {
+  return resolve_mechanism(mechanism, mechanism_name);
 }
 
 SystemConfig SystemConfig::ndp(unsigned cores, Mechanism m) {
@@ -24,9 +42,28 @@ SystemConfig SystemConfig::cpu(unsigned cores, Mechanism m) {
   return cfg;
 }
 
+SystemConfig SystemConfig::ndp(unsigned cores, std::string_view mechanism) {
+  SystemConfig cfg;
+  cfg.kind = SystemKind::kNdp;
+  cfg.num_cores = cores;
+  cfg.mechanism_name = mechanism;
+  return cfg;
+}
+
+SystemConfig SystemConfig::cpu(unsigned cores, std::string_view mechanism) {
+  SystemConfig cfg;
+  cfg.kind = SystemKind::kCpu;
+  cfg.num_cores = cores;
+  cfg.mechanism_name = mechanism;
+  return cfg;
+}
+
 System::System(const SystemConfig& cfg) : cfg_(cfg) {
   assert(cfg_.num_cores >= 1);
   mlp_ = cfg_.mlp ? cfg_.mlp : 8u;
+
+  // Resolves through the registry: throws on an unknown mechanism name.
+  const MechanismDescriptor& mech = cfg_.descriptor();
 
   PhysMemConfig pmc;
   pmc.bytes = cfg_.phys_bytes;
@@ -37,20 +74,15 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   MemorySystemConfig msc = cfg_.kind == SystemKind::kNdp
                                ? MemorySystemConfig::ndp(cfg_.num_cores)
                                : MemorySystemConfig::cpu(cfg_.num_cores);
-  if (cfg_.dram_override) msc.dram = *cfg_.dram_override;
+  if (cfg_.overrides.dram) msc.dram = *cfg_.overrides.dram;
   mem_ = std::make_unique<MemorySystem>(msc);
 
-  space_ = std::make_unique<AddressSpace>(
-      *phys_, make_page_table(cfg_.mechanism, *phys_),
-      uses_huge_pages(cfg_.mechanism));
+  space_ = std::make_unique<AddressSpace>(*phys_, mech.make_page_table(*phys_),
+                                          mech.huge_pages);
 
   MmuConfig mmuc;
-  mmuc.walker = make_walker_config(cfg_.mechanism);
-  if (cfg_.bypass_override)
-    mmuc.walker.bypass_caches_for_metadata = *cfg_.bypass_override;
-  if (cfg_.pwc_levels_override)
-    mmuc.walker.pwc_levels = *cfg_.pwc_levels_override;
-  mmuc.ideal = !models_translation(cfg_.mechanism);
+  mmuc.walker = cfg_.overrides.apply_to(mech.walker);
+  mmuc.ideal = !mech.models_translation;
   for (unsigned c = 0; c < cfg_.num_cores; ++c)
     mmus_.push_back(std::make_unique<Mmu>(mmuc, *space_, *mem_, c));
 

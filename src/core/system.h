@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/hierarchy.h"
@@ -24,11 +25,34 @@ namespace ndp {
 enum class SystemKind { kCpu, kNdp };
 
 std::string to_string(SystemKind k);
+/// Resolve "ndp"/"cpu" (case-insensitive); nullopt otherwise.
+std::optional<SystemKind> system_kind_from_string(std::string_view name);
+
+/// Ablation overrides, applied on top of the mechanism's own configuration.
+/// Shared by SystemConfig and the experiment layer's RunSpec so a sweep
+/// forwards them without field-by-field copying.
+struct Overrides {
+  /// Force the metadata cache bypass on/off regardless of mechanism.
+  std::optional<bool> bypass;
+  /// Replace the mechanism's PWC level set (e.g. {} to disable PWCs).
+  std::optional<std::vector<unsigned>> pwc_levels;
+  /// Replace the DRAM device model (e.g. channel-count sweeps).
+  std::optional<DramTiming> dram;
+
+  bool any() const { return bypass || pwc_levels || dram; }
+  /// The mechanism's walker config with these overrides applied.
+  WalkerConfig apply_to(WalkerConfig walker) const;
+};
 
 struct SystemConfig {
   SystemKind kind = SystemKind::kNdp;
   unsigned num_cores = 1;
+  /// Built-in mechanism selector; ignored when `mechanism_name` is set.
   Mechanism mechanism = Mechanism::kRadix;
+  /// Registry-resolved mechanism name/alias (takes precedence over the enum
+  /// when non-empty). This is how registered non-built-in mechanisms are
+  /// selected.
+  std::string mechanism_name;
   std::uint64_t phys_bytes = 16ull << 30;  ///< Table I: 16 GB
   double noise_fraction = 0.03;
   std::uint64_t seed = 0x5EED;
@@ -37,16 +61,18 @@ struct SystemConfig {
   /// so both default to 8 (a typical L1 MSHR budget).
   unsigned mlp = 0;  ///< 0 = default (8)
 
-  // --- Ablation overrides (default: the mechanism's own configuration) ---
-  /// Force the metadata cache bypass on/off regardless of mechanism.
-  std::optional<bool> bypass_override;
-  /// Replace the mechanism's PWC level set (e.g. {} to disable PWCs).
-  std::optional<std::vector<unsigned>> pwc_levels_override;
-  /// Replace the DRAM device model (e.g. channel-count sweeps).
-  std::optional<DramTiming> dram_override;
+  Overrides overrides;
+
+  /// The registry descriptor this config selects (throws std::out_of_range
+  /// on an unknown `mechanism_name`).
+  const MechanismDescriptor& descriptor() const;
+  /// Canonical name of the selected mechanism.
+  std::string mechanism_label() const { return descriptor().name; }
 
   static SystemConfig ndp(unsigned cores, Mechanism m);
   static SystemConfig cpu(unsigned cores, Mechanism m);
+  static SystemConfig ndp(unsigned cores, std::string_view mechanism);
+  static SystemConfig cpu(unsigned cores, std::string_view mechanism);
 };
 
 class System {

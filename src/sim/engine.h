@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -37,7 +38,19 @@ struct CoreStats {
   Cycle cycles() const { return end > start ? end - start : 0; }
 };
 
+/// Identity of the run that produced a result. Filled by run_experiment()
+/// so a serialized RunResult is self-describing without its RunSpec.
+struct RunMeta {
+  std::string system;
+  std::string mechanism;  ///< canonical registry name
+  std::string workload;
+  unsigned cores = 0;
+  std::uint64_t instructions_per_core = 0;
+  std::uint64_t seed = 0;
+};
+
 struct RunResult {
+  RunMeta meta;
   std::vector<CoreStats> cores;
   Cycle total_cycles = 0;  ///< max per-core cycles: the run's wall time
   StatSet stats;           ///< merged component statistics

@@ -1,10 +1,121 @@
 #include "sim/experiment.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
+
+#include "common/json.h"
 
 namespace ndp {
+
+std::string RunSpec::mechanism_label() const {
+  return resolve_mechanism(mechanism, mechanism_name).name;
+}
+
+RunSpecBuilder& RunSpecBuilder::system(SystemKind k) {
+  spec_.system = k;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::system(std::string_view name) {
+  const auto k = system_kind_from_string(name);
+  if (!k)
+    throw std::invalid_argument("unknown system '" + std::string(name) +
+                                "'; expected 'ndp' or 'cpu'");
+  spec_.system = *k;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::cores(unsigned n) {
+  if (n == 0) throw std::invalid_argument("cores must be >= 1");
+  spec_.cores = n;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::mechanism(Mechanism m) {
+  spec_.mechanism = m;
+  spec_.mechanism_name.clear();
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::mechanism(std::string_view name) {
+  // Throws std::out_of_range (listing registered names) when unknown;
+  // surface it as invalid_argument like the other name setters.
+  try {
+    spec_.mechanism_name = MechanismRegistry::instance().at(name).name;
+  } catch (const std::out_of_range& e) {
+    throw std::invalid_argument(e.what());
+  }
+  if (const auto m = mechanism_from_string(name)) spec_.mechanism = *m;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::workload(WorkloadKind k) {
+  spec_.workload = k;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::workload(std::string_view name) {
+  const auto k = workload_from_string(name);
+  if (!k) {
+    std::string msg = "unknown workload '" + std::string(name) +
+                      "'; known workloads:";
+    for (const WorkloadInfo& i : all_workload_info()) {
+      msg += ' ';
+      msg += i.name;
+    }
+    throw std::invalid_argument(msg);
+  }
+  spec_.workload = *k;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::instructions(std::uint64_t per_core) {
+  spec_.instructions_per_core = per_core;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::warmup(std::uint64_t refs) {
+  spec_.warmup_refs = refs;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::scale(double s) {
+  spec_.scale = s;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::seed(std::uint64_t s) {
+  spec_.seed = s;
+  return *this;
+}
+
+RunSpecBuilder& RunSpecBuilder::overrides(Overrides o) {
+  spec_.overrides = std::move(o);
+  return *this;
+}
+
+std::vector<RunSpec> sweep(const RunSpec& base,
+                           const std::vector<std::string>& mechanisms,
+                           const std::vector<std::string>& workloads,
+                           const std::vector<unsigned>& core_counts) {
+  std::vector<RunSpec> out;
+  // An empty axis contributes the base's value — one iteration.
+  const std::size_t nm = mechanisms.empty() ? 1 : mechanisms.size();
+  const std::size_t nw = workloads.empty() ? 1 : workloads.size();
+  const std::size_t nc = core_counts.empty() ? 1 : core_counts.size();
+  out.reserve(nm * nw * nc);
+  for (std::size_t m = 0; m < nm; ++m)
+    for (std::size_t w = 0; w < nw; ++w)
+      for (std::size_t c = 0; c < nc; ++c) {
+        RunSpecBuilder b(base);
+        if (!mechanisms.empty()) b.mechanism(mechanisms[m]);
+        if (!workloads.empty()) b.workload(workloads[w]);
+        if (!core_counts.empty()) b.cores(core_counts[c]);
+        out.push_back(b.build());
+      }
+  return out;
+}
 
 std::uint64_t default_instructions() {
   if (const char* env = std::getenv("NDPAGE_INSTRS")) {
@@ -18,10 +129,9 @@ RunResult run_experiment(const RunSpec& spec) {
   SystemConfig sc = spec.system == SystemKind::kNdp
                         ? SystemConfig::ndp(spec.cores, spec.mechanism)
                         : SystemConfig::cpu(spec.cores, spec.mechanism);
+  sc.mechanism_name = spec.mechanism_name;
   sc.seed = spec.seed;
-  sc.bypass_override = spec.bypass_override;
-  sc.pwc_levels_override = spec.pwc_levels_override;
-  sc.dram_override = spec.dram_override;
+  sc.overrides = spec.overrides;
   System system(sc);
 
   WorkloadParams wp;
@@ -38,7 +148,14 @@ RunResult run_experiment(const RunSpec& spec) {
       spec.warmup_refs ? spec.warmup_refs : ec.instructions_per_core / 15;
 
   Engine engine(system, *trace, ec);
-  return engine.run();
+  RunResult result = engine.run();
+  result.meta.system = to_string(spec.system);
+  result.meta.mechanism = sc.mechanism_label();
+  result.meta.workload = trace->name();
+  result.meta.cores = spec.cores;
+  result.meta.instructions_per_core = ec.instructions_per_core;
+  result.meta.seed = spec.seed;
+  return result;
 }
 
 MechanismComparison compare_mechanisms(const RunSpec& base,
@@ -46,6 +163,7 @@ MechanismComparison compare_mechanisms(const RunSpec& base,
   MechanismComparison out;
   RunSpec radix = base;
   radix.mechanism = Mechanism::kRadix;
+  radix.mechanism_name.clear();
   out.results.emplace(Mechanism::kRadix, run_experiment(radix));
   const double radix_cycles =
       static_cast<double>(out.results.at(Mechanism::kRadix).total_cycles);
@@ -55,6 +173,7 @@ MechanismComparison compare_mechanisms(const RunSpec& base,
     if (m == Mechanism::kRadix) continue;
     RunSpec s = base;
     s.mechanism = m;
+    s.mechanism_name.clear();
     RunResult r = run_experiment(s);
     const double cycles = static_cast<double>(r.total_cycles);
     out.speedup_over_radix[m] = cycles > 0 ? radix_cycles / cycles : 0.0;
@@ -64,13 +183,106 @@ MechanismComparison compare_mechanisms(const RunSpec& base,
 }
 
 double geomean(const std::vector<double>& xs) {
-  assert(!xs.empty());
+  if (xs.empty()) return 0.0;
   double log_sum = 0.0;
   for (double x : xs) {
-    assert(x > 0.0);
+    if (x <= 0.0) return 0.0;
     log_sum += std::log(x);
   }
   return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+namespace {
+
+void write_stats(JsonWriter& w, const StatSet& stats) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : stats.counters()) w.key(name).value(v);
+  w.end_object();
+  w.key("averages").begin_object();
+  for (const auto& [name, a] : stats.averages()) {
+    w.key(name).begin_object();
+    w.key("mean").value(a.mean());
+    w.key("min").value(a.min());
+    w.key("max").value(a.max());
+    w.key("count").value(a.count());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const StatSet& stats) {
+  JsonWriter w;
+  write_stats(w, stats);
+  return w.str();
+}
+
+std::string to_json(const RunResult& r, const RunSpec* spec) {
+  JsonWriter w;
+  w.begin_object();
+  if (spec) {
+    w.key("spec").begin_object();
+    w.key("system").value(to_string(spec->system));
+    w.key("cores").value(spec->cores);
+    w.key("mechanism").value(spec->mechanism_label());
+    w.key("workload").value(spec->workload_label());
+    w.key("instructions_per_core")
+        .value(spec->instructions_per_core ? spec->instructions_per_core
+                                           : default_instructions());
+    w.key("seed").value(spec->seed);
+    if (spec->scale > 0) w.key("scale").value(spec->scale);
+    if (spec->overrides.any()) {
+      w.key("overrides").begin_object();
+      if (spec->overrides.bypass)
+        w.key("bypass").value(*spec->overrides.bypass);
+      if (spec->overrides.pwc_levels) {
+        w.key("pwc_levels").begin_array();
+        for (unsigned l : *spec->overrides.pwc_levels) w.value(l);
+        w.end_array();
+      }
+      if (spec->overrides.dram)
+        w.key("dram").value(spec->overrides.dram->name);
+      w.end_object();
+    }
+    w.end_object();
+  } else if (!r.meta.mechanism.empty()) {
+    w.key("spec").begin_object();
+    w.key("system").value(r.meta.system);
+    w.key("cores").value(r.meta.cores);
+    w.key("mechanism").value(r.meta.mechanism);
+    w.key("workload").value(r.meta.workload);
+    w.key("instructions_per_core").value(r.meta.instructions_per_core);
+    w.key("seed").value(r.meta.seed);
+    w.end_object();
+  }
+  w.key("total_cycles").value(static_cast<std::uint64_t>(r.total_cycles));
+  w.key("total_instructions").value(r.total_instructions());
+  w.key("ipc").value(r.ipc);
+  w.key("avg_ptw_latency").value(r.avg_ptw_latency);
+  w.key("translation_fraction").value(r.translation_fraction);
+  w.key("l1_tlb_miss_rate").value(r.l1_tlb_miss_rate);
+  w.key("l2_tlb_miss_rate").value(r.l2_tlb_miss_rate);
+  w.key("pte_access_share").value(r.pte_access_share);
+  w.key("cores").begin_array();
+  for (const CoreStats& c : r.cores) {
+    w.begin_object();
+    w.key("instructions").value(c.instructions);
+    w.key("memrefs").value(c.memrefs);
+    w.key("cycles").value(static_cast<std::uint64_t>(c.cycles()));
+    w.key("translation_cycles").value(c.translation_cycles);
+    w.key("data_cycles").value(c.data_cycles);
+    w.key("gap_cycles").value(c.gap_cycles);
+    w.key("fault_cycles").value(c.fault_cycles);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stats");
+  write_stats(w, r.stats);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace ndp

@@ -1,9 +1,28 @@
 // Experiment runner: one call = one (system, cores, mechanism, workload)
-// cell of the paper's evaluation. Benches compose these into the figures.
+// cell of the paper's evaluation. Benches compose these into the figures;
+// the `ndpsim` CLI (tools/ndpsim.cpp) exposes the same surface as flags.
+//
+// Mechanisms and workloads are selected by registry/string name, so designs
+// registered outside core headers (see core/mechanism_registry.h) are
+// first-class experiment subjects:
+//
+//   RunSpec spec = RunSpecBuilder()
+//                      .system("ndp").cores(4)
+//                      .mechanism("ndpage").workload("gups")
+//                      .build();
+//   RunResult r = run_experiment(spec);
+//   std::string json = to_json(r, &spec);
+//
+// Cross-product sweeps expand into plain RunSpecs:
+//
+//   for (const RunSpec& s : sweep(base, {"radix", "ndpage"}, {"gups"}, {1, 4}))
+//     ...
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/system.h"
@@ -15,17 +34,60 @@ namespace ndp {
 struct RunSpec {
   SystemKind system = SystemKind::kNdp;
   unsigned cores = 1;
+  /// Built-in mechanism selector; ignored when `mechanism_name` is set.
   Mechanism mechanism = Mechanism::kRadix;
+  /// Registry name/alias; wins over the enum when non-empty. This is how
+  /// non-built-in registered mechanisms are run.
+  std::string mechanism_name;
   WorkloadKind workload = WorkloadKind::kRND;
   std::uint64_t instructions_per_core = 0;  ///< 0 = default_instructions()
   std::uint64_t warmup_refs = 0;            ///< 0 = instructions/15
   double scale = 0;                         ///< 0 = WorkloadParams default
   std::uint64_t seed = 42;
-  /// Ablation overrides, forwarded to SystemConfig.
-  std::optional<bool> bypass_override;
-  std::optional<std::vector<unsigned>> pwc_levels_override;
-  std::optional<DramTiming> dram_override;
+  /// Ablation overrides, forwarded to SystemConfig verbatim.
+  Overrides overrides;
+
+  /// Canonical mechanism name (resolves `mechanism_name` via the registry).
+  std::string mechanism_label() const;
+  std::string workload_label() const { return to_string(workload); }
 };
+
+/// Fluent construction with string-named selection. Name setters throw
+/// std::invalid_argument on unknown names (listing what is known), so a CLI
+/// or config front-end gets its error message for free.
+class RunSpecBuilder {
+ public:
+  RunSpecBuilder() = default;
+  explicit RunSpecBuilder(RunSpec base) : spec_(std::move(base)) {}
+
+  RunSpecBuilder& system(SystemKind k);
+  RunSpecBuilder& system(std::string_view name);  ///< "ndp" | "cpu"
+  RunSpecBuilder& cores(unsigned n);
+  RunSpecBuilder& mechanism(Mechanism m);
+  RunSpecBuilder& mechanism(std::string_view name);  ///< registry name/alias
+  RunSpecBuilder& workload(WorkloadKind k);
+  RunSpecBuilder& workload(std::string_view name);  ///< name/suite alias
+  RunSpecBuilder& instructions(std::uint64_t per_core);
+  RunSpecBuilder& warmup(std::uint64_t refs);
+  RunSpecBuilder& scale(double s);
+  RunSpecBuilder& seed(std::uint64_t s);
+  RunSpecBuilder& overrides(Overrides o);
+
+  const RunSpec& spec() const { return spec_; }
+  RunSpec build() const { return spec_; }
+
+ private:
+  RunSpec spec_;
+};
+
+/// Expand the cross-product (mechanisms x workloads x core counts) over
+/// `base` into RunSpecs, in mechanism-major order. An empty axis keeps the
+/// base's value for that axis. Throws std::invalid_argument on unknown
+/// names.
+std::vector<RunSpec> sweep(const RunSpec& base,
+                           const std::vector<std::string>& mechanisms,
+                           const std::vector<std::string>& workloads = {},
+                           const std::vector<unsigned>& core_counts = {});
 
 /// Per-core instruction budget: NDPAGE_INSTRS env override, else 150k.
 /// (The paper simulates 500M instructions/core on Sniper; the shape-level
@@ -45,7 +107,18 @@ struct MechanismComparison {
 MechanismComparison compare_mechanisms(const RunSpec& base,
                                        const std::vector<Mechanism>& mechs);
 
-/// Geometric mean over positive values.
+/// Geometric mean over positive values. Empty input or any non-positive
+/// value yields 0.0 (a geometric mean is undefined there; 0.0 keeps sweep
+/// aggregation total instead of UB on bad cells).
 double geomean(const std::vector<double>& xs);
+
+/// Serialize counters + averages: {"counters":{...},
+/// "averages":{name:{mean,min,max,count}}}.
+std::string to_json(const StatSet& stats);
+
+/// Serialize a run: headline metrics, per-core stats, full StatSet; when
+/// `spec` is given, a "spec" object (system/cores/mechanism/workload/seed)
+/// is included so a results file is self-describing.
+std::string to_json(const RunResult& r, const RunSpec* spec = nullptr);
 
 }  // namespace ndp

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/strings.h"
 #include "workloads/dlrm.h"
 #include "workloads/genomics.h"
 #include "workloads/graph.h"
@@ -35,6 +36,20 @@ const WorkloadInfo& info_of(WorkloadKind kind) {
 }
 
 std::string to_string(WorkloadKind kind) { return info_of(kind).name; }
+
+std::optional<WorkloadKind> workload_from_string(std::string_view name) {
+  for (const WorkloadInfo& i : all_workload_info())
+    if (iequals(i.name, name)) return i.kind;
+  // Suite names resolve when unambiguous ("GUPS" -> RND, but "GraphBIG"
+  // names seven workloads and stays unresolvable).
+  std::optional<WorkloadKind> match;
+  for (const WorkloadInfo& i : all_workload_info())
+    if (iequals(i.suite, name)) {
+      if (match) return std::nullopt;
+      match = i.kind;
+    }
+  return match;
+}
 
 std::unique_ptr<TraceSource> make_workload(WorkloadKind kind,
                                            const WorkloadParams& params) {

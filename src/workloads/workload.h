@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -98,6 +100,11 @@ struct WorkloadInfo {
 const std::vector<WorkloadInfo>& all_workload_info();
 const WorkloadInfo& info_of(WorkloadKind kind);
 std::string to_string(WorkloadKind kind);
+
+/// Resolve a workload by name ("PR", "RND", ...) or — when the suite maps to
+/// exactly one workload — by suite ("gups" -> kRND, "xsbench" -> kXS).
+/// Case-insensitive; nullopt when unknown or ambiguous.
+std::optional<WorkloadKind> workload_from_string(std::string_view name);
 
 std::unique_ptr<TraceSource> make_workload(WorkloadKind kind,
                                            const WorkloadParams& params);

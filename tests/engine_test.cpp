@@ -1,6 +1,9 @@
 // Tests for the discrete-event engine and experiment runner.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "sim/engine.h"
 #include "sim/experiment.h"
 
@@ -110,8 +113,17 @@ TEST(Experiment, GeomeanBasics) {
 }
 
 TEST(Experiment, DefaultInstructionsOverridableByEnv) {
-  // No env set in tests: default value.
-  EXPECT_GE(default_instructions(), 100'000u);
+  // Exercise both branches explicitly so the test is independent of the
+  // ambient environment (CI sets NDPAGE_INSTRS to shorten runs).
+  const char* saved = std::getenv("NDPAGE_INSTRS");
+  const std::string saved_value = saved ? saved : "";
+  ::setenv("NDPAGE_INSTRS", "123456", 1);
+  EXPECT_EQ(default_instructions(), 123'456u);
+  ::setenv("NDPAGE_INSTRS", "0", 1);  // non-positive: fall back to default
+  EXPECT_EQ(default_instructions(), 150'000u);
+  ::unsetenv("NDPAGE_INSTRS");
+  EXPECT_EQ(default_instructions(), 150'000u);
+  if (saved) ::setenv("NDPAGE_INSTRS", saved_value.c_str(), 1);
 }
 
 }  // namespace

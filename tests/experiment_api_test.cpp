@@ -1,0 +1,182 @@
+// Experiment front-end contract: the fluent builder's string-named
+// selection, sweep() cross-product expansion, shared Overrides forwarding,
+// geomean edge cases, and JSON serialization.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/experiment.h"
+
+namespace ndp {
+namespace {
+
+TEST(RunSpecBuilder, StringSelectionResolvesNamesAndAliases) {
+  const RunSpec s = RunSpecBuilder()
+                        .system("cpu")
+                        .cores(3)
+                        .mechanism("ndpage")
+                        .workload("gups")
+                        .seed(7)
+                        .build();
+  EXPECT_EQ(s.system, SystemKind::kCpu);
+  EXPECT_EQ(s.cores, 3u);
+  EXPECT_EQ(s.mechanism, Mechanism::kNdpage);
+  EXPECT_EQ(s.mechanism_label(), "NDPage");
+  EXPECT_EQ(s.workload, WorkloadKind::kRND);  // suite alias "GUPS" -> RND
+  EXPECT_EQ(s.seed, 7u);
+}
+
+TEST(RunSpecBuilder, UnknownNamesThrowListingAlternatives) {
+  EXPECT_THROW(RunSpecBuilder().system("gpu"), std::invalid_argument);
+  EXPECT_THROW(RunSpecBuilder().cores(0), std::invalid_argument);
+  try {
+    RunSpecBuilder().mechanism("bogus");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("NDPage"), std::string::npos);
+  }
+  try {
+    RunSpecBuilder().workload("bogus");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("RND"), std::string::npos);
+  }
+  // Suite names covering several workloads are ambiguous, not resolvable.
+  EXPECT_THROW(RunSpecBuilder().workload("GraphBIG"), std::invalid_argument);
+}
+
+TEST(Sweep, ExpandsCrossProductMechanismMajor) {
+  RunSpec base;
+  base.instructions_per_core = 123;
+  const auto specs =
+      sweep(base, {"radix", "ndpage"}, {"gups", "PR"}, {1u, 4u});
+  ASSERT_EQ(specs.size(), 8u);
+  // Mechanism-major order: radix cells first.
+  EXPECT_EQ(specs[0].mechanism_label(), "Radix");
+  EXPECT_EQ(specs[0].workload, WorkloadKind::kRND);
+  EXPECT_EQ(specs[0].cores, 1u);
+  EXPECT_EQ(specs[1].cores, 4u);
+  EXPECT_EQ(specs[2].workload, WorkloadKind::kPR);
+  EXPECT_EQ(specs[4].mechanism_label(), "NDPage");
+  // Base fields ride along untouched.
+  for (const RunSpec& s : specs)
+    EXPECT_EQ(s.instructions_per_core, 123u);
+}
+
+TEST(Sweep, EmptyAxesKeepBaseValues) {
+  RunSpec base;
+  base.mechanism = Mechanism::kEch;
+  base.workload = WorkloadKind::kXS;
+  base.cores = 5;
+  const auto specs = sweep(base, {}, {}, {});
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].mechanism, Mechanism::kEch);
+  EXPECT_EQ(specs[0].workload, WorkloadKind::kXS);
+  EXPECT_EQ(specs[0].cores, 5u);
+  EXPECT_THROW(sweep(base, {"bogus"}), std::invalid_argument);
+}
+
+TEST(Overrides, ApplyToReplacesOnlySetFields) {
+  WalkerConfig base;
+  base.pwc_levels = {4, 3};
+  base.bypass_caches_for_metadata = false;
+
+  EXPECT_FALSE(Overrides{}.any());
+  WalkerConfig same = Overrides{}.apply_to(base);
+  EXPECT_EQ(same.pwc_levels, base.pwc_levels);
+  EXPECT_FALSE(same.bypass_caches_for_metadata);
+
+  Overrides o;
+  o.bypass = true;
+  o.pwc_levels = std::vector<unsigned>{};
+  EXPECT_TRUE(o.any());
+  WalkerConfig changed = o.apply_to(base);
+  EXPECT_TRUE(changed.bypass_caches_for_metadata);
+  EXPECT_TRUE(changed.pwc_levels.empty());
+}
+
+TEST(Overrides, ForwardedThroughRunExperiment) {
+  RunSpec spec = RunSpecBuilder()
+                     .mechanism("radix")
+                     .workload("gups")
+                     .cores(1)
+                     .instructions(5'000)
+                     .warmup(300)
+                     .scale(1.0 / 64.0)
+                     .build();
+  spec.overrides.bypass = true;  // radix table + NDPage's metadata bypass
+  const RunResult r = run_experiment(spec);
+  EXPECT_GT(r.stats.get("walker.walks"), 0u);
+  // Every PTE access bypasses the caches. The counters tick at different
+  // points of a walk, so a walk in flight across the warmup reset may skew
+  // them by one walk's accesses.
+  EXPECT_GT(r.stats.get("mem.bypassed"), 0u);
+  EXPECT_NEAR(double(r.stats.get("mem.bypassed")),
+              double(r.stats.get("walker.mem_accesses")), 8.0);
+}
+
+TEST(Geomean, PositiveValuesExact) {
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Geomean, EmptyAndNonPositiveInputsAreDefined) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({2.0, 0.0, 8.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({-1.0, 4.0}), 0.0);
+}
+
+TEST(Json, RunResultSerializesSpecMetricsAndStats) {
+  const RunSpec spec = RunSpecBuilder()
+                           .mechanism("ndpage")
+                           .workload("gups")
+                           .cores(2)
+                           .instructions(5'000)
+                           .warmup(300)
+                           .scale(1.0 / 64.0)
+                           .build();
+  const RunResult r = run_experiment(spec);
+  const std::string json = to_json(r, &spec);
+
+  // Spec identity, headline metrics, per-core block, component stats.
+  EXPECT_NE(json.find("\"mechanism\":\"NDPage\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\":\"RND\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_cycles\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ipc\":"), std::string::npos);
+  EXPECT_NE(json.find("\"translation_cycles\":"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"walker.walks\""), std::string::npos);
+
+  // Structurally balanced (no nesting bugs).
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  // Without a spec, the embedded RunMeta still identifies the run.
+  const std::string bare = to_json(r);
+  EXPECT_NE(bare.find("\"mechanism\":\"NDPage\""), std::string::npos);
+
+  // StatSet serializes standalone too.
+  const std::string stats_json = to_json(r.stats);
+  EXPECT_NE(stats_json.find("\"averages\""), std::string::npos);
+}
+
+TEST(Workloads, FromStringResolvesNamesAndUniqueSuites) {
+  ASSERT_TRUE(workload_from_string("PR").has_value());
+  EXPECT_EQ(*workload_from_string("pr"), WorkloadKind::kPR);
+  EXPECT_EQ(*workload_from_string("gups"), WorkloadKind::kRND);
+  EXPECT_EQ(*workload_from_string("XSBench"), WorkloadKind::kXS);
+  EXPECT_EQ(*workload_from_string("genomicsbench"), WorkloadKind::kGEN);
+  EXPECT_FALSE(workload_from_string("GraphBIG").has_value());  // ambiguous
+  EXPECT_FALSE(workload_from_string("nope").has_value());
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,165 @@
+// Mechanism-registry contract: registration/lookup round-trip, alias and
+// case-insensitive resolution, unknown-name diagnostics, agreement between
+// the legacy enum arrays and the registry, and — the point of the open
+// API — a mechanism registered here, without touching core/mechanism.{h,cpp},
+// running end-to-end through the experiment layer.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/mechanism.h"
+#include "core/mechanism_registry.h"
+#include "sim/experiment.h"
+#include "translate/radix_page_table.h"
+
+namespace ndp {
+namespace {
+
+MechanismDescriptor test_descriptor(std::string name) {
+  MechanismDescriptor d;
+  d.name = std::move(name);
+  d.summary = "registry_test fixture mechanism";
+  d.make_page_table = [](PhysicalMemory& pm) {
+    return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
+  };
+  return d;
+}
+
+TEST(MechanismRegistry, RegistrationLookupRoundTrip) {
+  MechanismDescriptor d = test_descriptor("RoundTrip");
+  d.aliases = {"rt-alias"};
+  d.walker.pwc_levels = {4};
+  d.walker.bypass_caches_for_metadata = true;
+  d.huge_pages = false;
+  d.models_translation = true;
+  ASSERT_TRUE(register_mechanism(std::move(d)));
+
+  const MechanismDescriptor* found =
+      MechanismRegistry::instance().find("RoundTrip");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, "RoundTrip");
+  EXPECT_EQ(found->walker.pwc_levels, (std::vector<unsigned>{4}));
+  EXPECT_TRUE(found->walker.bypass_caches_for_metadata);
+  EXPECT_FALSE(found->builtin);
+
+  // The factory produces a working page table.
+  PhysMemConfig pmc;
+  pmc.bytes = 64ull << 20;
+  PhysicalMemory pm(pmc);
+  EXPECT_NE(found->make_page_table(pm), nullptr);
+}
+
+TEST(MechanismRegistry, AliasAndCaseInsensitiveResolution) {
+  MechanismDescriptor d = test_descriptor("AliasHost");
+  d.aliases = {"alias-one", "alias-two"};
+  ASSERT_TRUE(register_mechanism(std::move(d)));
+
+  auto& reg = MechanismRegistry::instance();
+  EXPECT_EQ(reg.find("alias-one"), reg.find("AliasHost"));
+  EXPECT_EQ(reg.find("ALIAS-TWO"), reg.find("AliasHost"));
+  EXPECT_EQ(reg.find("aliashost"), reg.find("AliasHost"));
+
+  // Built-in aliases resolve too.
+  ASSERT_NE(reg.find("flat"), nullptr);
+  EXPECT_EQ(reg.find("flat")->name, "NDPage");
+  EXPECT_EQ(reg.find("THP")->name, "HugePage");
+}
+
+TEST(MechanismRegistry, RejectsCollisionsAndInvalidDescriptors) {
+  ASSERT_TRUE(register_mechanism(test_descriptor("Collider")));
+  // Name collision, also via different case.
+  EXPECT_FALSE(register_mechanism(test_descriptor("Collider")));
+  EXPECT_FALSE(register_mechanism(test_descriptor("collider")));
+  // Alias colliding with an existing name.
+  MechanismDescriptor alias_clash = test_descriptor("CollTwo");
+  alias_clash.aliases = {"ndpage"};
+  EXPECT_FALSE(register_mechanism(std::move(alias_clash)));
+  // Missing name / missing factory.
+  EXPECT_FALSE(register_mechanism(test_descriptor("")));
+  MechanismDescriptor no_factory;
+  no_factory.name = "NoFactory";
+  EXPECT_FALSE(register_mechanism(std::move(no_factory)));
+  EXPECT_FALSE(MechanismRegistry::instance().contains("NoFactory"));
+}
+
+TEST(MechanismRegistry, UnknownNameThrowsWithKnownNames) {
+  try {
+    MechanismRegistry::instance().at("not-a-mechanism");
+    FAIL() << "at() should throw on unknown names";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("not-a-mechanism"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("NDPage"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Radix"), std::string::npos) << msg;
+  }
+}
+
+TEST(MechanismRegistry, EnumArraysMatchRegistryContents) {
+  auto& reg = MechanismRegistry::instance();
+  // Every enum mechanism is registered as a built-in under its to_string name.
+  for (Mechanism m : kExtendedMechanisms) {
+    const MechanismDescriptor* d = reg.find(to_string(m));
+    ASSERT_NE(d, nullptr) << to_string(m);
+    EXPECT_TRUE(d->builtin) << to_string(m);
+    EXPECT_EQ(&descriptor_of(m), d);
+    // And resolves back to the same enum value.
+    ASSERT_TRUE(mechanism_from_string(to_string(m)).has_value());
+    EXPECT_EQ(*mechanism_from_string(to_string(m)), m);
+  }
+  // ... and the built-ins are exactly the extended enum set, in order.
+  const std::vector<std::string> builtins = reg.builtin_names();
+  ASSERT_EQ(builtins.size(), std::size(kExtendedMechanisms));
+  for (std::size_t i = 0; i < builtins.size(); ++i)
+    EXPECT_EQ(builtins[i], to_string(kExtendedMechanisms[i]));
+  // kAllMechanisms is the paper's five: the extended set minus DIPTA.
+  ASSERT_EQ(std::size(kAllMechanisms) + 1, std::size(kExtendedMechanisms));
+  for (std::size_t i = 0; i < std::size(kAllMechanisms); ++i)
+    EXPECT_EQ(kAllMechanisms[i], kExtendedMechanisms[i]);
+}
+
+TEST(MechanismRegistry, EnumShimsMatchDescriptors) {
+  for (Mechanism m : kExtendedMechanisms) {
+    const MechanismDescriptor& d = descriptor_of(m);
+    EXPECT_EQ(uses_huge_pages(m), d.huge_pages);
+    EXPECT_EQ(models_translation(m), d.models_translation);
+    const WalkerConfig w = make_walker_config(m);
+    EXPECT_EQ(w.pwc_levels, d.walker.pwc_levels);
+    EXPECT_EQ(w.bypass_caches_for_metadata,
+              d.walker.bypass_caches_for_metadata);
+  }
+}
+
+// The acceptance criterion of the open API: a brand-new mechanism registered
+// from a test runs end-to-end through string selection — no enum value, no
+// core-header edit. "CacheableFlat" = NDPage's flattened table but without
+// the metadata bypass, a design point between Radix and NDPage.
+TEST(MechanismRegistry, RegisteredMechanismRunsEndToEnd) {
+  MechanismDescriptor d = test_descriptor("CacheableFlat");
+  d.aliases = {"cflat"};
+  d.walker.pwc_levels = {4, 3};
+  d.walker.bypass_caches_for_metadata = false;
+  ASSERT_TRUE(register_mechanism(std::move(d)));
+  // Not a built-in: no enum value maps to it.
+  EXPECT_FALSE(mechanism_from_string("CacheableFlat").has_value());
+
+  const RunSpec spec = RunSpecBuilder()
+                           .system("ndp")
+                           .cores(2)
+                           .mechanism("cflat")
+                           .workload("gups")
+                           .instructions(5'000)
+                           .warmup(300)
+                           .scale(1.0 / 64.0)
+                           .build();
+  EXPECT_EQ(spec.mechanism_label(), "CacheableFlat");
+  const RunResult r = run_experiment(spec);
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_EQ(r.cores.size(), 2u);
+  EXPECT_EQ(r.meta.mechanism, "CacheableFlat");
+  EXPECT_GT(r.stats.get("walker.walks"), 0u);
+  // Cacheable metadata: nothing bypasses, unlike NDPage.
+  EXPECT_EQ(r.stats.get("mem.bypassed"), 0u);
+}
+
+}  // namespace
+}  // namespace ndp

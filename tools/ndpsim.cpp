@@ -1,0 +1,289 @@
+// ndpsim — config-driven front-end for the NDPage simulator.
+//
+// Every cell of the paper's evaluation (and any registered custom mechanism)
+// is runnable from flags, no bench binary required:
+//
+//   ndpsim --system=ndp --cores=4 --mechanism=ndpage --workload=gups
+//   ndpsim --mechanism=radix,ndpage --workload=gups,pr --cores=1,4 \
+//          --json=sweep.json
+//   ndpsim --list-mechanisms
+//
+// Comma-separated --mechanism/--workload/--cores values expand into a
+// cross-product sweep (mechanism-major order). Results print as a table plus
+// per-component stats; --json writes machine-readable results ('-' = stdout).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace ndp;
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "selection (comma-separated values expand into a sweep):\n"
+      "  --system=ndp|cpu         simulated system (default ndp)\n"
+      "  --cores=N[,N...]         core counts (default 4)\n"
+      "  --mechanism=NAME[,...]   translation mechanisms (default ndpage;\n"
+      "                           any registered name or alias)\n"
+      "  --workload=NAME[,...]    workloads (default gups)\n"
+      "\n"
+      "run parameters:\n"
+      "  --instructions=N         per-core instruction budget\n"
+      "                           (default: NDPAGE_INSTRS env, else 150000)\n"
+      "  --warmup=N               warmup refs/core (default instructions/15)\n"
+      "  --scale=F                dataset scale fraction (default 0.75)\n"
+      "  --seed=N                 RNG seed (default 42)\n"
+      "\n"
+      "ablation overrides:\n"
+      "  --bypass=on|off          force metadata cache bypass\n"
+      "  --pwc-levels=4,3|none    replace the mechanism's PWC level set\n"
+      "\n"
+      "output:\n"
+      "  --json=PATH              write results as JSON ('-' = stdout)\n"
+      "  --stats                  dump every stat counter, not just the\n"
+      "                           per-component summary\n"
+      "  --list-mechanisms        list registered mechanisms and exit\n"
+      "  --list-workloads         list workloads and exit\n"
+      "  --help                   this text\n",
+      argv0);
+  return code;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void list_mechanisms() {
+  Table t({"name", "aliases", "huge pages", "summary"});
+  for (const MechanismDescriptor& d :
+       MechanismRegistry::instance().descriptors()) {
+    std::string aliases;
+    for (const std::string& a : d.aliases)
+      aliases += aliases.empty() ? a : ", " + a;
+    t.add_row({d.name, aliases, d.huge_pages ? "yes" : "no", d.summary});
+  }
+  t.print(std::cout);
+}
+
+void list_workloads() {
+  Table t({"name", "suite", "paper dataset"});
+  for (const WorkloadInfo& i : all_workload_info())
+    t.add_row({i.name, i.suite,
+               Table::num(double(i.paper_bytes) / double(1ull << 30), 0) +
+                   " GB"});
+  t.print(std::cout);
+}
+
+/// Per-component summary: hit rates and latencies grouped by stat prefix.
+void print_component_stats(const RunResult& r) {
+  Table t({"component", "metric", "value"});
+  auto hit_rate = [&](const std::string& comp, const std::string& prefix) {
+    const auto hits = r.stats.get(prefix + ".hit");
+    const auto misses = r.stats.get(prefix + ".miss");
+    if (hits + misses == 0) return;
+    t.add_row({comp, "hit rate",
+               Table::pct(r.stats.rate(prefix + ".hit", prefix + ".miss")) +
+                   "  (" + std::to_string(hits + misses) + " lookups)"});
+  };
+  hit_rate("L1 dTLB", "tlb.l1d");
+  hit_rate("L2 TLB", "tlb.l2");
+  for (unsigned l = 4; l >= 1; --l)
+    hit_rate("PWC L" + std::to_string(l), "pwc.l" + std::to_string(l));
+  if (r.stats.get("walker.walks") > 0) {
+    t.add_row({"walker", "walks", std::to_string(r.stats.get("walker.walks"))});
+    t.add_row({"walker", "avg latency (cy)",
+               Table::num(r.stats.mean("walker.latency"), 1)});
+    t.add_row({"walker", "accesses/walk",
+               Table::num(r.stats.mean("walker.accesses_per_walk"), 2)});
+  }
+  for (const char* lvl : {"l1", "l2", "l3"}) {
+    const std::string served = std::string("mem.served.") + lvl;
+    if (r.stats.get(served) > 0)
+      t.add_row({std::string("cache ") + lvl, "accesses served",
+                 std::to_string(r.stats.get(served))});
+  }
+  t.add_row({"dram", "accesses", std::to_string(r.stats.get("dram.access"))});
+  if (const Average* q = r.stats.average("dram.queue_delay"))
+    t.add_row({"dram", "avg queue delay (cy)", Table::num(q->mean(), 1)});
+  t.print(std::cout);
+}
+
+void print_all_stats(const RunResult& r) {
+  std::printf("  counters:\n");
+  for (const auto& [name, v] : r.stats.counters())
+    std::printf("    %-32s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(v));
+  std::printf("  averages:\n");
+  for (const auto& [name, a] : r.stats.averages())
+    std::printf("    %-32s mean=%.3f min=%.3f max=%.3f n=%llu\n", name.c_str(),
+                a.mean(), a.min(), a.max(),
+                static_cast<unsigned long long>(a.count()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string system = "ndp";
+  std::vector<std::string> mechanisms{"ndpage"};
+  std::vector<std::string> workloads{"gups"};
+  std::vector<unsigned> cores{4};
+  std::uint64_t instructions = 0, warmup = 0, seed = 42;
+  double scale = 0;
+  Overrides overrides;
+  std::string json_path;
+  bool dump_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) == 0 && arg.size() > n && arg[n] == '=')
+        return arg.c_str() + n + 1;
+      return nullptr;
+    };
+    if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+    if (arg == "--list-mechanisms") {
+      list_mechanisms();
+      return 0;
+    }
+    if (arg == "--list-workloads") {
+      list_workloads();
+      return 0;
+    }
+    if (arg == "--stats") {
+      dump_stats = true;
+    } else if (const char* v = value_of("--system")) {
+      system = v;
+    } else if (const char* v = value_of("--mechanism")) {
+      mechanisms = split_csv(v);
+    } else if (const char* v = value_of("--workload")) {
+      workloads = split_csv(v);
+    } else if (const char* v = value_of("--cores")) {
+      cores.clear();
+      for (const std::string& c : split_csv(v))
+        cores.push_back(
+            static_cast<unsigned>(std::strtoul(c.c_str(), nullptr, 10)));
+    } else if (const char* v = value_of("--instructions")) {
+      instructions = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--warmup")) {
+      warmup = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--scale")) {
+      scale = std::strtod(v, nullptr);
+    } else if (const char* v = value_of("--seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--bypass")) {
+      const std::string s = v;
+      if (s != "on" && s != "off") {
+        std::fprintf(stderr, "--bypass takes on|off, got '%s'\n", v);
+        return 2;
+      }
+      overrides.bypass = s == "on";
+    } else if (const char* v = value_of("--pwc-levels")) {
+      std::vector<unsigned> levels;
+      if (std::string(v) != "none")
+        for (const std::string& l : split_csv(v))
+          levels.push_back(
+              static_cast<unsigned>(std::strtoul(l.c_str(), nullptr, 10)));
+      overrides.pwc_levels = std::move(levels);
+    } else if (const char* v = value_of("--json")) {
+      json_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
+      return usage(argv[0], 2);
+    }
+  }
+
+  // An empty axis would silently fall back to RunSpec's defaults.
+  if (mechanisms.empty() || workloads.empty() || cores.empty()) {
+    std::fprintf(stderr,
+                 "--mechanism/--workload/--cores need at least one value\n");
+    return 2;
+  }
+
+  std::vector<RunSpec> specs;
+  try {
+    RunSpec base = RunSpecBuilder()
+                       .system(system)
+                       .instructions(instructions)
+                       .warmup(warmup)
+                       .scale(scale)
+                       .seed(seed)
+                       .overrides(overrides)
+                       .build();
+    specs = sweep(base, mechanisms, workloads, cores);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const bool is_sweep = specs.size() > 1;
+  Table summary({"system", "cores", "mechanism", "workload", "cycles", "IPC",
+                 "PTW (cy)", "translation", "PTE share"});
+  std::string json_out = "[";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunSpec& spec = specs[i];
+    const RunResult r = run_experiment(spec);
+    summary.add_row(
+        {to_string(spec.system), std::to_string(spec.cores),
+         spec.mechanism_label(), spec.workload_label(),
+         std::to_string(static_cast<unsigned long long>(r.total_cycles)),
+         Table::num(r.ipc, 3), Table::num(r.avg_ptw_latency, 1),
+         Table::pct(r.translation_fraction), Table::pct(r.pte_access_share)});
+    if (!json_path.empty()) {
+      if (json_out.size() > 1) json_out += ',';
+      json_out += to_json(r, &spec);
+    }
+    if (!is_sweep) {
+      std::printf("%s on %s, %u core(s), %s — %llu instructions/core\n\n",
+                  spec.mechanism_label().c_str(),
+                  to_string(spec.system).c_str(), spec.cores,
+                  spec.workload_label().c_str(),
+                  static_cast<unsigned long long>(
+                      spec.instructions_per_core ? spec.instructions_per_core
+                                                 : default_instructions()));
+      print_component_stats(r);
+      std::printf("\n");
+    }
+    if (dump_stats) print_all_stats(r);
+  }
+  json_out += "]";
+
+  summary.print(std::cout);
+
+  if (!json_path.empty()) {
+    // A single run writes one object; a sweep writes the array.
+    const std::string payload =
+        is_sweep ? json_out : json_out.substr(1, json_out.size() - 2);
+    if (json_path == "-") {
+      std::printf("%s\n", payload.c_str());
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+        return 1;
+      }
+      out << payload << '\n';
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+  return 0;
+}
