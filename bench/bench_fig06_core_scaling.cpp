@@ -1,8 +1,14 @@
 // Fig. 6: scaling with core count (1/4/8): (a) average PTW latency and
 // (b) average translation-overhead share, NDP vs CPU (Radix baseline).
+//
+// Thin wrapper over the sweep runner: the grid is the checked-in
+// experiments/fig06_core_scaling.json (duplicated here as a RunConfig so the
+// bench runs from any directory), cells execute host-parallel, and the rows
+// come from the shared aggregation path (mean_metric) — no bespoke loops.
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "sim/sweep_runner.h"
 
 using namespace ndp;
 
@@ -10,25 +16,33 @@ int main() {
   bench::header("Fig. 6: PTW latency and translation share vs core count",
                 "paper Fig. 6 (a) and (b)");
 
-  const unsigned core_counts[] = {1, 4, 8};
+  RunConfig cfg;
+  cfg.name = "fig06_core_scaling";
+  cfg.systems = {SystemKind::kNdp, SystemKind::kCpu};
+  cfg.mechanisms = {"Radix"};
+  cfg.workloads.clear();
+  for (const WorkloadInfo& info : all_workload_info())
+    cfg.workloads.push_back(info.name);
+  cfg.cores = {1, 4, 8};
+
+  SweepOptions opts;
+  opts.jobs = 0;  // all host threads; results are identical to a serial run
+  const SweepResults results = run_sweep(cfg, opts);
+
   Table a({"cores", "NDP PTW (cy)", "CPU PTW (cy)"});
   Table b({"cores", "NDP translation", "CPU translation"});
-  for (unsigned cores : core_counts) {
-    std::vector<double> nl, cl, nf, cf;
-    for (const WorkloadInfo& info : all_workload_info()) {
-      const RunResult ndp = run_experiment(bench::base_spec(
-          SystemKind::kNdp, cores, Mechanism::kRadix, info.kind));
-      const RunResult cpu = run_experiment(bench::base_spec(
-          SystemKind::kCpu, cores, Mechanism::kRadix, info.kind));
-      nl.push_back(ndp.avg_ptw_latency);
-      cl.push_back(cpu.avg_ptw_latency);
-      nf.push_back(ndp.translation_fraction);
-      cf.push_back(cpu.translation_fraction);
-    }
-    a.add_row({std::to_string(cores), Table::num(bench::mean(nl), 1),
-               Table::num(bench::mean(cl), 1)});
-    b.add_row({std::to_string(cores), Table::pct(bench::mean(nf)),
-               Table::pct(bench::mean(cf))});
+  for (unsigned cores : cfg.cores) {
+    CellFilter ndp, cpu;
+    ndp.system = SystemKind::kNdp;
+    cpu.system = SystemKind::kCpu;
+    ndp.cores = cpu.cores = cores;
+    a.add_row({std::to_string(cores),
+               Table::num(mean_metric(results, Metric::kPtwLatency, ndp), 1),
+               Table::num(mean_metric(results, Metric::kPtwLatency, cpu), 1)});
+    b.add_row(
+        {std::to_string(cores),
+         Table::pct(mean_metric(results, Metric::kTranslationFraction, ndp)),
+         Table::pct(mean_metric(results, Metric::kTranslationFraction, cpu))});
   }
   std::cout << "(a) average PTW latency\n";
   a.print(std::cout);

@@ -1,6 +1,8 @@
 #include "common/json.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ndp {
 
@@ -97,6 +99,363 @@ JsonWriter& JsonWriter::value(bool v) {
   maybe_comma();
   out_ += v ? "true" : "false";
   return *this;
+}
+
+// --- JsonValue --------------------------------------------------------------
+
+namespace {
+
+const char* type_name(JsonValue::Type t) {
+  switch (t) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "bool";
+    case JsonValue::Type::kNumber: return "number";
+    case JsonValue::Type::kString: return "string";
+    case JsonValue::Type::kArray: return "array";
+    case JsonValue::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* want, JsonValue::Type got) {
+  throw JsonError(std::string("expected ") + want + ", got " +
+                  type_name(got));
+}
+
+/// Recursive-descent parser. Depth-limited so hostile input can't blow the
+/// stack; errors carry the 1-based line:column of the offending byte.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError(std::to_string(line) + ":" + std::to_string(col) + ": " +
+                    msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::make_bool(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::make_bool(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::make_null();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    std::vector<JsonValue::Member> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected '\"' to start an object key");
+      std::string key = parse_string();
+      for (const JsonValue::Member& m : members)
+        if (m.first == key) fail("duplicate key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: --pos_; fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else { --pos_; fail("invalid hex digit in \\u escape"); }
+    }
+    // BMP code points only (config files are ASCII in practice); encode as
+    // UTF-8. Surrogate pairs are rejected rather than silently mangled.
+    if (cp >= 0xD800 && cp <= 0xDFFF)
+      fail("surrogate pairs are not supported in \\u escapes");
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+      return pos_ > before;
+    };
+    const std::size_t first_digit = pos_;
+    if (!digits()) fail("invalid number");
+    if (text_[first_digit] == '0' && pos_ > first_digit + 1)
+      fail("invalid number: leading zero");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("invalid number: digits required after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digits()) fail("invalid number: digits required in exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  if (number_ < 0 || number_ != std::floor(number_) ||
+      number_ > 9007199254740992.0)  // 2^53: exact integer range of double
+    throw JsonError("expected a non-negative integer");
+  return static_cast<std::uint64_t>(number_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : members_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw JsonError("missing key \"" + std::string(key) + "\"");
+}
+
+std::string JsonValue::dump() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kNumber: {
+      JsonWriter w;
+      w.value(number_);
+      return w.str();
+    }
+    case Type::kString: return '"' + JsonWriter::escape(string_) + '"';
+    case Type::kArray: {
+      std::string out = "[";
+      for (const JsonValue& v : array_) {
+        if (out.size() > 1) out += ',';
+        out += v.dump();
+      }
+      return out + ']';
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (const Member& m : members_) {
+        if (out.size() > 1) out += ',';
+        out += '"' + JsonWriter::escape(m.first) + "\":" + m.second.dump();
+      }
+      return out + '}';
+    }
+  }
+  return "null";
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.members_ = std::move(members);
+  return v;
 }
 
 }  // namespace ndp

@@ -1,6 +1,8 @@
-// Minimal streaming JSON writer — enough to emit run results and stat sets
-// without an external dependency. Scopes are explicit (begin/end), keys are
-// escaped, and number formatting round-trips doubles.
+// Minimal JSON support — enough to emit run results / stat sets and to read
+// experiment config files without an external dependency.
+//
+// Writing is streaming (JsonWriter): scopes are explicit (begin/end), keys
+// are escaped, and number formatting round-trips doubles.
 //
 //   JsonWriter w;
 //   w.begin_object();
@@ -8,11 +10,21 @@
 //   w.key("cores").begin_array().value(1.0).value(2.0).end_array();
 //   w.end_object();
 //   std::string out = w.str();
+//
+// Reading is a small recursive-descent parser into JsonValue trees:
+//
+//   JsonValue v = JsonValue::parse(R"({"cores": [1, 4, 8]})");
+//   for (const JsonValue& c : v.at("cores").array()) use(c.as_u64());
+//
+// Malformed input throws JsonError with a line:column position, so config
+// front-ends get a usable diagnostic for free.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ndp {
@@ -42,6 +54,67 @@ class JsonWriter {
   /// Per open scope: does the next element need a ',' separator?
   std::vector<bool> need_comma_{false};
   bool after_key_ = false;
+};
+
+/// Parse or access error, with "line:col: message" formatting for parse
+/// failures so config files get pinpointed diagnostics.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// An immutable parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Members are kept in document order (configs read back the way they
+  /// were written; duplicate keys are a parse error).
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// Parse one complete JSON document (trailing garbage is an error).
+  /// Throws JsonError with a line:column position on malformed input.
+  static JsonValue parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Checked accessors; throw JsonError naming the expected type.
+  bool as_bool() const;
+  double as_double() const;
+  /// Integral numbers only: throws on fractional/negative/out-of-range.
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& array() const;
+  const std::vector<Member>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Like find(), but throws JsonError naming the missing key.
+  const JsonValue& at(std::string_view key) const;
+
+  /// Re-serialize (canonical form: document member order, no whitespace).
+  std::string dump() const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> members_;
 };
 
 }  // namespace ndp

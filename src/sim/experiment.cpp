@@ -5,11 +5,16 @@
 #include <stdexcept>
 
 #include "common/json.h"
+#include "workloads/workload_registry.h"
 
 namespace ndp {
 
 std::string RunSpec::mechanism_label() const {
   return resolve_mechanism(mechanism, mechanism_name).name;
+}
+
+std::string RunSpec::workload_label() const {
+  return resolve_workload(workload, workload_name).name;
 }
 
 RunSpecBuilder& RunSpecBuilder::system(SystemKind k) {
@@ -52,21 +57,19 @@ RunSpecBuilder& RunSpecBuilder::mechanism(std::string_view name) {
 
 RunSpecBuilder& RunSpecBuilder::workload(WorkloadKind k) {
   spec_.workload = k;
+  spec_.workload_name.clear();
   return *this;
 }
 
 RunSpecBuilder& RunSpecBuilder::workload(std::string_view name) {
-  const auto k = workload_from_string(name);
-  if (!k) {
-    std::string msg = "unknown workload '" + std::string(name) +
-                      "'; known workloads:";
-    for (const WorkloadInfo& i : all_workload_info()) {
-      msg += ' ';
-      msg += i.name;
-    }
-    throw std::invalid_argument(msg);
+  // Throws std::out_of_range (listing registered names) when unknown;
+  // surface it as invalid_argument like the other name setters.
+  try {
+    spec_.workload_name = WorkloadRegistry::instance().at(name).name;
+  } catch (const std::out_of_range& e) {
+    throw std::invalid_argument(e.what());
   }
-  spec_.workload = *k;
+  if (const auto k = workload_from_string(name)) spec_.workload = *k;
   return *this;
 }
 
@@ -81,6 +84,9 @@ RunSpecBuilder& RunSpecBuilder::warmup(std::uint64_t refs) {
 }
 
 RunSpecBuilder& RunSpecBuilder::scale(double s) {
+  if (s < 0 || s > 1)
+    throw std::invalid_argument(
+        "scale must be in (0, 1] (0 = workload default)");
   spec_.scale = s;
   return *this;
 }
@@ -138,7 +144,7 @@ RunResult run_experiment(const RunSpec& spec) {
   wp.num_cores = spec.cores;
   if (spec.scale > 0) wp.scale = spec.scale;
   wp.seed = spec.seed;
-  auto trace = make_workload(spec.workload, wp);
+  auto trace = resolve_workload(spec.workload, spec.workload_name).make(wp);
 
   EngineConfig ec;
   ec.instructions_per_core = spec.instructions_per_core
@@ -151,7 +157,10 @@ RunResult run_experiment(const RunSpec& spec) {
   RunResult result = engine.run();
   result.meta.system = to_string(spec.system);
   result.meta.mechanism = sc.mechanism_label();
-  result.meta.workload = trace->name();
+  // Canonical registry name, not trace->name(): the registered identity is
+  // what configs and aggregation select by, and for the built-ins the two
+  // agree anyway.
+  result.meta.workload = spec.workload_label();
   result.meta.cores = spec.cores;
   result.meta.instructions_per_core = ec.instructions_per_core;
   result.meta.seed = spec.seed;

@@ -40,6 +40,9 @@ struct RunSpec {
   /// non-built-in registered mechanisms are run.
   std::string mechanism_name;
   WorkloadKind workload = WorkloadKind::kRND;
+  /// Registry name/alias; wins over the enum when non-empty. This is how
+  /// non-built-in registered workloads are run.
+  std::string workload_name;
   std::uint64_t instructions_per_core = 0;  ///< 0 = default_instructions()
   std::uint64_t warmup_refs = 0;            ///< 0 = instructions/15
   double scale = 0;                         ///< 0 = WorkloadParams default
@@ -49,7 +52,8 @@ struct RunSpec {
 
   /// Canonical mechanism name (resolves `mechanism_name` via the registry).
   std::string mechanism_label() const;
-  std::string workload_label() const { return to_string(workload); }
+  /// Canonical workload name (resolves `workload_name` via the registry).
+  std::string workload_label() const;
 };
 
 /// Fluent construction with string-named selection. Name setters throw
@@ -69,7 +73,7 @@ class RunSpecBuilder {
   RunSpecBuilder& workload(std::string_view name);  ///< name/suite alias
   RunSpecBuilder& instructions(std::uint64_t per_core);
   RunSpecBuilder& warmup(std::uint64_t refs);
-  RunSpecBuilder& scale(double s);
+  RunSpecBuilder& scale(double s);  ///< (0, 1]; 0 = workload default
   RunSpecBuilder& seed(std::uint64_t s);
   RunSpecBuilder& overrides(Overrides o);
 

@@ -1,0 +1,309 @@
+#include "sim/run_config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "core/mechanism_registry.h"
+#include "workloads/workload_registry.h"
+
+namespace ndp {
+namespace {
+
+[[noreturn]] void config_error(const std::string& msg) {
+  throw std::invalid_argument("run config: " + msg);
+}
+
+/// Accept either a single value or an array under two alternative keys
+/// (e.g. "mechanism"/"mechanisms"); both present is an error.
+const JsonValue* axis_value(const JsonValue& root, const char* singular,
+                            const char* plural) {
+  const JsonValue* s = root.find(singular);
+  const JsonValue* p = root.find(plural);
+  if (s && p)
+    config_error(std::string("give either \"") + singular + "\" or \"" +
+                 plural + "\", not both");
+  return s ? s : p;
+}
+
+std::vector<std::string> string_list(const JsonValue& v, const char* key) {
+  std::vector<std::string> out;
+  try {
+    if (v.is_string()) {
+      out.push_back(v.as_string());
+    } else {
+      for (const JsonValue& item : v.array()) out.push_back(item.as_string());
+    }
+  } catch (const JsonError&) {
+    config_error(std::string("\"") + key +
+                 "\" must be a string or an array of strings");
+  }
+  if (out.empty())
+    config_error(std::string("\"") + key + "\" must name at least one value");
+  return out;
+}
+
+std::uint64_t u64_field(const JsonValue& v, const char* key) {
+  try {
+    return v.as_u64();
+  } catch (const JsonError&) {
+    config_error(std::string("\"") + key +
+                 "\" must be a non-negative integer");
+  }
+}
+
+std::string string_field(const JsonValue& v, const std::string& key) {
+  try {
+    return v.as_string();
+  } catch (const JsonError&) {
+    config_error("\"" + key + "\" must be a string");
+  }
+}
+
+Overrides parse_overrides(const JsonValue& v) {
+  Overrides o;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "bypass") {
+      try {
+        o.bypass = value.as_bool();
+      } catch (const JsonError&) {
+        config_error("\"overrides.bypass\" must be true or false");
+      }
+    } else if (key == "pwc_levels") {
+      // null and [] both mean "strip the PWCs".
+      std::vector<unsigned> levels;
+      if (!value.is_null()) {
+        try {
+          for (const JsonValue& l : value.array())
+            levels.push_back(static_cast<unsigned>(l.as_u64()));
+        } catch (const JsonError&) {
+          config_error(
+              "\"overrides.pwc_levels\" must be null or an array of levels");
+        }
+      }
+      o.pwc_levels = std::move(levels);
+    } else if (key == "dram") {
+      std::string name;
+      try {
+        name = value.as_string();
+      } catch (const JsonError&) {
+        config_error("\"overrides.dram\" must be a string");
+      }
+      if (iequals(name, "ddr4_2400") || iequals(name, "ddr4"))
+        o.dram = DramTiming::ddr4_2400();
+      else if (iequals(name, "hbm2") || iequals(name, "hbm"))
+        o.dram = DramTiming::hbm2();
+      else
+        config_error("unknown \"overrides.dram\" '" + name +
+                     "'; expected 'ddr4_2400' or 'hbm2'");
+    } else {
+      config_error("unknown key \"overrides." + key + "\"");
+    }
+  }
+  return o;
+}
+
+/// Apply every top-level member except the mechanism/workload/system axes
+/// (those are resolved afterwards, via axis_value, order-independently).
+void apply_members(const JsonValue& root, RunConfig& cfg) {
+  for (const auto& [key, value] : root.members()) {
+    if (key == "name") {
+      cfg.name = string_field(value, key);
+    } else if (key == "description") {
+      cfg.description = string_field(value, key);
+    } else if (key == "system" || key == "systems") {
+      // Handled below via axis_value (order-independent).
+    } else if (key == "mechanism" || key == "mechanisms") {
+    } else if (key == "workload" || key == "workloads") {
+    } else if (key == "cores") {
+      cfg.cores.clear();
+      try {
+        if (value.is_number()) {
+          cfg.cores.push_back(static_cast<unsigned>(value.as_u64()));
+        } else {
+          for (const JsonValue& c : value.array())
+            cfg.cores.push_back(static_cast<unsigned>(c.as_u64()));
+        }
+      } catch (const JsonError&) {
+        config_error("\"cores\" must be a core count or an array of counts");
+      }
+      if (cfg.cores.empty()) config_error("\"cores\" must not be empty");
+      for (unsigned c : cfg.cores)
+        if (c == 0) config_error("\"cores\" values must be >= 1");
+    } else if (key == "instructions") {
+      cfg.instructions = u64_field(value, "instructions");
+    } else if (key == "warmup") {
+      cfg.warmup = u64_field(value, "warmup");
+    } else if (key == "scale") {
+      try {
+        cfg.scale = value.as_double();
+      } catch (const JsonError&) {
+        config_error("\"scale\" must be a number");
+      }
+      if (cfg.scale < 0 || cfg.scale > 1)
+        config_error("\"scale\" must be in (0, 1] (0 = workload default)");
+    } else if (key == "seed") {
+      cfg.seed = u64_field(value, "seed");
+    } else if (key == "overrides") {
+      if (!value.is_object()) config_error("\"overrides\" must be an object");
+      cfg.overrides = parse_overrides(value);
+    } else if (key == "baseline") {
+      cfg.baseline = string_field(value, key);
+    } else if (key == "output") {
+      if (!value.is_object()) config_error("\"output\" must be an object");
+      for (const auto& [okey, ovalue] : value.members()) {
+        if (okey == "json")
+          cfg.json_output = string_field(ovalue, "output.json");
+        else if (okey == "csv")
+          cfg.csv_output = string_field(ovalue, "output.csv");
+        else
+          config_error("unknown key \"output." + okey + "\"");
+      }
+    } else {
+      config_error("unknown key \"" + key + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+RunConfig RunConfig::from_json(std::string_view text) {
+  JsonValue root = JsonValue::make_null();
+  try {
+    root = JsonValue::parse(text);
+  } catch (const JsonError& e) {
+    config_error(std::string("JSON parse error at ") + e.what());
+  }
+  if (!root.is_object()) config_error("top level must be a JSON object");
+
+  RunConfig cfg;
+  try {
+    apply_members(root, cfg);
+  } catch (const JsonError& e) {
+    // A type mismatch not caught by a field-specific handler above.
+    config_error(e.what());
+  }
+
+  if (const JsonValue* v = axis_value(root, "system", "systems")) {
+    cfg.systems.clear();
+    for (const std::string& name : string_list(*v, "systems")) {
+      const auto k = system_kind_from_string(name);
+      if (!k)
+        config_error("unknown system '" + name + "'; expected 'ndp' or 'cpu'");
+      cfg.systems.push_back(*k);
+    }
+  }
+
+  // Resolve names to canonical registry spellings up front, so expansion and
+  // aggregation never see aliases and errors surface at parse time.
+  try {
+    if (const JsonValue* v = axis_value(root, "mechanism", "mechanisms")) {
+      cfg.mechanisms.clear();
+      for (const std::string& name : string_list(*v, "mechanisms"))
+        cfg.mechanisms.push_back(MechanismRegistry::instance().at(name).name);
+    }
+    if (const JsonValue* v = axis_value(root, "workload", "workloads")) {
+      const std::vector<std::string> names = string_list(*v, "workloads");
+      if (names.size() == 1 && iequals(names[0], "all")) {
+        cfg.workloads = WorkloadRegistry::instance().builtin_names();
+      } else {
+        cfg.workloads.clear();
+        for (const std::string& name : names)
+          cfg.workloads.push_back(WorkloadRegistry::instance().at(name).name);
+      }
+    }
+    if (!cfg.baseline.empty())
+      cfg.baseline = MechanismRegistry::instance().at(cfg.baseline).name;
+  } catch (const std::out_of_range& e) {
+    config_error(e.what());
+  }
+
+  if (!cfg.baseline.empty()) {
+    bool found = false;
+    for (const std::string& m : cfg.mechanisms)
+      if (m == cfg.baseline) found = true;
+    if (!found)
+      config_error("\"baseline\" '" + cfg.baseline +
+                   "' is not one of the swept mechanisms");
+  }
+  return cfg;
+}
+
+RunConfig RunConfig::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot read config '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return from_json(text.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+std::string RunConfig::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value(name);
+  if (!description.empty()) w.key("description").value(description);
+  w.key("systems").begin_array();
+  for (SystemKind k : systems)
+    w.value(k == SystemKind::kNdp ? "ndp" : "cpu");
+  w.end_array();
+  w.key("mechanisms").begin_array();
+  for (const std::string& m : mechanisms) w.value(m);
+  w.end_array();
+  w.key("workloads").begin_array();
+  for (const std::string& wl : workloads) w.value(wl);
+  w.end_array();
+  w.key("cores").begin_array();
+  for (unsigned c : cores) w.value(c);
+  w.end_array();
+  if (instructions) w.key("instructions").value(instructions);
+  if (warmup) w.key("warmup").value(warmup);
+  if (scale > 0) w.key("scale").value(scale);
+  w.key("seed").value(seed);
+  if (overrides.any()) {
+    w.key("overrides").begin_object();
+    if (overrides.bypass) w.key("bypass").value(*overrides.bypass);
+    if (overrides.pwc_levels) {
+      w.key("pwc_levels").begin_array();
+      for (unsigned l : *overrides.pwc_levels) w.value(l);
+      w.end_array();
+    }
+    if (overrides.dram)
+      w.key("dram").value(iequals(overrides.dram->name, "HBM2") ? "hbm2"
+                                                                : "ddr4_2400");
+    w.end_object();
+  }
+  if (!baseline.empty()) w.key("baseline").value(baseline);
+  if (!json_output.empty() || !csv_output.empty()) {
+    w.key("output").begin_object();
+    if (!json_output.empty()) w.key("json").value(json_output);
+    if (!csv_output.empty()) w.key("csv").value(csv_output);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::vector<RunSpec> RunConfig::expand() const {
+  std::vector<RunSpec> out;
+  for (SystemKind sys : systems) {
+    RunSpec base = RunSpecBuilder()
+                       .system(sys)
+                       .instructions(instructions)
+                       .warmup(warmup)
+                       .scale(scale)
+                       .seed(seed)
+                       .overrides(overrides)
+                       .build();
+    std::vector<RunSpec> grid = sweep(base, mechanisms, workloads, cores);
+    out.insert(out.end(), grid.begin(), grid.end());
+  }
+  return out;
+}
+
+}  // namespace ndp

@@ -1,0 +1,333 @@
+#include "sim/sweep_runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace ndp {
+
+SweepResults run_sweep(const std::vector<RunSpec>& specs,
+                       const SweepOptions& opts) {
+  SweepResults out;
+  out.cells.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) out.cells[i].spec = specs[i];
+
+  const std::size_t total = specs.size();
+  unsigned jobs = opts.jobs ? opts.jobs : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  if (total < jobs) jobs = static_cast<unsigned>(total ? total : 1);
+
+  // Work-stealing by atomic index: completion order varies with scheduling,
+  // but cell i always lands in slot i, so the result set is deterministic.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;  // guards progress callback + first_error
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      SweepCell& cell = out.cells[i];
+      try {
+        cell.result = run_experiment(cell.spec);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const std::size_t completed =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opts.progress) {
+        std::lock_guard<std::mutex> lock(mu);
+        opts.progress(completed, total, cell.spec);
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+SweepResults run_sweep(const RunConfig& config, const SweepOptions& opts) {
+  SweepResults out = run_sweep(config.expand(), opts);
+  out.name = config.name;
+  out.baseline = config.baseline;
+  return out;
+}
+
+// --- aggregation ------------------------------------------------------------
+
+double metric_of(const RunResult& r, Metric m) {
+  switch (m) {
+    case Metric::kCycles: return static_cast<double>(r.total_cycles);
+    case Metric::kIpc: return r.ipc;
+    case Metric::kPtwLatency: return r.avg_ptw_latency;
+    case Metric::kTranslationFraction: return r.translation_fraction;
+    case Metric::kL1TlbMissRate: return r.l1_tlb_miss_rate;
+    case Metric::kL2TlbMissRate: return r.l2_tlb_miss_rate;
+    case Metric::kPteAccessShare: return r.pte_access_share;
+  }
+  return 0.0;
+}
+
+std::string to_string(Metric m) {
+  switch (m) {
+    case Metric::kCycles: return "cycles";
+    case Metric::kIpc: return "ipc";
+    case Metric::kPtwLatency: return "avg_ptw_latency";
+    case Metric::kTranslationFraction: return "translation_fraction";
+    case Metric::kL1TlbMissRate: return "l1_tlb_miss_rate";
+    case Metric::kL2TlbMissRate: return "l2_tlb_miss_rate";
+    case Metric::kPteAccessShare: return "pte_access_share";
+  }
+  return "?";
+}
+
+bool CellFilter::matches(const SweepCell& cell) const {
+  if (system && *system != cell.spec.system) return false;
+  if (cores && *cores != cell.spec.cores) return false;
+  if (mechanism && !iequals(*mechanism, cell.spec.mechanism_label()))
+    return false;
+  if (workload && !iequals(*workload, cell.spec.workload_label()))
+    return false;
+  return true;
+}
+
+std::vector<double> collect_metric(const SweepResults& results, Metric m,
+                                   const CellFilter& filter) {
+  std::vector<double> out;
+  for (const SweepCell& cell : results.cells)
+    if (filter.matches(cell)) out.push_back(metric_of(cell.result, m));
+  return out;
+}
+
+double mean_metric(const SweepResults& results, Metric m,
+                   const CellFilter& filter) {
+  const std::vector<double> xs = collect_metric(results, m, filter);
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+Table summary_table(const SweepResults& results) {
+  Table t({"system", "cores", "mechanism", "workload", "cycles", "IPC",
+           "PTW (cy)", "translation", "PTE share"});
+  for (const SweepCell& cell : results.cells) {
+    const RunSpec& spec = cell.spec;
+    const RunResult& r = cell.result;
+    t.add_row(
+        {to_string(spec.system), std::to_string(spec.cores),
+         spec.mechanism_label(), spec.workload_label(),
+         std::to_string(static_cast<unsigned long long>(r.total_cycles)),
+         Table::num(r.ipc, 3), Table::num(r.avg_ptw_latency, 1),
+         Table::pct(r.translation_fraction), Table::pct(r.pte_access_share)});
+  }
+  return t;
+}
+
+namespace {
+
+/// Distinct values in first-appearance (spec) order.
+template <typename Key>
+void add_unique(std::vector<Key>& keys, const Key& k) {
+  for (const Key& existing : keys)
+    if (existing == k) return;
+  keys.push_back(k);
+}
+
+struct Group {
+  SystemKind system;
+  unsigned cores;
+  bool operator==(const Group& o) const {
+    return system == o.system && cores == o.cores;
+  }
+};
+
+/// One pass over the cells, resolving each spec's canonical labels through
+/// the registries exactly once; every aggregation query then works on plain
+/// string comparisons instead of re-resolving per comparison.
+struct Catalog {
+  struct Entry {
+    const SweepCell* cell;
+    std::string mech;
+    std::string wl;
+  };
+  std::vector<Entry> entries;           ///< spec order
+  std::vector<Group> groups;            ///< first-appearance order
+  std::vector<std::string> mechs, wls;  ///< canonical, first-appearance
+
+  explicit Catalog(const SweepResults& results) {
+    entries.reserve(results.cells.size());
+    for (const SweepCell& c : results.cells) {
+      entries.push_back({&c, c.spec.mechanism_label(), c.spec.workload_label()});
+      add_unique(groups, Group{c.spec.system, c.spec.cores});
+      add_unique(mechs, entries.back().mech);
+      add_unique(wls, entries.back().wl);
+    }
+  }
+
+  const SweepCell* find(const Group& g, const std::string& mech,
+                        const std::string& wl) const {
+    for (const Entry& e : entries)
+      if (e.cell->spec.system == g.system && e.cell->spec.cores == g.cores &&
+          e.mech == mech && e.wl == wl)
+        return e.cell;
+    return nullptr;
+  }
+
+  const SweepCell& baseline_cell(const Group& g, const std::string& baseline,
+                                 const std::string& wl) const {
+    if (const SweepCell* c = find(g, baseline, wl)) return *c;
+    throw std::invalid_argument("speedup aggregation: no baseline '" +
+                                baseline + "' cell for " + to_string(g.system) +
+                                "/" + std::to_string(g.cores) + " cores/" + wl);
+  }
+
+  /// Canonical spelling of a baseline name/alias, via the mechanism column.
+  std::string canonical_mechanism(std::string_view name) const {
+    for (const std::string& m : mechs)
+      if (iequals(m, name)) return m;
+    return std::string(name);
+  }
+};
+
+double speedup_of(const SweepCell& baseline, const SweepCell& cell) {
+  const double base = static_cast<double>(baseline.result.total_cycles);
+  const double cycles = static_cast<double>(cell.result.total_cycles);
+  return cycles > 0 ? base / cycles : 0.0;
+}
+
+std::vector<std::pair<std::string, double>> group_geomeans(
+    const Catalog& cat, const std::string& baseline, const Group& g) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const std::string& mech : cat.mechs) {
+    if (mech == baseline) continue;
+    std::vector<double> xs;
+    for (const std::string& wl : cat.wls) {
+      const SweepCell* c = cat.find(g, mech, wl);
+      if (!c) continue;
+      xs.push_back(speedup_of(cat.baseline_cell(g, baseline, wl), *c));
+    }
+    if (!xs.empty()) out.emplace_back(mech, geomean(xs));
+  }
+  return out;
+}
+
+}  // namespace
+
+Table speedup_table(const SweepResults& results, std::string_view baseline) {
+  const Catalog cat(results);
+  const std::string base_name = cat.canonical_mechanism(baseline);
+  std::vector<std::string> mechs;
+  for (const std::string& m : cat.mechs)
+    if (m != base_name) mechs.push_back(m);
+
+  std::vector<std::string> header = {"system", "cores", "workload"};
+  header.insert(header.end(), mechs.begin(), mechs.end());
+  header.push_back(base_name + " PTW (cy)");
+  Table t(std::move(header));
+
+  for (const Group& g : cat.groups) {
+    std::vector<std::vector<double>> per_mech(mechs.size());
+    for (const std::string& wl : cat.wls) {
+      const SweepCell& base = cat.baseline_cell(g, base_name, wl);
+      std::vector<std::string> row = {to_string(g.system),
+                                      std::to_string(g.cores), wl};
+      for (std::size_t m = 0; m < mechs.size(); ++m) {
+        const SweepCell* c = cat.find(g, mechs[m], wl);
+        if (!c) {
+          row.push_back("-");
+          continue;
+        }
+        const double s = speedup_of(base, *c);
+        per_mech[m].push_back(s);
+        row.push_back(Table::num(s, 3));
+      }
+      row.push_back(Table::num(base.result.avg_ptw_latency, 0));
+      t.add_row(std::move(row));
+    }
+    std::vector<std::string> gm = {to_string(g.system),
+                                   std::to_string(g.cores), "GEOMEAN"};
+    for (const std::vector<double>& xs : per_mech)
+      gm.push_back(xs.empty() ? "-" : Table::num(geomean(xs), 3));
+    gm.push_back("-");
+    t.add_row(std::move(gm));
+  }
+  return t;
+}
+
+std::vector<std::pair<std::string, double>> geomean_speedups(
+    const SweepResults& results, std::string_view baseline, SystemKind system,
+    unsigned cores) {
+  const Catalog cat(results);
+  return group_geomeans(cat, cat.canonical_mechanism(baseline),
+                        Group{system, cores});
+}
+
+std::string to_json(const SweepResults& results) {
+  std::string out = "{\"name\":\"" + JsonWriter::escape(results.name) +
+                    "\",\"results\":[";
+  for (std::size_t i = 0; i < results.cells.size(); ++i) {
+    if (i) out += ',';
+    out += to_json(results.cells[i].result, &results.cells[i].spec);
+  }
+  out += ']';
+  if (!results.baseline.empty()) {
+    const Catalog cat(results);
+    const std::string base_name = cat.canonical_mechanism(results.baseline);
+    JsonWriter w;
+    w.begin_object();
+    w.key("baseline").value(base_name);
+    w.key("groups").begin_array();
+    for (const Group& g : cat.groups) {
+      w.begin_object();
+      w.key("system").value(to_string(g.system));
+      w.key("cores").value(g.cores);
+      w.key("speedup").begin_object();
+      for (const std::string& wl : cat.wls) {
+        const SweepCell& base = cat.baseline_cell(g, base_name, wl);
+        w.key(wl).begin_object();
+        for (const std::string& mech : cat.mechs) {
+          if (mech == base_name) continue;
+          if (const SweepCell* c = cat.find(g, mech, wl))
+            w.key(mech).value(speedup_of(base, *c));
+        }
+        w.end_object();
+      }
+      w.end_object();
+      w.key("geomean").begin_object();
+      for (const auto& [mech, gm] : group_geomeans(cat, base_name, g))
+        w.key(mech).value(gm);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out += ",\"aggregate\":" + w.str();
+  }
+  out += '}';
+  return out;
+}
+
+std::string to_csv(const SweepResults& results) {
+  return summary_table(results).to_csv();
+}
+
+}  // namespace ndp

@@ -1,0 +1,120 @@
+// Host-parallel sweep execution + the shared aggregation path.
+//
+// Cells of an evaluation grid are independent single-threaded simulations,
+// so a sweep parallelizes embarrassingly across host threads. run_sweep()
+// executes a RunSpec list on a small thread pool (`jobs`) and returns the
+// results in *spec order* regardless of completion order — serialized
+// output is byte-identical whether jobs is 1 or 16, which is what makes
+// parallel runs trustworthy artifacts (and testable: see
+// tests/sweep_runner_test.cpp).
+//
+// Aggregation turns a result set into the tables the paper's figures plot:
+// per-workload speedups over a named baseline mechanism with geomean rows
+// (Figs. 12-14), and metric means across workloads (Fig. 6). The bench
+// binaries and `ndpsim --config` both print through these helpers — one
+// aggregation path, not per-figure bespoke printing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "sim/run_config.h"
+
+namespace ndp {
+
+struct SweepOptions {
+  /// Host threads executing cells. 0 = std::thread::hardware_concurrency().
+  unsigned jobs = 1;
+  /// Called after each cell completes (any order), under an internal lock —
+  /// safe to print from. `done` counts completed cells.
+  std::function<void(std::size_t done, std::size_t total, const RunSpec&)>
+      progress;
+};
+
+/// One executed cell: the spec that named it plus its result.
+struct SweepCell {
+  RunSpec spec;
+  RunResult result;
+};
+
+struct SweepResults {
+  std::string name;      ///< config name ("" for ad-hoc flag sweeps)
+  std::string baseline;  ///< canonical mechanism name ("" = no aggregation)
+  std::vector<SweepCell> cells;  ///< in spec order (deterministic)
+};
+
+/// Execute `specs` across `opts.jobs` threads. Results are in spec order.
+/// A cell that throws (bad spec) rethrows after the pool drains.
+SweepResults run_sweep(const std::vector<RunSpec>& specs,
+                       const SweepOptions& opts = {});
+
+/// Expand and execute a config (carries its name/baseline into the results).
+SweepResults run_sweep(const RunConfig& config, const SweepOptions& opts = {});
+
+// --- aggregation ------------------------------------------------------------
+
+/// Headline metrics selectable for aggregation.
+enum class Metric {
+  kCycles,
+  kIpc,
+  kPtwLatency,
+  kTranslationFraction,
+  kL1TlbMissRate,
+  kL2TlbMissRate,
+  kPteAccessShare,
+};
+
+double metric_of(const RunResult& r, Metric m);
+std::string to_string(Metric m);
+
+/// Select cells by spec fields; unset fields match everything. Mechanism and
+/// workload compare against canonical labels, case-insensitively.
+struct CellFilter {
+  std::optional<SystemKind> system;
+  std::optional<std::string> mechanism;
+  std::optional<std::string> workload;
+  std::optional<unsigned> cores;
+
+  bool matches(const SweepCell& cell) const;
+};
+
+/// Metric values of the matching cells, in spec order.
+std::vector<double> collect_metric(const SweepResults& results, Metric m,
+                                   const CellFilter& filter);
+
+/// Arithmetic mean of the matching cells' metric (0.0 when none match).
+double mean_metric(const SweepResults& results, Metric m,
+                   const CellFilter& filter);
+
+/// One row per executed cell: the standard headline columns.
+Table summary_table(const SweepResults& results);
+
+/// Per-workload speedups over `baseline` (same system/cores/workload cell),
+/// one column per non-baseline mechanism, grouped by (system, cores) when
+/// several are present, with a GEOMEAN row per group — the shape of the
+/// paper's Figs. 12-14. Throws std::invalid_argument when a baseline cell
+/// is missing.
+Table speedup_table(const SweepResults& results, std::string_view baseline);
+
+/// Geomean speedup over `baseline` per mechanism across every workload of
+/// one (system, cores) group; pairs are (mechanism, geomean) in sweep order.
+std::vector<std::pair<std::string, double>> geomean_speedups(
+    const SweepResults& results, std::string_view baseline, SystemKind system,
+    unsigned cores);
+
+/// Full results document: {"name", "jobs-invariant" results array, and —
+/// when a baseline is set — an "aggregate" object with per-group speedups
+/// and geomeans}. This is the payload `ndpsim --config --json` writes; it
+/// depends only on cell order, never on thread scheduling.
+std::string to_json(const SweepResults& results);
+
+/// summary_table() as CSV (one plotting input for every figure).
+std::string to_csv(const SweepResults& results);
+
+}  // namespace ndp

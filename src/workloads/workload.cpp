@@ -7,6 +7,7 @@
 #include "workloads/genomics.h"
 #include "workloads/graph.h"
 #include "workloads/gups.h"
+#include "workloads/workload_registry.h"
 #include "workloads/xsbench.h"
 
 namespace ndp {
@@ -38,6 +39,9 @@ const WorkloadInfo& info_of(WorkloadKind kind) {
 std::string to_string(WorkloadKind kind) { return info_of(kind).name; }
 
 std::optional<WorkloadKind> workload_from_string(std::string_view name) {
+  // Enum resolution stays registry-independent: only the eleven built-ins
+  // have enum values; registered custom workloads resolve through
+  // WorkloadRegistry::find() instead.
   for (const WorkloadInfo& i : all_workload_info())
     if (iequals(i.name, name)) return i.kind;
   // Suite names resolve when unambiguous ("GUPS" -> RND, but "GraphBIG"
@@ -53,6 +57,32 @@ std::optional<WorkloadKind> workload_from_string(std::string_view name) {
 
 std::unique_ptr<TraceSource> make_workload(WorkloadKind kind,
                                            const WorkloadParams& params) {
+  return descriptor_of(kind).make(params);
+}
+
+namespace detail {
+
+namespace {
+
+const char* builtin_summary(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kBC: return "betweenness centrality over a CSR graph";
+    case WorkloadKind::kBFS: return "breadth-first search with a frontier";
+    case WorkloadKind::kCC: return "connected components (label propagation)";
+    case WorkloadKind::kGC: return "greedy graph coloring";
+    case WorkloadKind::kPR: return "PageRank power iteration";
+    case WorkloadKind::kTC: return "triangle counting (two property arrays)";
+    case WorkloadKind::kSP: return "single-source shortest path";
+    case WorkloadKind::kXS: return "Monte Carlo cross-section lookups";
+    case WorkloadKind::kRND: return "GUPS random 8 B read-modify-write";
+    case WorkloadKind::kDLRM: return "sparse-length-sum embedding lookups";
+    case WorkloadKind::kGEN: return "k-mer counting over a hash table";
+  }
+  return "";
+}
+
+std::unique_ptr<TraceSource> make_builtin(WorkloadKind kind,
+                                          const WorkloadParams& params) {
   switch (kind) {
     case WorkloadKind::kBC:
     case WorkloadKind::kBFS:
@@ -74,5 +104,35 @@ std::unique_ptr<TraceSource> make_workload(WorkloadKind kind,
   assert(false);
   return nullptr;
 }
+
+}  // namespace
+
+void register_builtin_workloads(WorkloadRegistry& registry) {
+  for (const WorkloadInfo& i : all_workload_info()) {
+    WorkloadDescriptor d;
+    d.name = i.name;
+    d.suite = i.suite;
+    d.summary = builtin_summary(i.kind);
+    d.paper_bytes = i.paper_bytes;
+    // A suite naming exactly one workload doubles as an alias ("GUPS" ->
+    // RND); ambiguous suites ("GraphBIG") and suites equal to the name
+    // ("DLRM") register nothing.
+    if (!iequals(i.suite, i.name)) {
+      bool unambiguous = true;
+      for (const WorkloadInfo& other : all_workload_info())
+        if (other.kind != i.kind && iequals(other.suite, i.suite))
+          unambiguous = false;
+      if (unambiguous) d.aliases.push_back(i.suite);
+    }
+    const WorkloadKind kind = i.kind;
+    d.make = [kind](const WorkloadParams& params) {
+      return make_builtin(kind, params);
+    };
+    d.builtin = true;
+    registry.add(std::move(d));
+  }
+}
+
+}  // namespace detail
 
 }  // namespace ndp

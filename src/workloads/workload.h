@@ -103,9 +103,13 @@ std::string to_string(WorkloadKind kind);
 
 /// Resolve a workload by name ("PR", "RND", ...) or — when the suite maps to
 /// exactly one workload — by suite ("gups" -> kRND, "xsbench" -> kXS).
-/// Case-insensitive; nullopt when unknown or ambiguous.
+/// Case-insensitive; nullopt when unknown or ambiguous. Only the built-ins
+/// have enum values — resolve registered custom workloads through
+/// WorkloadRegistry::find() (workloads/workload_registry.h) instead.
 std::optional<WorkloadKind> workload_from_string(std::string_view name);
 
+/// Shim over the open WorkloadRegistry (workloads/workload_registry.h):
+/// builds the built-in generator registered under to_string(kind).
 std::unique_ptr<TraceSource> make_workload(WorkloadKind kind,
                                            const WorkloadParams& params);
 

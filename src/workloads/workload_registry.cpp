@@ -1,0 +1,83 @@
+#include "workloads/workload_registry.h"
+
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace ndp {
+namespace {
+
+bool answers_to(const WorkloadDescriptor& d, std::string_view name) {
+  if (iequals(d.name, name)) return true;
+  for (const std::string& alias : d.aliases)
+    if (iequals(alias, name)) return true;
+  return false;
+}
+
+}  // namespace
+
+WorkloadRegistry::WorkloadRegistry() {
+  detail::register_builtin_workloads(*this);
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+bool WorkloadRegistry::add(WorkloadDescriptor desc) {
+  if (desc.name.empty() || !desc.make) return false;
+  if (contains(desc.name)) return false;
+  for (const std::string& alias : desc.aliases)
+    if (contains(alias)) return false;
+  descriptors_.push_back(std::move(desc));
+  return true;
+}
+
+const WorkloadDescriptor* WorkloadRegistry::find(std::string_view name) const {
+  for (const WorkloadDescriptor& d : descriptors_)
+    if (answers_to(d, name)) return &d;
+  return nullptr;
+}
+
+const WorkloadDescriptor& WorkloadRegistry::at(std::string_view name) const {
+  if (const WorkloadDescriptor* d = find(name)) return *d;
+  std::string msg = "unknown workload '";
+  msg.append(name);
+  msg += "'; registered workloads:";
+  for (const WorkloadDescriptor& d : descriptors_) {
+    msg += ' ';
+    msg += d.name;
+  }
+  throw std::out_of_range(msg);
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(descriptors_.size());
+  for (const WorkloadDescriptor& d : descriptors_) out.push_back(d.name);
+  return out;
+}
+
+std::vector<std::string> WorkloadRegistry::builtin_names() const {
+  std::vector<std::string> out;
+  for (const WorkloadDescriptor& d : descriptors_)
+    if (d.builtin) out.push_back(d.name);
+  return out;
+}
+
+bool register_workload(WorkloadDescriptor desc) {
+  return WorkloadRegistry::instance().add(std::move(desc));
+}
+
+const WorkloadDescriptor& descriptor_of(WorkloadKind kind) {
+  return WorkloadRegistry::instance().at(to_string(kind));
+}
+
+const WorkloadDescriptor& resolve_workload(WorkloadKind fallback,
+                                           std::string_view name) {
+  if (!name.empty()) return WorkloadRegistry::instance().at(name);
+  return descriptor_of(fallback);
+}
+
+}  // namespace ndp

@@ -1,0 +1,112 @@
+// Open workload registry: trace generators as named, self-describing
+// plug-ins instead of a closed enum — the workload-side twin of
+// core/mechanism_registry.h.
+//
+// A WorkloadDescriptor bundles what the experiment layer needs to run a
+// workload: a TraceSource factory plus catalogue metadata (suite, paper
+// dataset size, one-line summary). Descriptors live in the process-wide
+// WorkloadRegistry and are resolved by case-insensitive name or alias, so
+// experiments, configs, and the `ndpsim` CLI select workloads by string
+// ("RND", "gups", ...) and new trace generators register from any
+// translation unit — no workload-header edits, no recompiling call sites:
+//
+//   WorkloadDescriptor d;
+//   d.name = "PtrChase";
+//   d.suite = "custom";
+//   d.make = [](const WorkloadParams& p) { return ...; };
+//   register_workload(std::move(d));
+//   ...
+//   RunSpecBuilder().workload("ptrchase")...  // or ndpsim --workload=ptrchase
+//
+// The eleven built-ins (Table II) are registered by the registry itself on
+// first use; the legacy `WorkloadKind` enum API in workloads/workload.h is a
+// thin shim over their descriptors.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ndp {
+
+struct WorkloadDescriptor {
+  /// Canonical display name (e.g. "RND"). Lookup is case-insensitive.
+  std::string name;
+  /// Alternative lookup names (e.g. {"gups"} for RND). Suite names that map
+  /// to exactly one workload are registered here for the built-ins.
+  std::vector<std::string> aliases;
+  /// Benchmark suite the workload comes from (e.g. "GraphBIG").
+  std::string suite;
+  /// One-line description, shown by `ndpsim --list-workloads`.
+  std::string summary;
+  /// Paper's Table II dataset size (0 for workloads outside the paper).
+  std::uint64_t paper_bytes = 0;
+  /// Build the trace generator. Must be callable concurrently from several
+  /// threads (the sweep runner constructs cells in parallel): return a fresh
+  /// TraceSource per call, no shared mutable state.
+  std::function<std::unique_ptr<TraceSource>(const WorkloadParams&)> make;
+  /// Set for the eleven built-ins; user registrations leave it false.
+  bool builtin = false;
+};
+
+class WorkloadRegistry {
+ public:
+  /// The process-wide registry; built-ins are registered on first call.
+  static WorkloadRegistry& instance();
+
+  /// Register a workload. Returns false (and registers nothing) if the name
+  /// or any alias collides with an existing entry, or if `desc` has no name
+  /// or no factory.
+  bool add(WorkloadDescriptor desc);
+
+  /// Case-insensitive lookup by name or alias; nullptr if unknown.
+  const WorkloadDescriptor* find(std::string_view name) const;
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  /// Like find(), but throws std::out_of_range with a message listing the
+  /// registered names when `name` is unknown.
+  const WorkloadDescriptor& at(std::string_view name) const;
+
+  /// Canonical names in registration order (built-ins first).
+  std::vector<std::string> names() const;
+  /// Canonical names of the built-in workloads only.
+  std::vector<std::string> builtin_names() const;
+
+  const std::deque<WorkloadDescriptor>& descriptors() const {
+    return descriptors_;
+  }
+
+ private:
+  WorkloadRegistry();
+
+  /// Deque, not vector: find()/at() hand out pointers into this container,
+  /// and registration must never invalidate them.
+  std::deque<WorkloadDescriptor> descriptors_;
+};
+
+/// Convenience wrapper over WorkloadRegistry::instance().add().
+bool register_workload(WorkloadDescriptor desc);
+
+/// The registry descriptor backing a built-in enum value.
+const WorkloadDescriptor& descriptor_of(WorkloadKind kind);
+
+/// Resolve the (enum, name) selector pair used by RunSpec: the string wins
+/// when non-empty, otherwise the enum. Throws std::out_of_range (listing
+/// registered names) on an unknown name.
+const WorkloadDescriptor& resolve_workload(WorkloadKind fallback,
+                                           std::string_view name);
+
+namespace detail {
+/// Defined in workload.cpp next to the enum shims; called once by
+/// WorkloadRegistry's constructor so built-ins can never be dead-stripped
+/// or observed half-initialised, whatever the link order.
+void register_builtin_workloads(WorkloadRegistry& registry);
+}  // namespace detail
+
+}  // namespace ndp

@@ -1,0 +1,208 @@
+// Sweep-runner contract: parallel execution returns results in spec order
+// with output byte-identical to a serial run, progress reporting fires once
+// per cell, errors propagate, and the shared aggregation path (summary /
+// speedup / geomean / metric means) computes what the figures plot. Also
+// the subsystem's end-to-end acceptance: a workload registered here runs by
+// name from a JSON config through the parallel runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "sim/run_config.h"
+#include "sim/sweep_runner.h"
+#include "workloads/workload_registry.h"
+
+namespace ndp {
+namespace {
+
+/// Small grid that still exercises every axis: 2 mechanisms x 2 workloads
+/// x 2 core counts at a tiny scale/budget.
+RunConfig tiny_grid() {
+  RunConfig cfg = RunConfig::from_json(R"({
+    "name": "tiny",
+    "mechanisms": ["radix", "ndpage"],
+    "workloads": ["RND", "PR"],
+    "cores": [1, 2],
+    "instructions": 3000,
+    "warmup": 200,
+    "scale": 0.015625,
+    "baseline": "radix"
+  })");
+  return cfg;
+}
+
+TEST(SweepRunner, ParallelOutputIsByteIdenticalToSerial) {
+  const RunConfig cfg = tiny_grid();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const SweepResults a = run_sweep(cfg, serial);
+  const SweepResults b = run_sweep(cfg, parallel);
+  ASSERT_EQ(a.cells.size(), 8u);
+  ASSERT_EQ(b.cells.size(), 8u);
+  // The full serialized documents — spec, metrics, every stat counter, and
+  // the aggregate block — match byte for byte.
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_EQ(to_csv(a), to_csv(b));
+}
+
+TEST(SweepRunner, ResultsArriveInSpecOrder) {
+  const RunConfig cfg = tiny_grid();
+  const std::vector<RunSpec> specs = cfg.expand();
+  SweepOptions opts;
+  opts.jobs = 3;
+  const SweepResults results = run_sweep(specs, opts);
+  ASSERT_EQ(results.cells.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results.cells[i].spec.mechanism_label(),
+              specs[i].mechanism_label());
+    EXPECT_EQ(results.cells[i].spec.workload_label(),
+              specs[i].workload_label());
+    EXPECT_EQ(results.cells[i].spec.cores, specs[i].cores);
+    EXPECT_GT(results.cells[i].result.total_cycles, 0u);
+  }
+}
+
+TEST(SweepRunner, ProgressFiresOncePerCell) {
+  const RunConfig cfg = tiny_grid();
+  std::atomic<std::size_t> calls{0};
+  std::set<std::size_t> seen_done;
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.progress = [&](std::size_t done, std::size_t total,
+                      const RunSpec& spec) {
+    ++calls;
+    seen_done.insert(done);  // callback runs under the runner's lock
+    EXPECT_EQ(total, 8u);
+    EXPECT_GE(spec.cores, 1u);
+  };
+  run_sweep(cfg, opts);
+  EXPECT_EQ(calls.load(), 8u);
+  // Every completion count 1..8 was reported exactly once.
+  EXPECT_EQ(seen_done.size(), 8u);
+  EXPECT_EQ(*seen_done.begin(), 1u);
+  EXPECT_EQ(*seen_done.rbegin(), 8u);
+}
+
+TEST(SweepRunner, CellErrorsPropagate) {
+  RunSpec bad;
+  bad.mechanism_name = "not-a-mechanism";  // bypasses the builder's check
+  bad.instructions_per_core = 100;
+  EXPECT_THROW(run_sweep({bad}, SweepOptions{}), std::out_of_range);
+}
+
+TEST(SweepRunner, AggregationMatchesDirectComputation) {
+  const RunConfig cfg = tiny_grid();
+  const SweepResults results = run_sweep(cfg, SweepOptions{});
+
+  // summary: one row per cell.
+  EXPECT_EQ(summary_table(results).num_rows(), results.cells.size());
+
+  // Baseline speedups: radix vs ndpage cell pairs, straight from cycles.
+  CellFilter radix1, ndpage1;
+  radix1.mechanism = "Radix";
+  ndpage1.mechanism = "NDPage";
+  radix1.workload = ndpage1.workload = std::string("RND");
+  radix1.cores = ndpage1.cores = 1u;
+  const auto radix_cycles =
+      collect_metric(results, Metric::kCycles, radix1);
+  const auto ndpage_cycles =
+      collect_metric(results, Metric::kCycles, ndpage1);
+  ASSERT_EQ(radix_cycles.size(), 1u);
+  ASSERT_EQ(ndpage_cycles.size(), 1u);
+
+  const auto gms =
+      geomean_speedups(results, "Radix", SystemKind::kNdp, 1);
+  ASSERT_EQ(gms.size(), 1u);  // only NDPage (baseline excluded)
+  EXPECT_EQ(gms[0].first, "NDPage");
+  EXPECT_GT(gms[0].second, 0.0);
+
+  // speedup_table: (2 workloads + GEOMEAN) per (system, cores) group.
+  EXPECT_EQ(speedup_table(results, "Radix").num_rows(), 6u);
+  // A baseline absent from the sweep is an error, not a silent zero.
+  EXPECT_THROW(speedup_table(results, "ECH"), std::invalid_argument);
+
+  // Filters select exactly the matching cells.
+  CellFilter all_radix;
+  all_radix.mechanism = "radix";  // case-insensitive
+  EXPECT_EQ(collect_metric(results, Metric::kCycles, all_radix).size(), 4u);
+  EXPECT_GT(mean_metric(results, Metric::kPtwLatency, all_radix), 0.0);
+  CellFilter none;
+  none.system = SystemKind::kCpu;
+  EXPECT_EQ(collect_metric(results, Metric::kCycles, none).size(), 0u);
+  EXPECT_EQ(mean_metric(results, Metric::kCycles, none), 0.0);
+}
+
+/// Zig-zag scan registered at runtime — the config-file acceptance fixture.
+class ZigZagWorkload final : public TraceSource {
+ public:
+  explicit ZigZagWorkload(const WorkloadParams& params)
+      : cores_(params.num_cores), pos_(params.num_cores, 0) {}
+
+  std::string name() const override { return "ZigZag"; }
+  std::string suite() const override { return "custom"; }
+  std::uint64_t paper_dataset_bytes() const override { return kBytes; }
+  std::uint64_t dataset_bytes() const override { return kBytes; }
+  std::vector<VmRegion> regions() const override {
+    return {VmRegion{"zigzag", dataset_base(), kBytes, true}};
+  }
+  MemRef next(unsigned core) override {
+    std::uint64_t& p = pos_[core];
+    p += 4096 + core * 64;
+    const VirtAddr va = dataset_base() + (p % kBytes);
+    return MemRef{3, va, (p / kBytes) % 2 ? AccessType::kWrite
+                                          : AccessType::kRead};
+  }
+
+ private:
+  static constexpr std::uint64_t kBytes = 16ull << 20;
+  unsigned cores_;
+  std::vector<std::uint64_t> pos_;
+};
+
+// End-to-end acceptance for the subsystem: register a workload outside
+// src/workloads/, then select it *by name from a JSON config* and run the
+// grid through the parallel runner.
+TEST(SweepRunner, ConfigRunsRegisteredCustomWorkloadByName) {
+  WorkloadDescriptor d;
+  d.name = "ZigZag";
+  d.aliases = {"zz"};
+  d.suite = "custom";
+  d.summary = "sweep_runner_test zig-zag scan";
+  d.make = [](const WorkloadParams& p) {
+    return std::make_unique<ZigZagWorkload>(p);
+  };
+  ASSERT_TRUE(register_workload(std::move(d)));
+
+  const RunConfig cfg = RunConfig::from_json(R"({
+    "name": "custom_wl_grid",
+    "mechanisms": ["radix", "ndpage"],
+    "workloads": ["zz", "gups"],
+    "cores": [2],
+    "instructions": 3000,
+    "warmup": 200,
+    "scale": 0.015625,
+    "baseline": "radix"
+  })");
+  // The alias resolved to the canonical registered name at parse time.
+  EXPECT_EQ(cfg.workloads, (std::vector<std::string>{"ZigZag", "RND"}));
+
+  SweepOptions opts;
+  opts.jobs = 2;
+  const SweepResults results = run_sweep(cfg, opts);
+  ASSERT_EQ(results.cells.size(), 4u);
+  EXPECT_EQ(results.cells[0].result.meta.workload, "ZigZag");
+  EXPECT_GT(results.cells[0].result.total_cycles, 0u);
+  // The custom workload flows through aggregation like any built-in.
+  const auto gms = geomean_speedups(results, "Radix", SystemKind::kNdp, 2);
+  ASSERT_EQ(gms.size(), 1u);
+  EXPECT_EQ(gms[0].first, "NDPage");
+  // ... and lands in the JSON document under its registered name.
+  EXPECT_NE(to_json(results).find("\"ZigZag\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,205 @@
+// Workload-registry contract: registration/lookup round-trip, alias and
+// case-insensitive resolution, unknown-name diagnostics, agreement between
+// the legacy enum API and the registry, and — the point of the open API — a
+// trace generator registered here, without touching src/workloads/ headers,
+// running end-to-end through the experiment layer by name.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/experiment.h"
+#include "workloads/workload.h"
+#include "workloads/workload_registry.h"
+
+namespace ndp {
+namespace {
+
+/// A fixed-stride scan over one shared region: the simplest deterministic
+/// TraceSource, used as the registration fixture.
+class StrideWorkload final : public TraceSource {
+ public:
+  explicit StrideWorkload(const WorkloadParams& params)
+      : cores_(params.num_cores), pos_(params.num_cores, 0) {}
+
+  std::string name() const override { return "Stride"; }
+  std::string suite() const override { return "custom"; }
+  std::uint64_t paper_dataset_bytes() const override { return kBytes; }
+  std::uint64_t dataset_bytes() const override { return kBytes; }
+  std::vector<VmRegion> regions() const override {
+    return {VmRegion{"scan", dataset_base(), kBytes, true}};
+  }
+  MemRef next(unsigned core) override {
+    std::uint64_t& p = pos_[core];
+    p = (p + kStride) % kBytes;
+    return MemRef{2, dataset_base() + (core * kBytes / cores_ + p) % kBytes,
+                  AccessType::kRead};
+  }
+
+ private:
+  static constexpr std::uint64_t kBytes = 8ull << 20;
+  static constexpr std::uint64_t kStride = 192;
+  unsigned cores_;
+  std::vector<std::uint64_t> pos_;
+};
+
+WorkloadDescriptor test_descriptor(std::string name) {
+  WorkloadDescriptor d;
+  d.name = std::move(name);
+  d.suite = "custom";
+  d.summary = "workload_registry_test fixture";
+  d.make = [](const WorkloadParams& p) {
+    return std::make_unique<StrideWorkload>(p);
+  };
+  return d;
+}
+
+TEST(WorkloadRegistry, RegistrationLookupRoundTrip) {
+  WorkloadDescriptor d = test_descriptor("RoundTripWl");
+  d.aliases = {"rtwl-alias"};
+  d.paper_bytes = 1ull << 30;
+  ASSERT_TRUE(register_workload(std::move(d)));
+
+  const WorkloadDescriptor* found =
+      WorkloadRegistry::instance().find("RoundTripWl");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, "RoundTripWl");
+  EXPECT_EQ(found->suite, "custom");
+  EXPECT_EQ(found->paper_bytes, 1ull << 30);
+  EXPECT_FALSE(found->builtin);
+
+  WorkloadParams p;
+  p.num_cores = 2;
+  auto trace = found->make(p);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->name(), "Stride");
+  EXPECT_FALSE(trace->regions().empty());
+}
+
+TEST(WorkloadRegistry, AliasAndCaseInsensitiveResolution) {
+  WorkloadDescriptor d = test_descriptor("AliasWlHost");
+  d.aliases = {"wl-alias-one", "wl-alias-two"};
+  ASSERT_TRUE(register_workload(std::move(d)));
+
+  auto& reg = WorkloadRegistry::instance();
+  EXPECT_EQ(reg.find("wl-alias-one"), reg.find("AliasWlHost"));
+  EXPECT_EQ(reg.find("WL-ALIAS-TWO"), reg.find("AliasWlHost"));
+  EXPECT_EQ(reg.find("aliaswlhost"), reg.find("AliasWlHost"));
+
+  // Built-ins answer to unambiguous suite aliases, case-insensitively.
+  ASSERT_NE(reg.find("gups"), nullptr);
+  EXPECT_EQ(reg.find("gups")->name, "RND");
+  EXPECT_EQ(reg.find("XSBench")->name, "XS");
+  EXPECT_EQ(reg.find("genomicsbench")->name, "GEN");
+  // Ambiguous suites resolve nothing.
+  EXPECT_EQ(reg.find("GraphBIG"), nullptr);
+}
+
+TEST(WorkloadRegistry, RejectsCollisionsAndInvalidDescriptors) {
+  ASSERT_TRUE(register_workload(test_descriptor("WlCollider")));
+  EXPECT_FALSE(register_workload(test_descriptor("WlCollider")));
+  EXPECT_FALSE(register_workload(test_descriptor("wlcollider")));
+  // Alias colliding with an existing name.
+  WorkloadDescriptor alias_clash = test_descriptor("WlCollTwo");
+  alias_clash.aliases = {"rnd"};
+  EXPECT_FALSE(register_workload(std::move(alias_clash)));
+  // Missing name / missing factory.
+  EXPECT_FALSE(register_workload(test_descriptor("")));
+  WorkloadDescriptor no_factory;
+  no_factory.name = "WlNoFactory";
+  no_factory.suite = "custom";
+  EXPECT_FALSE(register_workload(std::move(no_factory)));
+  EXPECT_FALSE(WorkloadRegistry::instance().contains("WlNoFactory"));
+}
+
+TEST(WorkloadRegistry, UnknownNameThrowsWithKnownNames) {
+  try {
+    WorkloadRegistry::instance().at("not-a-workload");
+    FAIL() << "at() should throw on unknown names";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("not-a-workload"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("RND"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("PR"), std::string::npos) << msg;
+  }
+}
+
+TEST(WorkloadRegistry, BuiltinsMatchEnumApi) {
+  auto& reg = WorkloadRegistry::instance();
+  // Every enum workload is registered as a built-in under its to_string
+  // name, with matching catalogue metadata.
+  for (const WorkloadInfo& i : all_workload_info()) {
+    const WorkloadDescriptor* d = reg.find(i.name);
+    ASSERT_NE(d, nullptr) << i.name;
+    EXPECT_TRUE(d->builtin) << i.name;
+    EXPECT_EQ(d->suite, i.suite);
+    EXPECT_EQ(d->paper_bytes, i.paper_bytes);
+    EXPECT_EQ(&descriptor_of(i.kind), d);
+    EXPECT_FALSE(d->summary.empty()) << i.name;
+  }
+  // ... and the built-ins are exactly the eleven, in Table II order.
+  const std::vector<std::string> builtins = reg.builtin_names();
+  ASSERT_EQ(builtins.size(), all_workload_info().size());
+  for (std::size_t i = 0; i < builtins.size(); ++i)
+    EXPECT_EQ(builtins[i], all_workload_info()[i].name);
+}
+
+TEST(WorkloadRegistry, EnumShimProducesRegistryTraces) {
+  // make_workload(kind, ...) and the registry factory yield identical
+  // streams (same generator behind both paths).
+  WorkloadParams p;
+  p.num_cores = 1;
+  p.scale = 1.0 / 256.0;
+  auto via_enum = make_workload(WorkloadKind::kRND, p);
+  auto via_registry = descriptor_of(WorkloadKind::kRND).make(p);
+  ASSERT_NE(via_enum, nullptr);
+  ASSERT_NE(via_registry, nullptr);
+  EXPECT_EQ(via_enum->name(), via_registry->name());
+  EXPECT_EQ(via_enum->dataset_bytes(), via_registry->dataset_bytes());
+  for (int i = 0; i < 200; ++i) {
+    const MemRef a = via_enum->next(0);
+    const MemRef b = via_registry->next(0);
+    ASSERT_EQ(a.va, b.va) << "diverged at ref " << i;
+    ASSERT_EQ(a.gap, b.gap);
+    ASSERT_EQ(a.type, b.type);
+  }
+}
+
+TEST(WorkloadRegistry, ResolveWorkloadPrefersNameOverEnum) {
+  const WorkloadDescriptor& by_enum = resolve_workload(WorkloadKind::kPR, "");
+  EXPECT_EQ(by_enum.name, "PR");
+  const WorkloadDescriptor& by_name =
+      resolve_workload(WorkloadKind::kPR, "gups");
+  EXPECT_EQ(by_name.name, "RND");
+  EXPECT_THROW(resolve_workload(WorkloadKind::kPR, "bogus"),
+               std::out_of_range);
+}
+
+// The acceptance criterion of the open API: a brand-new workload registered
+// from a test runs end-to-end through string selection — no enum value, no
+// workload-header edit.
+TEST(WorkloadRegistry, RegisteredWorkloadRunsEndToEnd) {
+  WorkloadDescriptor d = test_descriptor("EndToEndScan");
+  d.aliases = {"e2escan"};
+  ASSERT_TRUE(register_workload(std::move(d)));
+  // Not a built-in: no enum value maps to it.
+  EXPECT_FALSE(workload_from_string("EndToEndScan").has_value());
+
+  const RunSpec spec = RunSpecBuilder()
+                           .system("ndp")
+                           .cores(2)
+                           .mechanism("radix")
+                           .workload("e2escan")
+                           .instructions(5'000)
+                           .warmup(300)
+                           .build();
+  EXPECT_EQ(spec.workload_label(), "EndToEndScan");
+  const RunResult r = run_experiment(spec);
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_EQ(r.cores.size(), 2u);
+  // meta.workload records the canonical registered name.
+  EXPECT_EQ(r.meta.workload, "EndToEndScan");
+  EXPECT_GT(r.stats.get("walker.walks"), 0u);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,16 +1,22 @@
 // ndpsim — config-driven front-end for the NDPage simulator.
 //
-// Every cell of the paper's evaluation (and any registered custom mechanism)
-// is runnable from flags, no bench binary required:
+// Every cell of the paper's evaluation (and any registered custom mechanism
+// or workload) is runnable from flags, no bench binary required:
 //
 //   ndpsim --system=ndp --cores=4 --mechanism=ndpage --workload=gups
-//   ndpsim --mechanism=radix,ndpage --workload=gups,pr --cores=1,4 \
+//   ndpsim --mechanism=radix,ndpage --workload=gups,pr --cores=1,4
 //          --json=sweep.json
 //   ndpsim --list-mechanisms
 //
 // Comma-separated --mechanism/--workload/--cores values expand into a
 // cross-product sweep (mechanism-major order). Results print as a table plus
 // per-component stats; --json writes machine-readable results ('-' = stdout).
+//
+// Whole experiment grids live in JSON config files (see experiments/ and
+// src/sim/run_config.h) and run host-parallel — cells are independent, and
+// results are deterministic regardless of the job count:
+//
+//   ndpsim --config experiments/fig06_core_scaling.json --jobs 4
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,7 +26,9 @@
 #include <vector>
 
 #include "common/table.h"
-#include "sim/experiment.h"
+#include "sim/run_config.h"
+#include "sim/sweep_runner.h"
+#include "workloads/workload_registry.h"
 
 using namespace ndp;
 
@@ -30,12 +38,21 @@ int usage(const char* argv0, int code) {
   std::printf(
       "usage: %s [options]\n"
       "\n"
+      "config-driven runs:\n"
+      "  --config=FILE            run a JSON experiment description\n"
+      "                           (see experiments/; selection and run-\n"
+      "                           parameter flags then belong in the file)\n"
+      "  --jobs=N                 execute sweep cells across N host threads\n"
+      "                           (0 = all cores; results are identical\n"
+      "                           whatever N is; default 1)\n"
+      "\n"
       "selection (comma-separated values expand into a sweep):\n"
       "  --system=ndp|cpu         simulated system (default ndp)\n"
       "  --cores=N[,N...]         core counts (default 4)\n"
       "  --mechanism=NAME[,...]   translation mechanisms (default ndpage;\n"
       "                           any registered name or alias)\n"
-      "  --workload=NAME[,...]    workloads (default gups)\n"
+      "  --workload=NAME[,...]    workloads (default gups; any registered\n"
+      "                           name or alias)\n"
       "\n"
       "run parameters:\n"
       "  --instructions=N         per-core instruction budget\n"
@@ -50,10 +67,13 @@ int usage(const char* argv0, int code) {
       "\n"
       "output:\n"
       "  --json=PATH              write results as JSON ('-' = stdout)\n"
+      "  --csv=PATH               write the summary table as CSV\n"
+      "                           ('-' = stdout)\n"
+      "  --baseline=NAME          aggregate speedups vs this mechanism\n"
       "  --stats                  dump every stat counter, not just the\n"
       "                           per-component summary\n"
       "  --list-mechanisms        list registered mechanisms and exit\n"
-      "  --list-workloads         list workloads and exit\n"
+      "  --list-workloads         list registered workloads and exit\n"
       "  --help                   this text\n",
       argv0);
   return code;
@@ -85,11 +105,19 @@ void list_mechanisms() {
 }
 
 void list_workloads() {
-  Table t({"name", "suite", "paper dataset"});
-  for (const WorkloadInfo& i : all_workload_info())
-    t.add_row({i.name, i.suite,
-               Table::num(double(i.paper_bytes) / double(1ull << 30), 0) +
-                   " GB"});
+  Table t({"name", "aliases", "suite", "paper dataset", "summary"});
+  for (const WorkloadDescriptor& d :
+       WorkloadRegistry::instance().descriptors()) {
+    std::string aliases;
+    for (const std::string& a : d.aliases)
+      aliases += aliases.empty() ? a : ", " + a;
+    t.add_row({d.name, aliases, d.suite,
+               d.paper_bytes
+                   ? Table::num(double(d.paper_bytes) / double(1ull << 30), 0) +
+                         " GB"
+                   : "-",
+               d.summary});
+  }
   t.print(std::cout);
 }
 
@@ -139,9 +167,26 @@ void print_all_stats(const RunResult& r) {
                 static_cast<unsigned long long>(a.count()));
 }
 
+bool write_output(const std::string& path, const std::string& payload,
+                  const char* what) {
+  if (path == "-") {
+    std::printf("%s\n", payload.c_str());
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << payload << '\n';
+  std::printf("wrote %s (%s)\n", path.c_str(), what);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string config_path;
   std::string system = "ndp";
   std::vector<std::string> mechanisms{"ndpage"};
   std::vector<std::string> workloads{"gups"};
@@ -149,15 +194,21 @@ int main(int argc, char** argv) {
   std::uint64_t instructions = 0, warmup = 0, seed = 42;
   double scale = 0;
   Overrides overrides;
-  std::string json_path;
+  std::string json_path, csv_path, baseline;
+  unsigned jobs = 1;
   bool dump_stats = false;
+  // Selection/run-parameter flags conflict with --config (the file is the
+  // experiment); remember whether any was given explicitly.
+  bool selection_flags_used = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Flags take values as --flag=value or --flag value.
     auto value_of = [&](const char* flag) -> const char* {
       const std::size_t n = std::strlen(flag);
       if (arg.compare(0, n, flag) == 0 && arg.size() > n && arg[n] == '=')
         return arg.c_str() + n + 1;
+      if (arg == flag && i + 1 < argc) return argv[++i];
       return nullptr;
     };
     if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
@@ -171,25 +222,45 @@ int main(int argc, char** argv) {
     }
     if (arg == "--stats") {
       dump_stats = true;
+    } else if (const char* v = value_of("--config")) {
+      config_path = v;
+    } else if (const char* v = value_of("--jobs")) {
+      char* end = nullptr;
+      jobs = static_cast<unsigned>(std::strtoul(v, &end, 10));
+      // 0 legitimately means "all host cores", so a parse failure must not
+      // silently become 0.
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--jobs takes a number (0 = all cores), got '%s'\n",
+                     v);
+        return 2;
+      }
     } else if (const char* v = value_of("--system")) {
       system = v;
+      selection_flags_used = true;
     } else if (const char* v = value_of("--mechanism")) {
       mechanisms = split_csv(v);
+      selection_flags_used = true;
     } else if (const char* v = value_of("--workload")) {
       workloads = split_csv(v);
+      selection_flags_used = true;
     } else if (const char* v = value_of("--cores")) {
       cores.clear();
       for (const std::string& c : split_csv(v))
         cores.push_back(
             static_cast<unsigned>(std::strtoul(c.c_str(), nullptr, 10)));
+      selection_flags_used = true;
     } else if (const char* v = value_of("--instructions")) {
       instructions = std::strtoull(v, nullptr, 10);
+      selection_flags_used = true;
     } else if (const char* v = value_of("--warmup")) {
       warmup = std::strtoull(v, nullptr, 10);
+      selection_flags_used = true;
     } else if (const char* v = value_of("--scale")) {
       scale = std::strtod(v, nullptr);
+      selection_flags_used = true;
     } else if (const char* v = value_of("--seed")) {
       seed = std::strtoull(v, nullptr, 10);
+      selection_flags_used = true;
     } else if (const char* v = value_of("--bypass")) {
       const std::string s = v;
       if (s != "on" && s != "off") {
@@ -197,6 +268,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       overrides.bypass = s == "on";
+      selection_flags_used = true;
     } else if (const char* v = value_of("--pwc-levels")) {
       std::vector<unsigned> levels;
       if (std::string(v) != "none")
@@ -204,12 +276,36 @@ int main(int argc, char** argv) {
           levels.push_back(
               static_cast<unsigned>(std::strtoul(l.c_str(), nullptr, 10)));
       overrides.pwc_levels = std::move(levels);
+      selection_flags_used = true;
     } else if (const char* v = value_of("--json")) {
       json_path = v;
+    } else if (const char* v = value_of("--csv")) {
+      csv_path = v;
+    } else if (const char* v = value_of("--baseline")) {
+      baseline = v;
     } else {
+      // A known value-taking flag in space form with nothing after it fell
+      // through value_of; say so instead of calling the flag unknown.
+      for (const char* flag :
+           {"--config", "--jobs", "--system", "--mechanism", "--workload",
+            "--cores", "--instructions", "--warmup", "--scale", "--seed",
+            "--bypass", "--pwc-levels", "--json", "--csv", "--baseline"}) {
+        if (arg == flag) {
+          std::fprintf(stderr, "option '%s' requires a value\n", flag);
+          return 2;
+        }
+      }
       std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
       return usage(argv[0], 2);
     }
+  }
+
+  const bool config_mode = !config_path.empty();
+  if (config_mode && selection_flags_used) {
+    std::fprintf(stderr,
+                 "--config conflicts with selection/run-parameter flags; put "
+                 "them in the config file\n");
+    return 2;
   }
 
   // An empty axis would silently fall back to RunSpec's defaults.
@@ -219,71 +315,130 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  RunConfig config;
   std::vector<RunSpec> specs;
   try {
-    RunSpec base = RunSpecBuilder()
-                       .system(system)
-                       .instructions(instructions)
-                       .warmup(warmup)
-                       .scale(scale)
-                       .seed(seed)
-                       .overrides(overrides)
-                       .build();
-    specs = sweep(base, mechanisms, workloads, cores);
+    if (config_mode) {
+      config = RunConfig::load(config_path);
+      if (!baseline.empty())
+        config.baseline = MechanismRegistry::instance().at(baseline).name;
+      if (!json_path.empty()) config.json_output = json_path;
+      if (!csv_path.empty()) config.csv_output = csv_path;
+      specs = config.expand();
+    } else {
+      RunSpec base = RunSpecBuilder()
+                         .system(system)
+                         .instructions(instructions)
+                         .warmup(warmup)
+                         .scale(scale)
+                         .seed(seed)
+                         .overrides(overrides)
+                         .build();
+      specs = sweep(base, mechanisms, workloads, cores);
+      if (!baseline.empty())
+        baseline = MechanismRegistry::instance().at(baseline).name;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
-  const bool is_sweep = specs.size() > 1;
-  Table summary({"system", "cores", "mechanism", "workload", "cycles", "IPC",
-                 "PTW (cy)", "translation", "PTE share"});
-  std::string json_out = "[";
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const RunSpec& spec = specs[i];
-    const RunResult r = run_experiment(spec);
-    summary.add_row(
-        {to_string(spec.system), std::to_string(spec.cores),
-         spec.mechanism_label(), spec.workload_label(),
-         std::to_string(static_cast<unsigned long long>(r.total_cycles)),
-         Table::num(r.ipc, 3), Table::num(r.avg_ptw_latency, 1),
-         Table::pct(r.translation_fraction), Table::pct(r.pte_access_share)});
-    if (!json_path.empty()) {
-      if (json_out.size() > 1) json_out += ',';
-      json_out += to_json(r, &spec);
+  // A --baseline override (config files validate theirs at parse time) must
+  // name a swept mechanism, and must fail here — before minutes of cells
+  // run — not in the aggregation pass afterwards.
+  const std::string& effective_baseline =
+      config_mode ? config.baseline : baseline;
+  if (!effective_baseline.empty()) {
+    bool swept = false;
+    for (const RunSpec& s : specs)
+      if (s.mechanism_label() == effective_baseline) swept = true;
+    if (!swept) {
+      std::fprintf(stderr,
+                   "--baseline '%s' is not one of the swept mechanisms\n",
+                   effective_baseline.c_str());
+      return 2;
     }
-    if (!is_sweep) {
-      std::printf("%s on %s, %u core(s), %s — %llu instructions/core\n\n",
-                  spec.mechanism_label().c_str(),
-                  to_string(spec.system).c_str(), spec.cores,
-                  spec.workload_label().c_str(),
-                  static_cast<unsigned long long>(
-                      spec.instructions_per_core ? spec.instructions_per_core
-                                                 : default_instructions()));
-      print_component_stats(r);
-      std::printf("\n");
-    }
-    if (dump_stats) print_all_stats(r);
   }
-  json_out += "]";
 
-  summary.print(std::cout);
+  SweepOptions opts;
+  opts.jobs = jobs;
+  if (specs.size() > 1) {
+    // Progress to stderr (completion order): stdout/file output stays
+    // byte-identical across job counts.
+    opts.progress = [](std::size_t done, std::size_t total,
+                       const RunSpec& spec) {
+      std::fprintf(stderr, "[%zu/%zu] %s %uc %s %s\n", done, total,
+                   to_string(spec.system).c_str(), spec.cores,
+                   spec.mechanism_label().c_str(),
+                   spec.workload_label().c_str());
+    };
+  }
 
-  if (!json_path.empty()) {
-    // A single run writes one object; a sweep writes the array.
-    const std::string payload =
-        is_sweep ? json_out : json_out.substr(1, json_out.size() - 2);
-    if (json_path == "-") {
-      std::printf("%s\n", payload.c_str());
+  SweepResults results;
+  try {
+    results = run_sweep(specs, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (config_mode) {
+    results.name = config.name;
+    results.baseline = config.baseline;
+  } else {
+    results.baseline = baseline;
+  }
+
+  if (results.cells.size() == 1) {
+    const RunSpec& spec = results.cells[0].spec;
+    std::printf("%s on %s, %u core(s), %s — %llu instructions/core\n\n",
+                spec.mechanism_label().c_str(), to_string(spec.system).c_str(),
+                spec.cores, spec.workload_label().c_str(),
+                static_cast<unsigned long long>(
+                    spec.instructions_per_core ? spec.instructions_per_core
+                                               : default_instructions()));
+    print_component_stats(results.cells[0].result);
+    std::printf("\n");
+  }
+  if (dump_stats)
+    for (const SweepCell& cell : results.cells) print_all_stats(cell.result);
+
+  summary_table(results).print(std::cout);
+
+  if (!results.baseline.empty()) {
+    try {
+      std::printf("\nspeedup over %s\n", results.baseline.c_str());
+      speedup_table(results, results.baseline).print(std::cout);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+
+  const std::string out_json =
+      config_mode ? config.json_output : json_path;
+  const std::string out_csv = config_mode ? config.csv_output : csv_path;
+  if (!out_json.empty()) {
+    std::string payload;
+    if (config_mode) {
+      // The config envelope: name + results + aggregate.
+      payload = to_json(results);
+    } else if (results.cells.size() == 1) {
+      // Legacy flag-mode formats: one object for a single run, a plain
+      // array for a sweep.
+      payload =
+          to_json(results.cells[0].result, &results.cells[0].spec);
     } else {
-      std::ofstream out(json_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
-        return 1;
+      payload = "[";
+      for (std::size_t i = 0; i < results.cells.size(); ++i) {
+        if (i) payload += ',';
+        payload += to_json(results.cells[i].result, &results.cells[i].spec);
       }
-      out << payload << '\n';
-      std::printf("wrote %s\n", json_path.c_str());
+      payload += ']';
     }
+    if (!write_output(out_json, payload, "JSON")) return 1;
   }
+  if (!out_csv.empty() &&
+      !write_output(out_csv, to_csv(results), "CSV"))
+    return 1;
   return 0;
 }
