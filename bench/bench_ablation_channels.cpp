@@ -1,5 +1,8 @@
 // Ablation: HBM2 channel-count sensitivity of the 8-core NDP contention
 // story (Fig. 6's latency growth depends on the vault service capacity).
+//
+// Ported onto run_sweep(): the (channels x mechanism) grid is one
+// host-parallel spec list, read back in deterministic spec order.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -10,9 +13,9 @@ int main() {
   bench::header("Ablation: NDP DRAM channel-count sensitivity (8-core, RND)",
                 "design-space study behind Fig. 6/14");
 
-  Table t({"channels", "radix PTW (cy)", "NDPage PTW (cy)", "NDPage speedup",
-           "dram queue (cy)"});
-  for (unsigned channels : {1u, 2u, 4u, 8u}) {
+  const unsigned channel_counts[] = {1u, 2u, 4u, 8u};
+  std::vector<RunSpec> specs;
+  for (unsigned channels : channel_counts) {
     DramTiming dt = DramTiming::hbm2();
     dt.channels = channels;
     RunSpec radix = bench::base_spec(SystemKind::kNdp, 8, Mechanism::kRadix,
@@ -20,11 +23,20 @@ int main() {
     radix.overrides.dram = dt;
     RunSpec ndpage = radix;
     ndpage.mechanism = Mechanism::kNdpage;
-    const RunResult r = run_experiment(radix);
-    const RunResult n = run_experiment(ndpage);
+    specs.push_back(radix);
+    specs.push_back(ndpage);
+  }
+
+  const SweepResults results = run_sweep(specs, bench::parallel_opts());
+
+  Table t({"channels", "radix PTW (cy)", "NDPage PTW (cy)", "NDPage speedup",
+           "dram queue (cy)"});
+  for (std::size_t i = 0; i < results.cells.size(); i += 2) {
+    const RunResult& r = results.cells[i].result;      // Radix
+    const RunResult& n = results.cells[i + 1].result;  // NDPage
     const Average* q = r.stats.average("dram.queue_delay");
-    t.add_row({std::to_string(channels), Table::num(r.avg_ptw_latency, 1),
-               Table::num(n.avg_ptw_latency, 1),
+    t.add_row({std::to_string(channel_counts[i / 2]),
+               Table::num(r.avg_ptw_latency, 1), Table::num(n.avg_ptw_latency, 1),
                Table::num(double(r.total_cycles) / double(n.total_cycles), 3),
                Table::num(q ? q->mean() : 0.0, 1)});
   }

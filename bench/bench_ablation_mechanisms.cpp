@@ -4,6 +4,10 @@
 //   Flatten only        — flattened table, metadata stays cacheable
 //   NDPage (both)       — the paper's full design
 // Run on a contention-sensitive subset at 1 and 8 cores.
+//
+// Ported onto run_sweep(): the whole variant x workload x cores grid is one
+// spec list executed host-parallel; rows index into the deterministic,
+// spec-ordered result set.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -16,28 +20,46 @@ int main() {
 
   const WorkloadKind wls[] = {WorkloadKind::kRND, WorkloadKind::kPR,
                               WorkloadKind::kXS, WorkloadKind::kGEN};
-  for (unsigned cores : {1u, 8u}) {
-    Table t({"workload", "bypass only", "flatten only", "NDPage"});
-    std::cout << cores << "-core NDP (speedup over Radix):\n";
-    for (WorkloadKind wl : wls) {
-      const RunSpec radix_spec =
-          bench::base_spec(SystemKind::kNdp, cores, Mechanism::kRadix, wl);
-      const double radix =
-          static_cast<double>(run_experiment(radix_spec).total_cycles);
+  const unsigned core_counts[] = {1u, 8u};
 
-      RunSpec bypass_only = radix_spec;
+  // Variants differ in (mechanism, overrides), which a per-spec list
+  // expresses directly. Order: cores-major, workload, then the 4 variants.
+  std::vector<RunSpec> specs;
+  for (unsigned cores : core_counts) {
+    for (WorkloadKind wl : wls) {
+      const RunSpec radix =
+          bench::base_spec(SystemKind::kNdp, cores, Mechanism::kRadix, wl);
+      RunSpec bypass_only = radix;
       bypass_only.overrides.bypass = true;  // radix table + metadata bypass
       RunSpec flatten_only =
           bench::base_spec(SystemKind::kNdp, cores, Mechanism::kNdpage, wl);
       flatten_only.overrides.bypass = false;  // flat table, cacheable PTEs
       const RunSpec full =
           bench::base_spec(SystemKind::kNdp, cores, Mechanism::kNdpage, wl);
+      specs.push_back(radix);
+      specs.push_back(bypass_only);
+      specs.push_back(flatten_only);
+      specs.push_back(full);
+    }
+  }
 
-      t.add_row(
-          {to_string(wl),
-           Table::num(radix / double(run_experiment(bypass_only).total_cycles), 3),
-           Table::num(radix / double(run_experiment(flatten_only).total_cycles), 3),
-           Table::num(radix / double(run_experiment(full).total_cycles), 3)});
+  const SweepResults results = run_sweep(specs, bench::parallel_opts());
+
+  std::size_t cell = 0;
+  auto cycles = [&]() {
+    return static_cast<double>(results.cells[cell++].result.total_cycles);
+  };
+  for (unsigned cores : core_counts) {
+    Table t({"workload", "bypass only", "flatten only", "NDPage"});
+    std::cout << cores << "-core NDP (speedup over Radix):\n";
+    for (WorkloadKind wl : wls) {
+      const double radix = cycles();
+      const double bypass_only = cycles();
+      const double flatten_only = cycles();
+      const double full = cycles();
+      t.add_row({to_string(wl), Table::num(radix / bypass_only, 3),
+                 Table::num(radix / flatten_only, 3),
+                 Table::num(radix / full, 3)});
     }
     t.print(std::cout);
     std::cout << '\n';

@@ -2,6 +2,11 @@
 //   * Per-level PWC hit rates of the Radix baseline (paper: L4 ~100%,
 //     L3 ~98.6%, L2/L1 ~15.4% on average).
 //   * NDPage with and without its L4/L3 PWCs.
+//   * NDPage L3-PWC sizing via the pwc_l3 mechanism parameter (the full
+//     grid is checked in as experiments/ablation_pwc_sizing.json).
+//
+// Ported onto run_sweep(): each table is one host-parallel spec grid read
+// back in deterministic spec order.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -12,44 +17,92 @@ int main() {
   bench::header("Ablation: PWC hit rates and NDPage PWC sensitivity",
                 "paper SV-C");
 
-  Table t({"workload", "PWC L4", "PWC L3", "PWC L2", "PWC L1"});
-  std::vector<double> h4, h3, h2, h1;
-  for (const WorkloadInfo& info : all_workload_info()) {
-    const RunResult r = run_experiment(
-        bench::base_spec(SystemKind::kNdp, 4, Mechanism::kRadix, info.kind));
-    auto rate = [&](int l) {
-      const std::string p = "pwc.l" + std::to_string(l) + ".";
-      return r.stats.rate(p + "hit", p + "miss");
-    };
-    h4.push_back(rate(4));
-    h3.push_back(rate(3));
-    h2.push_back(rate(2));
-    h1.push_back(rate(1));
-    t.add_row({info.name, Table::pct(rate(4)), Table::pct(rate(3)),
-               Table::pct(rate(2)), Table::pct(rate(1))});
-  }
-  t.add_row({"AVG", Table::pct(bench::mean(h4)), Table::pct(bench::mean(h3)),
-             Table::pct(bench::mean(h2)), Table::pct(bench::mean(h1))});
-  t.print(std::cout);
-  std::cout << "\nPaper reference points: L4 ~100%, L3 98.6%, L2/L1 avg 15.4%"
-               " — high upper-level hit rates are what NDPage keeps (SV-C).\n";
+  // Table 1: Radix per-level PWC hit rates across every workload — a plain
+  // one-axis sweep through the shared expander.
+  {
+    RunConfig cfg;
+    cfg.mechanisms = {"Radix"};
+    cfg.workloads.clear();
+    for (const WorkloadInfo& info : all_workload_info())
+      cfg.workloads.push_back(info.name);
+    cfg.cores = {4};
+    const SweepResults results = run_sweep(cfg, bench::parallel_opts());
 
-  std::cout << "\nNDPage with vs without its L4/L3 PWCs (4-core, subset):\n";
-  Table t2({"workload", "NDPage PTW (cy)", "no-PWC PTW (cy)", "slowdown"});
-  for (WorkloadKind wl : {WorkloadKind::kRND, WorkloadKind::kPR,
-                          WorkloadKind::kXS}) {
-    const RunResult with_pwc = run_experiment(
-        bench::base_spec(SystemKind::kNdp, 4, Mechanism::kNdpage, wl));
-    RunSpec no_pwc = bench::base_spec(SystemKind::kNdp, 4, Mechanism::kNdpage, wl);
-    no_pwc.overrides.pwc_levels = std::vector<unsigned>{};
-    const RunResult without = run_experiment(no_pwc);
-    t2.add_row({to_string(wl), Table::num(with_pwc.avg_ptw_latency, 1),
-                Table::num(without.avg_ptw_latency, 1),
-                Table::num(without.avg_ptw_latency /
-                               (with_pwc.avg_ptw_latency + 1e-9), 2) + "x"});
+    Table t({"workload", "PWC L4", "PWC L3", "PWC L2", "PWC L1"});
+    std::vector<double> h4, h3, h2, h1;
+    for (const SweepCell& cell : results.cells) {
+      auto rate = [&](int l) {
+        const std::string p = "pwc.l" + std::to_string(l) + ".";
+        return cell.result.stats.rate(p + "hit", p + "miss");
+      };
+      h4.push_back(rate(4));
+      h3.push_back(rate(3));
+      h2.push_back(rate(2));
+      h1.push_back(rate(1));
+      t.add_row({cell.spec.workload_label(), Table::pct(rate(4)),
+                 Table::pct(rate(3)), Table::pct(rate(2)),
+                 Table::pct(rate(1))});
+    }
+    t.add_row({"AVG", Table::pct(bench::mean(h4)), Table::pct(bench::mean(h3)),
+               Table::pct(bench::mean(h2)), Table::pct(bench::mean(h1))});
+    t.print(std::cout);
+    std::cout << "\nPaper reference points: L4 ~100%, L3 98.6%, L2/L1 avg 15.4%"
+                 " — high upper-level hit rates are what NDPage keeps (SV-C).\n";
   }
-  t2.print(std::cout);
-  std::cout << "\nWithout PWCs every NDPage walk pays three memory accesses"
-               " instead of ~one.\n";
+
+  // Table 2: NDPage with vs without its L4/L3 PWCs (strip via overrides).
+  {
+    const WorkloadKind wls[] = {WorkloadKind::kRND, WorkloadKind::kPR,
+                                WorkloadKind::kXS};
+    std::vector<RunSpec> specs;
+    for (WorkloadKind wl : wls) {
+      const RunSpec with_pwc =
+          bench::base_spec(SystemKind::kNdp, 4, Mechanism::kNdpage, wl);
+      RunSpec no_pwc = with_pwc;
+      no_pwc.overrides.pwc_levels = std::vector<unsigned>{};
+      specs.push_back(with_pwc);
+      specs.push_back(no_pwc);
+    }
+    const SweepResults results = run_sweep(specs, bench::parallel_opts());
+
+    std::cout << "\nNDPage with vs without its L4/L3 PWCs (4-core, subset):\n";
+    Table t({"workload", "NDPage PTW (cy)", "no-PWC PTW (cy)", "slowdown"});
+    for (std::size_t i = 0; i < results.cells.size(); i += 2) {
+      const double with_pwc = results.cells[i].result.avg_ptw_latency;
+      const double without = results.cells[i + 1].result.avg_ptw_latency;
+      t.add_row({results.cells[i].spec.workload_label(),
+                 Table::num(with_pwc, 1), Table::num(without, 1),
+                 Table::num(without / (with_pwc + 1e-9), 2) + "x"});
+    }
+    t.print(std::cout);
+    std::cout << "\nWithout PWCs every NDPage walk pays three memory accesses"
+                 " instead of ~one.\n";
+  }
+
+  // Table 3: per-level sizing through the parameterized registry — resize
+  // Radix's low-hit-rate L2/L1 PWCs by spec string, no override machinery.
+  {
+    const unsigned sizes[] = {8u, 32u, 256u};
+    std::vector<RunSpec> specs;
+    for (unsigned entries : sizes)
+      specs.push_back(RunSpecBuilder()
+                          .system(SystemKind::kNdp)
+                          .cores(4)
+                          .mechanism("radix(pwc_l2=" + std::to_string(entries) +
+                                     ",pwc_l1=" + std::to_string(entries) + ")")
+                          .workload(WorkloadKind::kRND)
+                          .build());
+    const SweepResults results = run_sweep(specs, bench::parallel_opts());
+
+    std::cout << "\nRadix L2/L1-PWC sizing (4-core, RND; "
+                 "full grid: experiments/ablation_pwc_sizing.json):\n";
+    Table t({"mechanism", "L2 hit rate", "L1 hit rate", "PTW (cy)"});
+    for (const SweepCell& cell : results.cells)
+      t.add_row({cell.spec.mechanism_label(),
+                 Table::pct(cell.result.stats.rate("pwc.l2.hit", "pwc.l2.miss")),
+                 Table::pct(cell.result.stats.rate("pwc.l1.hit", "pwc.l1.miss")),
+                 Table::num(cell.result.avg_ptw_latency, 1)});
+    t.print(std::cout);
+  }
   return 0;
 }

@@ -1,6 +1,9 @@
 // Fig. 12: speedup of the evaluated mechanisms over Radix, 1-core NDP.
 // Paper reference: NDPage 1.344 avg (+14.3% over the 2nd best, ECH 1.176);
 // Huge Page 1.08; Ideal above NDPage.
-#include "bench/speedup_common.h"
+//
+// Thin wrapper over run_sweep() + the shared speedup aggregation (see
+// bench_util.h); the grid also exists as experiments/fig12_speedup_1core.json.
+#include "bench/bench_util.h"
 
 int main() { return ndp::bench::run_speedup_figure(1, "12"); }

@@ -1,5 +1,8 @@
 // Fig. 13: speedup of the evaluated mechanisms over Radix, 4-core NDP.
 // Paper reference: NDPage 1.426 avg (+9.8% over ECH).
-#include "bench/speedup_common.h"
+//
+// Thin wrapper over run_sweep() + the shared speedup aggregation (see
+// bench_util.h); the grid also exists as experiments/fig13_speedup_4core.json.
+#include "bench/bench_util.h"
 
 int main() { return ndp::bench::run_speedup_figure(4, "13"); }

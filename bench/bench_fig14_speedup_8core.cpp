@@ -1,6 +1,9 @@
 // Fig. 14: speedup of the evaluated mechanisms over Radix, 8-core NDP.
 // Paper reference: NDPage 1.407 avg (+30.5% over ECH); Huge Page degrades
 // to 0.901 of Radix (fault latency / bloat / contiguity exhaustion).
-#include "bench/speedup_common.h"
+//
+// Thin wrapper over run_sweep() + the shared speedup aggregation (see
+// bench_util.h); the grid also exists as experiments/fig14_speedup_8core.json.
+#include "bench/bench_util.h"
 
 int main() { return ndp::bench::run_speedup_figure(8, "14"); }

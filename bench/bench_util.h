@@ -1,6 +1,13 @@
 // Shared helpers for the benchmark harness (one binary per paper table or
 // figure; each prints the rows/series the paper reports).
 //
+// Figure benches are thin wrappers over the sweep runner: they construct
+// the grid as a RunConfig (the same shape as the checked-in
+// experiments/*.json, duplicated in code so a bench runs from any
+// directory), execute it host-parallel with run_sweep(), and print through
+// the shared aggregation path (summary_table / speedup_table /
+// mean_metric) — no bespoke per-figure loops.
+//
 // Runtime control: set NDPAGE_INSTRS to change the per-core instruction
 // budget (default 150k; the paper's shapes are stable well below its 500M
 // because TLB/PWC/cache behaviour converges quickly at these reuse scales).
@@ -13,6 +20,7 @@
 
 #include "common/table.h"
 #include "sim/experiment.h"
+#include "sim/sweep_runner.h"
 #include "workloads/workload.h"
 
 namespace ndp::bench {
@@ -38,6 +46,36 @@ inline double mean(const std::vector<double>& xs) {
   double sum = 0;
   for (double x : xs) sum += x;
   return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+/// All host threads; cells are independent and results are byte-identical
+/// to a serial run, so benches always parallelize.
+inline SweepOptions parallel_opts() {
+  SweepOptions opts;
+  opts.jobs = 0;
+  return opts;
+}
+
+/// Shared driver for Figs. 12/13/14: the paper's five mechanisms x every
+/// workload on the N-core NDP system, speedups over Radix with geomean
+/// rows — one run_sweep() grid, printed via the shared speedup_table().
+inline int run_speedup_figure(unsigned cores, const char* figure) {
+  header("Fig. " + std::string(figure) + ": speedup over Radix, " +
+             std::to_string(cores) + "-core NDP",
+         "paper Fig. " + std::string(figure));
+
+  RunConfig cfg;
+  cfg.name = "fig" + std::string(figure) + "_speedup";
+  cfg.mechanisms = {"Radix", "ECH", "HugePage", "NDPage", "Ideal"};
+  cfg.workloads.clear();
+  for (const WorkloadInfo& info : all_workload_info())
+    cfg.workloads.push_back(info.name);
+  cfg.cores = {cores};
+  cfg.baseline = "Radix";
+
+  const SweepResults results = run_sweep(cfg, parallel_opts());
+  speedup_table(results, cfg.baseline).print(std::cout);
+  return 0;
 }
 
 }  // namespace ndp::bench

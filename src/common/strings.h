@@ -1,9 +1,12 @@
 // Small string helpers shared by the name-resolution paths (mechanism
-// registry, workload lookup, system-kind parsing).
+// registry, workload lookup, system-kind parsing, parameter specs).
 #pragma once
 
+#include <algorithm>
 #include <cctype>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace ndp {
 
@@ -15,6 +18,51 @@ inline bool iequals(std::string_view a, std::string_view b) {
         std::tolower(static_cast<unsigned char>(b[i])))
       return false;
   return true;
+}
+
+/// Strip ASCII whitespace from both ends.
+inline std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Case-insensitive Levenshtein distance (ASCII), for did-you-mean
+/// suggestions in name/parameter diagnostics.
+inline std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const bool same = std::tolower(static_cast<unsigned char>(a[i - 1])) ==
+                        std::tolower(static_cast<unsigned char>(b[j - 1]));
+      row[j] = std::min({up + 1, row[j - 1] + 1, diag + (same ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Closest candidate to `name` within an edit distance budget proportional
+/// to the name's length ("" when nothing is close enough).
+inline std::string closest_match(std::string_view name,
+                                 const std::vector<std::string>& candidates) {
+  const std::size_t budget = name.size() <= 4 ? 1 : name.size() / 2;
+  std::size_t best = budget + 1;
+  std::string out;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d < best) {
+      best = d;
+      out = c;
+    }
+  }
+  return out;
 }
 
 }  // namespace ndp

@@ -5,32 +5,70 @@
 #include "core/flat_page_table.h"
 #include "translate/dipta_page_table.h"
 #include "translate/ech_page_table.h"
+#include "translate/hybrid_page_table.h"
 #include "translate/radix_page_table.h"
 
 namespace ndp {
 namespace detail {
+namespace {
+
+/// Schema entry for one level's PWC entry count. 32 entries is the shared
+/// PwcConfig default; counts must divide by the 4-way associativity.
+ParamSpec pwc_size_spec(unsigned level) {
+  return ParamSpec::uint_spec(
+      "pwc_l" + std::to_string(level), 32, 4, 4096,
+      "PWC entries at level " + std::to_string(level), /*multiple_of=*/4);
+}
+
+/// Attach per-level `pwc_lN` knobs for every PWC level of `d.walker` and a
+/// make_walker that applies the resolved counts.
+void add_pwc_sizing(MechanismDescriptor& d) {
+  for (unsigned level : d.walker.pwc_levels)
+    d.params.push_back(pwc_size_spec(level));
+  const WalkerConfig base = d.walker;
+  d.make_walker = [base](const MechanismParams& p) {
+    WalkerConfig wc = base;
+    for (unsigned level : wc.pwc_levels)
+      wc.pwc_entries[level] = static_cast<unsigned>(
+          p.get_uint("pwc_l" + std::to_string(level)));
+    return wc;
+  };
+}
+
+}  // namespace
 
 void register_builtin_mechanisms(MechanismRegistry& registry) {
   // Paper §VI baseline. One PWC per level (§V-C observes L4/L3 nearly
-  // always hit while L2/L1 average ~15%).
+  // always hit while L2/L1 average ~15%), each individually sizeable.
   MechanismDescriptor radix;
   radix.name = "Radix";
   radix.aliases = {"x86", "baseline"};
   radix.summary = "4-level x86-64 radix table, PWCs at every level";
-  radix.make_page_table = [](PhysicalMemory& pm) {
+  radix.make_page_table = [](PhysicalMemory& pm, const MechanismParams&) {
     return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
   };
   radix.walker.pwc_levels = {4, 3, 2, 1};
+  add_pwc_sizing(radix);
   radix.builtin = true;
   registry.add(std::move(radix));
 
-  // Hashed table: no radix prefixes to cache; PTEs stay cacheable.
+  // Hashed table: no radix prefixes to cache; PTEs stay cacheable. `ways`
+  // is the cuckoo associativity (Skarlatos et al. evaluate 2/3/4-way);
+  // `probes` bounds how many buckets the walker probes concurrently
+  // (0 = all ways in one parallel group, the classic configuration).
   MechanismDescriptor ech;
   ech.name = "ECH";
   ech.aliases = {"elastic-cuckoo"};
-  ech.summary = "elastic cuckoo hash table, 3 parallel probes, no PWCs";
-  ech.make_page_table = [](PhysicalMemory& pm) {
-    return std::make_unique<EchPageTable>(pm);
+  ech.summary = "elastic cuckoo hash table, parallel probes, no PWCs";
+  ech.params = {
+      ParamSpec::uint_spec("ways", 3, 2, 8, "cuckoo hash ways (buckets per VPN)"),
+      ParamSpec::uint_spec("probes", 0, 0, 8,
+                           "parallel probes per group (0 = all ways)")};
+  ech.make_page_table = [](PhysicalMemory& pm, const MechanismParams& p) {
+    EchConfig cfg;
+    cfg.ways = static_cast<unsigned>(p.get_uint("ways"));
+    cfg.probe_width = static_cast<unsigned>(p.get_uint("probes"));
+    return std::make_unique<EchPageTable>(pm, cfg);
   };
   ech.walker.pwc_levels = {};
   ech.builtin = true;
@@ -42,25 +80,28 @@ void register_builtin_mechanisms(MechanismRegistry& registry) {
   huge.name = "HugePage";
   huge.aliases = {"huge", "thp"};
   huge.summary = "2 MB pages on a 3-level radix table, PWCs at L4/L3";
-  huge.make_page_table = [](PhysicalMemory& pm) {
+  huge.make_page_table = [](PhysicalMemory& pm, const MechanismParams&) {
     return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/2);
   };
   huge.walker.pwc_levels = {4, 3};
+  add_pwc_sizing(huge);
   huge.huge_pages = true;
   huge.builtin = true;
   registry.add(std::move(huge));
 
-  // Paper §V: keep the high-hit-rate L4/L3 PWCs, no PWC for the flattened
-  // level, and bypass the cache hierarchy for metadata.
+  // Paper §V: keep the high-hit-rate L4/L3 PWCs (sizeable per level), no
+  // PWC for the flattened level, and bypass the cache hierarchy for
+  // metadata.
   MechanismDescriptor ndpage;
   ndpage.name = "NDPage";
   ndpage.aliases = {"flat"};
   ndpage.summary = "flattened L2/L1 table + metadata cache bypass (this paper)";
-  ndpage.make_page_table = [](PhysicalMemory& pm) {
+  ndpage.make_page_table = [](PhysicalMemory& pm, const MechanismParams&) {
     return std::make_unique<FlatPageTable>(pm);
   };
   ndpage.walker.pwc_levels = {4, 3};
   ndpage.walker.bypass_caches_for_metadata = true;
+  add_pwc_sizing(ndpage);
   ndpage.builtin = true;
   registry.add(std::move(ndpage));
 
@@ -70,7 +111,7 @@ void register_builtin_mechanisms(MechanismRegistry& registry) {
   ideal.name = "Ideal";
   ideal.aliases = {"perfect-tlb"};
   ideal.summary = "every translation hits a zero-latency TLB (limit case)";
-  ideal.make_page_table = [](PhysicalMemory& pm) {
+  ideal.make_page_table = [](PhysicalMemory& pm, const MechanismParams&) {
     return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
   };
   ideal.walker.pwc_levels = {};
@@ -82,12 +123,30 @@ void register_builtin_mechanisms(MechanismRegistry& registry) {
   MechanismDescriptor dipta;
   dipta.name = "DIPTA";
   dipta.summary = "restricted-associativity near-data translation (related work)";
-  dipta.make_page_table = [](PhysicalMemory& pm) {
+  dipta.make_page_table = [](PhysicalMemory& pm, const MechanismParams&) {
     return std::make_unique<DiptaPageTable>(pm);
   };
   dipta.walker.pwc_levels = {};
   dipta.builtin = true;
   registry.add(std::move(dipta));
+
+  // POM-style hybrid: a direct-mapped one-level flat window probed first,
+  // radix fallback (absorbed by L4/L3 PWCs) for conflicting VPNs.
+  MechanismDescriptor hybrid;
+  hybrid.name = "Hybrid";
+  hybrid.aliases = {"pom", "flat-radix"};
+  hybrid.summary = "1-level flat window + radix fallback (POM-style)";
+  hybrid.params = {ParamSpec::uint_spec(
+      "flat_bits", 20, 14, 24, "log2 of direct-mapped flat-window slots")};
+  hybrid.make_page_table = [](PhysicalMemory& pm, const MechanismParams& p) {
+    HybridConfig cfg;
+    cfg.flat_bits = static_cast<unsigned>(p.get_uint("flat_bits"));
+    return std::make_unique<HybridPageTable>(pm, cfg);
+  };
+  hybrid.walker.pwc_levels = {4, 3};
+  add_pwc_sizing(hybrid);
+  hybrid.builtin = true;
+  registry.add(std::move(hybrid));
 }
 
 }  // namespace detail
@@ -100,6 +159,7 @@ std::string to_string(Mechanism m) {
     case Mechanism::kNdpage: return "NDPage";
     case Mechanism::kIdeal: return "Ideal";
     case Mechanism::kDipta: return "DIPTA";
+    case Mechanism::kHybrid: return "Hybrid";
   }
   return "?";
 }
@@ -108,10 +168,15 @@ const MechanismDescriptor& descriptor_of(Mechanism m) {
   return MechanismRegistry::instance().at(to_string(m));
 }
 
+MechanismSpec resolve_mechanism_spec(Mechanism fallback,
+                                     std::string_view name) {
+  return MechanismRegistry::instance().resolve(
+      name.empty() ? std::string_view(to_string(fallback)) : name);
+}
+
 const MechanismDescriptor& resolve_mechanism(Mechanism fallback,
                                              std::string_view name) {
-  return name.empty() ? descriptor_of(fallback)
-                      : MechanismRegistry::instance().at(name);
+  return *resolve_mechanism_spec(fallback, name).descriptor;
 }
 
 std::optional<Mechanism> mechanism_from_string(std::string_view name) {
@@ -129,9 +194,13 @@ bool models_translation(Mechanism m) {
 }
 
 std::unique_ptr<PageTable> make_page_table(Mechanism m, PhysicalMemory& pm) {
-  return descriptor_of(m).make_page_table(pm);
+  const MechanismDescriptor& d = descriptor_of(m);
+  return d.make_page_table(pm, d.default_params());
 }
 
-WalkerConfig make_walker_config(Mechanism m) { return descriptor_of(m).walker; }
+WalkerConfig make_walker_config(Mechanism m) {
+  const MechanismDescriptor& d = descriptor_of(m);
+  return d.walker_config(d.default_params());
+}
 
 }  // namespace ndp

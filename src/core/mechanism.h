@@ -1,16 +1,23 @@
 // The evaluated address-translation mechanisms (paper §VI):
 //   Radix     — 4-level x86-64 radix table, PWCs at every level.
-//   ECH       — elastic cuckoo hash table, 3 parallel probes, no PWCs.
+//   ECH       — elastic cuckoo hash table, parallel probes, no PWCs.
 //   HugePage  — 2 MB pages on a 3-level radix table, PWCs at L4/L3.
 //   NDPage    — this paper: flattened L2/L1 table + metadata cache bypass,
 //               PWCs retained at L4/L3 only (§V-C).
 //   Ideal     — every translation hits a zero-latency TLB (the limit case).
 //
-// These (plus DIPTA) are built-in entries of the open MechanismRegistry
-// (core/mechanism_registry.h); everything below is a thin shim over their
-// descriptors, kept so existing enum-based call sites compile unchanged.
-// New mechanisms register with the registry and are selected by string —
-// they need no enum value and no edits to this header.
+// These (plus DIPTA and the POM-style Hybrid) are built-in entries of the
+// open MechanismRegistry (core/mechanism_registry.h); everything below is a
+// thin shim over their descriptors, kept so existing enum-based call sites
+// compile unchanged. New mechanisms register with the registry and are
+// selected by string — they need no enum value and no edits to this header.
+//
+// The built-ins publish typed parameter schemas (see --list-mechanisms):
+//   ech(ways, probes)              — associativity and probe-group width
+//   radix(pwc_l4..pwc_l1)          — per-level PWC entry counts
+//   ndpage/hugepage(pwc_l4,pwc_l3) — per-level PWC entry counts
+//   hybrid(flat_bits,pwc_l4,pwc_l3)— flat-window size + PWC sizing
+// Selection strings carry parameters: "ech(ways=4)", "radix(pwc_l2=128)".
 #pragma once
 
 #include <memory>
@@ -35,6 +42,9 @@ enum class Mechanism {
   /// Extension beyond the paper's five: DIPTA-style restricted-associativity
   /// translation (SVIII related work), for the related-work bench.
   kDipta,
+  /// Extension: POM-style hybrid — direct-mapped flat window with a radix
+  /// fallback for conflicting translations.
+  kHybrid,
 };
 
 /// The five mechanisms of the paper's evaluation (SVI).
@@ -43,8 +53,9 @@ inline constexpr Mechanism kAllMechanisms[] = {
     Mechanism::kNdpage, Mechanism::kIdeal};
 /// The paper's five plus implemented related-work comparators.
 inline constexpr Mechanism kExtendedMechanisms[] = {
-    Mechanism::kRadix, Mechanism::kEch, Mechanism::kHugePage,
-    Mechanism::kNdpage, Mechanism::kIdeal, Mechanism::kDipta};
+    Mechanism::kRadix, Mechanism::kEch,   Mechanism::kHugePage,
+    Mechanism::kNdpage, Mechanism::kIdeal, Mechanism::kDipta,
+    Mechanism::kHybrid};
 
 std::string to_string(Mechanism m);
 
@@ -52,12 +63,17 @@ std::string to_string(Mechanism m);
 const MechanismDescriptor& descriptor_of(Mechanism m);
 
 /// Resolve the (enum, name) selector pair used by SystemConfig and RunSpec:
-/// the string wins when non-empty, otherwise the enum. Throws
-/// std::out_of_range (listing registered names) on an unknown name.
+/// the string wins when non-empty, otherwise the enum. The string may carry
+/// parameters ("ech(ways=4)"). Throws std::out_of_range (listing registered
+/// names) on an unknown name and std::invalid_argument on bad parameters.
+MechanismSpec resolve_mechanism_spec(Mechanism fallback, std::string_view name);
+
+/// Descriptor-only variant of resolve_mechanism_spec() (parameters, if any,
+/// are validated and discarded).
 const MechanismDescriptor& resolve_mechanism(Mechanism fallback,
                                              std::string_view name);
 
-/// Resolve a name/alias (case-insensitive) to a built-in enum value.
+/// Resolve a bare name/alias (case-insensitive) to a built-in enum value.
 /// Registered mechanisms beyond the built-ins have no enum value — resolve
 /// those through MechanismRegistry::find() instead.
 std::optional<Mechanism> mechanism_from_string(std::string_view name);
@@ -67,10 +83,11 @@ bool uses_huge_pages(Mechanism m);
 /// Does this mechanism model translation at all? (false for Ideal)
 bool models_translation(Mechanism m);
 
-/// Build the page-table structure for a mechanism.
+/// Build the page-table structure for a mechanism at default parameters.
 std::unique_ptr<PageTable> make_page_table(Mechanism m, PhysicalMemory& pm);
 
-/// The walker configuration a mechanism prescribes (PWC levels + bypass).
+/// The walker configuration a mechanism prescribes at default parameters
+/// (PWC levels + bypass).
 WalkerConfig make_walker_config(Mechanism m);
 
 }  // namespace ndp

@@ -1,0 +1,239 @@
+#include "core/mechanism_params.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace ndp {
+namespace {
+
+/// Deterministic shortest-ish double formatting (matches the JSON writer's
+/// intent: round-trips, no locale dependence).
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shortest precision that round-trips.
+  for (int prec = 1; prec <= 16; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+    if (std::strtod(probe, nullptr) == v) return probe;
+  }
+  return buf;
+}
+
+[[noreturn]] void value_error(const ParamSpec& spec, std::string_view text,
+                              const std::string& why) {
+  throw std::invalid_argument("parameter '" + spec.name + "': " + why +
+                              " (got '" + std::string(text) + "'; expected " +
+                              spec.describe() + ")");
+}
+
+}  // namespace
+
+std::string to_string(ParamType t) {
+  switch (t) {
+    case ParamType::kUInt: return "uint";
+    case ParamType::kDouble: return "double";
+    case ParamType::kBool: return "bool";
+  }
+  return "?";
+}
+
+ParamValue ParamValue::of_uint(std::uint64_t v) {
+  ParamValue p;
+  p.type_ = ParamType::kUInt;
+  p.u_ = v;
+  return p;
+}
+
+ParamValue ParamValue::of_double(double v) {
+  ParamValue p;
+  p.type_ = ParamType::kDouble;
+  p.d_ = v;
+  return p;
+}
+
+ParamValue ParamValue::of_bool(bool v) {
+  ParamValue p;
+  p.type_ = ParamType::kBool;
+  p.b_ = v;
+  return p;
+}
+
+std::uint64_t ParamValue::as_uint() const {
+  if (type_ != ParamType::kUInt)
+    throw std::logic_error("ParamValue: not a uint");
+  return u_;
+}
+
+double ParamValue::as_double() const {
+  if (type_ == ParamType::kDouble) return d_;
+  if (type_ == ParamType::kUInt) return static_cast<double>(u_);
+  throw std::logic_error("ParamValue: not numeric");
+}
+
+bool ParamValue::as_bool() const {
+  if (type_ != ParamType::kBool)
+    throw std::logic_error("ParamValue: not a bool");
+  return b_;
+}
+
+std::string ParamValue::text() const {
+  switch (type_) {
+    case ParamType::kUInt: return std::to_string(u_);
+    case ParamType::kDouble: return format_double(d_);
+    case ParamType::kBool: return b_ ? "true" : "false";
+  }
+  return "?";
+}
+
+bool ParamValue::operator==(const ParamValue& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case ParamType::kUInt: return u_ == o.u_;
+    case ParamType::kDouble: return d_ == o.d_;
+    case ParamType::kBool: return b_ == o.b_;
+  }
+  return false;
+}
+
+ParamSpec ParamSpec::uint_spec(std::string name, std::uint64_t def,
+                               std::uint64_t min, std::uint64_t max,
+                               std::string summary,
+                               std::uint64_t multiple_of) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.type = ParamType::kUInt;
+  s.def = ParamValue::of_uint(def);
+  s.min = ParamValue::of_uint(min);
+  s.max = ParamValue::of_uint(max);
+  s.multiple_of = multiple_of ? multiple_of : 1;
+  s.summary = std::move(summary);
+  return s;
+}
+
+ParamSpec ParamSpec::double_spec(std::string name, double def, double min,
+                                 double max, std::string summary) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.type = ParamType::kDouble;
+  s.def = ParamValue::of_double(def);
+  s.min = ParamValue::of_double(min);
+  s.max = ParamValue::of_double(max);
+  s.summary = std::move(summary);
+  return s;
+}
+
+ParamSpec ParamSpec::bool_spec(std::string name, bool def,
+                               std::string summary) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.type = ParamType::kBool;
+  s.def = ParamValue::of_bool(def);
+  s.summary = std::move(summary);
+  return s;
+}
+
+std::string ParamSpec::describe() const {
+  std::string out = name + ":" + to_string(type) + "=" + def.text();
+  if (type != ParamType::kBool) {
+    out += " [" + min.text() + ".." + max.text() + "]";
+    if (multiple_of > 1) out += " step " + std::to_string(multiple_of);
+  }
+  return out;
+}
+
+ParamValue ParamSpec::parse(std::string_view raw) const {
+  const std::string text(trim(raw));
+  if (text.empty()) value_error(*this, raw, "empty value");
+  ParamValue v;
+  switch (type) {
+    case ParamType::kUInt: {
+      char* end = nullptr;
+      const unsigned long long u = std::strtoull(text.c_str(), &end, 10);
+      if (end != text.c_str() + text.size() || text[0] == '-')
+        value_error(*this, text, "not an unsigned integer");
+      v = ParamValue::of_uint(u);
+      break;
+    }
+    case ParamType::kDouble: {
+      char* end = nullptr;
+      const double d = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size())
+        value_error(*this, text, "not a number");
+      v = ParamValue::of_double(d);
+      break;
+    }
+    case ParamType::kBool: {
+      if (iequals(text, "true") || iequals(text, "on") || text == "1")
+        v = ParamValue::of_bool(true);
+      else if (iequals(text, "false") || iequals(text, "off") || text == "0")
+        v = ParamValue::of_bool(false);
+      else
+        value_error(*this, text, "not a boolean (true/false/on/off/1/0)");
+      break;
+    }
+  }
+  validate(v);
+  return v;
+}
+
+void ParamSpec::validate(const ParamValue& v) const {
+  if (v.type() != type)
+    value_error(*this, v.text(), "wrong type " + to_string(v.type()));
+  if (type == ParamType::kBool) return;
+  if (v.as_double() < min.as_double() || v.as_double() > max.as_double())
+    value_error(*this, v.text(),
+                "out of range [" + min.text() + ".." + max.text() + "]");
+  if (type == ParamType::kUInt && multiple_of > 1 &&
+      v.as_uint() % multiple_of != 0)
+    value_error(*this, v.text(),
+                "must be a multiple of " + std::to_string(multiple_of));
+}
+
+const ParamValue* MechanismParams::find(std::string_view name) const {
+  for (const auto& [k, v] : entries_)
+    if (iequals(k, name)) return &v;
+  return nullptr;
+}
+
+std::uint64_t MechanismParams::get_uint(std::string_view name) const {
+  const ParamValue* v = find(name);
+  if (!v) throw std::logic_error("missing parameter '" + std::string(name) + "'");
+  return v->as_uint();
+}
+
+double MechanismParams::get_double(std::string_view name) const {
+  const ParamValue* v = find(name);
+  if (!v) throw std::logic_error("missing parameter '" + std::string(name) + "'");
+  return v->as_double();
+}
+
+bool MechanismParams::get_bool(std::string_view name) const {
+  const ParamValue* v = find(name);
+  if (!v) throw std::logic_error("missing parameter '" + std::string(name) + "'");
+  return v->as_bool();
+}
+
+void MechanismParams::set(std::string name, ParamValue v) {
+  for (auto& [k, existing] : entries_) {
+    if (iequals(k, name)) {
+      existing = v;
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), v);
+}
+
+std::string MechanismParams::text() const {
+  std::string out;
+  for (const auto& [k, v] : entries_) {
+    if (!out.empty()) out += ',';
+    out += k + "=" + v.text();
+  }
+  return out;
+}
+
+}  // namespace ndp

@@ -1,0 +1,108 @@
+// Typed mechanism parameters: the schema a translation mechanism publishes
+// (name, type, default, range per knob) and the resolved parameter sets its
+// factories receive.
+//
+// A MechanismDescriptor declares its knobs as ParamSpecs ("ways:uint=3
+// [2..8]"); the registry parses `name(key=value,...)` spec strings against
+// that schema — case-insensitively, with did-you-mean diagnostics — and
+// hands the factories a fully resolved MechanismParams (every schema
+// parameter present, defaults applied). See core/mechanism_registry.h for
+// the resolution entry point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ndp {
+
+enum class ParamType { kUInt, kDouble, kBool };
+
+std::string to_string(ParamType t);
+
+/// One typed parameter value. Accessors are strict: asking for the wrong
+/// type throws std::logic_error (a factory/schema mismatch is a programming
+/// error, not bad user input).
+class ParamValue {
+ public:
+  ParamValue() = default;
+  static ParamValue of_uint(std::uint64_t v);
+  static ParamValue of_double(double v);
+  static ParamValue of_bool(bool v);
+
+  ParamType type() const { return type_; }
+  std::uint64_t as_uint() const;
+  double as_double() const;
+  bool as_bool() const;
+
+  /// Canonical text form ("4", "0.5", "true") — used in canonical spec
+  /// strings and result metadata, so it must be deterministic.
+  std::string text() const;
+
+  bool operator==(const ParamValue& o) const;
+  bool operator!=(const ParamValue& o) const { return !(*this == o); }
+
+ private:
+  ParamType type_ = ParamType::kUInt;
+  std::uint64_t u_ = 0;
+  double d_ = 0.0;
+  bool b_ = false;
+};
+
+/// Schema entry for one knob: name, type, default, inclusive range.
+struct ParamSpec {
+  std::string name;  ///< canonical spelling; lookup is case-insensitive
+  ParamType type = ParamType::kUInt;
+  ParamValue def;
+  /// Inclusive bounds; meaningful for numeric types only.
+  ParamValue min, max;
+  /// kUInt only: accepted values must be divisible by this (e.g. PWC entry
+  /// counts must be a multiple of the associativity).
+  std::uint64_t multiple_of = 1;
+  std::string summary;
+
+  static ParamSpec uint_spec(std::string name, std::uint64_t def,
+                             std::uint64_t min, std::uint64_t max,
+                             std::string summary, std::uint64_t multiple_of = 1);
+  static ParamSpec double_spec(std::string name, double def, double min,
+                               double max, std::string summary);
+  static ParamSpec bool_spec(std::string name, bool def, std::string summary);
+
+  /// "ways:uint=3 [2..8]" — the form shown by `ndpsim --list-mechanisms`
+  /// and embedded in unknown-parameter diagnostics.
+  std::string describe() const;
+
+  /// Parse + range-check a value of this spec's type. Throws
+  /// std::invalid_argument naming the parameter, the expected type/range,
+  /// and the offending text.
+  ParamValue parse(std::string_view text) const;
+  /// Range-check an already-typed value (same diagnostics as parse()).
+  void validate(const ParamValue& v) const;
+};
+
+/// A resolved parameter set: one entry per schema parameter, in schema
+/// order, defaults applied. Factories read knobs through the typed getters.
+class MechanismParams {
+ public:
+  const ParamValue* find(std::string_view name) const;
+  std::uint64_t get_uint(std::string_view name) const;
+  double get_double(std::string_view name) const;
+  bool get_bool(std::string_view name) const;
+
+  void set(std::string name, ParamValue v);
+
+  bool empty() const { return entries_.empty(); }
+  const std::vector<std::pair<std::string, ParamValue>>& entries() const {
+    return entries_;
+  }
+
+  /// "ways=3,probes=0" — full resolved list in schema order.
+  std::string text() const;
+
+ private:
+  std::vector<std::pair<std::string, ParamValue>> entries_;
+};
+
+}  // namespace ndp

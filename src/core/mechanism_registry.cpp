@@ -14,7 +14,55 @@ bool answers_to(const MechanismDescriptor& d, std::string_view name) {
   return false;
 }
 
+/// All lookup names (canonical + aliases), for did-you-mean suggestions.
+std::vector<std::string> all_lookup_names(
+    const std::deque<MechanismDescriptor>& descriptors) {
+  std::vector<std::string> out;
+  for (const MechanismDescriptor& d : descriptors) {
+    out.push_back(d.name);
+    for (const std::string& a : d.aliases) out.push_back(a);
+  }
+  return out;
+}
+
+[[noreturn]] void spec_error(const MechanismDescriptor& d,
+                             const std::string& why) {
+  std::string msg = "mechanism '" + d.name + "': " + why;
+  if (d.params.empty()) {
+    msg += "; '" + d.name + "' takes no parameters";
+  } else {
+    msg += "; parameters: " + d.param_schema();
+  }
+  throw std::invalid_argument(msg);
+}
+
 }  // namespace
+
+MechanismParams MechanismDescriptor::default_params() const {
+  MechanismParams out;
+  for (const ParamSpec& p : params) out.set(p.name, p.def);
+  return out;
+}
+
+const ParamSpec* MechanismDescriptor::find_param(std::string_view name) const {
+  for (const ParamSpec& p : params)
+    if (iequals(p.name, name)) return &p;
+  return nullptr;
+}
+
+std::string MechanismDescriptor::param_schema() const {
+  std::string out;
+  for (const ParamSpec& p : params) {
+    if (!out.empty()) out += ", ";
+    out += p.describe();
+  }
+  return out;
+}
+
+WalkerConfig MechanismDescriptor::walker_config(
+    const MechanismParams& p) const {
+  return make_walker ? make_walker(p) : walker;
+}
 
 MechanismRegistry::MechanismRegistry() {
   detail::register_builtin_mechanisms(*this);
@@ -30,6 +78,16 @@ bool MechanismRegistry::add(MechanismDescriptor desc) {
   if (contains(desc.name)) return false;
   for (const std::string& alias : desc.aliases)
     if (contains(alias)) return false;
+  // Schema sanity: unique knob names, defaults inside their own range.
+  for (std::size_t i = 0; i < desc.params.size(); ++i) {
+    for (std::size_t j = i + 1; j < desc.params.size(); ++j)
+      if (iequals(desc.params[i].name, desc.params[j].name)) return false;
+    try {
+      desc.params[i].validate(desc.params[i].def);
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
   descriptors_.push_back(std::move(desc));
   return true;
 }
@@ -45,12 +103,76 @@ const MechanismDescriptor& MechanismRegistry::at(std::string_view name) const {
   if (const MechanismDescriptor* d = find(name)) return *d;
   std::string msg = "unknown mechanism '";
   msg.append(name);
-  msg += "'; registered mechanisms:";
+  msg += '\'';
+  const std::string suggestion =
+      closest_match(name, all_lookup_names(descriptors_));
+  if (!suggestion.empty()) msg += "; did you mean '" + suggestion + "'?";
+  msg += "; registered mechanisms:";
   for (const MechanismDescriptor& d : descriptors_) {
     msg += ' ';
     msg += d.name;
   }
   throw std::out_of_range(msg);
+}
+
+MechanismSpec MechanismRegistry::resolve(std::string_view text) const {
+  const std::string_view spec = trim(text);
+  const std::size_t paren = spec.find('(');
+
+  MechanismSpec out;
+  out.descriptor = &at(trim(spec.substr(0, paren)));
+  const MechanismDescriptor& d = *out.descriptor;
+  out.params = d.default_params();
+
+  if (paren != std::string_view::npos) {
+    if (spec.back() != ')')
+      spec_error(d, "malformed spec '" + std::string(spec) +
+                        "': expected 'name(key=value,...)'");
+    std::string_view body = spec.substr(paren + 1);
+    body.remove_suffix(1);  // the ')'
+
+    std::vector<std::string> given;  // canonical names seen, for duplicates
+    while (!trim(body).empty()) {
+      const std::size_t comma = body.find(',');
+      const std::string_view item = trim(body.substr(0, comma));
+      body = comma == std::string_view::npos ? std::string_view{}
+                                             : body.substr(comma + 1);
+      if (item.empty())
+        spec_error(d, "empty parameter in '" + std::string(spec) + "'");
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos)
+        spec_error(d, "expected key=value, got '" + std::string(item) + "'");
+      const std::string_view key = trim(item.substr(0, eq));
+      const std::string_view value = trim(item.substr(eq + 1));
+
+      const ParamSpec* ps = d.find_param(key);
+      if (!ps) {
+        std::vector<std::string> known;
+        for (const ParamSpec& p : d.params) known.push_back(p.name);
+        std::string why = "unknown parameter '" + std::string(key) + "'";
+        const std::string suggestion = closest_match(key, known);
+        if (!suggestion.empty()) why += "; did you mean '" + suggestion + "'?";
+        spec_error(d, why);
+      }
+      for (const std::string& seen : given)
+        if (iequals(seen, ps->name))
+          spec_error(d, "duplicate parameter '" + ps->name + "'");
+      given.push_back(ps->name);
+      out.params.set(ps->name, ps->parse(value));
+    }
+  }
+
+  // Canonical spelling: name + the non-default parameters, schema order.
+  std::string args;
+  for (const ParamSpec& p : d.params) {
+    const ParamValue* v = out.params.find(p.name);
+    if (*v != p.def) {
+      if (!args.empty()) args += ',';
+      args += p.name + "=" + v->text();
+    }
+  }
+  out.canonical = args.empty() ? d.name : d.name + "(" + args + ")";
+  return out;
 }
 
 std::vector<std::string> MechanismRegistry::names() const {

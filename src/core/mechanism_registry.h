@@ -1,10 +1,11 @@
-// Open mechanism registry: translation mechanisms as named, self-describing
-// plug-ins instead of a closed enum.
+// Open mechanism registry: translation mechanisms as named, self-describing,
+// *parameterized* plug-ins instead of a closed enum.
 //
 // A MechanismDescriptor bundles everything the System needs to instantiate a
 // translation design: a page-table factory, the walker configuration (PWC
-// levels + metadata bypass), and the mapping flags (huge pages, whether
-// translation is modelled at all). Descriptors live in the process-wide
+// levels + metadata bypass), the mapping flags (huge pages, whether
+// translation is modelled at all) — and a typed parameter schema (name,
+// type, default, range per knob). Descriptors live in the process-wide
 // MechanismRegistry and are resolved by case-insensitive name or alias, so
 // experiments select mechanisms by string ("ndpage", "ech", ...) and new
 // designs register from any translation unit — no core header edits, no
@@ -12,13 +13,25 @@
 //
 //   MechanismDescriptor d;
 //   d.name = "MyMech";
-//   d.make_page_table = [](PhysicalMemory& pm) { return ...; };
+//   d.params = {ParamSpec::uint_spec("slots", 64, 8, 512, "table slots")};
+//   d.make_page_table = [](PhysicalMemory& pm, const MechanismParams& p) {
+//     return make_my_table(pm, p.get_uint("slots"));
+//   };
 //   d.walker.pwc_levels = {4, 3};
 //   register_mechanism(std::move(d));
 //   ...
-//   RunSpecBuilder().mechanism("mymech")...   // or ndpsim --mechanism=mymech
+//   RunSpecBuilder().mechanism("mymech(slots=128)")...
+//   // or: ndpsim --mechanism='mymech(slots=128)'
 //
-// The six built-ins (radix, ech, hugepage, ndpage, ideal, dipta) are
+// Parameter spec strings follow `name(key=value,...)` — names, keys and
+// bool values case-insensitive, whitespace ignored. resolve() validates
+// against the schema: unknown keys fail with a did-you-mean suggestion and
+// the full schema listing; out-of-range or mistyped values name the
+// expected type/range. The canonical spelling ("ECH(ways=4)") includes
+// exactly the non-default parameters, so identical design points always
+// serialize identically.
+//
+// The built-ins (radix, ech, hugepage, ndpage, ideal, dipta, hybrid) are
 // registered by the registry itself on first use; the legacy `Mechanism`
 // enum API in core/mechanism.h is a thin shim over their descriptors.
 #pragma once
@@ -30,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/mechanism_params.h"
 #include "os/phys_mem.h"
 #include "translate/page_table.h"
 #include "translate/walker.h"
@@ -43,16 +57,44 @@ struct MechanismDescriptor {
   std::vector<std::string> aliases;
   /// One-line description, shown by `ndpsim --list-mechanisms`.
   std::string summary;
-  /// Build the page-table structure this mechanism walks.
-  std::function<std::unique_ptr<PageTable>(PhysicalMemory&)> make_page_table;
-  /// Walker configuration (PWC levels + metadata cache bypass).
+  /// Typed knob schema; empty = the mechanism takes no parameters.
+  std::vector<ParamSpec> params;
+  /// Build the page-table structure this mechanism walks. Receives the
+  /// resolved parameter set (every schema knob present, defaults applied).
+  std::function<std::unique_ptr<PageTable>(PhysicalMemory&,
+                                           const MechanismParams&)>
+      make_page_table;
+  /// Walker configuration (PWC levels + metadata cache bypass) at default
+  /// parameters.
   WalkerConfig walker;
+  /// Optional: derive the walker configuration from resolved parameters
+  /// (e.g. per-level PWC sizing). Unset = `walker` is used as-is.
+  std::function<WalkerConfig(const MechanismParams&)> make_walker;
   /// Map memory with 2 MB pages?
   bool huge_pages = false;
   /// Model translation at all? (false = every access hits a free TLB.)
   bool models_translation = true;
-  /// Set for the six built-ins; user registrations leave it false.
+  /// Set for the built-ins; user registrations leave it false.
   bool builtin = false;
+
+  /// The schema's defaults as a resolved parameter set.
+  MechanismParams default_params() const;
+  /// Case-insensitive schema lookup; nullptr if no such knob.
+  const ParamSpec* find_param(std::string_view name) const;
+  /// "ways:uint=3 [2..8], probes:uint=0 [0..8]" ("" when unparameterized).
+  std::string param_schema() const;
+  /// `walker` with `make_walker` applied when present.
+  WalkerConfig walker_config(const MechanismParams& p) const;
+};
+
+/// A fully resolved mechanism selection: descriptor + parameter point.
+struct MechanismSpec {
+  const MechanismDescriptor* descriptor = nullptr;
+  /// Every schema parameter, defaults applied, schema order.
+  MechanismParams params;
+  /// Canonical spelling: descriptor name plus the non-default parameters in
+  /// schema order — "Radix", "ECH(ways=4)", "Hybrid(flat_bits=16)".
+  std::string canonical;
 };
 
 class MechanismRegistry {
@@ -61,17 +103,26 @@ class MechanismRegistry {
   static MechanismRegistry& instance();
 
   /// Register a mechanism. Returns false (and registers nothing) if the
-  /// name or any alias collides with an existing entry, or if `desc` has no
-  /// name or no page-table factory.
+  /// name or any alias collides with an existing entry, if `desc` has no
+  /// name or no page-table factory, or if the parameter schema is invalid
+  /// (duplicate knob names, default outside the declared range).
   bool add(MechanismDescriptor desc);
 
-  /// Case-insensitive lookup by name or alias; nullptr if unknown.
+  /// Case-insensitive lookup by bare name or alias (no parameter syntax);
+  /// nullptr if unknown.
   const MechanismDescriptor* find(std::string_view name) const;
   bool contains(std::string_view name) const { return find(name) != nullptr; }
 
   /// Like find(), but throws std::out_of_range with a message listing the
-  /// registered names when `name` is unknown.
+  /// registered names (and a did-you-mean suggestion) when unknown.
   const MechanismDescriptor& at(std::string_view name) const;
+
+  /// Parse + validate a `name(key=value,...)` spec string against the named
+  /// mechanism's schema. Throws std::out_of_range for an unknown mechanism
+  /// name and std::invalid_argument for malformed syntax or bad parameters
+  /// (unknown key -> did-you-mean + schema listing; bad value -> expected
+  /// type/range). A bare name resolves to the schema defaults.
+  MechanismSpec resolve(std::string_view spec) const;
 
   /// Canonical names in registration order (built-ins first).
   std::vector<std::string> names() const;

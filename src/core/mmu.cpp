@@ -80,7 +80,7 @@ Cycle MmuOp::start_walk(Cycle now) {
   ++mmu.inflight_walks_[vpn_of(va_)];
   plan_ = mmu.walker_->plan(vpn_of(va_));
   plan_start_ = now;
-  step_idx_ = plan_.first_step;
+  step_idx_ = 0;
   stage_ = Stage::kWalk;
   return now + plan_.start_latency;
 }
@@ -103,7 +103,7 @@ Cycle MmuOp::on_walk_complete(Cycle now) {
     plan_ = mmu.walker_->plan(vpn_of(va_));
     assert(plan_.path.mapped && "touch() must leave the page mapped");
     plan_start_ = t;
-    step_idx_ = plan_.first_step;
+    step_idx_ = 0;
     walk_accesses_ = 0;
     stage_ = Stage::kWalk;
     return t + plan_.start_latency;
@@ -155,12 +155,17 @@ Cycle MmuOp::step(Cycle now) {
     }
     case Stage::kWalk: {
       const auto& steps = plan_.path.steps;
+      // PWC-skipped steps issue nothing (non-radix preamble steps survive
+      // the skip — see WalkPlan::executes).
+      while (step_idx_ < steps.size() && !plan_.executes(step_idx_))
+        ++step_idx_;
       if (step_idx_ >= steps.size()) return on_walk_complete(now);
-      // Issue every step of the current group concurrently.
+      // Issue every surviving step of the current group concurrently.
       const unsigned group = steps[step_idx_].group;
       Cycle group_finish = now;
       for (; step_idx_ < steps.size() && steps[step_idx_].group == group;
            ++step_idx_) {
+        if (!plan_.executes(step_idx_)) continue;
         const MemAccessResult r = mmu.mem_.access(
             now, mmu.core_, steps[step_idx_].pte_addr, AccessType::kRead,
             AccessClass::kMetadata,
@@ -270,6 +275,7 @@ StatSet Mmu::snapshot() const {
   s.inc("l1_hit", counters_.l1_hits);
   s.inc("l2_hit", counters_.l2_hits);
   s.inc("walks", counters_.walks);
+  s.inc("coalesced_walks", counters_.coalesced_walks);
   s.inc("faults", counters_.faults);
   s.merge_average("walk_latency", counters_.walk_latency);
   return s;

@@ -22,8 +22,12 @@ WalkerConfig Overrides::apply_to(WalkerConfig walker) const {
   return walker;
 }
 
+MechanismSpec SystemConfig::mechanism_spec() const {
+  return resolve_mechanism_spec(mechanism, mechanism_name);
+}
+
 const MechanismDescriptor& SystemConfig::descriptor() const {
-  return resolve_mechanism(mechanism, mechanism_name);
+  return *mechanism_spec().descriptor;
 }
 
 SystemConfig SystemConfig::ndp(unsigned cores, Mechanism m) {
@@ -62,8 +66,10 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   assert(cfg_.num_cores >= 1);
   mlp_ = cfg_.mlp ? cfg_.mlp : 8u;
 
-  // Resolves through the registry: throws on an unknown mechanism name.
-  const MechanismDescriptor& mech = cfg_.descriptor();
+  // Resolves through the registry: throws on an unknown mechanism name or
+  // a parameter spec violating the mechanism's schema.
+  const MechanismSpec spec = cfg_.mechanism_spec();
+  const MechanismDescriptor& mech = *spec.descriptor;
 
   PhysMemConfig pmc;
   pmc.bytes = cfg_.phys_bytes;
@@ -77,11 +83,11 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   if (cfg_.overrides.dram) msc.dram = *cfg_.overrides.dram;
   mem_ = std::make_unique<MemorySystem>(msc);
 
-  space_ = std::make_unique<AddressSpace>(*phys_, mech.make_page_table(*phys_),
-                                          mech.huge_pages);
+  space_ = std::make_unique<AddressSpace>(
+      *phys_, mech.make_page_table(*phys_, spec.params), mech.huge_pages);
 
   MmuConfig mmuc;
-  mmuc.walker = cfg_.overrides.apply_to(mech.walker);
+  mmuc.walker = cfg_.overrides.apply_to(mech.walker_config(spec.params));
   mmuc.ideal = !mech.models_translation;
   for (unsigned c = 0; c < cfg_.num_cores; ++c)
     mmus_.push_back(std::make_unique<Mmu>(mmuc, *space_, *mem_, c));

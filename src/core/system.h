@@ -49,9 +49,10 @@ struct SystemConfig {
   unsigned num_cores = 1;
   /// Built-in mechanism selector; ignored when `mechanism_name` is set.
   Mechanism mechanism = Mechanism::kRadix;
-  /// Registry-resolved mechanism name/alias (takes precedence over the enum
-  /// when non-empty). This is how registered non-built-in mechanisms are
-  /// selected.
+  /// Registry-resolved mechanism spec (takes precedence over the enum when
+  /// non-empty). May carry parameters — "ech(ways=4)" — which resolve
+  /// against the mechanism's schema; this is also how registered
+  /// non-built-in mechanisms are selected.
   std::string mechanism_name;
   std::uint64_t phys_bytes = 16ull << 30;  ///< Table I: 16 GB
   double noise_fraction = 0.03;
@@ -63,11 +64,15 @@ struct SystemConfig {
 
   Overrides overrides;
 
-  /// The registry descriptor this config selects (throws std::out_of_range
-  /// on an unknown `mechanism_name`).
+  /// The resolved (descriptor, parameters) pair this config selects.
+  /// Throws std::out_of_range on an unknown `mechanism_name` and
+  /// std::invalid_argument on bad parameters.
+  MechanismSpec mechanism_spec() const;
+  /// The registry descriptor this config selects.
   const MechanismDescriptor& descriptor() const;
-  /// Canonical name of the selected mechanism.
-  std::string mechanism_label() const { return descriptor().name; }
+  /// Canonical spelling of the selected mechanism, parameters included
+  /// ("Radix", "ECH(ways=4)").
+  std::string mechanism_label() const { return mechanism_spec().canonical; }
 
   static SystemConfig ndp(unsigned cores, Mechanism m);
   static SystemConfig cpu(unsigned cores, Mechanism m);

@@ -59,13 +59,21 @@ Pfn PhysicalMemory::alloc_frame(FrameUse use) {
 
 Pfn PhysicalMemory::alloc_table_block(unsigned order) {
   auto got = buddy_.alloc(order);
-  if (!got && order == 9) {
-    // A fragmented pool (boot noise) rarely has pristine order-9 blocks;
-    // page-table structures (NDPage flattened nodes, ECH ways) are worth
-    // compacting for, exactly like huge-page data blocks.
+  if (!got && order <= kHugeOrder) {
+    // A fragmented pool (boot noise) rarely has pristine high-order blocks;
+    // page-table structures (NDPage flattened nodes, ECH ways, hybrid flat
+    // windows) are worth compacting for, exactly like huge-page data
+    // blocks. Compaction assembles a 2 MB window; a smaller request takes
+    // its aligned head and carves the surplus back into the buddy pool.
     if (auto c = compact_for_huge()) {
       for (std::uint64_t i = 0; i < (1ull << order); ++i)
         set_use(c->base + i, FrameUse::kPageTable);
+      for (unsigned o = order; o < kHugeOrder; ++o) {
+        const Pfn chunk = c->base + (1ull << o);
+        for (std::uint64_t i = 0; i < (1ull << o); ++i)
+          set_use(chunk + i, FrameUse::kFree);
+        buddy_.free(chunk, o);
+      }
       stats_.inc("table_block_alloc");
       stats_.inc("pt_frames", 1ull << order);
       return c->base;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -42,7 +43,11 @@ struct CoreStats {
 /// so a serialized RunResult is self-describing without its RunSpec.
 struct RunMeta {
   std::string system;
-  std::string mechanism;  ///< canonical registry name
+  /// Canonical mechanism spelling, parameters included ("ECH(ways=4)").
+  std::string mechanism;
+  /// Every resolved mechanism parameter (defaults applied), schema order,
+  /// as (name, value-text) pairs — empty for unparameterized mechanisms.
+  std::vector<std::pair<std::string, std::string>> mechanism_params;
   std::string workload;
   unsigned cores = 0;
   std::uint64_t instructions_per_core = 0;

@@ -10,7 +10,7 @@
 namespace ndp {
 
 std::string RunSpec::mechanism_label() const {
-  return resolve_mechanism(mechanism, mechanism_name).name;
+  return resolve_mechanism_spec(mechanism, mechanism_name).canonical;
 }
 
 std::string RunSpec::workload_label() const {
@@ -44,14 +44,18 @@ RunSpecBuilder& RunSpecBuilder::mechanism(Mechanism m) {
 }
 
 RunSpecBuilder& RunSpecBuilder::mechanism(std::string_view name) {
-  // Throws std::out_of_range (listing registered names) when unknown;
-  // surface it as invalid_argument like the other name setters.
+  // resolve() validates the full spec (name + parameters) and throws
+  // std::out_of_range (listing registered names) on unknown mechanisms;
+  // surface that as invalid_argument like the other name setters. Bad
+  // parameters already arrive as invalid_argument.
   try {
-    spec_.mechanism_name = MechanismRegistry::instance().at(name).name;
+    const MechanismSpec spec = MechanismRegistry::instance().resolve(name);
+    spec_.mechanism_name = spec.canonical;
+    if (const auto m = mechanism_from_string(spec.descriptor->name))
+      spec_.mechanism = *m;
   } catch (const std::out_of_range& e) {
     throw std::invalid_argument(e.what());
   }
-  if (const auto m = mechanism_from_string(name)) spec_.mechanism = *m;
   return *this;
 }
 
@@ -156,7 +160,12 @@ RunResult run_experiment(const RunSpec& spec) {
   Engine engine(system, *trace, ec);
   RunResult result = engine.run();
   result.meta.system = to_string(spec.system);
-  result.meta.mechanism = sc.mechanism_label();
+  const MechanismSpec mech = sc.mechanism_spec();
+  result.meta.mechanism = mech.canonical;
+  // Record every resolved parameter (defaults included) so a result set is
+  // self-describing about the exact design point it measured.
+  for (const auto& [name, value] : mech.params.entries())
+    result.meta.mechanism_params.emplace_back(name, value.text());
   // Canonical registry name, not trace->name(): the registered identity is
   // what configs and aggregation select by, and for the built-ins the two
   // agree anyway.
@@ -203,6 +212,23 @@ double geomean(const std::vector<double>& xs) {
 
 namespace {
 
+/// Emit a "mechanism_params" object with the resolved, typed parameter
+/// values of `spec` — omitted entirely for unparameterized mechanisms, so
+/// documents for the existing built-ins keep their exact shape.
+void write_mechanism_params(JsonWriter& w, const MechanismSpec& spec) {
+  if (spec.params.empty()) return;
+  w.key("mechanism_params").begin_object();
+  for (const auto& [name, value] : spec.params.entries()) {
+    w.key(name);
+    switch (value.type()) {
+      case ParamType::kUInt: w.value(value.as_uint()); break;
+      case ParamType::kDouble: w.value(value.as_double()); break;
+      case ParamType::kBool: w.value(value.as_bool()); break;
+    }
+  }
+  w.end_object();
+}
+
 void write_stats(JsonWriter& w, const StatSet& stats) {
   w.begin_object();
   w.key("counters").begin_object();
@@ -233,10 +259,13 @@ std::string to_json(const RunResult& r, const RunSpec* spec) {
   JsonWriter w;
   w.begin_object();
   if (spec) {
+    const MechanismSpec mech =
+        resolve_mechanism_spec(spec->mechanism, spec->mechanism_name);
     w.key("spec").begin_object();
     w.key("system").value(to_string(spec->system));
     w.key("cores").value(spec->cores);
-    w.key("mechanism").value(spec->mechanism_label());
+    w.key("mechanism").value(mech.canonical);
+    write_mechanism_params(w, mech);
     w.key("workload").value(spec->workload_label());
     w.key("instructions_per_core")
         .value(spec->instructions_per_core ? spec->instructions_per_core
@@ -262,6 +291,12 @@ std::string to_json(const RunResult& r, const RunSpec* spec) {
     w.key("system").value(r.meta.system);
     w.key("cores").value(r.meta.cores);
     w.key("mechanism").value(r.meta.mechanism);
+    if (!r.meta.mechanism_params.empty()) {
+      w.key("mechanism_params").begin_object();
+      for (const auto& [name, value] : r.meta.mechanism_params)
+        w.key(name).value(value);
+      w.end_object();
+    }
     w.key("workload").value(r.meta.workload);
     w.key("instructions_per_core").value(r.meta.instructions_per_core);
     w.key("seed").value(r.meta.seed);

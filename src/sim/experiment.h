@@ -36,8 +36,10 @@ struct RunSpec {
   unsigned cores = 1;
   /// Built-in mechanism selector; ignored when `mechanism_name` is set.
   Mechanism mechanism = Mechanism::kRadix;
-  /// Registry name/alias; wins over the enum when non-empty. This is how
-  /// non-built-in registered mechanisms are run.
+  /// Registry spec; wins over the enum when non-empty. May carry typed
+  /// parameters — "ech(ways=4)" — resolved against the mechanism's schema;
+  /// also how non-built-in registered mechanisms are run. The builder
+  /// stores the canonical spelling here.
   std::string mechanism_name;
   WorkloadKind workload = WorkloadKind::kRND;
   /// Registry name/alias; wins over the enum when non-empty. This is how
@@ -50,7 +52,8 @@ struct RunSpec {
   /// Ablation overrides, forwarded to SystemConfig verbatim.
   Overrides overrides;
 
-  /// Canonical mechanism name (resolves `mechanism_name` via the registry).
+  /// Canonical mechanism spelling, parameters included (resolves
+  /// `mechanism_name` via the registry) — "Radix", "ECH(ways=4)".
   std::string mechanism_label() const;
   /// Canonical workload name (resolves `workload_name` via the registry).
   std::string workload_label() const;
@@ -68,7 +71,9 @@ class RunSpecBuilder {
   RunSpecBuilder& system(std::string_view name);  ///< "ndp" | "cpu"
   RunSpecBuilder& cores(unsigned n);
   RunSpecBuilder& mechanism(Mechanism m);
-  RunSpecBuilder& mechanism(std::string_view name);  ///< registry name/alias
+  /// Registry name/alias, optionally parameterized: "ndpage",
+  /// "ech(ways=4,probes=2)". Validated against the schema immediately.
+  RunSpecBuilder& mechanism(std::string_view name);
   RunSpecBuilder& workload(WorkloadKind k);
   RunSpecBuilder& workload(std::string_view name);  ///< name/suite alias
   RunSpecBuilder& instructions(std::uint64_t per_core);

@@ -45,6 +45,112 @@ std::vector<std::string> string_list(const JsonValue& v, const char* key) {
   return out;
 }
 
+/// Text form of a JSON scalar used as a parameter value in the structured
+/// mechanism form; funnelled through MechanismRegistry::resolve() so type
+/// and range checking live in one place.
+std::string param_value_text(const JsonValue& v, const std::string& where) {
+  if (v.is_string()) {
+    // The text is spliced into a `name(key=value,...)` spec string below;
+    // spec metacharacters would smuggle in extra parameters instead of
+    // failing validation for this one value.
+    const std::string& s = v.as_string();
+    if (s.find_first_of(",=()") != std::string::npos)
+      config_error("\"" + where + "\" value '" + s +
+                   "' must not contain ',', '=', '(' or ')'");
+    return s;
+  }
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  if (v.is_number()) {
+    try {
+      return std::to_string(v.as_u64());
+    } catch (const JsonError&) {
+      // Fractional/negative: the round-trip formatter keeps full precision
+      // so the schema's double parser judges the exact configured value.
+      return ParamValue::of_double(v.as_double()).text();
+    }
+  }
+  config_error("\"" + where + "\" values must be numbers, booleans or strings");
+}
+
+/// Expand one structured mechanism entry {"name":..., "params": {k: v|[v]}}
+/// into canonical spec strings — array-valued parameters cross-product in
+/// member order.
+void expand_structured_mechanism(const JsonValue& obj,
+                                 std::vector<std::string>& out) {
+  const JsonValue* name = obj.find("name");
+  if (!name || !name->is_string())
+    config_error("structured \"mechanisms\" entries need a string \"name\"");
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    if (key != "name" && key != "params")
+      config_error("unknown key \"mechanisms[]." + key + "\"");
+  }
+
+  // Cross-product of the parameter axes, preserving member order.
+  std::vector<std::string> combos{""};
+  if (const JsonValue* params = obj.find("params")) {
+    if (!params->is_object())
+      config_error("\"mechanisms[].params\" must be an object");
+    for (const auto& [key, value] : params->members()) {
+      // Keys are spliced into the rebuilt spec string exactly like values;
+      // metacharacters would smuggle extra parameters past validation.
+      if (key.find_first_of(",=()") != std::string::npos)
+        config_error("\"mechanisms[].params\" key '" + key +
+                     "' must not contain ',', '=', '(' or ')'");
+      const std::string where = "mechanisms[].params." + key;
+      std::vector<std::string> texts;
+      if (value.is_array()) {
+        for (const JsonValue& item : value.array())
+          texts.push_back(param_value_text(item, where));
+        if (texts.empty())
+          config_error("\"" + where + "\" must list at least one value");
+      } else {
+        texts.push_back(param_value_text(value, where));
+      }
+      std::vector<std::string> next;
+      next.reserve(combos.size() * texts.size());
+      for (const std::string& prefix : combos)
+        for (const std::string& text : texts)
+          next.push_back(prefix.empty() ? key + "=" + text
+                                        : prefix + "," + key + "=" + text);
+      combos = std::move(next);
+    }
+  }
+
+  auto& registry = MechanismRegistry::instance();
+  for (const std::string& combo : combos) {
+    const std::string spec = combo.empty()
+                                 ? name->as_string()
+                                 : name->as_string() + "(" + combo + ")";
+    out.push_back(registry.resolve(spec).canonical);
+  }
+}
+
+/// The "mechanism"/"mechanisms" axis: a spec string, a structured object,
+/// or an array mixing both. Resolves everything to canonical spellings.
+std::vector<std::string> mechanism_list(const JsonValue& v) {
+  std::vector<std::string> out;
+  auto add_one = [&out](const JsonValue& item) {
+    if (item.is_string())
+      out.push_back(
+          MechanismRegistry::instance().resolve(item.as_string()).canonical);
+    else if (item.is_object())
+      expand_structured_mechanism(item, out);
+    else
+      config_error(
+          "\"mechanisms\" entries must be spec strings or "
+          "{\"name\",\"params\"} objects");
+  };
+  if (v.is_array()) {
+    for (const JsonValue& item : v.array()) add_one(item);
+  } else {
+    add_one(v);
+  }
+  if (out.empty())
+    config_error("\"mechanisms\" must name at least one mechanism");
+  return out;
+}
+
 std::uint64_t u64_field(const JsonValue& v, const char* key) {
   try {
     return v.as_u64();
@@ -198,12 +304,11 @@ RunConfig RunConfig::from_json(std::string_view text) {
 
   // Resolve names to canonical registry spellings up front, so expansion and
   // aggregation never see aliases and errors surface at parse time.
+  // Mechanism entries are full parameter specs (string or structured form);
+  // resolution validates them against each mechanism's schema.
   try {
-    if (const JsonValue* v = axis_value(root, "mechanism", "mechanisms")) {
-      cfg.mechanisms.clear();
-      for (const std::string& name : string_list(*v, "mechanisms"))
-        cfg.mechanisms.push_back(MechanismRegistry::instance().at(name).name);
-    }
+    if (const JsonValue* v = axis_value(root, "mechanism", "mechanisms"))
+      cfg.mechanisms = mechanism_list(*v);
     if (const JsonValue* v = axis_value(root, "workload", "workloads")) {
       const std::vector<std::string> names = string_list(*v, "workloads");
       if (names.size() == 1 && iequals(names[0], "all")) {
@@ -215,9 +320,16 @@ RunConfig RunConfig::from_json(std::string_view text) {
       }
     }
     if (!cfg.baseline.empty())
-      cfg.baseline = MechanismRegistry::instance().at(cfg.baseline).name;
+      cfg.baseline =
+          MechanismRegistry::instance().resolve(cfg.baseline).canonical;
   } catch (const std::out_of_range& e) {
     config_error(e.what());
+  } catch (const std::invalid_argument& e) {
+    // Parameter-spec violations; re-wrap unless already prefixed (a nested
+    // config_error passes through untouched).
+    const std::string what = e.what();
+    if (what.rfind("run config: ", 0) == 0) throw;
+    config_error(what);
   }
 
   if (!cfg.baseline.empty()) {

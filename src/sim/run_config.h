@@ -10,7 +10,10 @@
 //     "name": "fig06_core_scaling",
 //     "description": "PTW latency and translation share vs core count",
 //     "systems": ["ndp", "cpu"],          // or "system": "ndp"
-//     "mechanisms": ["radix", "ndpage"],  // or "mechanism": "radix"
+//     "mechanisms": ["radix",             // or "mechanism": "radix"
+//       "ech(ways=8)",                    // spec strings carry parameters
+//       {"name": "ech",                   // structured form; array-valued
+//        "params": {"ways": [2, 4]}}],    //   params expand cross-product
 //     "workloads": "all",                 // "all" = every built-in; or list
 //     "cores": [1, 4, 8],                 // or a single number
 //     "instructions": 150000,             // per core; 0 = default
@@ -27,9 +30,14 @@
 //   }
 //
 // Mechanism/workload names resolve through the open registries, so a config
-// can name user-registered designs and trace generators. Parsing validates
-// everything up front: errors are std::invalid_argument whose message names
-// the bad key/value and, for names, lists the registered alternatives.
+// can name user-registered designs and trace generators. Mechanism entries
+// are parameter specs: either `"name(key=value,...)"` strings or structured
+// `{"name": ..., "params": {...}}` objects whose array-valued parameters
+// expand into a cross-product of design points (member order) — that is how
+// a checked-in grid sweeps ECH associativity or PWC sizes without new C++.
+// Parsing validates everything up front: errors are std::invalid_argument
+// whose message names the bad key/value and, for names and parameters,
+// lists the registered alternatives (with did-you-mean suggestions).
 #pragma once
 
 #include <string>
@@ -44,8 +52,9 @@ struct RunConfig {
   std::string name;
   std::string description;
   std::vector<SystemKind> systems = {SystemKind::kNdp};
-  std::vector<std::string> mechanisms = {"NDPage"};  ///< canonical names
-  std::vector<std::string> workloads = {"RND"};      ///< canonical names
+  /// Canonical mechanism specs, parameters included ("ECH(ways=4)").
+  std::vector<std::string> mechanisms = {"NDPage"};
+  std::vector<std::string> workloads = {"RND"};  ///< canonical names
   std::vector<unsigned> cores = {4};
   std::uint64_t instructions = 0;  ///< 0 = default_instructions()
   std::uint64_t warmup = 0;        ///< 0 = instructions/15

@@ -189,10 +189,14 @@ bool EchPageTable::remap(Vpn vpn, Pfn new_pfn) {
 
 WalkPath EchPageTable::walk(Vpn vpn) const {
   WalkPath path;
+  // Probes issue `probe_width` at a time; groups serialize. The default
+  // (probe_width 0 / >= ways) keeps every way in one parallel group.
+  const unsigned width = cfg_.probe_width && cfg_.probe_width < cfg_.ways
+                             ? cfg_.probe_width
+                             : cfg_.ways;
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    // All ways probe in parallel: one shared group.
     path.steps.push_back(
-        WalkStep{slot_addr(w, hash(w, vpn)), WalkStep::kHashLevel, 0});
+        WalkStep{slot_addr(w, hash(w, vpn)), WalkStep::kHashLevel, w / width});
   }
   if (auto pfn = lookup(vpn)) {
     path.mapped = true;

@@ -28,6 +28,10 @@ namespace ndp {
 
 struct EchConfig {
   unsigned ways = 3;
+  /// How many bucket probes the walker hardware issues in parallel: probes
+  /// go out in groups of `probe_width`, groups serialize. 0 (or >= ways)
+  /// means all ways probe concurrently — the classic ECH configuration.
+  unsigned probe_width = 0;
   std::uint64_t initial_entries_per_way = 1ull << 15;  ///< 32 K (grows)
   double max_load_factor = 0.6;  ///< resize above this occupancy
   unsigned max_displacements = 32;

@@ -1,0 +1,134 @@
+#include "translate/hybrid_page_table.h"
+
+#include <cassert>
+
+namespace ndp {
+
+namespace {
+// Backing storage comes in order-9 (2 MB) chunks at most: the largest size
+// the OS can guarantee via compaction on a fragmented pool.
+constexpr unsigned kMaxBlockOrder = 9;
+}  // namespace
+
+HybridPageTable::HybridPageTable(PhysicalMemory& pm, HybridConfig cfg)
+    : pm_(pm), cfg_(cfg), fallback_(pm, /*preferred_leaf_level=*/1) {
+  assert(cfg_.flat_bits >= 12 && cfg_.flat_bits <= 26);
+  slots_.assign(1ull << cfg_.flat_bits, Slot{});
+
+  const std::uint64_t window_bytes = slots_.size() * kPteSize;
+  block_order_ = 0;
+  while ((kPageSize << block_order_) < window_bytes &&
+         block_order_ < kMaxBlockOrder)
+    ++block_order_;
+  const std::uint64_t block_bytes = kPageSize << block_order_;
+  const std::uint64_t blocks = (window_bytes + block_bytes - 1) / block_bytes;
+  for (std::uint64_t b = 0; b < blocks; ++b)
+    blocks_.push_back(pm_.alloc_table_block(block_order_));
+}
+
+HybridPageTable::~HybridPageTable() {
+  for (Pfn base : blocks_) pm_.free_table_block(base, block_order_);
+}
+
+PhysAddr HybridPageTable::slot_addr(std::uint64_t idx) const {
+  const std::uint64_t byte = idx * kPteSize;
+  const std::uint64_t block_bytes = kPageSize << block_order_;
+  return frame_base(blocks_[byte / block_bytes]) + (byte % block_bytes);
+}
+
+MapResult HybridPageTable::map(Vpn vpn, Pfn pfn, unsigned page_shift) {
+  assert(page_shift == kPageShift &&
+         "the hybrid flat window stores 4 KB translations");
+  (void)page_shift;
+  MapResult r;
+  Slot& s = slots_[index_of(vpn)];
+  if (s.valid && s.vpn == vpn) {
+    s.pfn = pfn;
+    r.replaced = true;
+    return r;
+  }
+  if (!s.valid) {
+    // The slot is free — but the VPN may already live in the fallback from
+    // an earlier conflict; keep it there so each VPN has exactly one home.
+    if (fallback_.lookup(vpn)) return fallback_.map(vpn, pfn, kPageShift);
+    s = Slot{vpn, pfn, true};
+    ++flat_live_;
+    return r;
+  }
+  // Conflict: the window slot belongs to another VPN (first-come-first-
+  // served); this translation overflows into the radix table.
+  return fallback_.map(vpn, pfn, kPageShift);
+}
+
+bool HybridPageTable::unmap(Vpn vpn) {
+  Slot& s = slots_[index_of(vpn)];
+  if (s.valid && s.vpn == vpn) {
+    s.valid = false;
+    --flat_live_;
+    return true;
+  }
+  return fallback_.unmap(vpn);
+}
+
+std::optional<Pfn> HybridPageTable::lookup(Vpn vpn) const {
+  const Slot& s = slots_[index_of(vpn)];
+  if (s.valid && s.vpn == vpn) return s.pfn;
+  return fallback_.lookup(vpn);
+}
+
+bool HybridPageTable::remap(Vpn vpn, Pfn new_pfn) {
+  Slot& s = slots_[index_of(vpn)];
+  if (s.valid && s.vpn == vpn) {
+    s.pfn = new_pfn;
+    return true;
+  }
+  return fallback_.remap(vpn, new_pfn);
+}
+
+WalkPath HybridPageTable::walk(Vpn vpn) const {
+  // Step 0: probe the flat slot. Tag hit -> done in one access.
+  WalkPath path;
+  path.steps.push_back(
+      WalkStep{slot_addr(index_of(vpn)), WalkStep::kHybridLevel, 0});
+  const Slot& s = slots_[index_of(vpn)];
+  if (s.valid && s.vpn == vpn) {
+    path.mapped = true;
+    path.pfn = s.pfn;
+    path.page_shift = kPageShift;
+    return path;
+  }
+  // Tag miss: ordinary radix walk, serialized after the probe.
+  WalkPath rest = fallback_.walk(vpn);
+  for (WalkStep step : rest.steps) {
+    step.group += 1;
+    path.steps.push_back(step);
+  }
+  path.mapped = rest.mapped;
+  path.pfn = rest.pfn;
+  path.page_shift = rest.page_shift;
+  return path;
+}
+
+std::vector<LevelOccupancy> HybridPageTable::occupancy() const {
+  LevelOccupancy flat;
+  flat.level = "FLAT";
+  flat.nodes = blocks_.size();
+  flat.valid = flat_live_;
+  flat.capacity = slots_.size();
+  std::vector<LevelOccupancy> out{flat};
+  for (const LevelOccupancy& l : fallback_.occupancy()) out.push_back(l);
+  return out;
+}
+
+std::uint64_t HybridPageTable::table_bytes() const {
+  return slots_.size() * kPteSize + fallback_.table_bytes();
+}
+
+std::uint64_t HybridPageTable::fallback_live() const {
+  std::uint64_t live = 0;
+  for (const LevelOccupancy& l : fallback_.occupancy())
+    if (l.level == "PL1") live = l.valid;
+  return live;
+}
+
+}  // namespace ndp

@@ -1,0 +1,76 @@
+// POM-style hybrid page table: a single-level, direct-mapped flat window
+// backed by a classic 4-level radix table for the overflow.
+//
+// The "part of memory" line of work (POM / flat near-memory tables) keeps a
+// one-level table in a dedicated memory region: a translation is one probe
+// at `base + index(vpn) * 8`. A direct-mapped window cannot hold every
+// translation, so conflicting VPNs fall back to the radix table — the
+// hardware probes the flat slot first (one PTE read, tag-checked against
+// the full VPN) and performs an ordinary radix walk only on a tag miss.
+// WalkPath reflects exactly that: step 0 is the flat probe; fallback walks
+// append the radix levels, which the walker's L4/L3 PWCs then absorb.
+//
+// Placement policy is first-come-first-served: the first VPN to claim a
+// flat slot keeps it; later conflicting VPNs live in the radix table. This
+// keeps the structure deterministic (no timing-dependent migration), which
+// the conformance suite relies on.
+//
+// Flat-window storage is allocated from PhysicalMemory in max-order buddy
+// chunks and tagged kPageTable, so probe addresses are real physical
+// addresses landing in real DRAM banks and cache sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "os/phys_mem.h"
+#include "translate/page_table.h"
+#include "translate/radix_page_table.h"
+
+namespace ndp {
+
+struct HybridConfig {
+  /// log2 of the flat window's slot count: 2^flat_bits direct-mapped
+  /// entries of 8 bytes (20 -> 1 M slots, 8 MB of table).
+  unsigned flat_bits = 20;
+};
+
+class HybridPageTable : public PageTable {
+ public:
+  explicit HybridPageTable(PhysicalMemory& pm, HybridConfig cfg = {});
+  ~HybridPageTable() override;
+
+  MapResult map(Vpn vpn, Pfn pfn, unsigned page_shift = kPageShift) override;
+  bool unmap(Vpn vpn) override;
+  std::optional<Pfn> lookup(Vpn vpn) const override;
+  bool remap(Vpn vpn, Pfn new_pfn) override;
+  WalkPath walk(Vpn vpn) const override;
+  std::vector<LevelOccupancy> occupancy() const override;
+  std::string name() const override { return "Hybrid"; }
+  std::uint64_t table_bytes() const override;
+
+  std::uint64_t flat_slots() const { return slots_.size(); }
+  std::uint64_t flat_live() const { return flat_live_; }
+  /// Translations that conflicted out of the window into the radix table.
+  std::uint64_t fallback_live() const;
+
+ private:
+  struct Slot {
+    Vpn vpn = 0;
+    Pfn pfn = 0;
+    bool valid = false;
+  };
+
+  std::uint64_t index_of(Vpn vpn) const { return vpn & (slots_.size() - 1); }
+  PhysAddr slot_addr(std::uint64_t idx) const;
+
+  PhysicalMemory& pm_;
+  HybridConfig cfg_;
+  std::vector<Slot> slots_;
+  std::vector<Pfn> blocks_;  ///< base PFN of each physical backing block
+  unsigned block_order_ = 0;
+  std::uint64_t flat_live_ = 0;
+  RadixPageTable fallback_;
+};
+
+}  // namespace ndp

@@ -28,8 +28,17 @@ struct WalkStep {
   /// groups execute in ascending order.
   unsigned group = 0;
 
-  static constexpr unsigned kFlatLevel = 21;  ///< NDPage flattened L2/L1
-  static constexpr unsigned kHashLevel = 99;  ///< ECH hashed buckets
+  static constexpr unsigned kFlatLevel = 21;    ///< NDPage flattened L2/L1
+  static constexpr unsigned kHybridLevel = 22;  ///< Hybrid's flat-window probe
+  static constexpr unsigned kHashLevel = 99;    ///< ECH hashed buckets
+
+  /// Radix interior/leaf levels (4..1) — the only levels PWCs cache, and
+  /// therefore the only steps a PWC hit may skip. Mechanism-specific level
+  /// ids (kFlatLevel, kHybridLevel, kHashLevel) must stay outside 1..4.
+  static constexpr unsigned kMaxRadixLevel = 4;
+  static constexpr bool is_radix_level(unsigned l) {
+    return l >= 1 && l <= kMaxRadixLevel;
+  }
 };
 
 /// Full walk description for one virtual page.

@@ -53,8 +53,15 @@ void Pwc::insert(Vpn vpn) {
   *victim = Line{tag, true, tick_};
 }
 
-PwcSet::PwcSet(const std::vector<unsigned>& levels, PwcConfig cfg) : cfg_(cfg) {
-  for (unsigned l : levels) caches_.emplace(l, Pwc(l, cfg));
+PwcSet::PwcSet(const std::vector<unsigned>& levels, PwcConfig cfg,
+               const std::map<unsigned, unsigned>& entries_per_level)
+    : cfg_(cfg) {
+  for (unsigned l : levels) {
+    PwcConfig level_cfg = cfg;
+    const auto it = entries_per_level.find(l);
+    if (it != entries_per_level.end()) level_cfg.entries = it->second;
+    caches_.emplace(l, Pwc(l, level_cfg));
+  }
 }
 
 unsigned PwcSet::deepest_hit(Vpn vpn) {

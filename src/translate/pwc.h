@@ -70,7 +70,10 @@ class Pwc {
 class PwcSet {
  public:
   /// `levels`: which radix levels get a PWC (e.g. {4,3,2,1} or {4,3}).
-  PwcSet(const std::vector<unsigned>& levels, PwcConfig cfg);
+  /// `entries_per_level` overrides `cfg.entries` for the listed levels
+  /// (per-level PWC sizing; levels not listed keep the shared default).
+  PwcSet(const std::vector<unsigned>& levels, PwcConfig cfg,
+         const std::map<unsigned, unsigned>& entries_per_level = {});
 
   /// Deepest (smallest) level with a hit for vpn, or 0 if none. Probes every
   /// level (hardware probes in parallel), so per-level stats stay honest.

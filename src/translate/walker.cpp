@@ -6,7 +6,8 @@
 namespace ndp {
 
 Walker::Walker(PageTable& pt, MemorySystem& mem, WalkerConfig cfg)
-    : pt_(pt), mem_(mem), cfg_(std::move(cfg)), pwcs_(cfg_.pwc_levels, cfg_.pwc) {}
+    : pt_(pt), mem_(mem), cfg_(std::move(cfg)),
+      pwcs_(cfg_.pwc_levels, cfg_.pwc, cfg_.pwc_entries) {}
 
 Walker::WalkPlan Walker::plan(Vpn vpn) {
   WalkPlan p;
@@ -59,15 +60,17 @@ WalkTiming Walker::walk(Cycle now, unsigned core, VirtAddr va) {
   out.mapped = p.path.mapped;
   out.pfn = p.path.pfn;
   out.page_shift = p.path.page_shift;
-  out.pwc_skips = static_cast<unsigned>(p.first_step);
+  for (std::size_t i = 0; i < p.first_step; ++i)
+    if (!p.executes(i)) ++out.pwc_skips;
 
   Cycle t = now + p.start_latency;
-  // Issue the remaining steps; steps sharing a group go out concurrently.
-  std::size_t i = p.first_step;
+  // Issue the surviving steps; steps sharing a group go out concurrently.
+  std::size_t i = 0;
   while (i < p.path.steps.size()) {
     const unsigned group = p.path.steps[i].group;
     Cycle group_finish = t;
     for (; i < p.path.steps.size() && p.path.steps[i].group == group; ++i) {
+      if (!p.executes(i)) continue;
       const MemAccessResult r =
           mem_.access(t, core, p.path.steps[i].pte_addr, AccessType::kRead,
                       AccessClass::kMetadata,

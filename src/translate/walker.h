@@ -11,6 +11,7 @@
 //   * refills the PWCs with the levels it traversed.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -29,6 +30,10 @@ struct WalkerConfig {
   /// empty for ECH/Ideal).
   std::vector<unsigned> pwc_levels{4, 3, 2, 1};
   PwcConfig pwc;
+  /// Per-level entry-count overrides (level -> entries); levels not listed
+  /// use `pwc.entries`. This is how the `pwc_lN` mechanism parameters size
+  /// individual PWCs.
+  std::map<unsigned, unsigned> pwc_entries;
 };
 
 struct WalkTiming {
@@ -54,8 +59,15 @@ class Walker {
   /// Stepwise API — phase 1: probe PWCs and lay out the PTE accesses.
   struct WalkPlan {
     WalkPath path;              ///< full structural path
-    std::size_t first_step = 0; ///< first step to execute after PWC skip
+    std::size_t first_step = 0; ///< first step past the PWC-resolved level
     Cycle start_latency = 0;    ///< PWC probe latency to charge up front
+    /// Does step i issue a memory access? PWCs cache radix interior
+    /// entries, so a hit skips only the *radix-level* steps up to the
+    /// resolved level — a mechanism's non-radix preamble (e.g. Hybrid's
+    /// flat-window probe) is issued regardless.
+    bool executes(std::size_t i) const {
+      return i >= first_step || !WalkStep::is_radix_level(path.steps[i].level);
+    }
   };
   WalkPlan plan(Vpn vpn);
   /// Stepwise API — phase 2 (after the caller executed the steps): refill

@@ -1,0 +1,142 @@
+// JsonValue property/fuzz tests (seeded, deterministic, ctest-resident):
+//   * round-trip fixpoint — for randomly generated documents,
+//     parse(dump(v)) re-serializes to the identical byte string;
+//   * robustness — truncating or mutating a valid document never crashes
+//     the parser: it either parses (mutations can keep documents valid) or
+//     fails with a JsonError carrying a line:column diagnostic.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "common/json.h"
+#include "common/rng.h"
+
+namespace ndp {
+namespace {
+
+std::string random_string(Rng& rng) {
+  static const char kAlphabet[] =
+      "abcXYZ 012_-./\\\"\n\t{}[]:,\x01\x7f\xc3\xa9";  // escapes + UTF-8
+  std::string s;
+  const std::uint64_t len = rng.below(12);
+  for (std::uint64_t i = 0; i < len; ++i)
+    s += kAlphabet[rng.below(sizeof kAlphabet - 1)];
+  return s;
+}
+
+JsonValue random_value(Rng& rng, unsigned depth) {
+  // Scalars only once the depth budget is spent.
+  const std::uint64_t kind = rng.below(depth >= 4 ? 5 : 7);
+  switch (kind) {
+    case 0: return JsonValue::make_null();
+    case 1: return JsonValue::make_bool(rng.chance(0.5));
+    case 2:
+      return JsonValue::make_number(
+          static_cast<double>(rng.below(1'000'000)));
+    case 3:
+      // Fractions exercise the double formatter's round-trip path.
+      return JsonValue::make_number(rng.uniform() * 1e6 - 5e5);
+    case 4: return JsonValue::make_string(random_string(rng));
+    case 5: {
+      std::vector<JsonValue> items;
+      const std::uint64_t n = rng.below(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        items.push_back(random_value(rng, depth + 1));
+      return JsonValue::make_array(std::move(items));
+    }
+    default: {
+      std::vector<JsonValue::Member> members;
+      const std::uint64_t n = rng.below(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        // Unique keys: duplicates are (correctly) a parse error.
+        members.emplace_back("k" + std::to_string(i) + random_string(rng),
+                             random_value(rng, depth + 1));
+        for (std::size_t j = 0; j + 1 < members.size(); ++j)
+          if (members[j].first == members.back().first) {
+            members.pop_back();
+            break;
+          }
+      }
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+}
+
+/// "line:col: ..." — every parse failure must carry a position.
+bool has_line_col_prefix(const std::string& msg) {
+  std::size_t i = 0;
+  while (i < msg.size() && std::isdigit(static_cast<unsigned char>(msg[i])))
+    ++i;
+  if (i == 0 || i >= msg.size() || msg[i] != ':') return false;
+  std::size_t j = ++i;
+  while (j < msg.size() && std::isdigit(static_cast<unsigned char>(msg[j])))
+    ++j;
+  return j > i && j < msg.size() && msg[j] == ':';
+}
+
+TEST(JsonProperty, ParseDumpFixpointOnRandomDocuments) {
+  Rng rng(0x20260726);
+  for (int i = 0; i < 400; ++i) {
+    const JsonValue v = random_value(rng, 0);
+    const std::string first = v.dump();
+    JsonValue reparsed = JsonValue::make_null();
+    ASSERT_NO_THROW(reparsed = JsonValue::parse(first)) << first;
+    const std::string second = reparsed.dump();
+    // Serialization is a fixpoint of parse∘dump: one round settles it.
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(JsonValue::parse(second).dump(), second);
+  }
+}
+
+TEST(JsonProperty, TruncatedDocumentsDiagnoseOrParseNeverCrash) {
+  Rng rng(0xBADC0FFE);
+  int failures = 0;
+  for (int i = 0; i < 60; ++i) {
+    const std::string doc = random_value(rng, 0).dump();
+    for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+      try {
+        (void)JsonValue::parse(doc.substr(0, cut));
+      } catch (const JsonError& e) {
+        ++failures;
+        EXPECT_TRUE(has_line_col_prefix(e.what()))
+            << "no line:col in '" << e.what() << "'";
+      }
+    }
+  }
+  // Sanity: truncation overwhelmingly produces diagnosed failures.
+  EXPECT_GT(failures, 100);
+}
+
+TEST(JsonProperty, MutatedDocumentsDiagnoseOrParseNeverCrash) {
+  Rng rng(0x5EEDF00D);
+  static const char kNoise[] = "{}[]:,\"\\x019 \n\xff";
+  int failures = 0;
+  for (int i = 0; i < 250; ++i) {
+    std::string doc = random_value(rng, 0).dump();
+    if (doc.empty()) continue;
+    // A few point mutations: overwrite or insert structural noise.
+    const std::uint64_t edits = 1 + rng.below(3);
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      const char c = kNoise[rng.below(sizeof kNoise - 1)];
+      const std::size_t pos = rng.below(doc.size());
+      if (rng.chance(0.5))
+        doc[pos] = c;
+      else
+        doc.insert(doc.begin() + static_cast<std::ptrdiff_t>(pos), c);
+    }
+    try {
+      const JsonValue v = JsonValue::parse(doc);
+      // Still valid? Then it must round-trip like any document.
+      EXPECT_EQ(JsonValue::parse(v.dump()).dump(), v.dump());
+    } catch (const JsonError& e) {
+      ++failures;
+      EXPECT_TRUE(has_line_col_prefix(e.what()))
+          << "no line:col in '" << e.what() << "'";
+    }
+  }
+  EXPECT_GT(failures, 50);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,265 @@
+// Mechanism-parameterization contract: `name(key=value,...)` spec strings
+// resolve case-insensitively against each mechanism's typed schema, bad
+// specs fail with schema-listing/did-you-mean diagnostics, canonical
+// spellings are stable, parameters flow through RunSpec/RunConfig (string
+// and structured forms) into per-cell result metadata, and the built-ins'
+// knobs actually change the modelled hardware.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/mechanism.h"
+#include "core/mechanism_registry.h"
+#include "sim/run_config.h"
+#include "sim/sweep_runner.h"
+#include "translate/radix_page_table.h"
+
+namespace ndp {
+namespace {
+
+MechanismRegistry& reg() { return MechanismRegistry::instance(); }
+
+TEST(MechanismParams, BareNameResolvesToDefaults) {
+  const MechanismSpec s = reg().resolve("ech");
+  ASSERT_NE(s.descriptor, nullptr);
+  EXPECT_EQ(s.descriptor->name, "ECH");
+  EXPECT_EQ(s.canonical, "ECH");
+  EXPECT_EQ(s.params.get_uint("ways"), 3u);
+  EXPECT_EQ(s.params.get_uint("probes"), 0u);
+}
+
+TEST(MechanismParams, SpecStringsParseCaseInsensitivelyWithWhitespace) {
+  const MechanismSpec s = reg().resolve("  Ech ( WAYS = 4 , Probes=2 )  ");
+  EXPECT_EQ(s.canonical, "ECH(ways=4,probes=2)");
+  EXPECT_EQ(s.params.get_uint("ways"), 4u);
+  EXPECT_EQ(s.params.get_uint("probes"), 2u);
+  // Aliases resolve with parameters too.
+  EXPECT_EQ(reg().resolve("elastic-cuckoo(ways=8)").canonical, "ECH(ways=8)");
+}
+
+TEST(MechanismParams, CanonicalSpellingDropsDefaultsAndOrdersBySchema) {
+  // Explicit defaults canonicalize to the bare name...
+  EXPECT_EQ(reg().resolve("ech(ways=3,probes=0)").canonical, "ECH");
+  EXPECT_EQ(reg().resolve("ech()").canonical, "ECH");
+  // ... and parameter order in the string never changes the spelling.
+  EXPECT_EQ(reg().resolve("ech(probes=2,ways=4)").canonical,
+            "ECH(ways=4,probes=2)");
+  // resolve() is idempotent on its own canonical output.
+  const std::string canonical = reg().resolve("ech(probes=2,ways=4)").canonical;
+  EXPECT_EQ(reg().resolve(canonical).canonical, canonical);
+}
+
+TEST(MechanismParams, UnknownParameterGetsDidYouMeanAndSchema) {
+  try {
+    reg().resolve("ech(way=4)");
+    FAIL() << "unknown parameter should throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown parameter 'way'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'ways'?"), std::string::npos) << msg;
+    // The full schema is listed so the user can fix the spec in one round.
+    EXPECT_NE(msg.find("ways:uint=3 [2..8]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("probes:uint=0 [0..8]"), std::string::npos) << msg;
+  }
+}
+
+TEST(MechanismParams, ValueDiagnosticsNameTypeRangeAndStep) {
+  // Out of range.
+  try {
+    reg().resolve("ech(ways=42)");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range [2..8]"),
+              std::string::npos)
+        << e.what();
+  }
+  // Not an integer.
+  EXPECT_THROW(reg().resolve("ech(ways=three)"), std::invalid_argument);
+  EXPECT_THROW(reg().resolve("ech(ways=-1)"), std::invalid_argument);
+  // PWC entry counts must divide by the 4-way associativity.
+  try {
+    reg().resolve("radix(pwc_l2=6)");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("multiple of 4"), std::string::npos)
+        << e.what();
+  }
+  // Malformed syntax and duplicates.
+  EXPECT_THROW(reg().resolve("ech(ways=4"), std::invalid_argument);
+  EXPECT_THROW(reg().resolve("ech(ways)"), std::invalid_argument);
+  EXPECT_THROW(reg().resolve("ech(ways=4,ways=5)"), std::invalid_argument);
+  // Parameters on an unparameterized mechanism say so.
+  try {
+    reg().resolve("ideal(x=1)");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("takes no parameters"),
+              std::string::npos)
+        << e.what();
+  }
+  // Unknown mechanism names suggest the closest registered one.
+  try {
+    reg().resolve("ndpge(pwc_l4=64)");
+    FAIL();
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'NDPage'?"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MechanismParams, RunSpecBuilderValidatesAndCanonicalizes) {
+  const RunSpec spec = RunSpecBuilder().mechanism("ECH ( ways=4 )").build();
+  EXPECT_EQ(spec.mechanism_name, "ECH(ways=4)");
+  EXPECT_EQ(spec.mechanism_label(), "ECH(ways=4)");
+  // The enum shadow tracks the builtin family.
+  EXPECT_EQ(spec.mechanism, Mechanism::kEch);
+  EXPECT_THROW(RunSpecBuilder().mechanism("ech(way=4)"),
+               std::invalid_argument);
+  EXPECT_THROW(RunSpecBuilder().mechanism("nope(ways=4)"),
+               std::invalid_argument);
+}
+
+TEST(MechanismParams, RegisteredMechanismCanPublishItsOwnSchema) {
+  MechanismDescriptor d;
+  d.name = "TunableRadix";
+  d.summary = "params_test fixture";
+  d.params = {ParamSpec::uint_spec("leaf", 1, 1, 2, "preferred leaf level"),
+              ParamSpec::bool_spec("turbo", false, "ignored flag"),
+              ParamSpec::double_spec("frac", 0.5, 0.0, 1.0, "ignored knob")};
+  d.make_page_table = [](PhysicalMemory& pm, const MechanismParams& p) {
+    return std::make_unique<RadixPageTable>(
+        pm, static_cast<unsigned>(p.get_uint("leaf")));
+  };
+  ASSERT_TRUE(register_mechanism(std::move(d)));
+
+  const MechanismSpec s =
+      reg().resolve("tunableradix(leaf=2,turbo=ON,frac=0.25)");
+  EXPECT_EQ(s.canonical, "TunableRadix(leaf=2,turbo=true,frac=0.25)");
+  EXPECT_TRUE(s.params.get_bool("turbo"));
+  EXPECT_DOUBLE_EQ(s.params.get_double("frac"), 0.25);
+  // Bad bool text is rejected.
+  EXPECT_THROW(reg().resolve("tunableradix(turbo=maybe)"),
+               std::invalid_argument);
+
+  // A schema whose default violates its own range is refused outright.
+  MechanismDescriptor bad;
+  bad.name = "BadSchema";
+  bad.make_page_table = [](PhysicalMemory& pm, const MechanismParams&) {
+    return std::make_unique<RadixPageTable>(pm, 1);
+  };
+  bad.params = {ParamSpec::uint_spec("k", 0, 1, 4, "default out of range")};
+  EXPECT_FALSE(register_mechanism(std::move(bad)));
+}
+
+TEST(MechanismParams, ParametersChangeTheModelledHardware) {
+  RunSpec base = RunSpecBuilder()
+                     .system("ndp")
+                     .cores(1)
+                     .workload("gups")
+                     .instructions(4'000)
+                     .warmup(200)
+                     .scale(1.0 / 64.0)
+                     .build();
+  // ECH accesses-per-walk equals the configured way count.
+  for (unsigned ways : {2u, 4u}) {
+    RunSpec s = RunSpecBuilder(base)
+                    .mechanism("ech(ways=" + std::to_string(ways) + ")")
+                    .build();
+    const RunResult r = run_experiment(s);
+    ASSERT_GT(r.stats.get("walker.walks"), 0u);
+    EXPECT_NEAR(r.stats.average("walker.accesses_per_walk")->mean(),
+                static_cast<double>(ways), 0.1)
+        << "ways=" << ways;
+  }
+  // Serializing the probes makes walks slower than the all-parallel probe.
+  const RunResult wide =
+      run_experiment(RunSpecBuilder(base).mechanism("ech(ways=4)").build());
+  const RunResult narrow = run_experiment(
+      RunSpecBuilder(base).mechanism("ech(ways=4,probes=1)").build());
+  EXPECT_GT(narrow.avg_ptw_latency, wide.avg_ptw_latency);
+}
+
+TEST(MechanismParams, ConfigAcceptsStringAndStructuredForms) {
+  const RunConfig cfg = RunConfig::from_json(R"json({
+    "name": "param_forms",
+    "mechanisms": ["radix",
+                   "ech(ways=4)",
+                   {"name": "ech", "params": {"ways": [2, 8], "probes": 2}},
+                   {"name": "hybrid", "params": {"flat_bits": 16}}],
+    "workloads": ["RND"],
+    "cores": [1],
+    "baseline": "radix"
+  })json");
+  EXPECT_EQ(cfg.mechanisms,
+            (std::vector<std::string>{"Radix", "ECH(ways=4)",
+                                      "ECH(ways=2,probes=2)",
+                                      "ECH(ways=8,probes=2)",
+                                      "Hybrid(flat_bits=16)"}));
+  // Round-trips through to_json (canonical strings parse back).
+  const RunConfig again = RunConfig::from_json(cfg.to_json());
+  EXPECT_EQ(again.mechanisms, cfg.mechanisms);
+
+  // Structured-form diagnostics carry the run-config prefix.
+  try {
+    RunConfig::from_json(R"({"mechanisms": [{"name": "ech",
+                             "params": {"way": 4}}]})");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("run config:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'ways'?"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(RunConfig::from_json(
+                   R"({"mechanisms": [{"params": {"ways": 4}}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(RunConfig::from_json(
+                   R"({"mechanisms": [{"name": "ech", "wat": 1}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      RunConfig::from_json(R"json({"mechanisms": ["ech(ways=99)"]})json"),
+      std::invalid_argument);
+  // Neither values nor keys can smuggle extra parameters into the rebuilt
+  // spec string.
+  EXPECT_THROW(RunConfig::from_json(R"json({"mechanisms":
+                   [{"name": "ech", "params": {"ways": "4,probes=2"}}]})json"),
+               std::invalid_argument);
+  EXPECT_THROW(RunConfig::from_json(R"json({"mechanisms":
+                   [{"name": "ech", "params": {"ways=2,probes": 1}}]})json"),
+               std::invalid_argument);
+}
+
+TEST(MechanismParams, ResultMetadataRecordsResolvedParameters) {
+  const RunSpec spec = RunSpecBuilder()
+                           .system("ndp")
+                           .cores(1)
+                           .mechanism("ech(ways=4)")
+                           .workload("gups")
+                           .instructions(2'000)
+                           .warmup(100)
+                           .scale(1.0 / 64.0)
+                           .build();
+  const RunResult r = run_experiment(spec);
+  EXPECT_EQ(r.meta.mechanism, "ECH(ways=4)");
+  // Every schema knob is recorded, defaults included, in schema order.
+  ASSERT_EQ(r.meta.mechanism_params.size(), 2u);
+  EXPECT_EQ(r.meta.mechanism_params[0],
+            (std::pair<std::string, std::string>{"ways", "4"}));
+  EXPECT_EQ(r.meta.mechanism_params[1],
+            (std::pair<std::string, std::string>{"probes", "0"}));
+
+  const std::string json = to_json(r, &spec);
+  EXPECT_NE(json.find("\"mechanism\":\"ECH(ways=4)\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"mechanism_params\":{\"ways\":4,\"probes\":0}"),
+            std::string::npos)
+      << json;
+  // Unparameterized mechanisms keep their document shape (no params key).
+  RunSpec plain = spec;
+  plain.mechanism_name = "Ideal";
+  const RunResult r2 = run_experiment(plain);
+  EXPECT_EQ(to_json(r2, &plain).find("mechanism_params"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -19,7 +19,7 @@ MechanismDescriptor test_descriptor(std::string name) {
   MechanismDescriptor d;
   d.name = std::move(name);
   d.summary = "registry_test fixture mechanism";
-  d.make_page_table = [](PhysicalMemory& pm) {
+  d.make_page_table = [](PhysicalMemory& pm, const MechanismParams&) {
     return std::make_unique<RadixPageTable>(pm, /*preferred_leaf_level=*/1);
   };
   return d;
@@ -46,7 +46,7 @@ TEST(MechanismRegistry, RegistrationLookupRoundTrip) {
   PhysMemConfig pmc;
   pmc.bytes = 64ull << 20;
   PhysicalMemory pm(pmc);
-  EXPECT_NE(found->make_page_table(pm), nullptr);
+  EXPECT_NE(found->make_page_table(pm, found->default_params()), nullptr);
 }
 
 TEST(MechanismRegistry, AliasAndCaseInsensitiveResolution) {
@@ -111,8 +111,9 @@ TEST(MechanismRegistry, EnumArraysMatchRegistryContents) {
   ASSERT_EQ(builtins.size(), std::size(kExtendedMechanisms));
   for (std::size_t i = 0; i < builtins.size(); ++i)
     EXPECT_EQ(builtins[i], to_string(kExtendedMechanisms[i]));
-  // kAllMechanisms is the paper's five: the extended set minus DIPTA.
-  ASSERT_EQ(std::size(kAllMechanisms) + 1, std::size(kExtendedMechanisms));
+  // kAllMechanisms is the paper's five: the extended set minus the
+  // related-work comparators (DIPTA, Hybrid).
+  ASSERT_EQ(std::size(kAllMechanisms) + 2, std::size(kExtendedMechanisms));
   for (std::size_t i = 0; i < std::size(kAllMechanisms); ++i)
     EXPECT_EQ(kAllMechanisms[i], kExtendedMechanisms[i]);
 }

@@ -49,6 +49,57 @@ TEST(SweepRunner, ParallelOutputIsByteIdenticalToSerial) {
   EXPECT_EQ(to_csv(a), to_csv(b));
 }
 
+// Promotes the CI-only serial-vs-parallel byte-identity check to ctest, on
+// a grid of *parameterized* mechanism variants: the full JSON and CSV
+// documents must not depend on the job count, and every cell must record
+// its resolved parameters.
+TEST(SweepRunner, ParameterizedGridByteIdenticalAcrossJobCounts) {
+  const RunConfig cfg = RunConfig::from_json(R"json({
+    "name": "param_grid",
+    "mechanisms": ["radix",
+                   {"name": "ech", "params": {"ways": [2, 4]}},
+                   "ndpage(pwc_l3=16)",
+                   "hybrid(flat_bits=14)"],
+    "workloads": ["RND"],
+    "cores": [1, 2],
+    "instructions": 2000,
+    "warmup": 150,
+    "scale": 0.015625,
+    "baseline": "radix"
+  })json");
+  ASSERT_EQ(cfg.mechanisms,
+            (std::vector<std::string>{"Radix", "ECH(ways=2)", "ECH(ways=4)",
+                                      "NDPage(pwc_l3=16)",
+                                      "Hybrid(flat_bits=14)"}));
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  const SweepResults reference = run_sweep(cfg, serial);
+  ASSERT_EQ(reference.cells.size(), 10u);
+  const std::string ref_json = to_json(reference);
+  const std::string ref_csv = to_csv(reference);
+
+  // Per-cell metadata records the resolved parameter values.
+  EXPECT_NE(ref_json.find("\"mechanism\":\"ECH(ways=4)\""), std::string::npos);
+  EXPECT_NE(ref_json.find("\"mechanism_params\":{\"ways\":4,\"probes\":0}"),
+            std::string::npos);
+  EXPECT_NE(ref_json.find("\"mechanism_params\":{\"flat_bits\":14"),
+            std::string::npos);
+  EXPECT_NE(ref_csv.find("NDPage(pwc_l3=16)"), std::string::npos);
+  // ... and the variants aggregate against the baseline like any mechanism.
+  const auto gms = geomean_speedups(reference, "Radix", SystemKind::kNdp, 2);
+  ASSERT_EQ(gms.size(), 4u);
+  EXPECT_EQ(gms[0].first, "ECH(ways=2)");
+
+  for (unsigned jobs : {2u, 8u}) {
+    SweepOptions opts;
+    opts.jobs = jobs;
+    const SweepResults parallel = run_sweep(cfg, opts);
+    EXPECT_EQ(to_json(parallel), ref_json) << "jobs=" << jobs;
+    EXPECT_EQ(to_csv(parallel), ref_csv) << "jobs=" << jobs;
+  }
+}
+
 TEST(SweepRunner, ResultsArriveInSpecOrder) {
   const RunConfig cfg = tiny_grid();
   const std::vector<RunSpec> specs = cfg.expand();

@@ -9,6 +9,7 @@
 #include "os/phys_mem.h"
 #include "translate/address_space.h"
 #include "translate/ech_page_table.h"
+#include "translate/hybrid_page_table.h"
 #include "translate/page_table.h"
 #include "translate/pwc.h"
 #include "translate/radix_page_table.h"
@@ -189,6 +190,111 @@ TEST(EchPageTable, OverwriteDoesNotGrow) {
   pt.map(5, 2);
   EXPECT_EQ(pt.size(), 1u);
   EXPECT_EQ(*pt.lookup(5), 2u);
+}
+
+TEST(EchPageTable, ProbeWidthGroupsWalkSteps) {
+  PhysicalMemory pm(pm_cfg());
+  EchConfig cfg;
+  cfg.ways = 4;
+  cfg.probe_width = 2;
+  EchPageTable pt(pm, cfg);
+  pt.map(1000, 5);
+  const WalkPath p = pt.walk(1000);
+  ASSERT_EQ(p.steps.size(), 4u);
+  // Probes go out two at a time: groups {0,0,1,1}.
+  EXPECT_EQ(p.steps[0].group, 0u);
+  EXPECT_EQ(p.steps[1].group, 0u);
+  EXPECT_EQ(p.steps[2].group, 1u);
+  EXPECT_EQ(p.steps[3].group, 1u);
+}
+
+// --------------------------------------------------------------- Hybrid ---
+
+HybridConfig tiny_hybrid() {
+  HybridConfig cfg;
+  cfg.flat_bits = 12;  // 4096 slots: conflicts are easy to construct
+  return cfg;
+}
+
+TEST(HybridPageTable, FlatHitIsOneProbeConflictFallsBackToRadix) {
+  PhysicalMemory pm(pm_cfg());
+  HybridPageTable pt(pm, tiny_hybrid());
+  const Vpn a = 0x123;
+  const Vpn b = a + (1ull << 12);  // same direct-mapped slot as `a`
+  pt.map(a, 7);
+  pt.map(b, 8);  // conflicts: first-come-first-served keeps `a` in the window
+  EXPECT_EQ(pt.flat_live(), 1u);
+  EXPECT_EQ(pt.fallback_live(), 1u);
+  EXPECT_EQ(*pt.lookup(a), 7u);
+  EXPECT_EQ(*pt.lookup(b), 8u);
+
+  // Window resident: exactly one probe step, tagged with the hybrid level.
+  const WalkPath wa = pt.walk(a);
+  ASSERT_TRUE(wa.mapped);
+  EXPECT_EQ(wa.pfn, 7u);
+  ASSERT_EQ(wa.steps.size(), 1u);
+  EXPECT_EQ(wa.steps[0].level, WalkStep::kHybridLevel);
+  EXPECT_TRUE(pm.is_page_table_frame(pfn_of(wa.steps[0].pte_addr)));
+
+  // Conflict victim: the probe plus a full radix walk, serialized after it.
+  const WalkPath wb = pt.walk(b);
+  ASSERT_TRUE(wb.mapped);
+  EXPECT_EQ(wb.pfn, 8u);
+  ASSERT_EQ(wb.steps.size(), 5u);
+  EXPECT_EQ(wb.steps[0].level, WalkStep::kHybridLevel);
+  EXPECT_EQ(wb.steps[0].group, 0u);
+  for (unsigned i = 1; i < 5; ++i) {
+    EXPECT_EQ(wb.steps[i].level, 5 - i);  // L4..L1
+    EXPECT_GT(wb.steps[i].group, wb.steps[i - 1].group);
+  }
+}
+
+TEST(HybridPageTable, UnmapRemapCoverBothHomes) {
+  PhysicalMemory pm(pm_cfg());
+  HybridPageTable pt(pm, tiny_hybrid());
+  const Vpn a = 0x55, b = a + (1ull << 12);
+  pt.map(a, 1);
+  pt.map(b, 2);
+  EXPECT_TRUE(pt.remap(a, 11));
+  EXPECT_TRUE(pt.remap(b, 22));
+  EXPECT_EQ(*pt.lookup(a), 11u);
+  EXPECT_EQ(*pt.lookup(b), 22u);
+  // A VPN stays in its home: remapping via map() keeps the fallback entry
+  // in the fallback even once the window slot frees up.
+  EXPECT_TRUE(pt.unmap(a));
+  EXPECT_EQ(pt.flat_live(), 0u);
+  pt.map(b, 23);
+  EXPECT_EQ(pt.fallback_live(), 1u);
+  EXPECT_EQ(pt.flat_live(), 0u);
+  EXPECT_EQ(*pt.lookup(b), 23u);
+  EXPECT_TRUE(pt.unmap(b));
+  EXPECT_FALSE(pt.lookup(b).has_value());
+  EXPECT_EQ(pt.fallback_live(), 0u);
+}
+
+TEST(Walker, PwcHitNeverSkipsHybridFlatProbe) {
+  // The PWC caches radix interior entries; a hit may skip L4..hit-level of
+  // the fallback walk but must never swallow the mandatory flat-window
+  // probe (step 0 of every hybrid walk).
+  PhysicalMemory pm(pm_cfg());
+  MemorySystem mem{MemorySystemConfig::ndp(1)};
+  HybridPageTable pt(pm, tiny_hybrid());
+  const Vpn a = 0x321, b = a + (1ull << 12), c = a + (2ull << 12);
+  pt.map(a, 1);  // window resident
+  pt.map(b, 2);  // fallback (same slot)
+  pt.map(c, 3);  // fallback, same radix PL1 node as b's neighborhood
+  WalkerConfig cfg;
+  cfg.pwc_levels = {4, 3};
+  Walker w(pt, mem, cfg);
+  // Warm the PWCs with b's fallback walk: probe + 4 radix reads.
+  const WalkTiming first = w.walk(0, 0, b << kPageShift);
+  EXPECT_EQ(first.mem_accesses, 5u);
+  // c shares b's L4/L3 prefix: the PWC hit skips L4+L3 but the flat probe
+  // and the L2/L1 reads still issue.
+  const WalkTiming second = w.walk(100000, 0, c << kPageShift);
+  EXPECT_TRUE(second.mapped);
+  EXPECT_EQ(second.pwc_skips, 2u);
+  EXPECT_EQ(second.mem_accesses, 3u) << "flat probe + L2 + L1";
 }
 
 // ------------------------------------------------------------------ TLB ---

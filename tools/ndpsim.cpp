@@ -6,6 +6,7 @@
 //   ndpsim --system=ndp --cores=4 --mechanism=ndpage --workload=gups
 //   ndpsim --mechanism=radix,ndpage --workload=gups,pr --cores=1,4
 //          --json=sweep.json
+//   ndpsim --mechanism='ech(ways=4,probes=2),ech(ways=8)' --workload=gups
 //   ndpsim --list-mechanisms
 //
 // Comma-separated --mechanism/--workload/--cores values expand into a
@@ -49,8 +50,10 @@ int usage(const char* argv0, int code) {
       "selection (comma-separated values expand into a sweep):\n"
       "  --system=ndp|cpu         simulated system (default ndp)\n"
       "  --cores=N[,N...]         core counts (default 4)\n"
-      "  --mechanism=NAME[,...]   translation mechanisms (default ndpage;\n"
-      "                           any registered name or alias)\n"
+      "  --mechanism=SPEC[,...]   translation mechanisms (default ndpage;\n"
+      "                           any registered name or alias, optionally\n"
+      "                           parameterized: 'ech(ways=4,probes=2)';\n"
+      "                           --list-mechanisms shows each schema)\n"
       "  --workload=NAME[,...]    workloads (default gups; any registered\n"
       "                           name or alias)\n"
       "\n"
@@ -92,16 +95,37 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+/// Like split_csv, but commas inside parentheses don't split — so
+/// --mechanism='ech(ways=4,probes=2),radix' yields two specs.
+std::vector<std::string> split_specs(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && s[i] == '(') ++depth;
+    if (i < s.size() && s[i] == ')' && depth > 0) --depth;
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      if (i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
 void list_mechanisms() {
-  Table t({"name", "aliases", "huge pages", "summary"});
+  Table t({"name", "aliases", "parameters", "summary"});
   for (const MechanismDescriptor& d :
        MechanismRegistry::instance().descriptors()) {
     std::string aliases;
     for (const std::string& a : d.aliases)
       aliases += aliases.empty() ? a : ", " + a;
-    t.add_row({d.name, aliases, d.huge_pages ? "yes" : "no", d.summary});
+    const std::string schema = d.param_schema();
+    t.add_row({d.name, aliases, schema.empty() ? "-" : schema, d.summary});
   }
   t.print(std::cout);
+  std::printf(
+      "\nselect parameter points as 'name(key=value,...)', e.g. "
+      "--mechanism='ech(ways=4)'\n");
 }
 
 void list_workloads() {
@@ -238,7 +262,7 @@ int main(int argc, char** argv) {
       system = v;
       selection_flags_used = true;
     } else if (const char* v = value_of("--mechanism")) {
-      mechanisms = split_csv(v);
+      mechanisms = split_specs(v);
       selection_flags_used = true;
     } else if (const char* v = value_of("--workload")) {
       workloads = split_csv(v);
@@ -321,7 +345,8 @@ int main(int argc, char** argv) {
     if (config_mode) {
       config = RunConfig::load(config_path);
       if (!baseline.empty())
-        config.baseline = MechanismRegistry::instance().at(baseline).name;
+        config.baseline =
+            MechanismRegistry::instance().resolve(baseline).canonical;
       if (!json_path.empty()) config.json_output = json_path;
       if (!csv_path.empty()) config.csv_output = csv_path;
       specs = config.expand();
@@ -336,7 +361,7 @@ int main(int argc, char** argv) {
                          .build();
       specs = sweep(base, mechanisms, workloads, cores);
       if (!baseline.empty())
-        baseline = MechanismRegistry::instance().at(baseline).name;
+        baseline = MechanismRegistry::instance().resolve(baseline).canonical;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
