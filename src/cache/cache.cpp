@@ -63,21 +63,14 @@ unsigned Cache::pick_victim(unsigned set) {
 
 CacheOutcome Cache::access(std::uint64_t line, AccessType type,
                            AccessClass cls) {
+  if (access_hit(line, type, cls)) return CacheOutcome{.hit = true};
+  return fill_miss(line, type, cls);
+}
+
+CacheOutcome Cache::fill_miss(std::uint64_t line, AccessType type,
+                              AccessClass cls) {
   const unsigned set = set_of(line);
   Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
-  ++tick_;
-
-  for (unsigned w = 0; w < cfg_.ways; ++w) {
-    Line& l = base[w];
-    if (l.valid && l.tag == line) {
-      l.lru = tick_;
-      l.rrpv = 0;
-      if (type == AccessType::kWrite) l.dirty = true;
-      ++counters_.hit[static_cast<int>(cls)];
-      return CacheOutcome{.hit = true};
-    }
-  }
-
   ++counters_.miss[static_cast<int>(cls)];
 
   const unsigned w = pick_victim(set);

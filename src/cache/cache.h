@@ -56,6 +56,30 @@ class Cache {
   /// Lookup `line`; on miss, fill it (possibly evicting). Write hits mark the
   /// line dirty. Statistics are recorded per AccessClass.
   CacheOutcome access(std::uint64_t line, AccessType type, AccessClass cls);
+
+  /// Hot-path hit probe, inlined into the hierarchy's access loop: on a hit
+  /// it updates replacement state + counters and returns true; on a miss it
+  /// records nothing and returns false — the caller completes the access
+  /// with fill_miss() (which reuses the tick this probe advanced).
+  bool access_hit(std::uint64_t line, AccessType type, AccessClass cls) {
+    const unsigned set = set_of(line);
+    Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+    ++tick_;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+      Line& l = base[w];
+      if (l.valid && l.tag == line) {
+        l.lru = tick_;
+        l.rrpv = 0;
+        if (type == AccessType::kWrite) l.dirty = true;
+        ++counters_.hit[static_cast<int>(cls)];
+        return true;
+      }
+    }
+    return false;
+  }
+  /// Miss half of access(): record the miss and fill (possibly evicting).
+  /// Only valid immediately after an access_hit() that returned false.
+  CacheOutcome fill_miss(std::uint64_t line, AccessType type, AccessClass cls);
   /// Tag probe with no state change.
   bool probe(std::uint64_t line) const;
   /// Drop a line if present (returns true if it was dirty).

@@ -94,35 +94,38 @@ MemAccessResult MemorySystem::access(Cycle now, unsigned core, PhysAddr pa,
   const std::uint64_t line = line_of(pa);
   Cycle t = now;
 
-  // L1 (private).
-  t += l1_[core]->config().latency;
-  CacheOutcome o1 = l1_[core]->access(line, type, cls);
-  if (o1.evicted && o1.victim_dirty) write_back(t, core, o1.victim_line, o1.victim_class);
-  if (o1.hit) {
+  // L1 (private). The hit probe is inlined (cache.h) — the overwhelmingly
+  // common outcome pays no out-of-line call and builds no CacheOutcome.
+  Cache& l1 = *l1_[core];
+  t += l1.config().latency;
+  if (l1.access_hit(line, type, cls)) {
     ++counters_.served_l1;
     return MemAccessResult{t, ServedBy::kL1};
   }
+  CacheOutcome o1 = l1.fill_miss(line, type, cls);
+  if (o1.evicted && o1.victim_dirty) write_back(t, core, o1.victim_line, o1.victim_class);
 
   // L2 (private, CPU system only).
   if (!l2_.empty()) {
-    t += l2_[core]->config().latency;
-    CacheOutcome o2 = l2_[core]->access(line, type, cls);
-    if (o2.evicted && o2.victim_dirty) write_back(t, core, o2.victim_line, o2.victim_class);
-    if (o2.hit) {
+    Cache& l2 = *l2_[core];
+    t += l2.config().latency;
+    if (l2.access_hit(line, type, cls)) {
       ++counters_.served_l2;
       return MemAccessResult{t, ServedBy::kL2};
     }
+    CacheOutcome o2 = l2.fill_miss(line, type, cls);
+    if (o2.evicted && o2.victim_dirty) write_back(t, core, o2.victim_line, o2.victim_class);
   }
 
   // L3 (shared, CPU system only).
   if (l3_) {
     t += l3_->config().latency;
-    CacheOutcome o3 = l3_->access(line, type, cls);
-    if (o3.evicted && o3.victim_dirty) write_back(t, core, o3.victim_line, o3.victim_class);
-    if (o3.hit) {
+    if (l3_->access_hit(line, type, cls)) {
       ++counters_.served_l3;
       return MemAccessResult{t, ServedBy::kL3};
     }
+    CacheOutcome o3 = l3_->fill_miss(line, type, cls);
+    if (o3.evicted && o3.victim_dirty) write_back(t, core, o3.victim_line, o3.victim_class);
   }
 
   ++counters_.served_dram;

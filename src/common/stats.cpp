@@ -21,9 +21,32 @@ double StatSet::rate(const std::string& num, const std::string& den) const {
   return (n + d) > 0.0 ? n / (n + d) : 0.0;
 }
 
+std::map<std::string, std::uint64_t> StatSet::counters() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_)
+    if (c.live_) out.emplace(name, c.value_);
+  return out;
+}
+
+std::map<std::string, Average> StatSet::averages() const {
+  std::map<std::string, Average> out;
+  for (const auto& [name, s] : averages_)
+    if (s.live_) out.emplace(name, s.avg_);
+  return out;
+}
+
+void StatSet::clear() {
+  for (auto& kv : counters_) kv.second = Counter{};
+  for (auto& kv : averages_) kv.second = Sample{};
+}
+
 void StatSet::merge(const StatSet& other) {
-  for (const auto& [name, v] : other.counters()) counters_[name] += v;
-  for (const auto& [name, avg] : other.averages()) averages_[name].merge(avg);
+  // A live-but-zero cell still materializes a key in the target, matching
+  // the string-keyed `counters_[name] += v` behaviour this replaced.
+  for (const auto& [name, c] : other.counters_)
+    if (c.live_) counters_[name].add(c.value_);
+  for (const auto& [name, s] : other.averages_)
+    if (s.live_) averages_[name].merge(s.avg_);
 }
 
 }  // namespace ndp

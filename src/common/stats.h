@@ -74,9 +74,63 @@ class Histogram {
 
 /// Named counter registry. Components expose one so tests and benches can
 /// read e.g. stats.get("tlb.l1d.miss") without bespoke accessors everywhere.
+///
+/// Hot paths resolve a Counter*/Sample* handle once (at construction) and
+/// bump it directly — no per-access string hashing or map lookups. Handles
+/// stay valid for the StatSet's lifetime: clear() zeroes cells in place
+/// instead of destroying them, and a cell only shows up in counters()/
+/// averages()/serialization once it has been touched since the last clear(),
+/// so the externally visible key set is exactly what the lazily-materialized
+/// string-keyed API produced.
 class StatSet {
  public:
-  void inc(const std::string& name, std::uint64_t by = 1) { counters_[name] += by; }
+  /// One named counter cell. Obtain via counter(); add() is the hot path.
+  class Counter {
+   public:
+    void add(std::uint64_t by = 1) {
+      value_ += by;
+      live_ = true;
+    }
+    std::uint64_t value() const { return value_; }
+    /// Touched since the last clear()? Dead cells are invisible externally.
+    bool live() const { return live_; }
+
+   private:
+    friend class StatSet;
+    std::uint64_t value_ = 0;
+    bool live_ = false;
+  };
+
+  /// One named Average cell. Obtain via sample(); add() is the hot path.
+  class Sample {
+   public:
+    void add(double v) {
+      avg_.add(v);
+      live_ = true;
+    }
+    void merge(const Average& a) {
+      avg_.merge(a);
+      live_ = true;
+    }
+    const Average& average() const { return avg_; }
+    bool live() const { return live_; }
+
+   private:
+    friend class StatSet;
+    Average avg_;
+    bool live_ = false;
+  };
+
+  /// Resolve a counter handle. The pointer stays valid (and keeps its name)
+  /// across clear() for the StatSet's lifetime. Resolving a handle does not
+  /// make the counter visible — only touching it does.
+  Counter* counter(const std::string& name) { return &counters_[name]; }
+  /// Resolve an Average handle; same lifetime contract as counter().
+  Sample* sample(const std::string& name) { return &averages_[name]; }
+
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name].add(by);
+  }
   void add_sample(const std::string& name, double v) { averages_[name].add(v); }
   /// Merge a whole Average (exact) under `name` — used when re-keying
   /// component stats with a prefix.
@@ -86,11 +140,12 @@ class StatSet {
 
   std::uint64_t get(const std::string& name) const {
     auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return it == counters_.end() ? 0 : it->second.value_;
   }
   const Average* average(const std::string& name) const {
     auto it = averages_.find(name);
-    return it == averages_.end() ? nullptr : &it->second;
+    return it == averages_.end() || !it->second.live_ ? nullptr
+                                                      : &it->second.avg_;
   }
   double mean(const std::string& name) const {
     const Average* a = average(name);
@@ -99,18 +154,20 @@ class StatSet {
   /// Ratio helper: num/(num+den) with 0 on empty denominator.
   double rate(const std::string& num, const std::string& den) const;
 
-  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
-  const std::map<std::string, Average>& averages() const { return averages_; }
-  void clear() {
-    counters_.clear();
-    averages_.clear();
-  }
+  /// Live counters, materialized (reporting path — resolved-but-untouched
+  /// handle cells are excluded, exactly like the pre-handle key set).
+  std::map<std::string, std::uint64_t> counters() const;
+  /// Live averages, materialized.
+  std::map<std::string, Average> averages() const;
+  /// Zero every cell in place; resolved handles stay valid and the cells
+  /// drop out of counters()/averages() until touched again.
+  void clear();
   /// Merge another StatSet into this one (counter sums, exact sample merges).
   void merge(const StatSet& other);
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, Average> averages_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Sample> averages_;
 };
 
 }  // namespace ndp

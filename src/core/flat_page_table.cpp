@@ -96,22 +96,22 @@ bool FlatPageTable::remap(Vpn vpn, Pfn new_pfn) {
   return true;
 }
 
-WalkPath FlatPageTable::walk(Vpn vpn) const {
-  WalkPath path;
+void FlatPageTable::walk_into(Vpn vpn, WalkPath& path) const {
+  path.reset();
   unsigned group = 0;
   // L4 entry.
   path.steps.push_back(WalkStep{
       frame_base(root_.frame) + static_cast<PhysAddr>(l4_index(vpn)) * kPteSize,
       4, group++});
   const std::uint32_t l3_id = root_.child[l4_index(vpn)];
-  if (l3_id == 0) return path;
+  if (l3_id == 0) return;
   const RadixNode& l3 = *l3_nodes_[l3_id - 1];
   // L3 entry.
   path.steps.push_back(WalkStep{
       frame_base(l3.frame) + static_cast<PhysAddr>(l3_index(vpn)) * kPteSize,
       3, group++});
   const std::uint32_t flat_id = l3.child[l3_index(vpn)];
-  if (flat_id == 0) return path;
+  if (flat_id == 0) return;
   const FlatNode& flat = *flat_nodes_[flat_id - 1];
   // Flattened L2/L1 entry: 18 index bits into the 2 MB node.
   path.steps.push_back(WalkStep{
@@ -124,7 +124,7 @@ WalkPath FlatPageTable::walk(Vpn vpn) const {
     path.pfn = e >> 1;
     path.page_shift = kPageShift;
   }
-  return path;
+  return;
 }
 
 std::vector<LevelOccupancy> FlatPageTable::occupancy() const {

@@ -36,7 +36,7 @@ class FlatPageTable : public PageTable {
   bool unmap(Vpn vpn) override;
   std::optional<Pfn> lookup(Vpn vpn) const override;
   bool remap(Vpn vpn, Pfn new_pfn) override;
-  WalkPath walk(Vpn vpn) const override;
+  void walk_into(Vpn vpn, WalkPath& out) const override;
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override { return "NDPageFlat"; }
   std::uint64_t table_bytes() const override;

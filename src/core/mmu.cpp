@@ -64,7 +64,7 @@ Cycle MmuOp::begin(Mmu& mmu, Cycle now, VirtAddr va, AccessType type) {
   // TLB miss. If this core is already walking the same page, coalesce onto
   // that walk (MSHR behaviour) instead of duplicating PTE accesses.
   walk_begin_ = t;
-  if (mmu.inflight_walks_.count(vpn_of(va)) > 0) {
+  if (mmu.walk_inflight(vpn_of(va))) {
     ++mmu.counters_.coalesced_walks;
     stage_ = Stage::kWaitWalk;
     return t + kWalkPollInterval;
@@ -77,8 +77,8 @@ Cycle MmuOp::start_walk(Cycle now) {
   // Plan the page-table walk (paper Fig. 11 steps 2-4).
   walked_ = true;
   ++mmu.counters_.walks;
-  ++mmu.inflight_walks_[vpn_of(va_)];
-  plan_ = mmu.walker_->plan(vpn_of(va_));
+  mmu.add_inflight_walk(vpn_of(va_));
+  mmu.walker_->plan_into(vpn_of(va_), plan_);
   plan_start_ = now;
   step_idx_ = 0;
   stage_ = Stage::kWalk;
@@ -100,7 +100,7 @@ Cycle MmuOp::on_walk_complete(Cycle now) {
     }
     retried_after_fault_ = true;
     const Cycle t = now + tr.cost;
-    plan_ = mmu.walker_->plan(vpn_of(va_));
+    mmu.walker_->plan_into(vpn_of(va_), plan_);
     assert(plan_.path.mapped && "touch() must leave the page mapped");
     plan_start_ = t;
     step_idx_ = 0;
@@ -118,9 +118,7 @@ Cycle MmuOp::on_walk_complete(Cycle now) {
   mmu.l2_tlb_.insert(va_, base_pfn, shift);
 
   // Release the walk so coalesced waiters can resolve from the TLBs.
-  auto it = mmu.inflight_walks_.find(vpn);
-  if (it != mmu.inflight_walks_.end() && --it->second == 0)
-    mmu.inflight_walks_.erase(it);
+  mmu.release_inflight_walk(vpn);
 
   pa_ = frame_base(plan_.path.pfn) + page_offset(va_);
   trans_done_ = now;
@@ -147,7 +145,7 @@ Cycle MmuOp::step(Cycle now) {
         stage_ = Stage::kData;
         return now;
       }
-      if (mmu.inflight_walks_.count(vpn_of(va_)) > 0)
+      if (mmu.walk_inflight(vpn_of(va_)))
         return now + kWalkPollInterval;  // still walking
       // The walk finished but the entry was already displaced (or torn
       // down): perform our own walk.

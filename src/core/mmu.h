@@ -11,7 +11,8 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "cache/hierarchy.h"
 #include "common/stats.h"
@@ -82,6 +83,32 @@ class Mmu {
  private:
   friend class MmuOp;
 
+  /// Is a walk for vpn in flight on this core?
+  bool walk_inflight(Vpn vpn) const {
+    for (const auto& w : inflight_walks_)
+      if (w.first == vpn) return true;
+    return false;
+  }
+  void add_inflight_walk(Vpn vpn) {
+    for (auto& w : inflight_walks_) {
+      if (w.first == vpn) {
+        ++w.second;
+        return;
+      }
+    }
+    inflight_walks_.emplace_back(vpn, 1u);
+  }
+  void release_inflight_walk(Vpn vpn) {
+    for (auto& w : inflight_walks_) {
+      if (w.first != vpn) continue;
+      if (--w.second == 0) {
+        w = inflight_walks_.back();
+        inflight_walks_.pop_back();
+      }
+      return;
+    }
+  }
+
   MmuConfig cfg_;
   AddressSpace& space_;
   MemorySystem& mem_;
@@ -91,8 +118,10 @@ class Mmu {
   std::unique_ptr<Walker> walker_;
   /// Walks currently in flight on this core, keyed by vpn. A second op
   /// missing the TLBs for the same page coalesces onto the existing walk
-  /// (MSHR-style) instead of duplicating its PTE accesses.
-  std::unordered_map<Vpn, unsigned> inflight_walks_;
+  /// (MSHR-style) instead of duplicating its PTE accesses. At most mlp
+  /// walks are ever in flight, so a flat vector with linear probes beats a
+  /// hash map (no per-walk node allocation on the TLB-miss path).
+  std::vector<std::pair<Vpn, unsigned>> inflight_walks_;
   Counters counters_;
 };
 

@@ -11,6 +11,11 @@ Mesh::Mesh(MeshConfig cfg) : cfg_(cfg) {
   side_ = 1;
   while (side_ * side_ < tiles) ++side_;
   ingress_next_.assign(cfg_.num_mem_endpoints, 0);
+  fly_cycles_.reserve(static_cast<std::size_t>(cfg_.num_cores) *
+                      cfg_.num_mem_endpoints);
+  for (unsigned c = 0; c < cfg_.num_cores; ++c)
+    for (unsigned e = 0; e < cfg_.num_mem_endpoints; ++e)
+      fly_cycles_.push_back(static_cast<Cycle>(hops(c, e)) * cfg_.hop_latency);
 }
 
 Mesh::Pos Mesh::core_pos(unsigned core) const {
@@ -33,7 +38,7 @@ unsigned Mesh::hops(unsigned core, unsigned endpoint) const {
 }
 
 Cycle Mesh::to_memory(Cycle now, unsigned core, unsigned endpoint) {
-  const Cycle fly = static_cast<Cycle>(hops(core, endpoint)) * cfg_.hop_latency;
+  const Cycle fly = fly_cycles(core, endpoint);
   Cycle arrive = now + fly;
   Cycle& slot = ingress_next_[endpoint];
   arrive = std::max(arrive, slot);
@@ -51,7 +56,7 @@ StatSet Mesh::snapshot() const {
 }
 
 Cycle Mesh::from_memory(Cycle now, unsigned endpoint, unsigned core) const {
-  return now + static_cast<Cycle>(hops(core, endpoint)) * cfg_.hop_latency;
+  return now + fly_cycles(core, endpoint);
 }
 
 }  // namespace ndp

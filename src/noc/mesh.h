@@ -48,9 +48,18 @@ class Mesh {
   Pos mem_pos(unsigned endpoint) const;
   static unsigned manhattan(Pos a, Pos b);
 
+  Cycle fly_cycles(unsigned core, unsigned endpoint) const {
+    return fly_cycles_[static_cast<std::size_t>(core) *
+                           cfg_.num_mem_endpoints +
+                       endpoint];
+  }
+
   MeshConfig cfg_;
   unsigned side_;
   std::vector<Cycle> ingress_next_;  ///< per memory endpoint
+  /// hops x hop_latency per (core, endpoint), precomputed at construction —
+  /// the per-packet path computes no grid coordinates.
+  std::vector<Cycle> fly_cycles_;
   std::uint64_t packets_ = 0;
   Average request_latency_;
 };

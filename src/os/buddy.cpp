@@ -7,32 +7,24 @@ namespace ndp {
 BuddyAllocator::BuddyAllocator(std::uint64_t num_frames)
     : num_frames_(num_frames),
       free_frames_(num_frames),
-      free_lists_(kMaxOrder + 1),
-      free_bit_(num_frames, true),
-      block_order_(num_frames, 0) {
+      free_bit_(num_frames, true) {
   const std::uint64_t max_block = 1ull << kMaxOrder;
   assert(num_frames_ > 0 && num_frames_ % max_block == 0);
+  free_.reserve(kMaxOrder + 1);
+  for (unsigned o = 0; o <= kMaxOrder; ++o)
+    free_.emplace_back(num_frames_ >> o);
   for (Pfn base = 0; base < num_frames_; base += max_block)
     insert_free(base, kMaxOrder);
-}
-
-void BuddyAllocator::insert_free(Pfn base, unsigned order) {
-  free_lists_[order].insert(base);
-  block_order_[base] = static_cast<std::uint8_t>(order);
-}
-
-void BuddyAllocator::remove_free(Pfn base, unsigned order) {
-  free_lists_[order].erase(base);
 }
 
 std::optional<Pfn> BuddyAllocator::alloc(unsigned order) {
   assert(order <= kMaxOrder);
   unsigned o = order;
-  while (o <= kMaxOrder && free_lists_[o].empty()) ++o;
+  while (o <= kMaxOrder && !free_[o].any()) ++o;
   if (o > kMaxOrder) return std::nullopt;
 
   // Take the lowest-address block for determinism, split down to `order`.
-  Pfn base = *free_lists_[o].begin();
+  Pfn base = free_[o].find_first() << o;
   remove_free(base, o);
   while (o > order) {
     --o;
@@ -59,7 +51,7 @@ void BuddyAllocator::free(Pfn base, unsigned order) {
   while (o < kMaxOrder) {
     const Pfn buddy = base ^ (1ull << o);
     if (buddy >= num_frames_ || !free_bit_[buddy] ||
-        free_lists_[o].count(buddy) == 0) {
+        !is_free_block(buddy, o)) {
       break;
     }
     remove_free(buddy, o);
@@ -74,7 +66,7 @@ bool BuddyAllocator::alloc_specific(Pfn frame) {
   // Find the free block containing this frame.
   for (unsigned o = 0; o <= kMaxOrder; ++o) {
     const Pfn base = frame & ~((1ull << o) - 1);
-    if (free_lists_[o].count(base) == 0) continue;
+    if (!is_free_block(base, o)) continue;
     remove_free(base, o);
     // Split down, always keeping the half that contains `frame`.
     Pfn keep = base;
@@ -101,7 +93,7 @@ bool BuddyAllocator::alloc_specific(Pfn frame) {
 
 int BuddyAllocator::largest_available_order() const {
   for (int o = static_cast<int>(kMaxOrder); o >= 0; --o)
-    if (!free_lists_[static_cast<unsigned>(o)].empty()) return o;
+    if (free_[static_cast<unsigned>(o)].any()) return o;
   return -1;
 }
 

@@ -4,16 +4,79 @@
 // discussion (§VII-B): 2 MB allocations need an order-9 buddy block, and
 // once memory is fragmented those stop being available — the allocator
 // reports it honestly instead of applying a fudge factor.
+//
+// Free blocks are tracked per order in hierarchical bitmaps rather than
+// ordered sets: every operation the simulator's hot paths perform —
+// alloc_specific() during boot-noise injection and compaction reserves,
+// alloc(0) during prefault — is a handful of word reads instead of
+// red-black-tree searches and node allocations. Lowest-address-first
+// allocation order (the determinism contract) is preserved exactly:
+// find_first() returns the same block *begin() did.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/types.h"
 
 namespace ndp {
+
+/// Fixed-size bitset with a two-level word summary: set/clear/test are O(1)
+/// and find_first() (lowest set bit) costs at most a few word scans even
+/// over millions of bits.
+class BitIndex {
+ public:
+  explicit BitIndex(std::uint64_t nbits)
+      : l0_((nbits + 63) / 64, 0),
+        l1_((l0_.size() + 63) / 64, 0),
+        l2_((l1_.size() + 63) / 64, 0) {}
+
+  bool test(std::uint64_t i) const {
+    return (l0_[i >> 6] >> (i & 63)) & 1ull;
+  }
+  void set(std::uint64_t i) {
+    std::uint64_t& w = l0_[i >> 6];
+    const std::uint64_t bit = 1ull << (i & 63);
+    if (w & bit) return;
+    w |= bit;
+    ++count_;
+    l1_[i >> 12] |= 1ull << ((i >> 6) & 63);
+    l2_[i >> 18] |= 1ull << ((i >> 12) & 63);
+  }
+  void clear(std::uint64_t i) {
+    std::uint64_t& w = l0_[i >> 6];
+    const std::uint64_t bit = 1ull << (i & 63);
+    if (!(w & bit)) return;
+    w &= ~bit;
+    --count_;
+    if (w) return;
+    std::uint64_t& s1 = l1_[i >> 12];
+    s1 &= ~(1ull << ((i >> 6) & 63));
+    if (s1) return;
+    l2_[i >> 18] &= ~(1ull << ((i >> 12) & 63));
+  }
+  bool any() const { return count_ != 0; }
+  std::uint64_t count() const { return count_; }
+  /// Lowest set bit; the bitset must be non-empty.
+  std::uint64_t find_first() const {
+    std::uint64_t k = 0;
+    while (l2_[k] == 0) ++k;
+    const std::uint64_t j = (k << 6) + lowest_bit(l2_[k]);
+    const std::uint64_t w = (j << 6) + lowest_bit(l1_[j]);
+    return (w << 6) + lowest_bit(l0_[w]);
+  }
+
+ private:
+  static unsigned lowest_bit(std::uint64_t w) {
+    return static_cast<unsigned>(__builtin_ctzll(w));
+  }
+
+  std::uint64_t count_ = 0;
+  std::vector<std::uint64_t> l0_;  ///< the bits
+  std::vector<std::uint64_t> l1_;  ///< bit j: l0_[j] has a set bit
+  std::vector<std::uint64_t> l2_;  ///< bit k: l1_[k] has a set bit
+};
 
 class BuddyAllocator {
  public:
@@ -37,7 +100,7 @@ class BuddyAllocator {
   /// Is a block of this order currently available (without compaction)?
   bool can_alloc(unsigned order) const {
     for (unsigned o = order; o <= kMaxOrder; ++o)
-      if (!free_lists_[o].empty()) return true;
+      if (free_[o].any()) return true;
     return false;
   }
   std::uint64_t num_frames() const { return num_frames_; }
@@ -51,14 +114,18 @@ class BuddyAllocator {
   double fragmentation() const;
 
  private:
-  void insert_free(Pfn base, unsigned order);
-  void remove_free(Pfn base, unsigned order);
+  void insert_free(Pfn base, unsigned order) { free_[order].set(base >> order); }
+  void remove_free(Pfn base, unsigned order) {
+    free_[order].clear(base >> order);
+  }
+  bool is_free_block(Pfn base, unsigned order) const {
+    return free_[order].test(base >> order);
+  }
 
   std::uint64_t num_frames_;
   std::uint64_t free_frames_;
-  std::vector<std::set<Pfn>> free_lists_;  ///< per order, sorted for determinism
-  std::vector<bool> free_bit_;             ///< per frame
-  std::vector<std::uint8_t> block_order_;  ///< order of the free block starting here
+  std::vector<BitIndex> free_;   ///< per order: bit i = free block at i << o
+  std::vector<bool> free_bit_;   ///< per frame
 };
 
 }  // namespace ndp

@@ -18,7 +18,21 @@ PhysicalMemory::PhysicalMemory(const PhysMemConfig& cfg)
       use_(cfg.bytes / kPageSize, FrameUse::kFree),
       win_movable_((cfg.bytes / kPageSize) >> 9, 0),
       win_unmovable_((cfg.bytes / kPageSize) >> 9, 0),
-      rng_(cfg.seed) {
+      rng_(cfg.seed),
+      c_noise_frames_(stats_.counter("noise_frames")),
+      c_frame_alloc_(stats_.counter("frame_alloc")),
+      c_frame_free_(stats_.counter("frame_free")),
+      c_pt_frames_(stats_.counter("pt_frames")),
+      c_table_block_alloc_(stats_.counter("table_block_alloc")),
+      c_table_block_free_(stats_.counter("table_block_free")),
+      c_compaction_(stats_.counter("compaction")),
+      c_compaction_moves_(stats_.counter("compaction_moves")),
+      c_compaction_abort_(stats_.counter("compaction_abort")),
+      c_huge_alloc_(stats_.counter("huge_alloc")),
+      c_huge_alloc_compacted_(stats_.counter("huge_alloc_compacted")),
+      c_huge_fallback_(stats_.counter("huge_fallback")),
+      c_huge_free_(stats_.counter("huge_free")),
+      s_compaction_moved_(stats_.sample("compaction_moved")) {
   // Boot-time fragmentation injection: scatter "system" pages uniformly.
   // A long-running machine never presents a pristine buddy pool; this is the
   // environment in which THP-style 2 MB allocation struggles.
@@ -33,7 +47,7 @@ PhysicalMemory::PhysicalMemory(const PhysMemConfig& cfg)
       ++placed;
     }
   }
-  stats_.inc("noise_frames", placed);
+  c_noise_frames_->add(placed);
 }
 
 void PhysicalMemory::set_use(Pfn pfn, FrameUse next) {
@@ -52,8 +66,8 @@ Pfn PhysicalMemory::alloc_frame(FrameUse use) {
   auto f = buddy_.alloc(0);
   assert(f.has_value() && "physical memory exhausted — size the experiment down");
   set_use(*f, use);
-  stats_.inc("frame_alloc");
-  if (use == FrameUse::kPageTable) stats_.inc("pt_frames");
+  c_frame_alloc_->add();
+  if (use == FrameUse::kPageTable) c_pt_frames_->add();
   return *f;
 }
 
@@ -74,8 +88,8 @@ Pfn PhysicalMemory::alloc_table_block(unsigned order) {
           set_use(chunk + i, FrameUse::kFree);
         buddy_.free(chunk, o);
       }
-      stats_.inc("table_block_alloc");
-      stats_.inc("pt_frames", 1ull << order);
+      c_table_block_alloc_->add();
+      c_pt_frames_->add(1ull << order);
       return c->base;
     }
   }
@@ -84,8 +98,8 @@ Pfn PhysicalMemory::alloc_table_block(unsigned order) {
          "before data");
   for (std::uint64_t i = 0; i < (1ull << order); ++i)
     set_use(*got + i, FrameUse::kPageTable);
-  stats_.inc("table_block_alloc");
-  stats_.inc("pt_frames", 1ull << order);
+  c_table_block_alloc_->add();
+  c_pt_frames_->add(1ull << order);
   return *got;
 }
 
@@ -95,14 +109,14 @@ void PhysicalMemory::free_table_block(Pfn base, unsigned order) {
     set_use(base + i, FrameUse::kFree);
   }
   buddy_.free(base, order);
-  stats_.inc("table_block_free");
+  c_table_block_free_->add();
 }
 
 void PhysicalMemory::free_frame(Pfn pfn) {
   assert(use_[pfn] != FrameUse::kFree);
   set_use(pfn, FrameUse::kFree);
   buddy_.free(pfn, 0);
-  stats_.inc("frame_free");
+  c_frame_free_->add();
 }
 
 std::optional<PhysicalMemory::CompactResult> PhysicalMemory::compact_for_huge() {
@@ -143,7 +157,7 @@ std::optional<PhysicalMemory::CompactResult> PhysicalMemory::compact_for_huge() 
       // Free memory ran out mid-compaction. The partially assembled window
       // stays as kHugePart frames (a later attempt reuses it); report
       // failure so the caller falls back to 4 KB pages.
-      stats_.inc("compaction_abort");
+      c_compaction_abort_->add();
       return std::nullopt;
     }
     set_use(*dst, u);
@@ -151,9 +165,9 @@ std::optional<PhysicalMemory::CompactResult> PhysicalMemory::compact_for_huge() 
     set_use(f, FrameUse::kHugePart);
     ++moved;
   }
-  stats_.inc("compaction");
-  stats_.inc("compaction_moves", moved);
-  stats_.add_sample("compaction_moved", static_cast<double>(moved));
+  c_compaction_->add();
+  c_compaction_moves_->add(moved);
+  s_compaction_moved_->add(static_cast<double>(moved));
   return CompactResult{base, moved};
 }
 
@@ -164,7 +178,7 @@ PhysicalMemory::HugeResult PhysicalMemory::alloc_huge() {
     for (std::uint64_t i = 0; i < (1ull << kHugeOrder); ++i)
       set_use(*got + i, FrameUse::kHugePart);
     r.base = *got;
-    stats_.inc("huge_alloc");
+    c_huge_alloc_->add();
     return r;
   }
   // Buddy pool has no contiguous 2 MB: try compaction.
@@ -173,11 +187,11 @@ PhysicalMemory::HugeResult PhysicalMemory::alloc_huge() {
     r.used_compaction = true;
     r.frames_moved = got->moved;
     r.cost += got->moved * cfg_.costs.compact_per_frame;
-    stats_.inc("huge_alloc_compacted");
+    c_huge_alloc_compacted_->add();
     return r;
   }
   r.fell_back = true;
-  stats_.inc("huge_fallback");
+  c_huge_fallback_->add();
   return r;
 }
 
@@ -189,7 +203,7 @@ void PhysicalMemory::free_huge(Pfn base) {
     set_use(base + i, FrameUse::kFree);
     buddy_.free(base + i, 0);
   }
-  stats_.inc("huge_free");
+  c_huge_free_->add();
 }
 
 }  // namespace ndp

@@ -121,6 +121,23 @@ class PhysicalMemory {
   std::function<void(Pfn, Pfn)> relocate_hook_;
   Rng rng_;
   StatSet stats_;
+  // Counter handles resolved once at construction: frame alloc/free runs on
+  // every fault and for every prefaulted page — no string-keyed lookups
+  // there. Names match the previous inc() keys exactly.
+  StatSet::Counter* c_noise_frames_;
+  StatSet::Counter* c_frame_alloc_;
+  StatSet::Counter* c_frame_free_;
+  StatSet::Counter* c_pt_frames_;
+  StatSet::Counter* c_table_block_alloc_;
+  StatSet::Counter* c_table_block_free_;
+  StatSet::Counter* c_compaction_;
+  StatSet::Counter* c_compaction_moves_;
+  StatSet::Counter* c_compaction_abort_;
+  StatSet::Counter* c_huge_alloc_;
+  StatSet::Counter* c_huge_alloc_compacted_;
+  StatSet::Counter* c_huge_fallback_;
+  StatSet::Counter* c_huge_free_;
+  StatSet::Sample* s_compaction_moved_;
 };
 
 }  // namespace ndp

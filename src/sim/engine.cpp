@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+#include <stdexcept>
+#include <string>
 
 #include "core/mmu.h"
 
@@ -15,7 +16,12 @@ std::uint64_t RunResult::total_instructions() const {
 }
 
 Engine::Engine(System& system, TraceSource& trace, EngineConfig cfg)
-    : sys_(system), trace_(trace), cfg_(cfg) {}
+    : sys_(system), trace_(trace), cfg_(cfg) {
+  if (cfg_.instructions_per_core == 0)
+    throw std::invalid_argument(
+        "EngineConfig.instructions_per_core must be > 0: a zero budget "
+        "retires nothing and would report 0 cycles");
+}
 
 namespace {
 
@@ -26,6 +32,38 @@ struct Event {
   unsigned core;
   unsigned slot;  ///< kIssueSlot = front-end issue, else op-slot index
   bool operator>(const Event& o) const { return time > o.time; }
+};
+
+/// Time-ordered event queue: a binary min-heap over a flat, pre-reserved
+/// vector. Uses std::push_heap/pop_heap with the same comparator the old
+/// std::priority_queue used, so pop order (including time ties) is
+/// bit-for-bit identical — but the backing store never reallocates
+/// (capacity is bounded by cores x (mlp + 1) outstanding events) and every
+/// heap op is counted for the perf smoke budget.
+class EventHeap {
+ public:
+  explicit EventHeap(std::size_t capacity) { heap_.reserve(capacity); }
+
+  bool empty() const { return heap_.empty(); }
+  const Event& top() const { return heap_.front(); }
+  void push(Event e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+    ++pushes_;
+    if (heap_.size() > peak_) peak_ = heap_.size();
+  }
+  void pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+    heap_.pop_back();
+  }
+
+  std::uint64_t pushes() const { return pushes_; }
+  std::uint64_t peak() const { return peak_; }
+
+ private:
+  std::vector<Event> heap_;
+  std::uint64_t pushes_ = 0;
+  std::size_t peak_ = 0;
 };
 
 struct Slot {
@@ -49,21 +87,40 @@ struct CoreCtx {
 
 }  // namespace
 
-RunResult Engine::run() {
-  const unsigned ncores = sys_.num_cores();
-  const unsigned mlp = sys_.mlp();
-
+void Engine::prepare() {
+  if (prepared_) return;
+  prepared_ = true;
+  auto t_phase = HostProfile::Clock::now();
   // Declare the shared dataset regions, then populate the resident set.
   for (const VmRegion& r : trace_.regions()) sys_.space().add_region(r);
+  setup_profile_.add(ProfilePhase::kInstall, HostProfile::since_ns(t_phase));
+  t_phase = HostProfile::Clock::now();
   sys_.space().prefault_all();
   // Pre-touch the workload's steady-state-warm demand pages (e.g. the hot
   // part of a hash table built before the measured window).
   for (VirtAddr va : trace_.warm_pages()) sys_.space().touch_untimed(va);
+  setup_profile_.add(ProfilePhase::kPrefault, HostProfile::since_ns(t_phase));
+}
+
+RunResult Engine::run() {
+  const unsigned ncores = sys_.num_cores();
+  const unsigned mlp = sys_.mlp();
+
+  prepare();
+  RunResult out;
+  out.host_profile.merge(setup_profile_);
+  auto t_phase = HostProfile::Clock::now();
+  auto end_phase = [&](ProfilePhase p) {
+    out.host_profile.add(p, HostProfile::since_ns(t_phase));
+    t_phase = HostProfile::Clock::now();
+  };
 
   std::vector<CoreCtx> ctx(ncores);
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+  // Outstanding events per core: one per busy op slot plus one issue event.
+  EventHeap pq(static_cast<std::size_t>(ncores) * (mlp + 1));
   unsigned cores_warm = 0;
   bool stats_reset_done = false;
+  std::uint64_t events = 0;
 
   auto schedule_issue = [&](unsigned c, Cycle now) {
     CoreCtx& cc = ctx[c];
@@ -83,10 +140,12 @@ RunResult Engine::run() {
     schedule_issue(c, 0);
   }
   if (cores_warm == ncores) stats_reset_done = true;
+  if (stats_reset_done) end_phase(ProfilePhase::kWarmup);  // no warmup window
 
   while (!pq.empty()) {
     const Event ev = pq.top();
     pq.pop();
+    ++events;
     CoreCtx& cc = ctx[ev.core];
 
     if (ev.slot == kIssueSlot) {
@@ -147,23 +206,38 @@ RunResult Engine::run() {
       if (!stats_reset_done && cores_warm == ncores) {
         sys_.reset_stats();
         stats_reset_done = true;
+        end_phase(ProfilePhase::kWarmup);
       }
     }
     schedule_issue(ev.core, ev.time);
   }
+  end_phase(ProfilePhase::kRun);
 
-  RunResult out;
   out.cores.reserve(ncores);
   std::uint64_t sum_trans = 0, sum_data = 0, sum_gap = 0, sum_refs = 0;
   for (unsigned c = 0; c < ncores; ++c) {
-    out.cores.push_back(ctx[c].stats);
-    out.total_cycles = std::max(out.total_cycles, ctx[c].stats.cycles());
-    sum_trans += ctx[c].stats.translation_cycles;
-    sum_data += ctx[c].stats.data_cycles;
-    sum_gap += ctx[c].stats.gap_cycles;
-    sum_refs += ctx[c].stats.memrefs;
+    const CoreStats& cs = ctx[c].stats;
+    if (cs.instructions == 0 || cs.end <= cs.start) {
+      // An all-warmup / zero-work core would serialize as 0 cycles and
+      // silently poison every speedup table built on this result.
+      throw std::runtime_error(
+          "engine: core " + std::to_string(c) +
+          " retired no post-warmup instructions (budget=" +
+          std::to_string(cfg_.instructions_per_core) +
+          ", warmup=" + std::to_string(cfg_.warmup_refs_per_core) +
+          "); raise instructions_per_core or lower warmup_refs_per_core");
+    }
+    out.cores.push_back(cs);
+    out.total_cycles = std::max(out.total_cycles, cs.cycles());
+    sum_trans += cs.translation_cycles;
+    sum_data += cs.data_cycles;
+    sum_gap += cs.gap_cycles;
+    sum_refs += cs.memrefs;
   }
   out.stats = sys_.collect_stats();
+  out.host.events = events;
+  out.host.heap_pushes = pq.pushes();
+  out.host.heap_peak = pq.peak();
 
   if (const Average* a = out.stats.average("walker.latency"))
     out.avg_ptw_latency = a->mean();
@@ -183,6 +257,7 @@ RunResult Engine::run() {
                 ? static_cast<double>(out.total_instructions()) /
                       static_cast<double>(out.total_cycles) / ncores
                 : 0.0;
+  end_phase(ProfilePhase::kCollect);
   return out;
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/stats.h"
 #include "core/system.h"
+#include "sim/profile.h"
 #include "workloads/workload.h"
 
 namespace ndp {
@@ -36,6 +37,11 @@ struct CoreStats {
   std::uint64_t gap_cycles = 0;
   std::uint64_t fault_cycles = 0;
 
+  /// Measured wall time of this core's counted window. The engine
+  /// guarantees end > start for every core of a completed run (a core that
+  /// retires no post-warmup instructions is a diagnosed error from
+  /// Engine::run(), not a silent zero that would poison geomean speedup
+  /// tables); the guard here is only for default-constructed stats.
   Cycle cycles() const { return end > start ? end - start : 0; }
 };
 
@@ -59,6 +65,11 @@ struct RunResult {
   std::vector<CoreStats> cores;
   Cycle total_cycles = 0;  ///< max per-core cycles: the run's wall time
   StatSet stats;           ///< merged component statistics
+  /// Host-side self-profiling: wall ns per phase and deterministic engine
+  /// op counters. Always collected (phase-boundary clock reads only);
+  /// serialized only on request so default output stays byte-identical.
+  HostProfile host_profile;
+  HostCounters host;
 
   // Headline metrics (derived; see engine.cpp).
   double avg_ptw_latency = 0.0;       ///< cycles per walk (paper Fig. 4/6a)
@@ -73,15 +84,28 @@ struct RunResult {
 
 class Engine {
  public:
+  /// Throws std::invalid_argument on a zero instruction budget — a run that
+  /// can retire nothing must fail loudly, not feed 0-cycle cells into
+  /// speedup geomeans.
   Engine(System& system, TraceSource& trace, EngineConfig cfg);
 
-  /// Install regions, prefault, warm up, run to the instruction budget.
+  /// Setup half of a run: install the trace's VM regions and populate the
+  /// resident set (the install/prefault profile phases). Idempotent; run()
+  /// calls it when the caller has not. Split out so callers measuring the
+  /// event loop (perf smoke, profiling) can separate setup from simulation.
+  void prepare();
+
+  /// prepare() if needed, then warm up and run to the instruction budget.
+  /// Throws std::runtime_error (diagnosed) if any core ends the run with no
+  /// post-warmup instructions — see CoreStats::cycles().
   RunResult run();
 
  private:
   System& sys_;
   TraceSource& trace_;
   EngineConfig cfg_;
+  HostProfile setup_profile_;  ///< install/prefault ns from prepare()
+  bool prepared_ = false;
 };
 
 }  // namespace ndp

@@ -136,29 +136,37 @@ std::uint64_t default_instructions() {
 }
 
 RunResult run_experiment(const RunSpec& spec) {
-  SystemConfig sc = spec.system == SystemKind::kNdp
-                        ? SystemConfig::ndp(spec.cores, spec.mechanism)
-                        : SystemConfig::cpu(spec.cores, spec.mechanism);
-  sc.mechanism_name = spec.mechanism_name;
-  sc.seed = spec.seed;
-  sc.overrides = spec.overrides;
-  System system(sc);
-
-  WorkloadParams wp;
-  wp.num_cores = spec.cores;
-  if (spec.scale > 0) wp.scale = spec.scale;
-  wp.seed = spec.seed;
-  auto trace = resolve_workload(spec.workload, spec.workload_name).make(wp);
-
+  HostProfile build_profile;
+  SystemConfig sc;
+  std::unique_ptr<System> system;
+  std::unique_ptr<TraceSource> trace;
   EngineConfig ec;
-  ec.instructions_per_core = spec.instructions_per_core
-                                 ? spec.instructions_per_core
-                                 : default_instructions();
-  ec.warmup_refs_per_core =
-      spec.warmup_refs ? spec.warmup_refs : ec.instructions_per_core / 15;
+  {
+    ScopedPhaseTimer timer(build_profile, ProfilePhase::kBuild);
+    sc = spec.system == SystemKind::kNdp
+             ? SystemConfig::ndp(spec.cores, spec.mechanism)
+             : SystemConfig::cpu(spec.cores, spec.mechanism);
+    sc.mechanism_name = spec.mechanism_name;
+    sc.seed = spec.seed;
+    sc.overrides = spec.overrides;
+    system = std::make_unique<System>(sc);
 
-  Engine engine(system, *trace, ec);
+    WorkloadParams wp;
+    wp.num_cores = spec.cores;
+    if (spec.scale > 0) wp.scale = spec.scale;
+    wp.seed = spec.seed;
+    trace = resolve_workload(spec.workload, spec.workload_name).make(wp);
+
+    ec.instructions_per_core = spec.instructions_per_core
+                                   ? spec.instructions_per_core
+                                   : default_instructions();
+    ec.warmup_refs_per_core =
+        spec.warmup_refs ? spec.warmup_refs : ec.instructions_per_core / 15;
+  }
+
+  Engine engine(*system, *trace, ec);
   RunResult result = engine.run();
+  result.host_profile.merge(build_profile);
   result.meta.system = to_string(spec.system);
   const MechanismSpec mech = sc.mechanism_spec();
   result.meta.mechanism = mech.canonical;
@@ -255,7 +263,26 @@ std::string to_json(const StatSet& stats) {
   return w.str();
 }
 
-std::string to_json(const RunResult& r, const RunSpec* spec) {
+void write_host_profile(JsonWriter& w, const HostProfile& profile,
+                        const HostCounters& host) {
+  w.begin_object();
+  w.key("phases").begin_object();
+  for (unsigned i = 0; i < kNumProfilePhases; ++i) {
+    const auto p = static_cast<ProfilePhase>(i);
+    w.key(std::string(to_string(p)) + "_ns").value(profile.ns(p));
+  }
+  w.end_object();
+  w.key("total_ns").value(profile.total_ns());
+  w.key("counters").begin_object();
+  w.key("events").value(host.events);
+  w.key("heap_pushes").value(host.heap_pushes);
+  w.key("heap_peak").value(host.heap_peak);
+  w.end_object();
+  w.end_object();
+}
+
+std::string to_json(const RunResult& r, const RunSpec* spec,
+                    bool include_host_profile) {
   JsonWriter w;
   w.begin_object();
   if (spec) {
@@ -325,6 +352,10 @@ std::string to_json(const RunResult& r, const RunSpec* spec) {
   w.end_array();
   w.key("stats");
   write_stats(w, r.stats);
+  if (include_host_profile) {
+    w.key("host_profile");
+    write_host_profile(w, r.host_profile, r.host);
+  }
   w.end_object();
   return w.str();
 }

@@ -125,9 +125,19 @@ double geomean(const std::vector<double>& xs);
 /// "averages":{name:{mean,min,max,count}}}.
 std::string to_json(const StatSet& stats);
 
+class JsonWriter;
+/// Emit one {"phases":{...},"total_ns":...,"counters":{...}} host-profile
+/// object (shared by per-run and sweep-level serialization).
+void write_host_profile(JsonWriter& w, const HostProfile& profile,
+                        const HostCounters& host);
+
 /// Serialize a run: headline metrics, per-core stats, full StatSet; when
 /// `spec` is given, a "spec" object (system/cores/mechanism/workload/seed)
-/// is included so a results file is self-describing.
-std::string to_json(const RunResult& r, const RunSpec* spec = nullptr);
+/// is included so a results file is self-describing. With
+/// `include_host_profile` a "host_profile" object (wall ns per phase +
+/// engine op counters) is appended — opt-in, so default documents stay
+/// byte-identical run to run and job count to job count.
+std::string to_json(const RunResult& r, const RunSpec* spec = nullptr,
+                    bool include_host_profile = false);
 
 }  // namespace ndp

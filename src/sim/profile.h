@@ -1,0 +1,93 @@
+// Host-side self-profiling for simulation runs.
+//
+// A HostProfile accumulates wall-clock nanoseconds per run phase (system
+// build, region install, prefault, warmup, measured run, stat collection).
+// The engine stamps phases at their boundaries only — a handful of clock
+// reads per run, never per event — so profiling is always on and costs
+// nothing measurable. Reporting is strictly opt-in (`ndpsim --profile`,
+// `to_json(..., include_host_profile)`): default serialized output stays
+// byte-identical, which is what lets the golden suite pin results while the
+// hot paths keep changing.
+//
+// tools/perf_report turns these numbers into BENCH_engine.json (cells/sec,
+// host-ns per simulated instruction) so the perf trajectory of the simulator
+// itself is recorded alongside its simulated results.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ndp {
+
+enum class ProfilePhase : unsigned {
+  kBuild,     ///< System construction (phys mem, caches, MMUs, page table)
+  kInstall,   ///< region declaration + trace-source setup
+  kPrefault,  ///< resident-set population before timing starts
+  kWarmup,    ///< event loop until every core finished warmup
+  kRun,       ///< event loop after stats reset (the measured window)
+  kCollect,   ///< stat snapshot/merge + result assembly
+  kCount_,
+};
+constexpr unsigned kNumProfilePhases =
+    static_cast<unsigned>(ProfilePhase::kCount_);
+
+const char* to_string(ProfilePhase p);
+
+/// Per-phase wall-clock accumulator for one run (host ns).
+class HostProfile {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void add(ProfilePhase p, std::uint64_t ns) {
+    ns_[static_cast<unsigned>(p)] += ns;
+  }
+  std::uint64_t ns(ProfilePhase p) const {
+    return ns_[static_cast<unsigned>(p)];
+  }
+  std::uint64_t total_ns() const;
+  /// Sum another run's phases into this one (sweep-level aggregation).
+  void merge(const HostProfile& o);
+
+  static std::uint64_t since_ns(Clock::time_point start) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  }
+
+ private:
+  std::uint64_t ns_[kNumProfilePhases] = {};
+};
+
+/// RAII phase timer: charges the enclosed scope's wall time to one phase.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(HostProfile& profile, ProfilePhase phase)
+      : profile_(profile), phase_(phase), start_(HostProfile::Clock::now()) {}
+  ~ScopedPhaseTimer() { profile_.add(phase_, HostProfile::since_ns(start_)); }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  HostProfile& profile_;
+  ProfilePhase phase_;
+  HostProfile::Clock::time_point start_;
+};
+
+/// Host-side operation counters for one run — the deterministic complement
+/// to the wall-clock phases. CI's perf smoke test budgets these per
+/// simulated instruction (they never flake on a slow runner, unlike time).
+struct HostCounters {
+  std::uint64_t events = 0;       ///< events popped off the engine's queue
+  std::uint64_t heap_pushes = 0;  ///< events pushed (heap sift-ups)
+  std::uint64_t heap_peak = 0;    ///< high-water mark of the event queue
+
+  void merge(const HostCounters& o) {
+    events += o.events;
+    heap_pushes += o.heap_pushes;
+    heap_peak = heap_peak > o.heap_peak ? heap_peak : o.heap_peak;
+  }
+};
+
+}  // namespace ndp

@@ -13,6 +13,7 @@ namespace ndp {
 
 SweepResults run_sweep(const std::vector<RunSpec>& specs,
                        const SweepOptions& opts) {
+  const auto t_start = HostProfile::Clock::now();
   SweepResults out;
   out.cells.resize(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) out.cells[i].spec = specs[i];
@@ -21,6 +22,7 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
   unsigned jobs = opts.jobs ? opts.jobs : std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 1;
   if (total < jobs) jobs = static_cast<unsigned>(total ? total : 1);
+  out.jobs_used = jobs;
 
   // Work-stealing by atomic index: completion order varies with scheduling,
   // but cell i always lands in slot i, so the result set is deterministic.
@@ -61,6 +63,7 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
     for (std::thread& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+  out.host_wall_ns = HostProfile::since_ns(t_start);
   return out;
 }
 
@@ -69,6 +72,24 @@ SweepResults run_sweep(const RunConfig& config, const SweepOptions& opts) {
   out.name = config.name;
   out.baseline = config.baseline;
   return out;
+}
+
+HostProfile SweepResults::merged_host_profile() const {
+  HostProfile p;
+  for (const SweepCell& c : cells) p.merge(c.result.host_profile);
+  return p;
+}
+
+HostCounters SweepResults::merged_host_counters() const {
+  HostCounters h;
+  for (const SweepCell& c : cells) h.merge(c.result.host);
+  return h;
+}
+
+std::uint64_t SweepResults::total_instructions() const {
+  std::uint64_t n = 0;
+  for (const SweepCell& c : cells) n += c.result.total_instructions();
+  return n;
 }
 
 // --- aggregation ------------------------------------------------------------
@@ -286,9 +307,35 @@ std::string to_json(const SweepResults& results) {
                     "\",\"results\":[";
   for (std::size_t i = 0; i < results.cells.size(); ++i) {
     if (i) out += ',';
-    out += to_json(results.cells[i].result, &results.cells[i].spec);
+    out += to_json(results.cells[i].result, &results.cells[i].spec,
+                   results.include_host_profile);
   }
   out += ']';
+  if (results.include_host_profile) {
+    // Sweep-level summary: wall time, throughput, and the merged per-phase
+    // host profile. Opt-in only — these numbers vary run to run.
+    const HostProfile merged = results.merged_host_profile();
+    const std::uint64_t instrs = results.total_instructions();
+    const double wall_s =
+        static_cast<double>(results.host_wall_ns) / 1e9;
+    JsonWriter w;
+    w.begin_object();
+    w.key("jobs").value(results.jobs_used);
+    w.key("cells").value(static_cast<std::uint64_t>(results.cells.size()));
+    w.key("wall_ns").value(results.host_wall_ns);
+    w.key("cells_per_sec")
+        .value(wall_s > 0 ? static_cast<double>(results.cells.size()) / wall_s
+                          : 0.0);
+    w.key("simulated_instructions").value(instrs);
+    w.key("host_ns_per_instruction")
+        .value(instrs ? static_cast<double>(results.host_wall_ns) /
+                            static_cast<double>(instrs)
+                      : 0.0);
+    w.key("merged");
+    write_host_profile(w, merged, results.merged_host_counters());
+    w.end_object();
+    out += ",\"host_profile\":" + w.str();
+  }
   if (!results.baseline.empty()) {
     const Catalog cat(results);
     const std::string base_name = cat.canonical_mechanism(results.baseline);

@@ -47,6 +47,20 @@ struct SweepResults {
   std::string name;      ///< config name ("" for ad-hoc flag sweeps)
   std::string baseline;  ///< canonical mechanism name ("" = no aggregation)
   std::vector<SweepCell> cells;  ///< in spec order (deterministic)
+  /// Host wall time of the whole sweep (measured by run_sweep; includes
+  /// thread-pool scheduling, so it is what a user actually waited).
+  std::uint64_t host_wall_ns = 0;
+  unsigned jobs_used = 1;  ///< resolved job count the sweep executed with
+  /// Emit "host_profile" blocks (per cell and sweep summary) from to_json().
+  /// Off by default: profiling output is opt-in so result documents stay
+  /// byte-identical across runs, job counts, and host machines.
+  bool include_host_profile = false;
+
+  /// Sum of per-cell phase profiles / op counters (cells run concurrently,
+  /// so phase ns can exceed host_wall_ns).
+  HostProfile merged_host_profile() const;
+  HostCounters merged_host_counters() const;
+  std::uint64_t total_instructions() const;
 };
 
 /// Execute `specs` across `opts.jobs` threads. Results are in spec order.

@@ -18,7 +18,20 @@ std::uint64_t high_watermark(const PhysicalMemory& pm) {
 
 AddressSpace::AddressSpace(PhysicalMemory& pm, std::unique_ptr<PageTable> pt,
                            bool use_huge_pages)
-    : pm_(pm), pt_(std::move(pt)), huge_(use_huge_pages) {
+    : pm_(pm), pt_(std::move(pt)), huge_(use_huge_pages),
+      c_prefault_done_(stats_.counter("prefault_done")),
+      c_fault_4k_(stats_.counter("fault_4k")),
+      c_fault_2m_(stats_.counter("fault_2m")),
+      c_fault_2m_compacted_(stats_.counter("fault_2m_compacted")),
+      c_fault_2m_fallback_(stats_.counter("fault_2m_fallback")),
+      c_demand_faults_(stats_.counter("demand_faults")),
+      c_fault_cycles_(stats_.counter("fault_cycles")),
+      c_fault_lock_wait_(stats_.counter("fault_lock_wait")),
+      c_set_conflict_evictions_(stats_.counter("set_conflict_evictions")),
+      c_reclaim_events_(stats_.counter("reclaim_events")),
+      c_reclaimed_frames_(stats_.counter("reclaimed_frames")),
+      c_reclaim_cycles_(stats_.counter("reclaim_cycles")),
+      c_relocated_frames_(stats_.counter("relocated_frames")) {
   pm_.set_relocate_hook(
       [this](Pfn oldf, Pfn newf) { on_relocate(oldf, newf); });
 }
@@ -59,7 +72,7 @@ void AddressSpace::prefault_all() {
       }
     }
   }
-  stats_.inc("prefault_done");
+  c_prefault_done_->add();
 }
 
 Cycle AddressSpace::maybe_reclaim(std::uint64_t frames_needed) {
@@ -103,9 +116,9 @@ Cycle AddressSpace::maybe_reclaim(std::uint64_t frames_needed) {
     fifo_4k_.pop_front();
     unmap_4k(vpn);
   }
-  stats_.inc("reclaim_events");
-  stats_.inc("reclaimed_frames", freed);
-  stats_.inc("reclaim_cycles", cost);
+  c_reclaim_events_->add();
+  c_reclaimed_frames_->add(freed);
+  c_reclaim_cycles_->add(cost);
   return cost;
 }
 
@@ -115,7 +128,7 @@ Cycle AddressSpace::fault_in_4k(Vpn vpn) {
   frame_owner_[pfn] = vpn;
   fifo_4k_.push_back(vpn);
   ++mapped_4k_;
-  stats_.inc("fault_4k");
+  c_fault_4k_->add();
   Cycle extra = 0;
   if (mr.evicted) {
     // Restricted-associativity set conflict: the displaced page is gone —
@@ -126,7 +139,7 @@ Cycle AddressSpace::fault_in_4k(Vpn vpn) {
     pm_.free_frame(epfn);
     --mapped_4k_;
     if (shootdown_) shootdown_(evpn);
-    stats_.inc("set_conflict_evictions");
+    c_set_conflict_evictions_->add();
     extra += pm_.costs().reclaim_per_frame + pm_.costs().shootdown;
   }
   // Node allocations are zeroed 4 KB frames: charge like small faults.
@@ -142,13 +155,13 @@ Cycle AddressSpace::fault_in_2m(Vpn vpn_aligned) {
     huge_blocks_[vpn_aligned] = hr.base;
     fifo_2m_.push_back(vpn_aligned);
     ++mapped_2m_;
-    stats_.inc("fault_2m");
-    if (hr.used_compaction) stats_.inc("fault_2m_compacted");
+    c_fault_2m_->add();
+    if (hr.used_compaction) c_fault_2m_compacted_->add();
     return hr.cost + (mr.bytes_allocated / 1024) * pm_.costs().zero_per_kb;
   }
   // THP failure: splinter to a single 4 KB page for the touched vpn's slot.
   // The failed huge attempt still cost the allocation/compaction scan.
-  stats_.inc("fault_2m_fallback");
+  c_fault_2m_fallback_->add();
   return pm_.costs().huge_fault_extra + fault_in_4k(vpn_aligned);
 }
 
@@ -171,9 +184,9 @@ AddressSpace::TouchResult AddressSpace::touch(VirtAddr va, Cycle now) {
   }
   fault_lock_until_ = std::max(fault_lock_until_, now) + work;
   r.cost = lock_wait + work;
-  stats_.inc("demand_faults");
-  stats_.inc("fault_cycles", r.cost);
-  stats_.inc("fault_lock_wait", lock_wait);
+  c_demand_faults_->add();
+  c_fault_cycles_->add(r.cost);
+  c_fault_lock_wait_->add(lock_wait);
   return r;
 }
 
@@ -207,7 +220,7 @@ void AddressSpace::on_relocate(Pfn old_pfn, Pfn new_pfn) {
   frame_owner_[new_pfn] = vpn;
   // The frame moved under the translation: TLBs must not serve the old pa.
   if (shootdown_) shootdown_(vpn);
-  stats_.inc("relocated_frames");
+  c_relocated_frames_->add();
 }
 
 }  // namespace ndp

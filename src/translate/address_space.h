@@ -108,6 +108,22 @@ class AddressSpace {
   std::uint64_t mapped_4k_ = 0;
   std::uint64_t mapped_2m_ = 0;
   StatSet stats_;
+  // Counter handles resolved once at construction — the fault path (and
+  // prefault, which runs it per resident page) never does a string-keyed
+  // lookup. Names match the previous inc() keys exactly.
+  StatSet::Counter* c_prefault_done_;
+  StatSet::Counter* c_fault_4k_;
+  StatSet::Counter* c_fault_2m_;
+  StatSet::Counter* c_fault_2m_compacted_;
+  StatSet::Counter* c_fault_2m_fallback_;
+  StatSet::Counter* c_demand_faults_;
+  StatSet::Counter* c_fault_cycles_;
+  StatSet::Counter* c_fault_lock_wait_;
+  StatSet::Counter* c_set_conflict_evictions_;
+  StatSet::Counter* c_reclaim_events_;
+  StatSet::Counter* c_reclaimed_frames_;
+  StatSet::Counter* c_reclaim_cycles_;
+  StatSet::Counter* c_relocated_frames_;
 };
 
 }  // namespace ndp

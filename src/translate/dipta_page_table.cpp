@@ -101,16 +101,15 @@ bool DiptaPageTable::remap(Vpn vpn, Pfn new_pfn) {
   return false;
 }
 
-WalkPath DiptaPageTable::walk(Vpn vpn) const {
+void DiptaPageTable::walk_into(Vpn vpn, WalkPath& path) const {
   // One access to the set's way-tag word resolves the translation.
-  WalkPath path;
+  path.reset();
   path.steps.push_back(WalkStep{tag_addr(set_of(vpn)), WalkStep::kHashLevel, 0});
   if (auto pfn = lookup(vpn)) {
     path.mapped = true;
     path.pfn = *pfn;
     path.page_shift = kPageShift;
   }
-  return path;
 }
 
 std::vector<LevelOccupancy> DiptaPageTable::occupancy() const {

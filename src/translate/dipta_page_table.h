@@ -39,7 +39,7 @@ class DiptaPageTable : public PageTable {
   bool unmap(Vpn vpn) override;
   std::optional<Pfn> lookup(Vpn vpn) const override;
   bool remap(Vpn vpn, Pfn new_pfn) override;
-  WalkPath walk(Vpn vpn) const override;
+  void walk_into(Vpn vpn, WalkPath& out) const override;
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override { return "DIPTA"; }
   std::uint64_t table_bytes() const override;

@@ -187,8 +187,8 @@ bool EchPageTable::remap(Vpn vpn, Pfn new_pfn) {
   return false;
 }
 
-WalkPath EchPageTable::walk(Vpn vpn) const {
-  WalkPath path;
+void EchPageTable::walk_into(Vpn vpn, WalkPath& path) const {
+  path.reset();
   // Probes issue `probe_width` at a time; groups serialize. The default
   // (probe_width 0 / >= ways) keeps every way in one parallel group.
   const unsigned width = cfg_.probe_width && cfg_.probe_width < cfg_.ways
@@ -203,7 +203,6 @@ WalkPath EchPageTable::walk(Vpn vpn) const {
     path.pfn = *pfn;
     path.page_shift = kPageShift;
   }
-  return path;
 }
 
 std::vector<LevelOccupancy> EchPageTable::occupancy() const {

@@ -85,9 +85,9 @@ bool HybridPageTable::remap(Vpn vpn, Pfn new_pfn) {
   return fallback_.remap(vpn, new_pfn);
 }
 
-WalkPath HybridPageTable::walk(Vpn vpn) const {
+void HybridPageTable::walk_into(Vpn vpn, WalkPath& path) const {
   // Step 0: probe the flat slot. Tag hit -> done in one access.
-  WalkPath path;
+  path.reset();
   path.steps.push_back(
       WalkStep{slot_addr(index_of(vpn)), WalkStep::kHybridLevel, 0});
   const Slot& s = slots_[index_of(vpn)];
@@ -95,18 +95,18 @@ WalkPath HybridPageTable::walk(Vpn vpn) const {
     path.mapped = true;
     path.pfn = s.pfn;
     path.page_shift = kPageShift;
-    return path;
+    return;
   }
-  // Tag miss: ordinary radix walk, serialized after the probe.
-  WalkPath rest = fallback_.walk(vpn);
-  for (WalkStep step : rest.steps) {
+  // Tag miss: ordinary radix walk, serialized after the probe, reusing the
+  // scratch path so the fallback walk allocates nothing in steady state.
+  fallback_.walk_into(vpn, scratch_);
+  for (WalkStep step : scratch_.steps) {
     step.group += 1;
     path.steps.push_back(step);
   }
-  path.mapped = rest.mapped;
-  path.pfn = rest.pfn;
-  path.page_shift = rest.page_shift;
-  return path;
+  path.mapped = scratch_.mapped;
+  path.pfn = scratch_.pfn;
+  path.page_shift = scratch_.page_shift;
 }
 
 std::vector<LevelOccupancy> HybridPageTable::occupancy() const {

@@ -44,7 +44,7 @@ class HybridPageTable : public PageTable {
   bool unmap(Vpn vpn) override;
   std::optional<Pfn> lookup(Vpn vpn) const override;
   bool remap(Vpn vpn, Pfn new_pfn) override;
-  WalkPath walk(Vpn vpn) const override;
+  void walk_into(Vpn vpn, WalkPath& out) const override;
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override { return "Hybrid"; }
   std::uint64_t table_bytes() const override;
@@ -71,6 +71,9 @@ class HybridPageTable : public PageTable {
   unsigned block_order_ = 0;
   std::uint64_t flat_live_ = 0;
   RadixPageTable fallback_;
+  /// Reused fallback path so a tag-miss walk allocates nothing in steady
+  /// state (walk_into is logically const; this is scratch space only).
+  mutable WalkPath scratch_;
 };
 
 }  // namespace ndp

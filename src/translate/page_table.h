@@ -47,6 +47,15 @@ struct WalkPath {
   Pfn pfn = 0;
   bool mapped = false;
   unsigned page_shift = kPageShift;  ///< 12, or 21 for a huge-page leaf
+
+  /// Make the path reusable in place: clears fields but keeps the steps
+  /// vector's capacity, so a recycled WalkPath walks without allocating.
+  void reset() {
+    steps.clear();
+    pfn = 0;
+    mapped = false;
+    page_shift = kPageShift;
+  }
 };
 
 /// Per-level occupancy snapshot (the quantity of the paper's Fig. 8).
@@ -89,7 +98,15 @@ class PageTable {
   /// The memory accesses a hardware walker performs for `vpn`, assuming no
   /// page-walk-cache hits. For an unmapped vpn, steps cover the levels
   /// actually visited before the walk faults.
-  virtual WalkPath walk(Vpn vpn) const = 0;
+  WalkPath walk(Vpn vpn) const {
+    WalkPath p;
+    walk_into(vpn, p);
+    return p;
+  }
+  /// walk() into a caller-owned path: `out` is reset() and refilled, reusing
+  /// its steps capacity. This is the engine's per-TLB-miss path — a recycled
+  /// WalkPath makes a walk allocation-free after the first few ops.
+  virtual void walk_into(Vpn vpn, WalkPath& out) const = 0;
 
   virtual std::vector<LevelOccupancy> occupancy() const = 0;
   virtual std::string name() const = 0;

@@ -80,6 +80,13 @@ void PwcSet::fill(Vpn vpn, const std::vector<unsigned>& walked_levels) {
   }
 }
 
+void PwcSet::fill(Vpn vpn, const WalkPath& path) {
+  for (const WalkStep& s : path.steps) {
+    auto it = caches_.find(s.level);
+    if (it != caches_.end()) it->second.insert(vpn);
+  }
+}
+
 bool PwcSet::has_level(unsigned level) const { return caches_.count(level) > 0; }
 
 Pwc* PwcSet::level(unsigned l) {

@@ -16,6 +16,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "translate/page_table.h"
 
 namespace ndp {
 
@@ -80,6 +81,9 @@ class PwcSet {
   unsigned deepest_hit(Vpn vpn);
   /// Record the traversed levels of a completed walk.
   void fill(Vpn vpn, const std::vector<unsigned>& walked_levels);
+  /// Refill from a walk path directly (the walker's hot path — no
+  /// intermediate level list is materialized).
+  void fill(Vpn vpn, const WalkPath& path);
 
   bool has_level(unsigned level) const;
   Pwc* level(unsigned l);

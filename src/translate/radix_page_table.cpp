@@ -153,30 +153,30 @@ bool RadixPageTable::remap(Vpn vpn, Pfn new_pfn) {
   return false;
 }
 
-WalkPath RadixPageTable::walk(Vpn vpn) const {
-  WalkPath path;
+void RadixPageTable::walk_into(Vpn vpn, WalkPath& path) const {
+  path.reset();
   std::uint32_t cur = root_;
   unsigned group = 0;
   for (unsigned l = 4; l >= 1; --l) {
     const unsigned idx = radix_index(vpn, l);
     const std::uint64_t e = nodes_[cur].ent[idx];
     path.steps.push_back(WalkStep{entry_addr(nodes_[cur], idx), l, group++});
-    if (!(e & kPresent)) return path;  // faults here; steps show the visit
+    if (!(e & kPresent)) return;  // faults here; steps show the visit
     if (l == 1) {
       path.mapped = true;
       path.page_shift = kPageShift;
       path.pfn = payload(e);
-      return path;
+      return;
     }
     if (e & kLeaf) {
       path.mapped = true;
       path.page_shift = kHugePageShift;
       path.pfn = payload(e) + (vpn & 0x1FFull);
-      return path;
+      return;
     }
     cur = static_cast<std::uint32_t>(payload(e));
   }
-  return path;
+  return;
 }
 
 std::vector<LevelOccupancy> RadixPageTable::occupancy() const {

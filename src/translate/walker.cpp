@@ -9,10 +9,11 @@ Walker::Walker(PageTable& pt, MemorySystem& mem, WalkerConfig cfg)
     : pt_(pt), mem_(mem), cfg_(std::move(cfg)),
       pwcs_(cfg_.pwc_levels, cfg_.pwc, cfg_.pwc_entries) {}
 
-Walker::WalkPlan Walker::plan(Vpn vpn) {
-  WalkPlan p;
-  p.path = pt_.walk(vpn);
-  if (cfg_.pwc_levels.empty()) return p;
+void Walker::plan_into(Vpn vpn, WalkPlan& p) {
+  pt_.walk_into(vpn, p.path);
+  p.first_step = 0;
+  p.start_latency = 0;
+  if (cfg_.pwc_levels.empty()) return;
 
   p.start_latency = pwcs_.latency();
   if (const unsigned deepest = pwcs_.deepest_hit(vpn)) {
@@ -24,17 +25,11 @@ Walker::WalkPlan Walker::plan(Vpn vpn) {
       }
     }
   }
-  return p;
 }
 
 void Walker::finish(Vpn vpn, const WalkPlan& plan, Cycle start, Cycle end,
                     unsigned mem_accesses) {
-  if (!cfg_.pwc_levels.empty()) {
-    std::vector<unsigned> walked;
-    walked.reserve(plan.path.steps.size());
-    for (const WalkStep& s : plan.path.steps) walked.push_back(s.level);
-    pwcs_.fill(vpn, walked);
-  }
+  if (!cfg_.pwc_levels.empty()) pwcs_.fill(vpn, plan.path);
   ++counters_.walks;
   counters_.mem_accesses += mem_accesses;
   counters_.latency.add(static_cast<double>(end - start));

@@ -69,7 +69,15 @@ class Walker {
       return i >= first_step || !WalkStep::is_radix_level(path.steps[i].level);
     }
   };
-  WalkPlan plan(Vpn vpn);
+  WalkPlan plan(Vpn vpn) {
+    WalkPlan p;
+    plan_into(vpn, p);
+    return p;
+  }
+  /// plan() into a caller-owned plan: `out` is reset and refilled reusing
+  /// its path's steps capacity, so a recycled plan (the engine keeps one per
+  /// op slot) makes planning a walk allocation-free.
+  void plan_into(Vpn vpn, WalkPlan& out);
   /// Stepwise API — phase 2 (after the caller executed the steps): refill
   /// PWCs and record statistics.
   void finish(Vpn vpn, const WalkPlan& plan, Cycle start, Cycle end,

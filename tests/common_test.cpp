@@ -204,6 +204,45 @@ TEST(StatSet, MergeSumsAndCombines) {
   EXPECT_DOUBLE_EQ(a.average("lat")->mean(), 20.0);
 }
 
+TEST(StatSet, HandlesSurviveClearAndStayInvisibleUntilTouched) {
+  StatSet s;
+  StatSet::Counter* c = s.counter("fault");
+  StatSet::Sample* lat = s.sample("lat");
+  // Resolving a handle materializes nothing: the key set is still what the
+  // lazily-created string API would have produced.
+  EXPECT_EQ(s.counters().count("fault"), 0u);
+  EXPECT_EQ(s.averages().count("lat"), 0u);
+  EXPECT_EQ(s.average("lat"), nullptr);
+
+  c->add(3);
+  lat->add(7.0);
+  EXPECT_EQ(s.get("fault"), 3u);
+  EXPECT_EQ(s.counters().at("fault"), 3u);
+  EXPECT_DOUBLE_EQ(s.average("lat")->mean(), 7.0);
+
+  // clear() zeroes in place: the same handle keeps working afterwards and
+  // the cell drops back out of the reported key set until touched again.
+  s.clear();
+  EXPECT_EQ(s.get("fault"), 0u);
+  EXPECT_EQ(s.counters().count("fault"), 0u);
+  EXPECT_EQ(s.average("lat"), nullptr);
+  c->add();
+  EXPECT_EQ(s.get("fault"), 1u);
+  EXPECT_EQ(s.counters().at("fault"), 1u);
+}
+
+TEST(StatSet, LiveZeroCounterStaysVisible) {
+  // inc(name, 0) materializes the key with value 0 (reclaim stats rely on
+  // this); merge() must propagate it too.
+  StatSet s;
+  s.inc("freed", 0);
+  EXPECT_EQ(s.counters().count("freed"), 1u);
+  StatSet t;
+  t.merge(s);
+  EXPECT_EQ(t.counters().count("freed"), 1u);
+  EXPECT_EQ(t.counters().at("freed"), 0u);
+}
+
 TEST(Table, AlignedOutputAndCsv) {
   Table t({"name", "value"});
   t.add_row({"alpha", Table::num(1.5)});

@@ -1,0 +1,159 @@
+// Golden-result regression suite.
+//
+// Re-runs checked-in experiment grids and diffs their digests — one line of
+// truth per cell (total_cycles + every headline metric) — against
+// tests/golden/*.json. This is the contract that lets hot-path surgery
+// (engine queue, buddy allocator, stat plumbing) proceed aggressively: any
+// change to *simulated* behaviour, however small, fails here byte-for-byte.
+//
+// Budgets are pinned inside the golden files (instructions/scale recorded
+// and re-applied), so the digests are independent of the NDPAGE_INSTRS
+// environment CI uses for the rest of the suite.
+//
+// Intentional model changes update the goldens (the "--update-golden"
+// path — see README "Performance"):
+//
+//   NDP_UPDATE_GOLDEN=1 ./build/ndp_tests --gtest_filter='GoldenResults.*'
+//
+// then commit the rewritten tests/golden/*.json with the model change.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "sim/run_config.h"
+#include "sim/sweep_runner.h"
+
+namespace ndp {
+namespace {
+
+#ifndef NDP_SOURCE_DIR
+#error "golden_test needs NDP_SOURCE_DIR (set by CMakeLists.txt)"
+#endif
+
+struct GoldenGrid {
+  const char* config;  ///< experiments/ file, relative to the source tree
+  const char* golden;  ///< tests/golden/ file, relative to the source tree
+  /// Instruction budget forced onto cells whose config leaves it open
+  /// (0 = the config pins its own budget; asserted).
+  std::uint64_t instructions;
+  double scale;  ///< dataset scale override (0 = config/workload default)
+};
+
+constexpr GoldenGrid kGrids[] = {
+    {"experiments/ci_smoke.json", "tests/golden/ci_smoke.json", 0, 0.0},
+    {"experiments/ablation_ech_ways.json",
+     "tests/golden/ablation_ech_ways.json", 10000, 0.02},
+};
+
+std::string source_path(const std::string& rel) {
+  return std::string(NDP_SOURCE_DIR) + "/" + rel;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// One cell's line of truth: identity + total_cycles + headline metrics.
+void write_cell_digest(JsonWriter& w, const SweepCell& cell) {
+  const RunResult& r = cell.result;
+  w.begin_object();
+  w.key("system").value(to_string(cell.spec.system));
+  w.key("cores").value(cell.spec.cores);
+  w.key("mechanism").value(cell.spec.mechanism_label());
+  w.key("workload").value(cell.spec.workload_label());
+  w.key("seed").value(cell.spec.seed);
+  w.key("instructions").value(cell.spec.instructions_per_core);
+  w.key("total_cycles").value(static_cast<std::uint64_t>(r.total_cycles));
+  w.key("total_instructions").value(r.total_instructions());
+  w.key("ipc").value(r.ipc);
+  w.key("avg_ptw_latency").value(r.avg_ptw_latency);
+  w.key("translation_fraction").value(r.translation_fraction);
+  w.key("l1_tlb_miss_rate").value(r.l1_tlb_miss_rate);
+  w.key("l2_tlb_miss_rate").value(r.l2_tlb_miss_rate);
+  w.key("pte_access_share").value(r.pte_access_share);
+  w.end_object();
+}
+
+std::string grid_digest(const GoldenGrid& grid, const SweepResults& results) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("config").value(grid.config);
+  w.key("instructions").value(grid.instructions);
+  w.key("scale").value(grid.scale);
+  w.key("cells").begin_array();
+  for (const SweepCell& cell : results.cells) write_cell_digest(w, cell);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+SweepResults run_grid(const GoldenGrid& grid) {
+  const RunConfig config = RunConfig::load(source_path(grid.config));
+  std::vector<RunSpec> specs = config.expand();
+  for (RunSpec& s : specs) {
+    if (grid.instructions) s.instructions_per_core = grid.instructions;
+    if (grid.scale > 0) s.scale = grid.scale;
+    // The digest must not depend on the NDPAGE_INSTRS environment: every
+    // cell needs an explicit budget, from the config or from this table.
+    EXPECT_NE(s.instructions_per_core, 0u)
+        << grid.config << " leaves the instruction budget open and the "
+        << "golden table pins none — the digest would follow NDPAGE_INSTRS";
+  }
+  SweepOptions opts;
+  opts.jobs = 1;  // determinism is jobs-invariant; 1 keeps sanitizers calm
+  return run_sweep(specs, opts);
+}
+
+void check_grid(const GoldenGrid& grid) {
+  const std::string digest = grid_digest(grid, run_grid(grid));
+  const std::string golden_file = source_path(grid.golden);
+
+  if (std::getenv("NDP_UPDATE_GOLDEN")) {
+    std::ofstream out(golden_file);
+    ASSERT_TRUE(out) << "cannot write " << golden_file;
+    out << digest << '\n';
+    GTEST_LOG_(INFO) << "updated " << golden_file;
+    return;
+  }
+
+  const std::string golden_text = read_file(golden_file);
+  ASSERT_FALSE(golden_text.empty())
+      << "missing golden file " << golden_file
+      << " — generate it with NDP_UPDATE_GOLDEN=1 "
+         "./ndp_tests --gtest_filter='GoldenResults.*'";
+
+  const JsonValue want = JsonValue::parse(golden_text);
+  const JsonValue got = JsonValue::parse(digest);
+
+  // Whole-document equality is the contract; per-cell comparison first so a
+  // regression names the exact design points that moved.
+  const auto& want_cells = want.at("cells").array();
+  const auto& got_cells = got.at("cells").array();
+  ASSERT_EQ(want_cells.size(), got_cells.size()) << grid.config;
+  for (std::size_t i = 0; i < want_cells.size(); ++i) {
+    EXPECT_EQ(want_cells[i].dump(), got_cells[i].dump())
+        << grid.config << " cell " << i << " ("
+        << got_cells[i].at("mechanism").as_string() << " / "
+        << got_cells[i].at("workload").as_string() << " / "
+        << got_cells[i].at("cores").as_u64() << " cores) diverged from "
+        << grid.golden << "; if the model change is intentional, refresh "
+        << "goldens with NDP_UPDATE_GOLDEN=1 (see README)";
+  }
+  EXPECT_EQ(want.dump(), got.dump()) << grid.config << " digest diverged";
+}
+
+TEST(GoldenResults, CiSmoke) { check_grid(kGrids[0]); }
+
+TEST(GoldenResults, AblationEchWays) { check_grid(kGrids[1]); }
+
+}  // namespace
+}  // namespace ndp

@@ -75,6 +75,10 @@ int usage(const char* argv0, int code) {
       "  --baseline=NAME          aggregate speedups vs this mechanism\n"
       "  --stats                  dump every stat counter, not just the\n"
       "                           per-component summary\n"
+      "  --profile                print host-side self-profiling (wall time\n"
+      "                           per run phase, engine op counters,\n"
+      "                           cells/sec) and include a host_profile\n"
+      "                           block in JSON output\n"
       "  --list-mechanisms        list registered mechanisms and exit\n"
       "  --list-workloads         list registered workloads and exit\n"
       "  --help                   this text\n",
@@ -191,6 +195,33 @@ void print_all_stats(const RunResult& r) {
                 static_cast<unsigned long long>(a.count()));
 }
 
+/// Host self-profiling report: where the wall time of this invocation went
+/// (phase ns summed across cells) plus engine op counters and throughput.
+void print_host_profile(const SweepResults& results) {
+  const HostProfile merged = results.merged_host_profile();
+  const HostCounters host = results.merged_host_counters();
+  const std::uint64_t instrs = results.total_instructions();
+  const double wall_s = static_cast<double>(results.host_wall_ns) / 1e9;
+  std::printf("\nhost profile (%zu cells, %u jobs, %.3f s wall)\n",
+              results.cells.size(), results.jobs_used, wall_s);
+  Table t({"phase", "ms", "share"});
+  const double total_ns = static_cast<double>(merged.total_ns());
+  for (unsigned i = 0; i < kNumProfilePhases; ++i) {
+    const auto p = static_cast<ProfilePhase>(i);
+    t.add_row({to_string(p), Table::num(merged.ns(p) / 1e6, 1),
+               Table::pct(total_ns > 0 ? merged.ns(p) / total_ns : 0.0)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "  %.1f cells/sec, %.1f host-ns per simulated instruction\n"
+      "  engine: %llu events, %llu heap pushes, peak queue %llu\n",
+      wall_s > 0 ? results.cells.size() / wall_s : 0.0,
+      instrs ? static_cast<double>(results.host_wall_ns) / instrs : 0.0,
+      static_cast<unsigned long long>(host.events),
+      static_cast<unsigned long long>(host.heap_pushes),
+      static_cast<unsigned long long>(host.heap_peak));
+}
+
 bool write_output(const std::string& path, const std::string& payload,
                   const char* what) {
   if (path == "-") {
@@ -221,6 +252,7 @@ int main(int argc, char** argv) {
   std::string json_path, csv_path, baseline;
   unsigned jobs = 1;
   bool dump_stats = false;
+  bool profile = false;
   // Selection/run-parameter flags conflict with --config (the file is the
   // experiment); remember whether any was given explicitly.
   bool selection_flags_used = false;
@@ -246,6 +278,8 @@ int main(int argc, char** argv) {
     }
     if (arg == "--stats") {
       dump_stats = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (const char* v = value_of("--config")) {
       config_path = v;
     } else if (const char* v = value_of("--jobs")) {
@@ -412,6 +446,7 @@ int main(int argc, char** argv) {
   } else {
     results.baseline = baseline;
   }
+  results.include_host_profile = profile;
 
   if (results.cells.size() == 1) {
     const RunSpec& spec = results.cells[0].spec;
@@ -439,6 +474,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (profile) print_host_profile(results);
+
   const std::string out_json =
       config_mode ? config.json_output : json_path;
   const std::string out_csv = config_mode ? config.csv_output : csv_path;
@@ -450,13 +487,14 @@ int main(int argc, char** argv) {
     } else if (results.cells.size() == 1) {
       // Legacy flag-mode formats: one object for a single run, a plain
       // array for a sweep.
-      payload =
-          to_json(results.cells[0].result, &results.cells[0].spec);
+      payload = to_json(results.cells[0].result, &results.cells[0].spec,
+                        profile);
     } else {
       payload = "[";
       for (std::size_t i = 0; i < results.cells.size(); ++i) {
         if (i) payload += ',';
-        payload += to_json(results.cells[i].result, &results.cells[i].spec);
+        payload += to_json(results.cells[i].result, &results.cells[i].spec,
+                           profile);
       }
       payload += ']';
     }

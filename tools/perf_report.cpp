@@ -1,0 +1,149 @@
+// perf_report — records the simulator's own performance trajectory.
+//
+// Runs an experiment grid (default: the CI smoke grid), measures host wall
+// time, and emits BENCH_engine.json with the throughput numbers that matter
+// for the "as fast as the hardware allows" north star:
+//
+//   * cells/sec            — end-to-end grid throughput (build + sim)
+//   * host-ns/instruction  — host nanoseconds per simulated instruction
+//   * per-phase breakdown  — where the wall time went (build/prefault/run/…)
+//   * engine op counters   — events + heap ops (deterministic; budgeted by
+//                            the perf smoke test in ctest)
+//
+//   perf_report --config experiments/ci_smoke.json --jobs 1
+//               --out BENCH_engine.json
+//
+// CI runs this on the smoke grid and uploads the artifact, so every commit
+// leaves a perf datapoint. Simulated results are untouched — this tool only
+// reports on the host side.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/json.h"
+#include "sim/run_config.h"
+#include "sim/sweep_runner.h"
+
+using namespace ndp;
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --config=FILE   experiment grid to run "
+      "(default experiments/ci_smoke.json)\n"
+      "  --jobs=N        host threads (default 1: single-thread engine "
+      "throughput,\n"
+      "                  the number the 2x hot-path budget tracks)\n"
+      "  --repeat=N      run the grid N times, report the fastest "
+      "(default 1)\n"
+      "  --out=PATH      output file (default BENCH_engine.json, '-' = "
+      "stdout)\n",
+      argv0);
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path = "experiments/ci_smoke.json";
+  std::string out_path = "BENCH_engine.json";
+  unsigned jobs = 1;
+  unsigned repeat = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) == 0 && arg.size() > n && arg[n] == '=')
+        return arg.c_str() + n + 1;
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+    if (const char* v = value_of("--config")) {
+      config_path = v;
+    } else if (const char* v = value_of("--jobs")) {
+      jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--repeat")) {
+      repeat = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (repeat == 0) repeat = 1;
+    } else if (const char* v = value_of("--out")) {
+      out_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
+      return usage(argv[0], 2);
+    }
+  }
+
+  RunConfig config;
+  SweepResults best;
+  try {
+    config = RunConfig::load(config_path);
+    SweepOptions opts;
+    opts.jobs = jobs;
+    for (unsigned r = 0; r < repeat; ++r) {
+      SweepResults run = run_sweep(config, opts);
+      if (r == 0 || run.host_wall_ns < best.host_wall_ns)
+        best = std::move(run);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  const HostProfile merged = best.merged_host_profile();
+  const HostCounters host = best.merged_host_counters();
+  const std::uint64_t instrs = best.total_instructions();
+  const double wall_s = static_cast<double>(best.host_wall_ns) / 1e9;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("engine");
+  w.key("config").value(config.name);
+  w.key("jobs").value(best.jobs_used);
+  w.key("repeat").value(repeat);
+  w.key("cells").value(static_cast<std::uint64_t>(best.cells.size()));
+  w.key("wall_seconds").value(wall_s);
+  w.key("cells_per_sec")
+      .value(wall_s > 0 ? static_cast<double>(best.cells.size()) / wall_s
+                        : 0.0);
+  w.key("simulated_instructions").value(instrs);
+  w.key("host_ns_per_instruction")
+      .value(instrs ? static_cast<double>(best.host_wall_ns) /
+                          static_cast<double>(instrs)
+                    : 0.0);
+  w.key("events_per_instruction")
+      .value(instrs ? static_cast<double>(host.events) /
+                          static_cast<double>(instrs)
+                    : 0.0);
+  // Same {"phases","total_ns","counters"} shape as the sweep JSON's
+  // host_profile blocks — one schema for every consumer.
+  w.key("host_profile");
+  write_host_profile(w, merged, host);
+  w.end_object();
+
+  std::printf(
+      "%s: %zu cells in %.3f s (%.1f cells/sec, %.1f host-ns/instr, "
+      "%llu events)\n",
+      config.name.c_str(), best.cells.size(), wall_s,
+      wall_s > 0 ? best.cells.size() / wall_s : 0.0,
+      instrs ? static_cast<double>(best.host_wall_ns) / instrs : 0.0,
+      static_cast<unsigned long long>(host.events));
+
+  if (out_path == "-") {
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << w.str() << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
