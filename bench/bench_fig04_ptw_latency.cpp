@@ -17,9 +17,9 @@ int main() {
   std::vector<double> ndp_lat, cpu_lat, tlb_miss, pte_share;
   double ndp_pte_dram = 0, cpu_pte_dram = 0;
   for (const WorkloadInfo& info : all_workload_info()) {
-    const RunResult ndp = run_experiment(
+    const RunResult ndp = bench::session().run(
         bench::base_spec(SystemKind::kNdp, 4, Mechanism::kRadix, info.kind));
-    const RunResult cpu = run_experiment(
+    const RunResult cpu = bench::session().run(
         bench::base_spec(SystemKind::kCpu, 4, Mechanism::kRadix, info.kind));
     ndp_lat.push_back(ndp.avg_ptw_latency);
     cpu_lat.push_back(cpu.avg_ptw_latency);

@@ -14,9 +14,9 @@ int main() {
            "CPU other"});
   std::vector<double> ndp_frac, cpu_frac;
   for (const WorkloadInfo& info : all_workload_info()) {
-    const RunResult ndp = run_experiment(
+    const RunResult ndp = bench::session().run(
         bench::base_spec(SystemKind::kNdp, 4, Mechanism::kRadix, info.kind));
-    const RunResult cpu = run_experiment(
+    const RunResult cpu = bench::session().run(
         bench::base_spec(SystemKind::kCpu, 4, Mechanism::kRadix, info.kind));
     ndp_frac.push_back(ndp.translation_fraction);
     cpu_frac.push_back(cpu.translation_fraction);

@@ -15,9 +15,9 @@ int main() {
            "metadata miss", "pollution victims"});
   std::vector<double> ideal_m, radix_m, meta_m;
   for (const WorkloadInfo& info : all_workload_info()) {
-    const RunResult radix = run_experiment(
+    const RunResult radix = bench::session().run(
         bench::base_spec(SystemKind::kNdp, 4, Mechanism::kRadix, info.kind));
-    const RunResult ideal = run_experiment(
+    const RunResult ideal = bench::session().run(
         bench::base_spec(SystemKind::kNdp, 4, Mechanism::kIdeal, info.kind));
     const double rm = radix.stats.rate("l1.miss.data", "l1.hit.data");
     const double im = ideal.stats.rate("l1.miss.data", "l1.hit.data");

@@ -96,6 +96,31 @@ void BM_BuddyAllocFree(benchmark::State& state) {
 }
 BENCHMARK(BM_BuddyAllocFree);
 
+// The Session image-reuse tradeoff on the substrate: constructing with
+// boot-noise injection (what every sweep cell used to pay) vs restoring a
+// snapshot (what image-sharing cells pay instead).
+void BM_PhysMemConstructWithNoise(benchmark::State& state) {
+  PhysMemConfig cfg = pm_cfg();
+  cfg.noise_fraction = 0.03;
+  for (auto _ : state) {
+    PhysicalMemory pm(cfg);
+    benchmark::DoNotOptimize(pm.free_frames());
+  }
+}
+BENCHMARK(BM_PhysMemConstructWithNoise);
+
+void BM_PhysMemRestoreFromImage(benchmark::State& state) {
+  PhysMemConfig cfg = pm_cfg();
+  cfg.noise_fraction = 0.03;
+  PhysicalMemory pm(cfg);
+  const PhysMemImage image = pm.snapshot();
+  for (auto _ : state) {
+    pm.restore(image);
+    benchmark::DoNotOptimize(pm.free_frames());
+  }
+}
+BENCHMARK(BM_PhysMemRestoreFromImage);
+
 }  // namespace
 }  // namespace ndp
 

@@ -22,15 +22,15 @@ int main() {
     const RunSpec radix_spec =
         bench::base_spec(SystemKind::kNdp, 4, Mechanism::kRadix, wl);
     const double radix =
-        static_cast<double>(run_experiment(radix_spec).total_cycles);
+        static_cast<double>(bench::session().run(radix_spec).total_cycles);
 
     RunSpec dipta_spec = radix_spec;
     dipta_spec.mechanism = Mechanism::kDipta;
-    const RunResult dipta = run_experiment(dipta_spec);
+    const RunResult dipta = bench::session().run(dipta_spec);
 
     RunSpec ndpage_spec = radix_spec;
     ndpage_spec.mechanism = Mechanism::kNdpage;
-    const RunResult ndpage = run_experiment(ndpage_spec);
+    const RunResult ndpage = bench::session().run(ndpage_spec);
 
     t.add_row({to_string(wl),
                Table::num(radix / double(dipta.total_cycles), 3),

@@ -20,10 +20,20 @@
 
 #include "common/table.h"
 #include "sim/experiment.h"
+#include "sim/session.h"
 #include "sim/sweep_runner.h"
 #include "workloads/workload.h"
 
 namespace ndp::bench {
+
+/// Process-wide Session for benches that run cells one at a time (Figs.
+/// 4/5/7, related work): every cell on the same platform key restores the
+/// shared system image instead of rebuilding the 16 GB substrate.
+/// run_sweep()-based benches get the same sharing internally.
+inline Session& session() {
+  static Session s;
+  return s;
+}
 
 inline void header(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n=== " << title << " ===\n";

@@ -31,12 +31,17 @@ MemorySystemConfig MemorySystemConfig::cpu(unsigned cores) {
   return cfg;
 }
 
-MemorySystem::MemorySystem(const MemorySystemConfig& cfg)
+MeshConfig MemorySystemConfig::mesh() const {
+  return MeshConfig{.num_cores = num_cores,
+                    .num_mem_endpoints = dram.channels,
+                    .hop_latency = mesh_hop_latency,
+                    .ingress_slot = 1};
+}
+
+MemorySystem::MemorySystem(const MemorySystemConfig& cfg,
+                           const MeshTable* shared_mesh)
     : cfg_(cfg),
-      mesh_(MeshConfig{.num_cores = cfg.num_cores,
-                       .num_mem_endpoints = cfg.dram.channels,
-                       .hop_latency = cfg.mesh_hop_latency,
-                       .ingress_slot = 1}),
+      mesh_(shared_mesh ? Mesh(cfg.mesh(), *shared_mesh) : Mesh(cfg.mesh())),
       dram_(cfg.dram) {
   assert(cfg_.num_cores > 0);
   for (unsigned c = 0; c < cfg_.num_cores; ++c) {

@@ -35,6 +35,10 @@ struct MemorySystemConfig {
   static MemorySystemConfig ndp(unsigned cores);
   /// CPU system per Table I: three-level hierarchy, DDR4-2400.
   static MemorySystemConfig cpu(unsigned cores);
+
+  /// The NoC configuration this memory system instantiates (endpoints
+  /// follow the DRAM channel count) — what Mesh::precompute() keys on.
+  MeshConfig mesh() const;
 };
 
 /// Where a request was finally served from (for statistics).
@@ -47,7 +51,11 @@ struct MemAccessResult {
 
 class MemorySystem {
  public:
-  explicit MemorySystem(const MemorySystemConfig& cfg);
+  /// `shared_mesh`: precomputed routing tables to adopt (must match the
+  /// config's tile counts) — a Session shares one across the Systems of a
+  /// sweep. Null computes them here, as always.
+  explicit MemorySystem(const MemorySystemConfig& cfg,
+                        const MeshTable* shared_mesh = nullptr);
 
   /// One full memory access for a 64 B line containing `pa`, issued by
   /// `core` at `now`. With bypass_caches the request goes NoC -> DRAM

@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "common/strings.h"
 
@@ -62,26 +63,83 @@ SystemConfig SystemConfig::cpu(unsigned cores, std::string_view mechanism) {
   return cfg;
 }
 
-System::System(const SystemConfig& cfg) : cfg_(cfg) {
+namespace {
+
+PhysMemConfig phys_config_of(const SystemConfig& cfg) {
+  PhysMemConfig pmc;
+  pmc.bytes = cfg.phys_bytes;
+  pmc.noise_fraction = cfg.noise_fraction;
+  pmc.seed = cfg.seed;
+  return pmc;
+}
+
+MemorySystemConfig memory_config_of(const SystemConfig& cfg) {
+  MemorySystemConfig msc = cfg.kind == SystemKind::kNdp
+                               ? MemorySystemConfig::ndp(cfg.num_cores)
+                               : MemorySystemConfig::cpu(cfg.num_cores);
+  if (cfg.overrides.dram) msc.dram = *cfg.overrides.dram;
+  return msc;
+}
+
+}  // namespace
+
+bool SystemImage::compatible_with(const SystemConfig& cfg) const {
+  return cfg.kind == config.kind && cfg.num_cores == config.num_cores &&
+         cfg.phys_bytes == config.phys_bytes &&
+         cfg.noise_fraction == config.noise_fraction &&
+         cfg.seed == config.seed && mesh.matches(memory_config_of(cfg).mesh());
+}
+
+SystemImage System::prepare_image(const SystemConfig& cfg) {
+  return SystemImage{cfg, PhysicalMemory(phys_config_of(cfg)).snapshot(),
+                     Mesh::precompute(memory_config_of(cfg).mesh())};
+}
+
+System::System(const SystemConfig& cfg) : System(cfg, nullptr) {}
+
+System::System(const SystemConfig& cfg, const SystemImage& image)
+    : System(cfg, &image) {}
+
+System::System(const SystemConfig& cfg, const SystemImage* image) : cfg_(cfg) {
   assert(cfg_.num_cores >= 1);
   mlp_ = cfg_.mlp ? cfg_.mlp : 8u;
 
   // Resolves through the registry: throws on an unknown mechanism name or
-  // a parameter spec violating the mechanism's schema.
+  // a parameter spec violating the mechanism's schema — before any
+  // expensive substrate work.
+  (void)cfg_.mechanism_spec();
+
+  if (image) {
+    if (!image->compatible_with(cfg_))
+      throw std::invalid_argument(
+          "System: image was prepared for a different (kind, cores, seed, "
+          "overrides) key; build one with System::prepare_image(cfg)");
+    phys_ = std::make_unique<PhysicalMemory>(image->phys);
+  } else {
+    phys_ = std::make_unique<PhysicalMemory>(phys_config_of(cfg_));
+  }
+  assemble(image);
+}
+
+void System::reset_to(const SystemImage& image) {
+  if (!image.compatible_with(cfg_))
+    throw std::invalid_argument(
+        "System::reset_to: image was prepared for a different (kind, cores, "
+        "seed, overrides) key");
+  // Tear down the consumers of the substrate first: the old address space
+  // frees its page-table frames into state that restore() overwrites next.
+  mmus_.clear();
+  space_.reset();
+  phys_->restore(image.phys);
+  assemble(&image);
+}
+
+void System::assemble(const SystemImage* image) {
   const MechanismSpec spec = cfg_.mechanism_spec();
   const MechanismDescriptor& mech = *spec.descriptor;
 
-  PhysMemConfig pmc;
-  pmc.bytes = cfg_.phys_bytes;
-  pmc.noise_fraction = cfg_.noise_fraction;
-  pmc.seed = cfg_.seed;
-  phys_ = std::make_unique<PhysicalMemory>(pmc);
-
-  MemorySystemConfig msc = cfg_.kind == SystemKind::kNdp
-                               ? MemorySystemConfig::ndp(cfg_.num_cores)
-                               : MemorySystemConfig::cpu(cfg_.num_cores);
-  if (cfg_.overrides.dram) msc.dram = *cfg_.overrides.dram;
-  mem_ = std::make_unique<MemorySystem>(msc);
+  mem_ = std::make_unique<MemorySystem>(memory_config_of(cfg_),
+                                        image ? &image->mesh : nullptr);
 
   space_ = std::make_unique<AddressSpace>(
       *phys_, mech.make_page_table(*phys_, spec.params), mech.huge_pages);
@@ -89,6 +147,7 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   MmuConfig mmuc;
   mmuc.walker = cfg_.overrides.apply_to(mech.walker_config(spec.params));
   mmuc.ideal = !mech.models_translation;
+  mmus_.clear();
   for (unsigned c = 0; c < cfg_.num_cores; ++c)
     mmus_.push_back(std::make_unique<Mmu>(mmuc, *space_, *mem_, c));
 

@@ -80,9 +80,43 @@ struct SystemConfig {
   static SystemConfig cpu(unsigned cores, std::string_view mechanism);
 };
 
+/// Immutable, shareable build products of one system configuration: the
+/// post-boot-noise physical-memory substrate plus the precomputed mesh
+/// routing tables. Everything here is *mechanism-independent* — cells of a
+/// sweep that differ only in translation mechanism or workload construct
+/// their Systems from one image (restore = a few large copies) instead of
+/// re-running boot-noise injection, which is what a Session (sim/session.h)
+/// caches keyed by (kind, cores, seed, overrides).
+struct SystemImage {
+  SystemConfig config;  ///< the config the image was prepared from
+  PhysMemImage phys;    ///< substrate state right after noise injection
+  MeshTable mesh;       ///< NoC routing tables for (kind, cores, dram)
+
+  /// Can a System with config `cfg` be built from this image with
+  /// behaviour identical to a from-scratch construction? True iff every
+  /// image-relevant field matches (kind, cores, physical-memory geometry,
+  /// seed, and the effective DRAM device); mechanism fields are free.
+  bool compatible_with(const SystemConfig& cfg) const;
+};
+
 class System {
  public:
   explicit System(const SystemConfig& cfg);
+  /// Construct from a prepared image: observable behaviour is identical to
+  /// System(cfg) — the golden suite pins this — but the physical-memory
+  /// substrate is restored instead of rebuilt. Throws std::invalid_argument
+  /// when the image is not compatible_with(cfg).
+  System(const SystemConfig& cfg, const SystemImage& image);
+
+  /// The shareable build products for `cfg` — what Session caches.
+  static SystemImage prepare_image(const SystemConfig& cfg);
+
+  /// Return this System to the image's pristine post-boot state: restore
+  /// the physical-memory substrate, then rebuild the address space / page
+  /// table / MMUs and reset the memory system, exactly as a fresh
+  /// construction would leave them. Throws std::invalid_argument when the
+  /// image is not compatible_with(config()).
+  void reset_to(const SystemImage& image);
 
   const SystemConfig& config() const { return cfg_; }
   unsigned num_cores() const { return cfg_.num_cores; }
@@ -100,6 +134,11 @@ class System {
   void reset_stats();
 
  private:
+  System(const SystemConfig& cfg, const SystemImage* image);
+  /// Build mem_/space_/mmus_ around the (already constructed or restored)
+  /// physical memory; shared by construction and reset_to().
+  void assemble(const SystemImage* image);
+
   SystemConfig cfg_;
   unsigned mlp_;
   std::unique_ptr<PhysicalMemory> phys_;

@@ -17,6 +17,14 @@ BuddyAllocator::BuddyAllocator(std::uint64_t num_frames)
     insert_free(base, kMaxOrder);
 }
 
+void BuddyAllocator::restore(const BuddyAllocator& snapshot) {
+  assert(num_frames_ == snapshot.num_frames_ &&
+         "restore needs the same pool geometry the snapshot was taken from");
+  free_frames_ = snapshot.free_frames_;
+  free_ = snapshot.free_;
+  free_bit_ = snapshot.free_bit_;
+}
+
 std::optional<Pfn> BuddyAllocator::alloc(unsigned order) {
   assert(order <= kMaxOrder);
   unsigned o = order;

@@ -96,6 +96,12 @@ class BuddyAllocator {
   /// boot-time fragmentation injection and for compaction window reserve.
   bool alloc_specific(Pfn frame);
 
+  /// Value restore used by PhysicalMemory::snapshot()/restore(): the
+  /// allocator is plain state (bitmaps + counters), so a copy of the object
+  /// IS the snapshot. Asserts the pool geometry matches; copies into the
+  /// existing storage (no reallocation when geometries agree).
+  void restore(const BuddyAllocator& snapshot);
+
   bool is_free(Pfn frame) const { return free_bit_[frame]; }
   /// Is a block of this order currently available (without compaction)?
   bool can_alloc(unsigned order) const {

@@ -14,11 +14,25 @@ bool unmovable(FrameUse u) {
 }  // namespace
 
 PhysicalMemory::PhysicalMemory(const PhysMemConfig& cfg)
-    : cfg_(cfg), buddy_(cfg.bytes / kPageSize),
-      use_(cfg.bytes / kPageSize, FrameUse::kFree),
-      win_movable_((cfg.bytes / kPageSize) >> 9, 0),
-      win_unmovable_((cfg.bytes / kPageSize) >> 9, 0),
-      rng_(cfg.seed),
+    : PhysicalMemory(cfg, nullptr) {}
+
+PhysicalMemory::PhysicalMemory(const PhysMemImage& image)
+    : PhysicalMemory(image.cfg, &image) {}
+
+PhysicalMemory::PhysicalMemory(const PhysMemConfig& cfg,
+                               const PhysMemImage* image)
+    : cfg_(cfg),
+      buddy_(image ? image->buddy : BuddyAllocator(cfg.bytes / kPageSize)),
+      use_(image ? image->use
+                 : std::vector<FrameUse>(cfg.bytes / kPageSize,
+                                         FrameUse::kFree)),
+      win_movable_(image ? image->win_movable
+                         : std::vector<std::uint16_t>(
+                               (cfg.bytes / kPageSize) >> 9, 0)),
+      win_unmovable_(image ? image->win_unmovable
+                           : std::vector<std::uint16_t>(
+                                 (cfg.bytes / kPageSize) >> 9, 0)),
+      rng_(image ? image->rng : Rng(cfg.seed)),
       c_noise_frames_(stats_.counter("noise_frames")),
       c_frame_alloc_(stats_.counter("frame_alloc")),
       c_frame_free_(stats_.counter("frame_free")),
@@ -33,6 +47,12 @@ PhysicalMemory::PhysicalMemory(const PhysMemConfig& cfg)
       c_huge_fallback_(stats_.counter("huge_fallback")),
       c_huge_free_(stats_.counter("huge_free")),
       s_compaction_moved_(stats_.sample("compaction_moved")) {
+  if (image) {
+    // Adopted substrate: the state vectors were copied above; only the
+    // post-boot statistic a fresh construction would have remains.
+    c_noise_frames_->add(image->noise_frames);
+    return;
+  }
   // Boot-time fragmentation injection: scatter "system" pages uniformly.
   // A long-running machine never presents a pristine buddy pool; this is the
   // environment in which THP-style 2 MB allocation struggles.
@@ -48,6 +68,24 @@ PhysicalMemory::PhysicalMemory(const PhysMemConfig& cfg)
     }
   }
   c_noise_frames_->add(placed);
+}
+
+PhysMemImage PhysicalMemory::snapshot() const {
+  return PhysMemImage{cfg_,         buddy_, use_, win_movable_,
+                      win_unmovable_, rng_, stats_.get("noise_frames")};
+}
+
+void PhysicalMemory::restore(const PhysMemImage& image) {
+  assert(image.use.size() == use_.size() &&
+         "restore needs the geometry the image was snapshotted from");
+  buddy_.restore(image.buddy);
+  use_ = image.use;
+  win_movable_ = image.win_movable;
+  win_unmovable_ = image.win_unmovable;
+  rng_ = image.rng;
+  relocate_hook_ = nullptr;
+  stats_.clear();
+  c_noise_frames_->add(image.noise_frames);
 }
 
 void PhysicalMemory::set_use(Pfn pfn, FrameUse next) {

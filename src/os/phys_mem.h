@@ -55,9 +55,36 @@ struct PhysMemConfig {
   OsCosts costs;
 };
 
+/// Immutable snapshot of a PhysicalMemory's complete allocation state —
+/// buddy bitmaps, per-frame use tags, compaction window occupancy, and the
+/// RNG — taken right after boot-noise injection. Restoring it is a few
+/// large copies instead of re-running the ~10^5 scattered alloc_specific()
+/// calls of noise injection, which is what lets a Session share one
+/// prepared substrate across every cell of a sweep (see sim/session.h).
+struct PhysMemImage {
+  PhysMemConfig cfg;
+  BuddyAllocator buddy;  ///< a value copy IS the buddy snapshot
+  std::vector<FrameUse> use;
+  std::vector<std::uint16_t> win_movable, win_unmovable;
+  Rng rng;
+  std::uint64_t noise_frames = 0;  ///< frames placed by noise injection
+};
+
 class PhysicalMemory {
  public:
   explicit PhysicalMemory(const PhysMemConfig& cfg);
+  /// Adopt a prepared substrate: identical observable state to constructing
+  /// from `image.cfg` (same buddy layout, frame tags, RNG position, and the
+  /// post-boot stats), without re-running noise injection.
+  explicit PhysicalMemory(const PhysMemImage& image);
+
+  /// Capture the current allocation state (cheap value copies).
+  PhysMemImage snapshot() const;
+  /// Return to `image`'s state. Statistics reset to the post-boot values a
+  /// fresh construction would report; the relocate hook is cleared (its
+  /// owner, the AddressSpace, is rebuilt by System::reset_to()). Asserts
+  /// the pool geometry matches.
+  void restore(const PhysMemImage& image);
 
   /// Allocate one 4 KB frame. Asserts on true OOM (experiments are sized to
   /// fit); returns the PFN.
@@ -103,6 +130,10 @@ class PhysicalMemory {
   const StatSet& stats() const { return stats_; }
 
  private:
+  /// Shared construction path: `image` non-null adopts its state wholesale
+  /// instead of injecting boot noise.
+  PhysicalMemory(const PhysMemConfig& cfg, const PhysMemImage* image);
+
   struct CompactResult {
     Pfn base;
     std::uint64_t moved;

@@ -92,13 +92,22 @@ void Engine::prepare() {
   prepared_ = true;
   auto t_phase = HostProfile::Clock::now();
   // Declare the shared dataset regions, then populate the resident set.
-  for (const VmRegion& r : trace_.regions()) sys_.space().add_region(r);
+  // Session-shared material skips re-deriving the layout per cell.
+  if (cfg_.material) {
+    for (const VmRegion& r : cfg_.material->regions) sys_.space().add_region(r);
+  } else {
+    for (const VmRegion& r : trace_.regions()) sys_.space().add_region(r);
+  }
   setup_profile_.add(ProfilePhase::kInstall, HostProfile::since_ns(t_phase));
   t_phase = HostProfile::Clock::now();
   sys_.space().prefault_all();
   // Pre-touch the workload's steady-state-warm demand pages (e.g. the hot
   // part of a hash table built before the measured window).
-  for (VirtAddr va : trace_.warm_pages()) sys_.space().touch_untimed(va);
+  if (cfg_.material) {
+    for (VirtAddr va : cfg_.material->warm_pages) sys_.space().touch_untimed(va);
+  } else {
+    for (VirtAddr va : trace_.warm_pages()) sys_.space().touch_untimed(va);
+  }
   setup_profile_.add(ProfilePhase::kPrefault, HostProfile::since_ns(t_phase));
 }
 

@@ -25,6 +25,11 @@ namespace ndp {
 struct EngineConfig {
   std::uint64_t instructions_per_core = 300'000;
   std::uint64_t warmup_refs_per_core = 20'000;
+  /// Pre-collected setup products of the trace (region layout + warm
+  /// pages). Null: prepare() asks the trace itself, as always. Non-null —
+  /// a Session sharing one collection across sweep cells — must equal
+  /// TraceMaterial::of(trace) and outlive the engine.
+  const TraceMaterial* material = nullptr;
 };
 
 struct CoreStats {

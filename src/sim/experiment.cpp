@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/json.h"
+#include "sim/session.h"
 #include "workloads/workload_registry.h"
 
 namespace ndp {
@@ -136,74 +137,37 @@ std::uint64_t default_instructions() {
 }
 
 RunResult run_experiment(const RunSpec& spec) {
-  HostProfile build_profile;
-  SystemConfig sc;
-  std::unique_ptr<System> system;
-  std::unique_ptr<TraceSource> trace;
-  EngineConfig ec;
-  {
-    ScopedPhaseTimer timer(build_profile, ProfilePhase::kBuild);
-    sc = spec.system == SystemKind::kNdp
-             ? SystemConfig::ndp(spec.cores, spec.mechanism)
-             : SystemConfig::cpu(spec.cores, spec.mechanism);
-    sc.mechanism_name = spec.mechanism_name;
-    sc.seed = spec.seed;
-    sc.overrides = spec.overrides;
-    system = std::make_unique<System>(sc);
-
-    WorkloadParams wp;
-    wp.num_cores = spec.cores;
-    if (spec.scale > 0) wp.scale = spec.scale;
-    wp.seed = spec.seed;
-    trace = resolve_workload(spec.workload, spec.workload_name).make(wp);
-
-    ec.instructions_per_core = spec.instructions_per_core
-                                   ? spec.instructions_per_core
-                                   : default_instructions();
-    ec.warmup_refs_per_core =
-        spec.warmup_refs ? spec.warmup_refs : ec.instructions_per_core / 15;
-  }
-
-  Engine engine(*system, *trace, ec);
-  RunResult result = engine.run();
-  result.host_profile.merge(build_profile);
-  result.meta.system = to_string(spec.system);
-  const MechanismSpec mech = sc.mechanism_spec();
-  result.meta.mechanism = mech.canonical;
-  // Record every resolved parameter (defaults included) so a result set is
-  // self-describing about the exact design point it measured.
-  for (const auto& [name, value] : mech.params.entries())
-    result.meta.mechanism_params.emplace_back(name, value.text());
-  // Canonical registry name, not trace->name(): the registered identity is
-  // what configs and aggregation select by, and for the built-ins the two
-  // agree anyway.
-  result.meta.workload = spec.workload_label();
-  result.meta.cores = spec.cores;
-  result.meta.instructions_per_core = ec.instructions_per_core;
-  result.meta.seed = spec.seed;
-  return result;
+  // One-shot: a fresh Session with sharing disabled is exactly the
+  // historical build-everything-per-run path.
+  SessionOptions opts;
+  opts.share_images = false;
+  return Session(opts).run(spec);
 }
 
 MechanismComparison compare_mechanisms(const RunSpec& base,
-                                       const std::vector<Mechanism>& mechs) {
+                                       const std::vector<std::string>& mechs,
+                                       std::string_view baseline) {
   MechanismComparison out;
-  RunSpec radix = base;
-  radix.mechanism = Mechanism::kRadix;
-  radix.mechanism_name.clear();
-  out.results.emplace(Mechanism::kRadix, run_experiment(radix));
-  const double radix_cycles =
-      static_cast<double>(out.results.at(Mechanism::kRadix).total_cycles);
-  out.speedup_over_radix[Mechanism::kRadix] = 1.0;
+  Session session;  // all cells share one system image
 
-  for (Mechanism m : mechs) {
-    if (m == Mechanism::kRadix) continue;
-    RunSpec s = base;
-    s.mechanism = m;
-    s.mechanism_name.clear();
-    RunResult r = run_experiment(s);
+  const RunSpec base_spec = RunSpecBuilder(base).mechanism(baseline).build();
+  out.baseline = base_spec.mechanism_label();
+  out.mechanisms.push_back(out.baseline);
+  out.results.emplace(out.baseline, session.run(base_spec));
+  const double baseline_cycles =
+      static_cast<double>(out.results.at(out.baseline).total_cycles);
+  out.speedup_over_baseline[out.baseline] = 1.0;
+
+  for (const std::string& name : mechs) {
+    const RunSpec s = RunSpecBuilder(base).mechanism(name).build();
+    const std::string label = s.mechanism_label();
+    if (out.results.count(label)) continue;
+    RunResult r = session.run(s);
     const double cycles = static_cast<double>(r.total_cycles);
-    out.speedup_over_radix[m] = cycles > 0 ? radix_cycles / cycles : 0.0;
-    out.results.emplace(m, std::move(r));
+    out.speedup_over_baseline[label] =
+        cycles > 0 ? baseline_cycles / cycles : 0.0;
+    out.mechanisms.push_back(label);
+    out.results.emplace(label, std::move(r));
   }
   return out;
 }
@@ -277,6 +241,8 @@ void write_host_profile(JsonWriter& w, const HostProfile& profile,
   w.key("events").value(host.events);
   w.key("heap_pushes").value(host.heap_pushes);
   w.key("heap_peak").value(host.heap_peak);
+  w.key("image_builds").value(host.image_builds);
+  w.key("image_hits").value(host.image_hits);
   w.end_object();
   w.end_object();
 }

@@ -5,6 +5,7 @@ namespace ndp {
 const char* to_string(ProfilePhase p) {
   switch (p) {
     case ProfilePhase::kBuild: return "build";
+    case ProfilePhase::kBuildCached: return "build_cached";
     case ProfilePhase::kInstall: return "install";
     case ProfilePhase::kPrefault: return "prefault";
     case ProfilePhase::kWarmup: return "warmup";

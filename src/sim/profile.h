@@ -21,7 +21,9 @@
 namespace ndp {
 
 enum class ProfilePhase : unsigned {
-  kBuild,     ///< System construction (phys mem, caches, MMUs, page table)
+  kBuild,       ///< System construction (phys mem, caches, MMUs, page table)
+  kBuildCached, ///< Session image-cache work: building a shareable system
+                ///< image on a miss, plus the (tiny) lookup cost on a hit
   kInstall,   ///< region declaration + trace-source setup
   kPrefault,  ///< resident-set population before timing starts
   kWarmup,    ///< event loop until every core finished warmup
@@ -82,11 +84,18 @@ struct HostCounters {
   std::uint64_t events = 0;       ///< events popped off the engine's queue
   std::uint64_t heap_pushes = 0;  ///< events pushed (heap sift-ups)
   std::uint64_t heap_peak = 0;    ///< high-water mark of the event queue
+  // Session image-cache effectiveness (sim/session.h): how many runs built
+  // a fresh system image vs restored a shared one. A run outside a Session
+  // (or with sharing disabled) reports 0/0.
+  std::uint64_t image_builds = 0;  ///< image-cache misses (substrate built)
+  std::uint64_t image_hits = 0;    ///< image-cache hits (substrate restored)
 
   void merge(const HostCounters& o) {
     events += o.events;
     heap_pushes += o.heap_pushes;
     heap_peak = heap_peak > o.heap_peak ? heap_peak : o.heap_peak;
+    image_builds += o.image_builds;
+    image_hits += o.image_hits;
   }
 };
 

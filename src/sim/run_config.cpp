@@ -255,6 +255,12 @@ void apply_members(const JsonValue& root, RunConfig& cfg) {
     } else if (key == "overrides") {
       if (!value.is_object()) config_error("\"overrides\" must be an object");
       cfg.overrides = parse_overrides(value);
+    } else if (key == "share_images") {
+      try {
+        cfg.share_images = value.as_bool();
+      } catch (const JsonError&) {
+        config_error("\"share_images\" must be true or false");
+      }
     } else if (key == "baseline") {
       cfg.baseline = string_field(value, key);
     } else if (key == "output") {
@@ -377,6 +383,7 @@ std::string RunConfig::to_json() const {
   if (warmup) w.key("warmup").value(warmup);
   if (scale > 0) w.key("scale").value(scale);
   w.key("seed").value(seed);
+  if (!share_images) w.key("share_images").value(false);
   if (overrides.any()) {
     w.key("overrides").begin_object();
     if (overrides.bypass) w.key("bypass").value(*overrides.bypass);

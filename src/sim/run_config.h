@@ -20,6 +20,7 @@
 //     "warmup": 0,                        // refs/core; 0 = instructions/15
 //     "scale": 0.75,                      // dataset scale fraction
 //     "seed": 42,
+//     "share_images": true,               // Session image reuse opt-out
 //     "overrides": {                      // ablations, all optional
 //       "bypass": true,
 //       "pwc_levels": [4, 3],             // or null to strip the PWCs
@@ -61,6 +62,10 @@ struct RunConfig {
   double scale = 0;                ///< 0 = WorkloadParams default
   std::uint64_t seed = 42;
   Overrides overrides;
+  /// Share prepared system images across the grid's cells (Session reuse,
+  /// sim/session.h). Results are byte-identical either way; "share_images":
+  /// false is the per-experiment opt-out for A/B-validating the sharing.
+  bool share_images = true;
   /// Mechanism name speedups are aggregated against ("" = no aggregation).
   std::string baseline;
   /// Default output paths, overridable from the CLI ("" = not requested,

@@ -1,0 +1,184 @@
+#include "sim/session.h"
+
+#include <cstring>
+#include <utility>
+
+#include "workloads/workload_registry.h"
+
+namespace ndp {
+
+namespace {
+/// Bit-exact text of a double. Cache keys must distinguish *any* two
+/// values that could yield different build products; decimal formatting
+/// (std::to_string's fixed 6 digits) would alias close-but-distinct
+/// scales/fractions and hand one of them the other's cached state.
+std::string exact(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return std::to_string(bits);
+}
+}  // namespace
+
+std::string Session::image_key(const SystemConfig& cfg) {
+  std::string key = to_string(cfg.kind);
+  key += '/' + std::to_string(cfg.num_cores);
+  key += '/' + std::to_string(cfg.phys_bytes);
+  key += '/' + exact(cfg.noise_fraction);
+  key += '/' + std::to_string(cfg.seed);
+  // Every override is in the key — bypass/PWC overrides do not touch the
+  // substrate, but never sharing across ablation axes is the conservative
+  // contract the tests pin (distinct design points must not alias).
+  key += "/b:";
+  if (cfg.overrides.bypass) key += *cfg.overrides.bypass ? '1' : '0';
+  key += "/p:";
+  if (cfg.overrides.pwc_levels) {
+    // Mark engaged-ness itself: an engaged-but-empty override ("strip the
+    // PWCs", JSON null/[]) is a distinct design point from no override.
+    key += 'e';
+    for (unsigned l : *cfg.overrides.pwc_levels)
+      key += std::to_string(l) + ',';
+  }
+  key += "/d:";
+  if (cfg.overrides.dram)
+    // name + channels, the image-relevant fidelity: the image holds only
+    // substrate + mesh tables, and of DramTiming only `channels` shapes
+    // those (name alone would alias a custom timing reusing a preset's
+    // name with different channels, which SystemImage::compatible_with
+    // rejects with a throw instead of a rebuild). Two timings agreeing on
+    // name+channels do share an image — by construction it is identical.
+    key += cfg.overrides.dram->name + ':' +
+           std::to_string(cfg.overrides.dram->channels);
+  return key;
+}
+
+std::shared_ptr<const SystemImage> Session::image_for(const SystemConfig& cfg,
+                                                      bool* built_out) {
+  const std::string key = image_key(cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = images_.find(key)) {
+      ++stats_.image_hits;
+      if (built_out) *built_out = false;
+      return hit;
+    }
+  }
+  // Build outside the lock so distinct keys build in parallel across sweep
+  // workers. Concurrent misses on *one* key may both build it — rare,
+  // wasted work only: images are deterministic, so the copies are
+  // identical, and insert-if-absent below keeps the first one (the loser
+  // counts as a hit, so the build/hit totals stay deterministic too).
+  auto image = std::make_shared<SystemImage>(System::prepare_image(cfg));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto raced = images_.find(key)) {
+    ++stats_.image_hits;
+    if (built_out) *built_out = false;
+    return raced;
+  }
+  ++stats_.image_builds;
+  stats_.image_evictions += images_.insert(key, image, opts_.max_images);
+  if (built_out) *built_out = true;
+  return image;
+}
+
+std::shared_ptr<const TraceMaterial> Session::material_for(
+    const std::string& key, const TraceSource& trace) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto hit = materials_.find(key)) {
+      ++stats_.material_hits;
+      return hit;
+    }
+  }
+  // Same insert-if-absent dance as image_for: material is deterministic,
+  // so a raced duplicate collection is harmless and never serializes the
+  // worker pool.
+  auto material = std::make_shared<TraceMaterial>(TraceMaterial::of(trace));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto raced = materials_.find(key)) {
+    ++stats_.material_hits;
+    return raced;
+  }
+  ++stats_.material_builds;
+  materials_.insert(key, material, opts_.max_materials);
+  return material;
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+RunResult Session::run(const RunSpec& spec) {
+  HostProfile build_profile;
+  SystemConfig sc = spec.system == SystemKind::kNdp
+                        ? SystemConfig::ndp(spec.cores, spec.mechanism)
+                        : SystemConfig::cpu(spec.cores, spec.mechanism);
+  sc.mechanism_name = spec.mechanism_name;
+  sc.seed = spec.seed;
+  sc.overrides = spec.overrides;
+
+  std::shared_ptr<const SystemImage> image;
+  bool image_built = false;
+  if (opts_.share_images) {
+    ScopedPhaseTimer timer(build_profile, ProfilePhase::kBuildCached);
+    image = image_for(sc, &image_built);
+  }
+
+  std::unique_ptr<System> system;
+  std::unique_ptr<TraceSource> trace;
+  std::shared_ptr<const TraceMaterial> material;  // outlives the engine
+  EngineConfig ec;
+  {
+    ScopedPhaseTimer timer(build_profile, ProfilePhase::kBuild);
+    system = image ? std::make_unique<System>(sc, *image)
+                   : std::make_unique<System>(sc);
+
+    WorkloadParams wp;
+    wp.num_cores = spec.cores;
+    if (spec.scale > 0) wp.scale = spec.scale;
+    wp.seed = spec.seed;
+    const WorkloadDescriptor& wd =
+        resolve_workload(spec.workload, spec.workload_name);
+    trace = wd.make(wp);
+    if (opts_.share_images) {
+      material = material_for(wd.name + '/' + std::to_string(wp.num_cores) +
+                                  '/' + exact(wp.scale) + '/' +
+                                  std::to_string(wp.seed),
+                              *trace);
+      ec.material = material.get();
+    }
+
+    ec.instructions_per_core = spec.instructions_per_core
+                                   ? spec.instructions_per_core
+                                   : default_instructions();
+    ec.warmup_refs_per_core =
+        spec.warmup_refs ? spec.warmup_refs : ec.instructions_per_core / 15;
+  }
+
+  Engine engine(*system, *trace, ec);
+  RunResult result = engine.run();
+  result.host_profile.merge(build_profile);
+  result.host.image_builds = image_built ? 1 : 0;
+  result.host.image_hits = image && !image_built ? 1 : 0;
+  result.meta.system = to_string(spec.system);
+  const MechanismSpec mech = sc.mechanism_spec();
+  result.meta.mechanism = mech.canonical;
+  // Record every resolved parameter (defaults included) so a result set is
+  // self-describing about the exact design point it measured.
+  for (const auto& [name, value] : mech.params.entries())
+    result.meta.mechanism_params.emplace_back(name, value.text());
+  // Canonical registry name, not trace->name(): the registered identity is
+  // what configs and aggregation select by, and for the built-ins the two
+  // agree anyway.
+  result.meta.workload = spec.workload_label();
+  result.meta.cores = spec.cores;
+  result.meta.instructions_per_core = ec.instructions_per_core;
+  result.meta.seed = spec.seed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.runs;
+  }
+  return result;
+}
+
+}  // namespace ndp

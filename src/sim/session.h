@@ -1,0 +1,145 @@
+// Session: the long-lived half of the run lifecycle.
+//
+// A RunSpec describes one cell of an evaluation grid, but most of the work
+// of executing it — building the 16 GB physical-memory substrate, injecting
+// boot noise, precomputing NoC routing tables, deriving a workload's region
+// layout — depends only on a small key, not on the mechanism or workload
+// under test. A Session owns those immutable, shareable build products:
+//
+//   * system images   (core/system.h SystemImage), keyed by
+//                     (SystemKind, cores, seed, overrides): the post-boot
+//                     buddy/frame state plus mesh tables. session.run()
+//                     *restores* the matching image (a few large copies)
+//                     instead of reconstructing it.
+//   * trace material  (workloads/workload.h TraceMaterial), keyed by
+//                     (workload, cores, scale, seed): region layout + warm
+//                     pages, shared across cells running that workload.
+//
+// Restored state is bit-identical to freshly built state, so results are
+// byte-identical whether a spec runs through a pooled Session, a one-shot
+// one, or the pre-Session run_experiment() path — the golden suite pins
+// this, and run_sweep() relies on it to keep output independent of --jobs.
+//
+// run() is thread-safe: the caches sit behind one mutex for lookups and
+// inserts only — builds happen outside the lock, so distinct keys build in
+// parallel and concurrent misses on one key at worst duplicate a
+// deterministic ~10 ms build (insert-if-absent keeps the first copy). The
+// simulation itself runs unlocked per cell.
+//
+//   Session session;
+//   for (const RunSpec& spec : sweep(base, {"radix", "ndpage"}, {"gups"}))
+//     results.push_back(session.run(spec));   // one substrate build, total
+//
+// run_experiment() in sim/experiment.h is the one-shot shim: a fresh
+// Session with sharing disabled, i.e. the historical build-everything path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/system.h"
+#include "sim/experiment.h"
+
+namespace ndp {
+
+struct SessionOptions {
+  /// Share prepared system images and trace material across runs. Off =
+  /// every run builds everything from scratch (the historical
+  /// run_experiment() behaviour) — the opt-out for A/B-validating the
+  /// sharing machinery itself.
+  bool share_images = true;
+  /// Image-cache capacity (a 16 GB-substrate image is ~6 MB of host
+  /// memory). Least-recently-used images are evicted beyond this.
+  /// 0 = unbounded.
+  std::size_t max_images = 8;
+  /// Trace-material cache capacity (entries are small: a region list plus
+  /// warm-page addresses). 0 = unbounded.
+  std::size_t max_materials = 64;
+};
+
+/// Cache effectiveness counters, cumulative over the Session's lifetime.
+/// Per-run hit/miss flags also land in RunResult::host (image_builds /
+/// image_hits), which is how `ndpsim --profile` reports them per sweep.
+struct SessionStats {
+  std::uint64_t runs = 0;
+  std::uint64_t image_builds = 0;     ///< cache misses: substrate prepared
+  std::uint64_t image_hits = 0;       ///< cache hits: substrate restored
+  std::uint64_t image_evictions = 0;  ///< LRU evictions past max_images
+  std::uint64_t material_builds = 0;
+  std::uint64_t material_hits = 0;
+};
+
+class Session {
+ public:
+  Session() = default;
+  explicit Session(SessionOptions opts) : opts_(opts) {}
+
+  /// Execute one cell. Identical results to run_experiment(spec), cheaper
+  /// when this Session has already run a spec with the same image key.
+  /// Thread-safe; any number of run() calls may be in flight.
+  RunResult run(const RunSpec& spec);
+
+  /// The cached image for `cfg`'s key, building (and caching) it on a
+  /// miss. `built_out`, when given, reports whether this call built it.
+  /// Exposed for tests and for callers pooling Systems via
+  /// System::reset_to(). Thread-safe.
+  std::shared_ptr<const SystemImage> image_for(const SystemConfig& cfg,
+                                               bool* built_out = nullptr);
+
+  /// The cache key `cfg`'s image is shared under — equal keys share, and
+  /// everything that could change the substrate or routing tables (kind,
+  /// cores, physical-memory geometry, seed, the overrides) is in the key
+  /// at full fidelity — except the DRAM override, keyed by name+channels
+  /// (the only DramTiming field the image depends on) — so design points
+  /// with different build products can never alias.
+  static std::string image_key(const SystemConfig& cfg);
+
+  const SessionOptions& options() const { return opts_; }
+  SessionStats stats() const;
+
+ private:
+  std::shared_ptr<const TraceMaterial> material_for(const std::string& key,
+                                                    const TraceSource& trace);
+
+  /// Generic string-keyed LRU used by both caches (values are shared_ptr,
+  /// so an evicted entry stays alive for any run still using it).
+  template <typename V>
+  struct LruCache {
+    struct Entry {
+      std::string key;
+      std::shared_ptr<const V> value;
+    };
+    std::list<Entry> lru;  ///< front = most recently used
+    std::map<std::string, typename std::list<Entry>::iterator> index;
+
+    std::shared_ptr<const V> find(const std::string& key) {
+      auto it = index.find(key);
+      if (it == index.end()) return nullptr;
+      lru.splice(lru.begin(), lru, it->second);  // refresh recency
+      return it->second->value;
+    }
+    /// Inserts and returns the evicted count (0 or 1).
+    std::size_t insert(const std::string& key, std::shared_ptr<const V> value,
+                       std::size_t capacity) {
+      lru.push_front(Entry{key, std::move(value)});
+      index[key] = lru.begin();
+      if (capacity == 0 || lru.size() <= capacity) return 0;
+      index.erase(lru.back().key);
+      lru.pop_back();
+      return 1;
+    }
+  };
+
+  SessionOptions opts_;
+  mutable std::mutex mu_;  ///< guards both caches + stats_
+  LruCache<SystemImage> images_;
+  LruCache<TraceMaterial> materials_;
+  SessionStats stats_;
+};
+
+}  // namespace ndp

@@ -24,6 +24,15 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
   if (total < jobs) jobs = static_cast<unsigned>(total ? total : 1);
   out.jobs_used = jobs;
 
+  // All cells route through one thread-safe Session so they share prepared
+  // system images; results do not depend on sharing (or the job count).
+  // A single-cell sweep with no caller-owned Session has nothing to share
+  // with — build direct rather than paying snapshot+restore for zero hits.
+  SessionOptions session_opts;
+  session_opts.share_images = opts.share_images && total > 1;
+  Session local_session(session_opts);
+  Session& session = opts.session ? *opts.session : local_session;
+
   // Work-stealing by atomic index: completion order varies with scheduling,
   // but cell i always lands in slot i, so the result set is deterministic.
   std::atomic<std::size_t> next{0};
@@ -38,7 +47,7 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
       if (i >= total) return;
       SweepCell& cell = out.cells[i];
       try {
-        cell.result = run_experiment(cell.spec);
+        cell.result = session.run(cell.spec);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         if (!first_error) first_error = std::current_exception();
@@ -68,7 +77,16 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
 }
 
 SweepResults run_sweep(const RunConfig& config, const SweepOptions& opts) {
-  SweepResults out = run_sweep(config.expand(), opts);
+  SweepOptions effective = opts;
+  // The config's opt-out wins: an experiment that pins "share_images":
+  // false must run fresh-built cells whatever the caller's default — a
+  // caller-pooled Session included, since that would share regardless of
+  // its own flag.
+  if (!config.share_images) {
+    effective.share_images = false;
+    effective.session = nullptr;
+  }
+  SweepResults out = run_sweep(config.expand(), effective);
   out.name = config.name;
   out.baseline = config.baseline;
   return out;

@@ -25,12 +25,25 @@
 #include "common/table.h"
 #include "sim/experiment.h"
 #include "sim/run_config.h"
+#include "sim/session.h"
 
 namespace ndp {
 
 struct SweepOptions {
   /// Host threads executing cells. 0 = std::thread::hardware_concurrency().
   unsigned jobs = 1;
+  /// Share prepared system images and trace material across cells: all
+  /// cells run through one thread-safe Session (sim/session.h), so cells
+  /// differing only in mechanism/workload restore one substrate instead of
+  /// rebuilding it. Results are byte-identical either way (the golden suite
+  /// pins this); off is the A/B opt-out (`ndpsim --fresh-systems`,
+  /// config key "share_images": false).
+  bool share_images = true;
+  /// Run cells through this caller-owned Session instead — pools images
+  /// across *sweeps* (e.g. several grids over one platform). Overrides
+  /// share_images, except that a RunConfig pinning "share_images": false
+  /// still forces fresh builds. The Session must outlive the call.
+  Session* session = nullptr;
   /// Called after each cell completes (any order), under an internal lock —
   /// safe to print from. `done` counts completed cells.
   std::function<void(std::size_t done, std::size_t total, const RunSpec&)>

@@ -12,6 +12,10 @@
 
 namespace ndp {
 
+TraceMaterial TraceMaterial::of(const TraceSource& trace) {
+  return TraceMaterial{trace.regions(), trace.warm_pages()};
+}
+
 const std::vector<WorkloadInfo>& all_workload_info() {
   static const std::vector<WorkloadInfo> kInfo = {
       {WorkloadKind::kBC, "BC", "GraphBIG", 8ull << 30},

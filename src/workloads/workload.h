@@ -90,6 +90,21 @@ class TraceSource {
   virtual MemRef next(unsigned core) = 0;
 };
 
+/// The immutable setup products of a trace source — the region layout the
+/// engine installs and the steady-state-warm pages it pre-touches. Both are
+/// pure functions of the workload's parameters, so a Session computes them
+/// once per (workload, cores, scale, seed) key and shares them across every
+/// sweep cell with that key (sim/session.h); the per-core reference streams
+/// stay per-cell, in the TraceSource itself.
+struct TraceMaterial {
+  std::vector<VmRegion> regions;
+  std::vector<VirtAddr> warm_pages;
+
+  /// Collect `trace`'s material — exactly what Engine::prepare() would ask
+  /// the trace for.
+  static TraceMaterial of(const TraceSource& trace);
+};
+
 struct WorkloadInfo {
   WorkloadKind kind;
   const char* name;

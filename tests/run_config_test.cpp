@@ -169,6 +169,16 @@ TEST(RunConfig, RoundTripsThroughToJson) {
   EXPECT_EQ(b.csv_output, "x.csv");
 }
 
+TEST(RunConfig, ShareImagesOptOutParsesAndRoundTrips) {
+  EXPECT_TRUE(RunConfig::from_json("{}").share_images) << "sharing is opt-out";
+  const RunConfig off =
+      RunConfig::from_json(R"({"share_images": false})");
+  EXPECT_FALSE(off.share_images);
+  EXPECT_FALSE(RunConfig::from_json(off.to_json()).share_images);
+  EXPECT_THROW(RunConfig::from_json(R"({"share_images": "yes"})"),
+               std::invalid_argument);
+}
+
 TEST(RunConfig, ExpandIsSystemMajorThenMechanismMajor) {
   const RunConfig cfg = RunConfig::from_json(R"({
     "systems": ["ndp", "cpu"], "mechanisms": ["radix", "ndpage"],

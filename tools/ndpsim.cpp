@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
 #include "common/table.h"
 #include "sim/run_config.h"
 #include "sim/sweep_runner.h"
@@ -46,6 +47,10 @@ int usage(const char* argv0, int code) {
       "  --jobs=N                 execute sweep cells across N host threads\n"
       "                           (0 = all cores; results are identical\n"
       "                           whatever N is; default 1)\n"
+      "  --fresh-systems          build every cell's system from scratch\n"
+      "                           instead of restoring the session-shared\n"
+      "                           image (results are identical; this is the\n"
+      "                           A/B opt-out, see README)\n"
       "\n"
       "selection (comma-separated values expand into a sweep):\n"
       "  --system=ndp|cpu         simulated system (default ndp)\n"
@@ -79,12 +84,34 @@ int usage(const char* argv0, int code) {
       "                           per run phase, engine op counters,\n"
       "                           cells/sec) and include a host_profile\n"
       "                           block in JSON output\n"
+      "  --list-systems           list simulated systems and exit\n"
       "  --list-mechanisms        list registered mechanisms and exit\n"
       "  --list-workloads         list registered workloads and exit\n"
       "  --help                   this text\n",
       argv0);
   return code;
 }
+
+/// Every flag ndpsim knows, used for the unknown-flag suggestion path. The
+/// bool says whether the flag takes a value (space form without one is a
+/// "requires a value" error, not an unknown flag).
+struct KnownFlag {
+  const char* name;
+  bool takes_value;
+};
+constexpr KnownFlag kKnownFlags[] = {
+    {"--config", true},        {"--jobs", true},
+    {"--fresh-systems", false}, {"--system", true},
+    {"--cores", true},         {"--mechanism", true},
+    {"--workload", true},      {"--instructions", true},
+    {"--warmup", true},        {"--scale", true},
+    {"--seed", true},          {"--bypass", true},
+    {"--pwc-levels", true},    {"--json", true},
+    {"--csv", true},           {"--baseline", true},
+    {"--stats", false},        {"--profile", false},
+    {"--list-systems", false}, {"--list-mechanisms", false},
+    {"--list-workloads", false}, {"--help", false},
+};
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -114,6 +141,19 @@ std::vector<std::string> split_specs(const std::string& s) {
     }
   }
   return out;
+}
+
+void list_systems() {
+  // The two simulated platforms of the paper's Table I. Unlike mechanisms
+  // and workloads these are a closed set (SystemKind), so the catalogue
+  // lives here rather than in a registry.
+  Table t({"name", "memory system", "summary"});
+  t.add_row({"ndp", "per-core L1D, HBM2 vaults over the logic-layer mesh",
+             "near-data-processing system under study (default)"});
+  t.add_row({"cpu", "L1D + L2 + shared L3, DDR4-2400 behind the mesh",
+             "host-processor baseline"});
+  t.print(std::cout);
+  std::printf("\nselect with --system=ndp|cpu or \"systems\" in a config\n");
 }
 
 void list_mechanisms() {
@@ -214,12 +254,15 @@ void print_host_profile(const SweepResults& results) {
   t.print(std::cout);
   std::printf(
       "  %.1f cells/sec, %.1f host-ns per simulated instruction\n"
-      "  engine: %llu events, %llu heap pushes, peak queue %llu\n",
+      "  engine: %llu events, %llu heap pushes, peak queue %llu\n"
+      "  session: %llu image builds, %llu image restores\n",
       wall_s > 0 ? results.cells.size() / wall_s : 0.0,
       instrs ? static_cast<double>(results.host_wall_ns) / instrs : 0.0,
       static_cast<unsigned long long>(host.events),
       static_cast<unsigned long long>(host.heap_pushes),
-      static_cast<unsigned long long>(host.heap_peak));
+      static_cast<unsigned long long>(host.heap_peak),
+      static_cast<unsigned long long>(host.image_builds),
+      static_cast<unsigned long long>(host.image_hits));
 }
 
 bool write_output(const std::string& path, const std::string& payload,
@@ -253,6 +296,7 @@ int main(int argc, char** argv) {
   unsigned jobs = 1;
   bool dump_stats = false;
   bool profile = false;
+  bool fresh_systems = false;
   // Selection/run-parameter flags conflict with --config (the file is the
   // experiment); remember whether any was given explicitly.
   bool selection_flags_used = false;
@@ -268,6 +312,10 @@ int main(int argc, char** argv) {
       return nullptr;
     };
     if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+    if (arg == "--list-systems") {
+      list_systems();
+      return 0;
+    }
     if (arg == "--list-mechanisms") {
       list_mechanisms();
       return 0;
@@ -280,6 +328,8 @@ int main(int argc, char** argv) {
       dump_stats = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--fresh-systems") {
+      fresh_systems = true;
     } else if (const char* v = value_of("--config")) {
       config_path = v;
     } else if (const char* v = value_of("--jobs")) {
@@ -344,14 +394,22 @@ int main(int argc, char** argv) {
     } else {
       // A known value-taking flag in space form with nothing after it fell
       // through value_of; say so instead of calling the flag unknown.
-      for (const char* flag :
-           {"--config", "--jobs", "--system", "--mechanism", "--workload",
-            "--cores", "--instructions", "--warmup", "--scale", "--seed",
-            "--bypass", "--pwc-levels", "--json", "--csv", "--baseline"}) {
-        if (arg == flag) {
-          std::fprintf(stderr, "option '%s' requires a value\n", flag);
+      for (const KnownFlag& flag : kKnownFlags) {
+        if (flag.takes_value && arg == flag.name) {
+          std::fprintf(stderr, "option '%s' requires a value\n", flag.name);
           return 2;
         }
+      }
+      // Unknown: suggest the closest known flag ("--list-system" is a typo
+      // away from "--list-systems", not a reason to read the whole usage).
+      std::vector<std::string> names;
+      for (const KnownFlag& flag : kKnownFlags) names.push_back(flag.name);
+      const std::string flag_part = arg.substr(0, arg.find('='));
+      const std::string suggestion = closest_match(flag_part, names);
+      if (!suggestion.empty()) {
+        std::fprintf(stderr, "unknown option '%s'; did you mean '%s'?\n",
+                     arg.c_str(), suggestion.c_str());
+        return 2;
       }
       std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
       return usage(argv[0], 2);
@@ -421,6 +479,7 @@ int main(int argc, char** argv) {
 
   SweepOptions opts;
   opts.jobs = jobs;
+  opts.share_images = !fresh_systems;
   if (specs.size() > 1) {
     // Progress to stderr (completion order): stdout/file output stays
     // byte-identical across job counts.

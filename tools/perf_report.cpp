@@ -13,13 +13,20 @@
 //   perf_report --config experiments/ci_smoke.json --jobs 1
 //               --out BENCH_engine.json
 //
-// CI runs this on the smoke grid and uploads the artifact, so every commit
-// leaves a perf datapoint. Simulated results are untouched — this tool only
-// reports on the host side.
+// `--check=bench/BENCH_engine.json` additionally gates on the checked-in
+// snapshot: the run fails (exit 1) when cells/sec drops more than 3x below
+// it — wide enough that runner variance never trips it, tight enough that a
+// gross regression (per-cell substrate rebuilds, per-event allocation) does.
+//
+// CI runs this on the smoke grid with --check and uploads the artifact, so
+// every commit leaves a perf datapoint. Simulated results are untouched —
+// this tool only reports on the host side.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/json.h"
@@ -29,6 +36,11 @@
 using namespace ndp;
 
 namespace {
+
+/// --check tolerance: fail only when throughput drops below baseline/3.
+/// Wide on purpose — CI runners vary ~2x; a real regression (rebuilding
+/// the substrate per cell, per-event allocation) costs far more than 3x.
+constexpr double kCheckBudget = 3.0;
 
 int usage(const char* argv0, int code) {
   std::printf(
@@ -41,8 +53,15 @@ int usage(const char* argv0, int code) {
       "  --repeat=N      run the grid N times, report the fastest "
       "(default 1)\n"
       "  --out=PATH      output file (default BENCH_engine.json, '-' = "
-      "stdout)\n",
-      argv0);
+      "stdout)\n"
+      "  --check=PATH    compare cells/sec against a checked-in snapshot "
+      "(e.g.\n"
+      "                  bench/BENCH_engine.json) and fail (exit 1) when "
+      "this run\n"
+      "                  is more than %gx slower — a generous budget, so "
+      "only\n"
+      "                  gross regressions fail CI, never runner noise\n",
+      argv0, kCheckBudget);
   return code;
 }
 
@@ -51,6 +70,7 @@ int usage(const char* argv0, int code) {
 int main(int argc, char** argv) {
   std::string config_path = "experiments/ci_smoke.json";
   std::string out_path = "BENCH_engine.json";
+  std::string check_path;
   unsigned jobs = 1;
   unsigned repeat = 1;
 
@@ -73,6 +93,8 @@ int main(int argc, char** argv) {
       if (repeat == 0) repeat = 1;
     } else if (const char* v = value_of("--out")) {
       out_path = v;
+    } else if (const char* v = value_of("--check")) {
+      check_path = v;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
       return usage(argv[0], 2);
@@ -126,17 +148,57 @@ int main(int argc, char** argv) {
   write_host_profile(w, merged, host);
   w.end_object();
 
+  const double cells_per_sec =
+      wall_s > 0 ? static_cast<double>(best.cells.size()) / wall_s : 0.0;
   std::printf(
       "%s: %zu cells in %.3f s (%.1f cells/sec, %.1f host-ns/instr, "
-      "%llu events)\n",
-      config.name.c_str(), best.cells.size(), wall_s,
-      wall_s > 0 ? best.cells.size() / wall_s : 0.0,
+      "%llu events, %llu image builds / %llu restores)\n",
+      config.name.c_str(), best.cells.size(), wall_s, cells_per_sec,
       instrs ? static_cast<double>(best.host_wall_ns) / instrs : 0.0,
-      static_cast<unsigned long long>(host.events));
+      static_cast<unsigned long long>(host.events),
+      static_cast<unsigned long long>(host.image_builds),
+      static_cast<unsigned long long>(host.image_hits));
+
+  // Gross-regression gate: this run must reach at least 1/kCheckBudget of
+  // the checked-in snapshot's throughput.
+  int check_status = 0;
+  if (!check_path.empty()) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "--check: cannot read '%s'\n", check_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      const JsonValue snap = JsonValue::parse(text.str());
+      const std::string snap_config = snap.at("config").as_string();
+      if (snap_config != config.name)
+        std::fprintf(stderr,
+                     "--check: warning: snapshot measures config '%s', this "
+                     "run measures '%s'\n",
+                     snap_config.c_str(), config.name.c_str());
+      const double want = snap.at("cells_per_sec").as_double();
+      if (cells_per_sec * kCheckBudget < want) {
+        std::fprintf(stderr,
+                     "--check FAILED: %.1f cells/sec is more than %gx slower "
+                     "than the %s snapshot (%.1f cells/sec)\n",
+                     cells_per_sec, kCheckBudget, check_path.c_str(), want);
+        check_status = 1;
+      } else {
+        std::printf("--check ok: %.1f cells/sec vs snapshot %.1f (budget %gx)\n",
+                    cells_per_sec, want, kCheckBudget);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--check: bad snapshot '%s': %s\n",
+                   check_path.c_str(), e.what());
+      return 1;
+    }
+  }
 
   if (out_path == "-") {
     std::printf("%s\n", w.str().c_str());
-    return 0;
+    return check_status;
   }
   std::ofstream out(out_path);
   if (!out) {
@@ -145,5 +207,5 @@ int main(int argc, char** argv) {
   }
   out << w.str() << '\n';
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return check_status;
 }
