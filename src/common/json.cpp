@@ -458,4 +458,115 @@ JsonValue JsonValue::make_object(std::vector<Member> members) {
   return v;
 }
 
+// --- raw (byte-exact) extraction --------------------------------------------
+
+namespace {
+
+[[noreturn]] void raw_error(const std::string& msg) {
+  throw JsonError("raw JSON scan: " + msg);
+}
+
+std::size_t skip_ws_raw(std::string_view s, std::size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r'))
+    ++i;
+  return i;
+}
+
+/// `i` at an opening quote; returns the index just past the closing quote.
+std::size_t skip_string_raw(std::string_view s, std::size_t i) {
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;  // the escaped character, whatever it is
+      continue;
+    }
+    if (s[i] == '"') return i + 1;
+  }
+  raw_error("unterminated string");
+}
+
+/// `i` at the first byte of a value; returns the index just past it. Only
+/// structure is tracked (strings, escapes, bracket nesting) — scalars are
+/// taken as the run of bytes up to the next delimiter.
+std::size_t skip_value_raw(std::string_view s, std::size_t i) {
+  if (i >= s.size()) raw_error("value expected, got end of text");
+  if (s[i] == '"') return skip_string_raw(s, i);
+  if (s[i] == '{' || s[i] == '[') {
+    int depth = 0;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '"') {
+        i = skip_string_raw(s, i) - 1;
+      } else if (s[i] == '{' || s[i] == '[') {
+        ++depth;
+      } else if (s[i] == '}' || s[i] == ']') {
+        if (--depth == 0) return i + 1;
+      }
+    }
+    raw_error("unbalanced brackets");
+  }
+  // Scalar (number/true/false/null): up to the enclosing delimiter.
+  const std::size_t end = s.find_first_of(",}] \t\n\r", i);
+  if (end == i) raw_error("value expected");
+  return end == std::string_view::npos ? s.size() : end;
+}
+
+std::string_view trimmed_slice(std::string_view s, std::size_t begin,
+                               std::size_t end) {
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string_view raw_member(std::string_view object_text,
+                            std::string_view key) {
+  std::size_t i = skip_ws_raw(object_text, 0);
+  if (i >= object_text.size() || object_text[i] != '{')
+    raw_error("expected an object");
+  i = skip_ws_raw(object_text, i + 1);
+  if (i < object_text.size() && object_text[i] == '}')
+    raw_error("no member \"" + std::string(key) + "\"");
+  while (i < object_text.size()) {
+    if (object_text[i] != '"') raw_error("expected a member key");
+    const std::size_t key_end = skip_string_raw(object_text, i);
+    // Byte comparison of the quoted contents: the envelope keys this is
+    // used for ("name", "results", "shard", ...) never need escapes.
+    const std::string_view k =
+        object_text.substr(i + 1, key_end - i - 2);
+    i = skip_ws_raw(object_text, key_end);
+    if (i >= object_text.size() || object_text[i] != ':')
+      raw_error("expected ':' after member key");
+    i = skip_ws_raw(object_text, i + 1);
+    const std::size_t value_end = skip_value_raw(object_text, i);
+    if (k == key) return trimmed_slice(object_text, i, value_end);
+    i = skip_ws_raw(object_text, value_end);
+    if (i < object_text.size() && object_text[i] == ',') {
+      i = skip_ws_raw(object_text, i + 1);
+      continue;
+    }
+    break;
+  }
+  raw_error("no member \"" + std::string(key) + "\"");
+}
+
+std::vector<std::string_view> raw_elements(std::string_view array_text) {
+  std::vector<std::string_view> out;
+  std::size_t i = skip_ws_raw(array_text, 0);
+  if (i >= array_text.size() || array_text[i] != '[')
+    raw_error("expected an array");
+  i = skip_ws_raw(array_text, i + 1);
+  if (i < array_text.size() && array_text[i] == ']') return out;
+  while (i < array_text.size()) {
+    const std::size_t end = skip_value_raw(array_text, i);
+    out.push_back(trimmed_slice(array_text, i, end));
+    i = skip_ws_raw(array_text, end);
+    if (i < array_text.size() && array_text[i] == ',') {
+      i = skip_ws_raw(array_text, i + 1);
+      continue;
+    }
+    if (i < array_text.size() && array_text[i] == ']') return out;
+    raw_error("expected ',' or ']' in array");
+  }
+  raw_error("unterminated array");
+}
+
 }  // namespace ndp

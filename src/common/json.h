@@ -117,4 +117,24 @@ class JsonValue {
   std::vector<Member> members_;
 };
 
+// --- raw (byte-exact) extraction --------------------------------------------
+//
+// Parsing a document into JsonValue and re-serializing loses byte fidelity
+// for large integers (numbers are stored as doubles). The shard merge tool
+// and the serve client must reproduce result envelopes *byte-identically*,
+// so they splice member/element text straight out of the source document
+// instead. These helpers scan JSON structure (strings, escapes, nesting)
+// without interpreting values.
+
+/// Raw text of the value of top-level member `key` of `object_text`
+/// (whitespace-trimmed). Views into `object_text`. Throws JsonError when
+/// the text is not an object or the key is absent at the top level.
+std::string_view raw_member(std::string_view object_text,
+                            std::string_view key);
+
+/// Raw texts of the top-level elements of `array_text`, in order
+/// (whitespace-trimmed). Views into `array_text`. Throws JsonError when the
+/// text is not an array.
+std::vector<std::string_view> raw_elements(std::string_view array_text);
+
 }  // namespace ndp

@@ -97,6 +97,12 @@ struct SystemImage {
   /// image-relevant field matches (kind, cores, physical-memory geometry,
   /// seed, and the effective DRAM device); mechanism fields are free.
   bool compatible_with(const SystemConfig& cfg) const;
+
+  /// Host bytes this image keeps resident — what one Session cache slot
+  /// costs (SessionStats::resident_bytes sums these).
+  std::uint64_t resident_bytes() const {
+    return phys.resident_bytes() + mesh.resident_bytes();
+  }
 };
 
 class System {

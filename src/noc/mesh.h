@@ -40,6 +40,11 @@ struct MeshTable {
            num_mem_endpoints == cfg.num_mem_endpoints &&
            hop_latency == cfg.hop_latency;
   }
+
+  /// Host bytes of the table (Session resident-size accounting).
+  std::uint64_t resident_bytes() const {
+    return fly_cycles.size() * sizeof(Cycle);
+  }
 };
 
 class Mesh {

@@ -58,6 +58,10 @@ class BitIndex {
   }
   bool any() const { return count_ != 0; }
   std::uint64_t count() const { return count_; }
+  /// Host bytes of the bitmap storage (Session resident-size accounting).
+  std::uint64_t resident_bytes() const {
+    return (l0_.size() + l1_.size() + l2_.size()) * sizeof(std::uint64_t);
+  }
   /// Lowest set bit; the bitset must be non-empty.
   std::uint64_t find_first() const {
     std::uint64_t k = 0;
@@ -118,6 +122,13 @@ class BuddyAllocator {
 
   /// External fragmentation in [0,1]: 1 - (largest free block / free frames).
   double fragmentation() const;
+
+  /// Host bytes of the allocator's state (Session resident-size accounting).
+  std::uint64_t resident_bytes() const {
+    std::uint64_t bytes = free_bit_.size() / 8;
+    for (const BitIndex& order : free_) bytes += order.resident_bytes();
+    return bytes;
+  }
 
  private:
   void insert_free(Pfn base, unsigned order) { free_[order].set(base >> order); }

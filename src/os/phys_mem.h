@@ -68,6 +68,13 @@ struct PhysMemImage {
   std::vector<std::uint16_t> win_movable, win_unmovable;
   Rng rng;
   std::uint64_t noise_frames = 0;  ///< frames placed by noise injection
+
+  /// Host bytes this snapshot keeps resident (Session cache accounting).
+  std::uint64_t resident_bytes() const {
+    return buddy.resident_bytes() + use.size() * sizeof(FrameUse) +
+           (win_movable.size() + win_unmovable.size()) *
+               sizeof(std::uint16_t);
+  }
 };
 
 class PhysicalMemory {

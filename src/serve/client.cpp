@@ -1,0 +1,113 @@
+#include "serve/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include <unistd.h>
+
+#include "common/json.h"
+
+namespace ndp::serve {
+
+std::string run_request_line(std::string_view id, const RunConfig& config,
+                             unsigned jobs) {
+  std::string out = "{\"op\":\"run\",\"id\":\"";
+  out += JsonWriter::escape(id);
+  // to_json() round-trips every RunConfig field, so the daemon re-parses
+  // exactly the experiment the caller loaded (file-relative defaults like
+  // output paths included — the server ignores those).
+  out += "\",\"config\":" + config.to_json();
+  if (jobs) out += ",\"jobs\":" + std::to_string(jobs);
+  out += '}';
+  return out;
+}
+
+std::string simple_request_line(std::string_view op, std::string_view id) {
+  std::string out = "{\"op\":\"";
+  out += JsonWriter::escape(op);
+  out += "\",\"id\":\"";
+  out += JsonWriter::escape(id);
+  out += "\"}";
+  return out;
+}
+
+std::string cancel_request_line(std::string_view id, std::string_view target) {
+  std::string out = "{\"op\":\"cancel\",\"id\":\"";
+  out += JsonWriter::escape(id);
+  out += "\",\"target\":\"";
+  out += JsonWriter::escape(target);
+  out += "\"}";
+  return out;
+}
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  const int fd = connect_tcp(host, port);
+  return Client(fd, fd, /*own_fds=*/true);
+}
+
+Client::Client(int in_fd, int out_fd, bool own_fds)
+    : in_fd_(in_fd), out_fd_(out_fd), own_fds_(own_fds), reader_(in_fd) {}
+
+Client::Client(Client&& other) noexcept
+    : in_fd_(std::exchange(other.in_fd_, -1)),
+      out_fd_(std::exchange(other.out_fd_, -1)),
+      own_fds_(other.own_fds_),
+      reader_(in_fd_) {}
+
+Client::~Client() {
+  if (!own_fds_) return;
+  if (in_fd_ >= 0) ::close(in_fd_);
+  if (out_fd_ >= 0 && out_fd_ != in_fd_) ::close(out_fd_);
+}
+
+bool Client::send(std::string_view request_line) {
+  return write_line(out_fd_, request_line);
+}
+
+LineReader::Status Client::next(std::string& envelope, int timeout_ms) {
+  return reader_.next(envelope, timeout_ms);
+}
+
+std::string Client::roundtrip(std::string_view request_line) {
+  if (!send(request_line))
+    throw std::runtime_error("serve client: daemon is gone (write failed)");
+  std::string envelope;
+  if (next(envelope) != LineReader::Status::kLine)
+    throw std::runtime_error("serve client: daemon hung up mid-request");
+  return envelope;
+}
+
+std::string Client::run(
+    std::string_view id, const RunConfig& config, unsigned jobs,
+    const std::function<void(std::size_t, std::size_t)>& on_cell) {
+  if (!send(run_request_line(id, config, jobs)))
+    throw std::runtime_error("serve client: daemon is gone (write failed)");
+  std::string line;
+  std::size_t done = 0;
+  for (;;) {
+    if (next(line) != LineReader::Status::kLine)
+      throw std::runtime_error("serve client: daemon hung up mid-run");
+    // The frame type/total are plain parsed members; only the "envelope"
+    // payload needs the raw splice for byte fidelity.
+    const JsonValue frame = JsonValue::parse(line);
+    const std::string& type = frame.at("type").as_string();
+    if (type == "cell") {
+      ++done;
+      if (on_cell)
+        on_cell(done, static_cast<std::size_t>(frame.at("total").as_u64()));
+    } else if (type == "done") {
+      return std::string(raw_member(line, "envelope"));
+    } else if (type == "error") {
+      throw std::runtime_error("serve: " + frame.at("error").as_string());
+    } else if (type == "cancelled") {
+      throw std::runtime_error(
+          "serve: run cancelled after " +
+          std::to_string(frame.at("completed").as_u64()) + " of " +
+          std::to_string(frame.at("total").as_u64()) + " cells");
+    }
+    // Unknown frame types are skipped: forward compatibility with newer
+    // daemons streaming extra diagnostics.
+  }
+}
+
+}  // namespace ndp::serve

@@ -1,0 +1,68 @@
+// Client side of the serve protocol: used by `ndpsim --client`, the CI
+// drive-through, and tests. Thin by design — it writes request lines,
+// reads envelope lines, and for run requests reassembles the batch result
+// document byte-identically (the "envelope" member of the terminal "done"
+// frame is spliced out raw, never re-serialized).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "serve/framing.h"
+#include "sim/run_config.h"
+
+namespace ndp::serve {
+
+// Request-line builders (the inverse of protocol.h's parse_request).
+std::string run_request_line(std::string_view id, const RunConfig& config,
+                             unsigned jobs = 0);
+/// "status" | "stats" | "shutdown".
+std::string simple_request_line(std::string_view op, std::string_view id);
+std::string cancel_request_line(std::string_view id, std::string_view target);
+
+class Client {
+ public:
+  /// Connect to a daemon over TCP. Throws std::runtime_error on failure.
+  static Client connect(const std::string& host, std::uint16_t port);
+
+  /// Wrap an existing fd pair (socketpair end, stdio). Closes the fds on
+  /// destruction only when `own_fds`.
+  Client(int in_fd, int out_fd, bool own_fds);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line. False when the daemon is gone.
+  bool send(std::string_view request_line);
+
+  /// Next envelope line from the daemon (blocking; -1 = wait forever).
+  LineReader::Status next(std::string& envelope, int timeout_ms = -1);
+
+  /// send() + one reply envelope — the shape of every non-run request.
+  /// Throws std::runtime_error when the daemon hangs up instead.
+  std::string roundtrip(std::string_view request_line);
+
+  /// Submit a run and consume its envelope stream: `on_cell(done, total)`
+  /// fires per streamed cell (may be empty), and the returned string is
+  /// the raw "envelope" value of the terminal "done" frame — byte-identical
+  /// to the batch `ndpsim --config` document for the same grid. Throws
+  /// std::runtime_error on an "error" or "cancelled" terminal frame, or a
+  /// vanished daemon.
+  std::string run(std::string_view id, const RunConfig& config,
+                  unsigned jobs = 0,
+                  const std::function<void(std::size_t done,
+                                           std::size_t total)>& on_cell = {});
+
+ private:
+  int in_fd_;
+  int out_fd_;
+  bool own_fds_;
+  LineReader reader_;
+};
+
+}  // namespace ndp::serve

@@ -1,0 +1,150 @@
+#include "serve/framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace ndp::serve {
+
+namespace {
+
+[[noreturn]] void sys_error(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool LineReader::take_line(std::string& line) {
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return false;
+  line.assign(buf_, 0, nl);
+  buf_.erase(0, nl + 1);
+  return true;
+}
+
+LineReader::Status LineReader::next(std::string& line, int timeout_ms,
+                                    int wake_fd) {
+  if (take_line(line)) return Status::kLine;
+  if (eof_) return Status::kEof;
+  char chunk[4096];
+  for (;;) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    const nfds_t nfds = wake_fd >= 0 ? 2 : 1;
+    const int ready = ::poll(fds, nfds, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (ready == 0) return Status::kTimeout;
+    // Shutdown wake-up wins over pending data: a draining server stops
+    // reading new requests even if some are already queued on the wire.
+    if (wake_fd >= 0 && (fds[1].revents & (POLLIN | POLLHUP)))
+      return Status::kWake;
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return Status::kEof;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+    if (take_line(line)) return Status::kLine;
+  }
+}
+
+bool write_line(int fd, std::string_view payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 1);
+  framed.append(payload.data(), payload.size());
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+#ifdef MSG_NOSIGNAL
+    // Sockets: suppress SIGPIPE per call so a vanished client is a clean
+    // write error, not process death. Falls back to write() for pipes and
+    // regular fds, where send() is invalid.
+    ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK)
+      n = ::write(fd, framed.data() + off, framed.size() - off);
+#else
+    ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int listen_tcp(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_error("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    sys_error("bind port " + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    sys_error("listen");
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    sys_error("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0)
+    throw std::runtime_error("resolve " + host + ": " + gai_strerror(rc));
+  int fd = -1;
+  int saved_errno = 0;
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    errno = saved_errno;
+    sys_error("connect " + host + ":" + std::to_string(port));
+  }
+  return fd;
+}
+
+}  // namespace ndp::serve

@@ -1,0 +1,100 @@
+// The serve wire protocol: JSON-lines requests in, framed envelopes out.
+//
+// One request per line:
+//
+//   {"op":"run","id":"r1","config":{...RunConfig...},"jobs":2}
+//   {"op":"status","id":"s1"}
+//   {"op":"stats","id":"x1"}
+//   {"op":"cancel","id":"c1","target":"r1"}
+//   {"op":"shutdown","id":"z1"}
+//
+// The "config" value is a full inline RunConfig document (the same schema
+// as experiments/*.json — see sim/run_config.h), so a client submits an
+// experiment grid exactly as it would check one in. Responses are one
+// envelope per line, every one tagged with the request's "type" and "id":
+//
+//   {"type":"cell","id":"r1","index":3,"total":8,"result":{...}}   (streamed)
+//   {"type":"done","id":"r1","cells":8,"envelope":{...}}           (final)
+//   {"type":"error","id":"r1","error":"..."}
+//
+// The "envelope" value of "done" is byte-identical to what a batch
+// `ndpsim --config` run of the same grid writes — a client that splices it
+// out (common/json.h raw_member) gets the exact single-process artifact.
+//
+// Request parsing is strict like the config parser: unknown ops, unknown
+// keys, and type mismatches throw std::invalid_argument with a message
+// that names the problem; the server turns that into an error envelope
+// instead of dying (tests/serve_test.cpp pins the survival).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/run_config.h"
+#include "sim/session.h"
+#include "sim/sweep_runner.h"
+
+namespace ndp::serve {
+
+struct Request {
+  enum class Op { kRun, kStatus, kStats, kCancel, kShutdown };
+
+  Op op = Op::kStatus;
+  std::string id;      ///< echoed on every response envelope ("" allowed)
+  RunConfig config;    ///< kRun: the parsed, validated experiment
+  unsigned jobs = 0;   ///< kRun: worker threads (0 = server default)
+  std::string target;  ///< kCancel: id of the run to cancel
+};
+
+/// Parse + validate one request line. Throws std::invalid_argument (or
+/// JsonError for malformed JSON, with line:col) naming the problem —
+/// unknown op, missing/mistyped members, unknown keys, and every
+/// RunConfig-level validation error (unknown mechanism names etc.).
+Request parse_request(std::string_view line);
+
+/// Best-effort id extraction for error envelopes: when a request fails to
+/// parse, the reply should still echo "id" if one can be recovered ("" if
+/// not — never throws).
+std::string request_id_of(std::string_view line);
+
+// --- response envelopes (each returns one unframed JSON line) ---------------
+
+std::string error_envelope(std::string_view id, std::string_view message);
+
+/// One completed cell, streamed in completion order. `index` is the cell's
+/// position in the run's result set; `total` the run's cell count.
+std::string cell_envelope(std::string_view id, std::size_t index,
+                          std::size_t total, const SweepCell& cell);
+
+/// Terminal success envelope: embeds to_json(results) verbatim under
+/// "envelope" — byte-identical to the batch document.
+std::string done_envelope(std::string_view id, const SweepResults& results);
+
+/// Terminal envelope of a cancelled run (`completed` of `total` cells ran;
+/// their cell envelopes were already streamed).
+std::string cancelled_envelope(std::string_view id, std::size_t completed,
+                               std::size_t total);
+
+std::string stats_envelope(std::string_view id, const SessionStats& stats);
+
+/// Generic success acknowledgement (e.g. a cancel that found its target).
+std::string ok_envelope(std::string_view id);
+
+/// Daemon-level counters for the status reply.
+struct ServerStatus {
+  unsigned connections = 0;          ///< currently open connections
+  unsigned active_runs = 0;          ///< run requests in flight
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t runs_completed = 0;
+  std::uint64_t cells_completed = 0;
+  bool draining = false;
+};
+
+std::string status_envelope(std::string_view id, const ServerStatus& status);
+
+/// Acknowledges a shutdown after the drain completed; the last envelope a
+/// connection receives.
+std::string bye_envelope(std::string_view id);
+
+}  // namespace ndp::serve

@@ -1,0 +1,295 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/framing.h"
+#include "sim/sweep_runner.h"
+
+namespace ndp::serve {
+
+Server::Server(ServeOptions opts)
+    : opts_(opts), session_(opts.session) {
+  int fds[2];
+  if (::pipe(fds) != 0) throw std::runtime_error("serve: pipe failed");
+  wake_rd_ = fds[0];
+  wake_wr_ = fds[1];
+}
+
+Server::~Server() {
+  request_shutdown();
+  wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+}
+
+std::uint16_t Server::start() {
+  listen_fd_ = listen_tcp(opts_.port);
+  const std::uint16_t port = local_port(listen_fd_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return port;
+}
+
+void Server::request_shutdown() {
+  // One byte, never drained: POLLIN stays asserted on wake_rd_ forever, so
+  // the accept loop and every connection's LineReader all see it, now and
+  // on every later poll. write() is async-signal-safe — SIGINT handlers
+  // call this directly.
+  const char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(wake_wr_, &byte, 1);
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Connection threads register themselves before wait() can observe them
+  // only if the accept loop ran; snapshot under the lock and join outside.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+}
+
+ServerStatus Server::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStatus s;
+  s.connections = connections_;
+  s.active_runs = active_runs_;
+  s.requests_accepted = requests_accepted_;
+  s.runs_completed = runs_completed_;
+  s.cells_completed = cells_completed_;
+  s.draining = draining_;
+  return s;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_rd_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+      break;
+    }
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_ || connections_ >= opts_.max_connections) {
+        const char* why = draining_ ? "server is shutting down"
+                                    : "connection limit reached";
+        write_line(conn, error_envelope("", why));
+        ::close(conn);
+        continue;
+      }
+      ++connections_;
+      conn_threads_.emplace_back(
+          [this, conn] { handle_connection(conn, conn, /*own_fds=*/true); });
+    }
+  }
+}
+
+void Server::serve_stream(int in_fd, int out_fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++connections_;
+  }
+  handle_connection(in_fd, out_fd, /*own_fds=*/false);
+  // The fds belong to the caller, but a stream peer still deserves a clean
+  // EOF: half-close sockets (socketpair tests); ENOTSOCK for stdio pipes
+  // is fine — the caller exiting closes those.
+  ::shutdown(out_fd, SHUT_WR);
+}
+
+void Server::handle_connection(int in_fd, int out_fd, bool own_fds) {
+  LineReader reader(in_fd);
+  std::string line;
+  bool open = true;
+  while (open) {
+    const LineReader::Status st =
+        reader.next(line, opts_.idle_timeout_ms, wake_rd_);
+    switch (st) {
+      case LineReader::Status::kLine:
+        open = dispatch(line, out_fd);
+        break;
+      case LineReader::Status::kTimeout:
+        write_line(out_fd, error_envelope("", "idle timeout, closing"));
+        open = false;
+        break;
+      case LineReader::Status::kWake:
+        // Drain in progress: this connection had no request in flight (one
+        // being processed would hold us inside dispatch), so just close.
+        open = false;
+        break;
+      case LineReader::Status::kEof:
+      case LineReader::Status::kError:
+        open = false;
+        break;
+    }
+  }
+  if (own_fds) ::close(in_fd);  // in_fd == out_fd for TCP connections
+  std::lock_guard<std::mutex> lock(mu_);
+  --connections_;
+}
+
+bool Server::dispatch(const std::string& line, int out_fd) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    // The daemon's first duty: a bad request is that request's problem.
+    // Reply with one error envelope (echoing the id when recoverable) and
+    // keep serving.
+    write_line(out_fd, error_envelope(request_id_of(line), e.what()));
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_accepted_;
+    if (draining_ && req.op != Request::Op::kShutdown &&
+        req.op != Request::Op::kStatus) {
+      write_line(out_fd, error_envelope(req.id, "server is shutting down"));
+      return true;
+    }
+  }
+
+  switch (req.op) {
+    case Request::Op::kRun:
+      run_request(req, out_fd);
+      return true;
+    case Request::Op::kStatus:
+      write_line(out_fd, status_envelope(req.id, status()));
+      return true;
+    case Request::Op::kStats:
+      write_line(out_fd, stats_envelope(req.id, session_.stats()));
+      return true;
+    case Request::Op::kCancel: {
+      std::shared_ptr<ActiveRun> target;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = runs_.find(req.target);
+        if (it != runs_.end()) target = it->second;
+      }
+      if (!target) {
+        write_line(out_fd, error_envelope(
+                               req.id, "no active run with id \"" +
+                                           req.target + '"'));
+        return true;
+      }
+      target->cancel.store(true);
+      write_line(out_fd, ok_envelope(req.id));
+      return true;
+    }
+    case Request::Op::kShutdown: {
+      request_shutdown();
+      // Drain: every in-flight run finishes and streams its envelopes on
+      // its own connection; only then acknowledge and let the caller stop
+      // waiting. (This connection processes requests serially, so it has
+      // no run of its own in flight.)
+      std::unique_lock<std::mutex> lock(mu_);
+      draining_ = true;
+      drain_cv_.wait(lock, [this] { return active_runs_ == 0; });
+      lock.unlock();
+      write_line(out_fd, bye_envelope(req.id));
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::run_request(const Request& req, int out_fd) {
+  auto active = std::make_shared<ActiveRun>();
+  bool registered = false;
+  if (!req.id.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!runs_.emplace(req.id, active).second) {
+      write_line(out_fd, error_envelope(
+                             req.id, "a run with id \"" + req.id +
+                                         "\" is already active"));
+      return;
+    }
+    registered = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_runs_;
+  }
+
+  std::size_t total = 0;
+  std::size_t completed = 0;
+  bool write_failed = false;
+  try {
+    total = req.config.expand().size();
+
+    SweepOptions opts;
+    opts.jobs = req.jobs ? req.jobs : opts_.jobs;
+    opts.session = &session_;
+    opts.cancel = &active->cancel;
+    // Stream each cell the moment it completes (the callback is serialized
+    // by run_sweep's lock, so lines never interleave). A dead client just
+    // turns writes into no-ops; the run finishes for the Session's benefit.
+    opts.cell_done = [&](std::size_t index, const SweepCell& cell) {
+      ++completed;
+      if (!write_line(out_fd, cell_envelope(req.id, index, total, cell)))
+        write_failed = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++cells_completed_;
+    };
+
+    // Optional per-request watchdog: flips the run's cancel flag when the
+    // deadline passes; the pool stops claiming cells and the client gets a
+    // "cancelled" terminal envelope below.
+    std::thread watchdog;
+    std::mutex wmu;
+    std::condition_variable wcv;
+    bool run_done = false;
+    if (opts_.request_timeout_ms > 0) {
+      watchdog = std::thread([&] {
+        std::unique_lock<std::mutex> lock(wmu);
+        if (!wcv.wait_for(lock,
+                          std::chrono::milliseconds(opts_.request_timeout_ms),
+                          [&] { return run_done; }))
+          active->cancel.store(true);
+      });
+    }
+
+    SweepResults results = run_sweep(req.config, opts);
+
+    if (watchdog.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(wmu);
+        run_done = true;
+      }
+      wcv.notify_all();
+      watchdog.join();
+    }
+
+    if (completed < total)
+      write_line(out_fd, cancelled_envelope(req.id, completed, total));
+    else if (!write_failed)
+      write_line(out_fd, done_envelope(req.id, results));
+  } catch (const std::exception& e) {
+    write_line(out_fd, error_envelope(req.id, e.what()));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registered) runs_.erase(req.id);
+  --active_runs_;
+  ++runs_completed_;
+  drain_cv_.notify_all();
+}
+
+}  // namespace ndp::serve

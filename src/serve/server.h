@@ -1,0 +1,118 @@
+// The resident evaluation daemon behind `ndpsim --serve`.
+//
+// One Server owns one Session (sim/session.h): every run request, from any
+// connection, schedules its cells on a run_sweep() worker pool over that
+// shared Session, so system images and trace material built for the first
+// request are warm for every later one — the interactive analogue of a
+// long batch sweep. Result envelopes are byte-identical to what the same
+// grid produces under batch `ndpsim --config` (tests/serve_test.cpp pins
+// the equality), so "ran it against the daemon" and "ran it standalone"
+// yield interchangeable artifacts.
+//
+// Transport is JSON lines over fds (serve/framing.h): a TCP listener
+// (start()), or any in/out fd pair (serve_stream() — stdio for
+// `--serve --stdio`, socketpair ends in tests). Connections get a thread
+// each; a request is processed to completion before the next line of that
+// connection is read, while other connections proceed concurrently
+// (status/stats stay responsive during a long run, and can cancel it).
+//
+// Robustness contract: a request that fails — malformed JSON, unknown
+// mechanism/workload names, bad types — produces one error envelope on
+// that connection and nothing else; the daemon and its other connections
+// are untouched. Shutdown (the `shutdown` request or request_shutdown(),
+// which is async-signal-safe for SIGINT handlers) drains gracefully:
+// in-flight runs finish and stream their envelopes, new requests and
+// connections are refused, then everything winds down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+#include <condition_variable>
+
+#include "serve/protocol.h"
+#include "sim/session.h"
+
+namespace ndp::serve {
+
+struct ServeOptions {
+  std::uint16_t port = 0;       ///< TCP port (0 = kernel-assigned)
+  unsigned jobs = 0;            ///< default worker threads per run request
+  unsigned max_connections = 16;
+  /// Close a connection after this long with no request (-1 = never).
+  int idle_timeout_ms = -1;
+  /// Cancel a run request after this long (-1 = never). The client gets
+  /// the cells completed so far plus a "cancelled" terminal envelope.
+  int request_timeout_ms = -1;
+  SessionOptions session;  ///< cache budget of the shared Session
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on opts.port and start the accept loop in a background
+  /// thread. Returns the bound port (resolves port 0). Throws
+  /// std::runtime_error when the bind fails.
+  std::uint16_t start();
+
+  /// Serve exactly one connection on an fd pair, blocking until the peer
+  /// closes, a shutdown request arrives, or the idle timeout fires. This
+  /// is `--stdio` mode (0, 1) and the test harness (socketpair ends); it
+  /// composes with start() — a stdio connection and TCP connections share
+  /// the Session and drain together.
+  void serve_stream(int in_fd, int out_fd);
+
+  /// Begin the graceful drain: stop accepting connections and reading new
+  /// requests; in-flight runs complete. Async-signal-safe (one write() to
+  /// a pipe), so a SIGINT handler may call it directly.
+  void request_shutdown();
+
+  /// Block until the accept loop and every connection thread finished.
+  void wait();
+
+  Session& session() { return session_; }
+  ServerStatus status() const;
+
+ private:
+  struct ActiveRun {
+    std::atomic<bool> cancel{false};
+  };
+
+  void accept_loop();
+  void handle_connection(int in_fd, int out_fd, bool own_fds);
+  /// One request line → envelopes on out_fd. Returns false when the
+  /// connection should end (shutdown acknowledged).
+  bool dispatch(const std::string& line, int out_fd);
+  void run_request(const Request& req, int out_fd);
+
+  ServeOptions opts_;
+  Session session_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;  ///< self-pipe: written once on shutdown, never drained,
+  int wake_wr_ = -1;  ///< so every poller (accept + readers) sees POLLIN
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;  ///< signaled when a run finishes
+  bool draining_ = false;
+  unsigned connections_ = 0;
+  unsigned active_runs_ = 0;
+  std::uint64_t requests_accepted_ = 0;
+  std::uint64_t runs_completed_ = 0;
+  std::uint64_t cells_completed_ = 0;
+  std::map<std::string, std::shared_ptr<ActiveRun>> runs_;  ///< by request id
+
+  std::thread accept_thread_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace ndp::serve

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/json.h"
 #include "workloads/workload_registry.h"
 
 namespace ndp {
@@ -105,7 +106,21 @@ std::shared_ptr<const TraceMaterial> Session::material_for(
 
 SessionStats Session::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SessionStats s = stats_;
+  s.resident_bytes = images_.bytes + materials_.bytes;
+  return s;
+}
+
+void write_session_stats(JsonWriter& w, const SessionStats& s) {
+  w.begin_object();
+  w.key("runs").value(s.runs);
+  w.key("image_builds").value(s.image_builds);
+  w.key("image_hits").value(s.image_hits);
+  w.key("image_evictions").value(s.image_evictions);
+  w.key("material_builds").value(s.material_builds);
+  w.key("material_hits").value(s.material_hits);
+  w.key("resident_bytes").value(s.resident_bytes);
+  w.end_object();
 }
 
 RunResult Session::run(const RunSpec& spec) {

@@ -65,6 +65,9 @@ struct SessionOptions {
 /// Cache effectiveness counters, cumulative over the Session's lifetime.
 /// Per-run hit/miss flags also land in RunResult::host (image_builds /
 /// image_hits), which is how `ndpsim --profile` reports them per sweep.
+/// The whole snapshot is cheap (one mutex acquisition, a struct copy) —
+/// it is what `ndpsim --profile` prints, what the sweep-level host_profile
+/// JSON embeds, and what the serve daemon's `stats` request returns.
 struct SessionStats {
   std::uint64_t runs = 0;
   std::uint64_t image_builds = 0;     ///< cache misses: substrate prepared
@@ -72,7 +75,17 @@ struct SessionStats {
   std::uint64_t image_evictions = 0;  ///< LRU evictions past max_images
   std::uint64_t material_builds = 0;
   std::uint64_t material_hits = 0;
+  /// Estimated host bytes held by the two caches right now (images +
+  /// trace material; entries checked out by in-flight runs but already
+  /// evicted are not counted — they die with the run).
+  std::uint64_t resident_bytes = 0;
 };
+
+class JsonWriter;
+/// Serialize a stats snapshot as one flat JSON object (the "session"
+/// member of sweep-level host_profile blocks and of the serve daemon's
+/// stats envelope).
+void write_session_stats(JsonWriter& w, const SessionStats& s);
 
 class Session {
  public:
@@ -107,7 +120,8 @@ class Session {
                                                     const TraceSource& trace);
 
   /// Generic string-keyed LRU used by both caches (values are shared_ptr,
-  /// so an evicted entry stays alive for any run still using it).
+  /// so an evicted entry stays alive for any run still using it). Tracks
+  /// the resident-byte total of what it currently holds.
   template <typename V>
   struct LruCache {
     struct Entry {
@@ -116,6 +130,7 @@ class Session {
     };
     std::list<Entry> lru;  ///< front = most recently used
     std::map<std::string, typename std::list<Entry>::iterator> index;
+    std::uint64_t bytes = 0;  ///< sum of resident_bytes() over entries
 
     std::shared_ptr<const V> find(const std::string& key) {
       auto it = index.find(key);
@@ -126,10 +141,14 @@ class Session {
     /// Inserts and returns the evicted count (0 or 1).
     std::size_t insert(const std::string& key, std::shared_ptr<const V> value,
                        std::size_t capacity) {
+      bytes += value->resident_bytes();
       lru.push_front(Entry{key, std::move(value)});
       index[key] = lru.begin();
       if (capacity == 0 || lru.size() <= capacity) return 0;
-      index.erase(lru.back().key);
+      const Entry& victim = lru.back();
+      const std::uint64_t victim_bytes = victim.value->resident_bytes();
+      bytes = bytes > victim_bytes ? bytes - victim_bytes : 0;
+      index.erase(victim.key);
       lru.pop_back();
       return 1;
     }

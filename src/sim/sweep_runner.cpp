@@ -15,10 +15,32 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
                        const SweepOptions& opts) {
   const auto t_start = HostProfile::Clock::now();
   SweepResults out;
-  out.cells.resize(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) out.cells[i].spec = specs[i];
+  if (opts.shard_count > 1) {
+    // Round-robin slice: cell k of the full grid belongs to shard
+    // k % shard_count, so the (similar-cost) neighbours of a workload or
+    // core-count axis spread across shards instead of clumping in one.
+    if (opts.shard_index >= opts.shard_count)
+      throw std::invalid_argument(
+          "run_sweep: shard index " + std::to_string(opts.shard_index) +
+          " out of range for " + std::to_string(opts.shard_count) + " shards");
+    ShardInfo info;
+    info.index = opts.shard_index;
+    info.count = opts.shard_count;
+    info.total_cells = specs.size();
+    for (std::size_t k = opts.shard_index; k < specs.size();
+         k += opts.shard_count) {
+      info.indices.push_back(k);
+      out.cells.emplace_back();
+      out.cells.back().spec = specs[k];
+    }
+    out.shard = std::move(info);
+  } else {
+    out.cells.resize(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      out.cells[i].spec = specs[i];
+  }
 
-  const std::size_t total = specs.size();
+  const std::size_t total = out.cells.size();
   unsigned jobs = opts.jobs ? opts.jobs : std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 1;
   if (total < jobs) jobs = static_cast<unsigned>(total ? total : 1);
@@ -42,7 +64,8 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
   std::exception_ptr first_error;
 
   auto worker = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
+    while (!failed.load(std::memory_order_relaxed) &&
+           !(opts.cancel && opts.cancel->load(std::memory_order_relaxed))) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
       SweepCell& cell = out.cells[i];
@@ -56,9 +79,10 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
       }
       const std::size_t completed =
           done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (opts.progress) {
+      if (opts.progress || opts.cell_done) {
         std::lock_guard<std::mutex> lock(mu);
-        opts.progress(completed, total, cell.spec);
+        if (opts.progress) opts.progress(completed, total, cell.spec);
+        if (opts.cell_done) opts.cell_done(i, cell);
       }
     }
   };
@@ -72,6 +96,7 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
     for (std::thread& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+  out.session = session.stats();
   out.host_wall_ns = HostProfile::since_ns(t_start);
   return out;
 }
@@ -192,51 +217,45 @@ void add_unique(std::vector<Key>& keys, const Key& k) {
 }
 
 struct Group {
-  SystemKind system;
+  std::string system;
   unsigned cores;
   bool operator==(const Group& o) const {
     return system == o.system && cores == o.cores;
   }
 };
 
-/// One pass over the cells, resolving each spec's canonical labels through
-/// the registries exactly once; every aggregation query then works on plain
-/// string comparisons instead of re-resolving per comparison.
+/// One pass over the cell views, cataloguing the distinct axes; every
+/// aggregation query then works on plain string comparisons. Built from
+/// CellViews rather than SweepCells so the shard merge tool — which only
+/// has parsed envelope text — aggregates through the identical code.
 struct Catalog {
-  struct Entry {
-    const SweepCell* cell;
-    std::string mech;
-    std::string wl;
-  };
-  std::vector<Entry> entries;           ///< spec order
+  const std::vector<CellView>& cells;   ///< spec order
   std::vector<Group> groups;            ///< first-appearance order
   std::vector<std::string> mechs, wls;  ///< canonical, first-appearance
 
-  explicit Catalog(const SweepResults& results) {
-    entries.reserve(results.cells.size());
-    for (const SweepCell& c : results.cells) {
-      entries.push_back({&c, c.spec.mechanism_label(), c.spec.workload_label()});
-      add_unique(groups, Group{c.spec.system, c.spec.cores});
-      add_unique(mechs, entries.back().mech);
-      add_unique(wls, entries.back().wl);
+  explicit Catalog(const std::vector<CellView>& views) : cells(views) {
+    for (const CellView& c : cells) {
+      add_unique(groups, Group{c.system, c.cores});
+      add_unique(mechs, c.mechanism);
+      add_unique(wls, c.workload);
     }
   }
 
-  const SweepCell* find(const Group& g, const std::string& mech,
-                        const std::string& wl) const {
-    for (const Entry& e : entries)
-      if (e.cell->spec.system == g.system && e.cell->spec.cores == g.cores &&
-          e.mech == mech && e.wl == wl)
-        return e.cell;
+  const CellView* find(const Group& g, const std::string& mech,
+                       const std::string& wl) const {
+    for (const CellView& c : cells)
+      if (c.system == g.system && c.cores == g.cores && c.mechanism == mech &&
+          c.workload == wl)
+        return &c;
     return nullptr;
   }
 
-  const SweepCell& baseline_cell(const Group& g, const std::string& baseline,
-                                 const std::string& wl) const {
-    if (const SweepCell* c = find(g, baseline, wl)) return *c;
+  const CellView& baseline_cell(const Group& g, const std::string& baseline,
+                                const std::string& wl) const {
+    if (const CellView* c = find(g, baseline, wl)) return *c;
     throw std::invalid_argument("speedup aggregation: no baseline '" +
-                                baseline + "' cell for " + to_string(g.system) +
-                                "/" + std::to_string(g.cores) + " cores/" + wl);
+                                baseline + "' cell for " + g.system + "/" +
+                                std::to_string(g.cores) + " cores/" + wl);
   }
 
   /// Canonical spelling of a baseline name/alias, via the mechanism column.
@@ -247,9 +266,9 @@ struct Catalog {
   }
 };
 
-double speedup_of(const SweepCell& baseline, const SweepCell& cell) {
-  const double base = static_cast<double>(baseline.result.total_cycles);
-  const double cycles = static_cast<double>(cell.result.total_cycles);
+double speedup_of(const CellView& baseline, const CellView& cell) {
+  const double base = static_cast<double>(baseline.total_cycles);
+  const double cycles = static_cast<double>(cell.total_cycles);
   return cycles > 0 ? base / cycles : 0.0;
 }
 
@@ -260,7 +279,7 @@ std::vector<std::pair<std::string, double>> group_geomeans(
     if (mech == baseline) continue;
     std::vector<double> xs;
     for (const std::string& wl : cat.wls) {
-      const SweepCell* c = cat.find(g, mech, wl);
+      const CellView* c = cat.find(g, mech, wl);
       if (!c) continue;
       xs.push_back(speedup_of(cat.baseline_cell(g, baseline, wl), *c));
     }
@@ -269,10 +288,65 @@ std::vector<std::pair<std::string, double>> group_geomeans(
   return out;
 }
 
+[[noreturn]] void merge_error(const std::string& msg) {
+  throw std::invalid_argument("sweep merge: " + msg);
+}
+
+void write_aggregate(JsonWriter& w, const Catalog& cat,
+                     const std::string& base_name) {
+  w.begin_object();
+  w.key("baseline").value(base_name);
+  w.key("groups").begin_array();
+  for (const Group& g : cat.groups) {
+    w.begin_object();
+    w.key("system").value(g.system);
+    w.key("cores").value(g.cores);
+    w.key("speedup").begin_object();
+    for (const std::string& wl : cat.wls) {
+      const CellView& base = cat.baseline_cell(g, base_name, wl);
+      w.key(wl).begin_object();
+      for (const std::string& mech : cat.mechs) {
+        if (mech == base_name) continue;
+        if (const CellView* c = cat.find(g, mech, wl))
+          w.key(mech).value(speedup_of(base, *c));
+      }
+      w.end_object();
+    }
+    w.end_object();
+    w.key("geomean").begin_object();
+    for (const auto& [mech, gm] : group_geomeans(cat, base_name, g))
+      w.key(mech).value(gm);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
+std::vector<CellView> cell_views(const SweepResults& results) {
+  std::vector<CellView> out;
+  out.reserve(results.cells.size());
+  for (const SweepCell& c : results.cells)
+    out.push_back({to_string(c.spec.system), c.spec.cores,
+                   c.spec.mechanism_label(), c.spec.workload_label(),
+                   static_cast<std::uint64_t>(c.result.total_cycles),
+                   c.result.avg_ptw_latency});
+  return out;
+}
+
+std::string aggregate_json(const std::vector<CellView>& cells,
+                           std::string_view baseline) {
+  const Catalog cat(cells);
+  JsonWriter w;
+  write_aggregate(w, cat, cat.canonical_mechanism(baseline));
+  return w.str();
+}
+
 Table speedup_table(const SweepResults& results, std::string_view baseline) {
-  const Catalog cat(results);
+  const std::vector<CellView> views = cell_views(results);
+  const Catalog cat(views);
   const std::string base_name = cat.canonical_mechanism(baseline);
   std::vector<std::string> mechs;
   for (const std::string& m : cat.mechs)
@@ -286,11 +360,10 @@ Table speedup_table(const SweepResults& results, std::string_view baseline) {
   for (const Group& g : cat.groups) {
     std::vector<std::vector<double>> per_mech(mechs.size());
     for (const std::string& wl : cat.wls) {
-      const SweepCell& base = cat.baseline_cell(g, base_name, wl);
-      std::vector<std::string> row = {to_string(g.system),
-                                      std::to_string(g.cores), wl};
+      const CellView& base = cat.baseline_cell(g, base_name, wl);
+      std::vector<std::string> row = {g.system, std::to_string(g.cores), wl};
       for (std::size_t m = 0; m < mechs.size(); ++m) {
-        const SweepCell* c = cat.find(g, mechs[m], wl);
+        const CellView* c = cat.find(g, mechs[m], wl);
         if (!c) {
           row.push_back("-");
           continue;
@@ -299,11 +372,11 @@ Table speedup_table(const SweepResults& results, std::string_view baseline) {
         per_mech[m].push_back(s);
         row.push_back(Table::num(s, 3));
       }
-      row.push_back(Table::num(base.result.avg_ptw_latency, 0));
+      row.push_back(Table::num(base.avg_ptw_latency, 0));
       t.add_row(std::move(row));
     }
-    std::vector<std::string> gm = {to_string(g.system),
-                                   std::to_string(g.cores), "GEOMEAN"};
+    std::vector<std::string> gm = {g.system, std::to_string(g.cores),
+                                   "GEOMEAN"};
     for (const std::vector<double>& xs : per_mech)
       gm.push_back(xs.empty() ? "-" : Table::num(geomean(xs), 3));
     gm.push_back("-");
@@ -315,9 +388,10 @@ Table speedup_table(const SweepResults& results, std::string_view baseline) {
 std::vector<std::pair<std::string, double>> geomean_speedups(
     const SweepResults& results, std::string_view baseline, SystemKind system,
     unsigned cores) {
-  const Catalog cat(results);
+  const std::vector<CellView> views = cell_views(results);
+  const Catalog cat(views);
   return group_geomeans(cat, cat.canonical_mechanism(baseline),
-                        Group{system, cores});
+                        Group{to_string(system), cores});
 }
 
 std::string to_json(const SweepResults& results) {
@@ -351,42 +425,135 @@ std::string to_json(const SweepResults& results) {
                       : 0.0);
     w.key("merged");
     write_host_profile(w, merged, results.merged_host_counters());
+    w.key("session");
+    write_session_stats(w, results.session);
     w.end_object();
     out += ",\"host_profile\":" + w.str();
   }
-  if (!results.baseline.empty()) {
-    const Catalog cat(results);
-    const std::string base_name = cat.canonical_mechanism(results.baseline);
+  if (results.shard) {
+    // A slice can't compute "aggregate" (its baseline cells may live in
+    // another shard); it records provenance instead, and sweep_merge
+    // restores the full document — including the aggregate — from N slices.
+    const ShardInfo& s = *results.shard;
     JsonWriter w;
     w.begin_object();
-    w.key("baseline").value(base_name);
-    w.key("groups").begin_array();
-    for (const Group& g : cat.groups) {
-      w.begin_object();
-      w.key("system").value(to_string(g.system));
-      w.key("cores").value(g.cores);
-      w.key("speedup").begin_object();
-      for (const std::string& wl : cat.wls) {
-        const SweepCell& base = cat.baseline_cell(g, base_name, wl);
-        w.key(wl).begin_object();
-        for (const std::string& mech : cat.mechs) {
-          if (mech == base_name) continue;
-          if (const SweepCell* c = cat.find(g, mech, wl))
-            w.key(mech).value(speedup_of(base, *c));
-        }
-        w.end_object();
-      }
-      w.end_object();
-      w.key("geomean").begin_object();
-      for (const auto& [mech, gm] : group_geomeans(cat, base_name, g))
-        w.key(mech).value(gm);
-      w.end_object();
-      w.end_object();
-    }
+    w.key("index").value(s.index);
+    w.key("count").value(s.count);
+    w.key("total_cells").value(static_cast<std::uint64_t>(s.total_cells));
+    w.key("baseline").value(results.baseline);
+    w.key("indices").begin_array();
+    for (std::size_t k : s.indices) w.value(static_cast<std::uint64_t>(k));
     w.end_array();
     w.end_object();
-    out += ",\"aggregate\":" + w.str();
+    out += ",\"shard\":" + w.str();
+  } else if (!results.baseline.empty()) {
+    out += ",\"aggregate\":" + aggregate_json(cell_views(results),
+                                              results.baseline);
   }
+  out += '}';
+  return out;
+}
+
+std::string merge_sharded_envelopes(
+    const std::vector<std::string>& envelopes) {
+  if (envelopes.empty()) merge_error("no shard envelopes given");
+
+  std::string name, baseline;
+  unsigned count = 0;
+  std::size_t total_cells = 0;
+  std::vector<std::string_view> merged;     // raw cell text by global index
+  std::vector<CellView> views;              // parsed facts by global index
+  std::vector<bool> seen_shard;
+
+  for (std::size_t e = 0; e < envelopes.size(); ++e) {
+    const std::string& text = envelopes[e];
+    const std::string which = "envelope " + std::to_string(e);
+    JsonValue doc;
+    try {
+      doc = JsonValue::parse(text);
+    } catch (const JsonError& err) {
+      merge_error(which + ": " + err.what());
+    }
+    const JsonValue* shard = doc.find("shard");
+    if (!shard)
+      merge_error(which + " has no \"shard\" block (not a --shard output?)");
+    const unsigned idx =
+        static_cast<unsigned>(shard->at("index").as_u64());
+    const unsigned cnt =
+        static_cast<unsigned>(shard->at("count").as_u64());
+    const std::size_t total =
+        static_cast<std::size_t>(shard->at("total_cells").as_u64());
+    const std::string& base = shard->at("baseline").as_string();
+    const std::string& nm = doc.at("name").as_string();
+
+    if (e == 0) {
+      name = nm;
+      baseline = base;
+      count = cnt;
+      total_cells = total;
+      if (count == 0) merge_error("shard count 0");
+      merged.assign(total_cells, {});
+      views.resize(total_cells);
+      seen_shard.assign(count, false);
+    } else if (nm != name || cnt != count || total != total_cells ||
+               base != baseline) {
+      merge_error(which + " ran a different grid (config '" + nm + "', " +
+                  std::to_string(cnt) + " shards, " + std::to_string(total) +
+                  " cells, baseline '" + base + "') than envelope 0 ('" +
+                  name + "', " + std::to_string(count) + " shards, " +
+                  std::to_string(total_cells) + " cells, baseline '" +
+                  baseline + "')");
+    }
+    if (idx >= count) merge_error(which + ": shard index out of range");
+    if (seen_shard[idx])
+      merge_error("shard " + std::to_string(idx) + " given twice");
+    seen_shard[idx] = true;
+
+    // Raw element text is what gets re-emitted — byte fidelity — while the
+    // parsed tree supplies the facts the aggregate recomputation needs.
+    const std::vector<std::string_view> raws =
+        raw_elements(raw_member(text, "results"));
+    const std::vector<JsonValue>& cells = doc.at("results").array();
+    const std::vector<JsonValue>& indices = shard->at("indices").array();
+    if (raws.size() != indices.size() || cells.size() != indices.size())
+      merge_error(which + ": " + std::to_string(raws.size()) +
+                  " results but " + std::to_string(indices.size()) +
+                  " shard indices");
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      const std::size_t k = static_cast<std::size_t>(indices[j].as_u64());
+      if (k >= total_cells)
+        merge_error(which + ": cell index " + std::to_string(k) +
+                    " out of range");
+      if (!merged[k].empty())
+        merge_error("cell " + std::to_string(k) +
+                    " appears in two shards (mismatched --shard runs?)");
+      merged[k] = raws[j];
+      const JsonValue& spec = cells[j].at("spec");
+      views[k] = CellView{spec.at("system").as_string(),
+                          static_cast<unsigned>(spec.at("cores").as_u64()),
+                          spec.at("mechanism").as_string(),
+                          spec.at("workload").as_string(),
+                          cells[j].at("total_cycles").as_u64(),
+                          cells[j].at("avg_ptw_latency").as_double()};
+    }
+  }
+
+  if (envelopes.size() != count)
+    merge_error(std::to_string(envelopes.size()) + " envelopes given for a " +
+                std::to_string(count) + "-shard grid");
+  for (std::size_t k = 0; k < merged.size(); ++k)
+    if (merged[k].empty())
+      merge_error("cell " + std::to_string(k) + " missing from every shard");
+
+  std::string out =
+      "{\"name\":\"" + JsonWriter::escape(name) + "\",\"results\":[";
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    if (k) out += ',';
+    out.append(merged[k].data(), merged[k].size());
+  }
+  out += ']';
+  if (!baseline.empty())
+    out += ",\"aggregate\":" + aggregate_json(views, baseline);
   out += '}';
   return out;
 }

@@ -15,7 +15,9 @@
 // aggregation path, not per-figure bespoke printing.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -28,6 +30,8 @@
 #include "sim/session.h"
 
 namespace ndp {
+
+struct SweepCell;
 
 struct SweepOptions {
   /// Host threads executing cells. 0 = std::thread::hardware_concurrency().
@@ -48,6 +52,24 @@ struct SweepOptions {
   /// safe to print from. `done` counts completed cells.
   std::function<void(std::size_t done, std::size_t total, const RunSpec&)>
       progress;
+  /// Called with each completed cell (its result is final), under the same
+  /// internal lock as `progress` — calls never interleave. `index` is the
+  /// cell's position in the result set. The serve layer streams per-cell
+  /// envelopes from this.
+  std::function<void(std::size_t index, const SweepCell& cell)> cell_done;
+  /// Cooperative cancellation: when this flag becomes true, workers stop
+  /// claiming new cells (in-flight cells run to completion). Unclaimed
+  /// cells keep default-constructed results — a caller that observes the
+  /// cancellation must not serialize the result set as a finished sweep.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Distributed sweeps: run only shard `shard_index` of `shard_count`.
+  /// Cell k of the expanded grid (spec order) belongs to shard k %
+  /// shard_count — round-robin, so adjacent (similar-cost) cells spread
+  /// across shards. The results carry a ShardInfo and serialize with a
+  /// "shard" envelope block; tools/sweep_merge recombines N such envelopes
+  /// into a byte-identical replica of the single-process document.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
 };
 
 /// One executed cell: the spec that named it plus its result.
@@ -56,10 +78,25 @@ struct SweepCell {
   RunResult result;
 };
 
+/// Provenance of a sharded run: which slice of the full grid this result
+/// set holds. Serialized as the envelope's "shard" object (in place of
+/// "aggregate", which needs the whole grid) and consumed by sweep_merge.
+struct ShardInfo {
+  unsigned index = 0;                ///< this shard (0-based)
+  unsigned count = 1;                ///< total shards the grid was split into
+  std::size_t total_cells = 0;       ///< cell count of the *full* grid
+  std::vector<std::size_t> indices;  ///< global spec index of each cell
+};
+
 struct SweepResults {
   std::string name;      ///< config name ("" for ad-hoc flag sweeps)
   std::string baseline;  ///< canonical mechanism name ("" = no aggregation)
   std::vector<SweepCell> cells;  ///< in spec order (deterministic)
+  /// Engaged when this run executed one shard of a larger grid.
+  std::optional<ShardInfo> shard;
+  /// The executing Session's cumulative cache stats, snapshotted when the
+  /// sweep finished (a caller-owned Session includes its prior history).
+  SessionStats session;
   /// Host wall time of the whole sweep (measured by run_sweep; includes
   /// thread-pool scheduling, so it is what a user actually waited).
   std::uint64_t host_wall_ns = 0;
@@ -135,10 +172,41 @@ std::vector<std::pair<std::string, double>> geomean_speedups(
     const SweepResults& results, std::string_view baseline, SystemKind system,
     unsigned cores);
 
+/// The per-cell facts the aggregation path consumes — executed SweepCells
+/// and cells parsed back out of shard envelopes both project onto this, so
+/// sweep_merge recomputes "aggregate" through the exact code (and double
+/// arithmetic) the single-process writer used.
+struct CellView {
+  std::string system;    ///< "ndp" / "cpu"
+  unsigned cores = 0;
+  std::string mechanism; ///< canonical label, parameters included
+  std::string workload;  ///< canonical registry name
+  std::uint64_t total_cycles = 0;
+  double avg_ptw_latency = 0.0;
+};
+
+/// Project the executed cells (spec order preserved).
+std::vector<CellView> cell_views(const SweepResults& results);
+
+/// The {"baseline","groups":[...]} aggregate object for these cells.
+/// Throws std::invalid_argument when a baseline cell is missing.
+std::string aggregate_json(const std::vector<CellView>& cells,
+                           std::string_view baseline);
+
+/// Recombine N shard envelopes (the `--shard i/N` JSON documents, any input
+/// order) into a byte-identical replica of the single-process envelope:
+/// results restored to global spec order, "aggregate" recomputed, "shard"
+/// dropped. Throws std::invalid_argument when the envelopes disagree on the
+/// grid (name, shard count, total cells, baseline), a shard is missing or
+/// duplicated, or the indices don't cover the grid exactly.
+std::string merge_sharded_envelopes(const std::vector<std::string>& envelopes);
+
 /// Full results document: {"name", "jobs-invariant" results array, and —
 /// when a baseline is set — an "aggregate" object with per-group speedups
-/// and geomeans}. This is the payload `ndpsim --config --json` writes; it
-/// depends only on cell order, never on thread scheduling.
+/// and geomeans}. A sharded run serializes a "shard" provenance object in
+/// place of "aggregate" (the slice can't see the baseline cells). This is
+/// the payload `ndpsim --config --json` writes; it depends only on cell
+/// order, never on thread scheduling.
 std::string to_json(const SweepResults& results);
 
 /// summary_table() as CSV (one plotting input for every figure).

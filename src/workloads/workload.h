@@ -103,6 +103,12 @@ struct TraceMaterial {
   /// Collect `trace`'s material — exactly what Engine::prepare() would ask
   /// the trace for.
   static TraceMaterial of(const TraceSource& trace);
+
+  /// Host bytes this material keeps resident (Session cache accounting).
+  std::uint64_t resident_bytes() const {
+    return regions.size() * sizeof(VmRegion) +
+           warm_pages.size() * sizeof(VirtAddr);
+  }
 };
 
 struct WorkloadInfo {

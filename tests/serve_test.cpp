@@ -1,0 +1,374 @@
+// Serving-mode contract (src/serve/): a resident daemon over one warm
+// Session whose streamed result envelopes are byte-identical to batch
+// `run_sweep` output, that survives malformed and invalid requests, and
+// that drains gracefully — plus the distributed-sweep half: `--shard i/N`
+// envelopes recombine through merge_sharded_envelopes() into the exact
+// single-process document for the checked-in golden grids.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "sim/run_config.h"
+#include "sim/sweep_runner.h"
+
+namespace ndp {
+namespace {
+
+#ifndef NDP_SOURCE_DIR
+#error "serve_test needs NDP_SOURCE_DIR (set by CMakeLists.txt)"
+#endif
+
+/// Small but non-degenerate grid: two mechanisms share images per (cores,
+/// seed), two workloads share material, and a baseline engages the
+/// aggregate block in the envelope.
+RunConfig serve_grid() {
+  return RunConfig::from_json(R"json({
+    "name": "serve_tiny",
+    "mechanisms": ["radix", "ndpage"],
+    "workloads": ["RND", "PR"],
+    "cores": [1, 2],
+    "instructions": 2000,
+    "warmup": 150,
+    "scale": 0.015625,
+    "baseline": "radix"
+  })json");
+}
+
+/// What a batch `ndpsim --config` run serializes for this grid.
+std::string batch_json(const RunConfig& cfg, unsigned jobs = 1) {
+  SweepOptions opts;
+  opts.jobs = jobs;
+  return to_json(run_sweep(cfg, opts));
+}
+
+std::string type_of(const std::string& envelope) {
+  return JsonValue::parse(envelope).at("type").as_string();
+}
+
+/// One in-process daemon serving a socketpair stream on a background
+/// thread — the --stdio topology, no TCP involved.
+class StreamServer {
+ public:
+  explicit StreamServer(serve::ServeOptions opts = {}) : server_(opts) {
+    int sv[2] = {-1, -1};
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+    client_fd_ = sv[0];
+    server_fd_ = sv[1];
+    thread_ = std::thread(
+        [this] { server_.serve_stream(server_fd_, server_fd_); });
+  }
+
+  ~StreamServer() {
+    server_.request_shutdown();
+    if (thread_.joinable()) thread_.join();
+    ::close(server_fd_);
+  }
+
+  /// A Client owning the peer end (call once).
+  serve::Client client() {
+    return serve::Client(client_fd_, client_fd_, /*own_fds=*/true);
+  }
+
+  serve::Server& server() { return server_; }
+
+ private:
+  serve::Server server_;
+  int client_fd_ = -1;
+  int server_fd_ = -1;
+  std::thread thread_;
+};
+
+// --- streamed envelopes vs batch --------------------------------------------
+
+TEST(Serve, RunEnvelopeIsByteIdenticalToBatch) {
+  const RunConfig cfg = serve_grid();
+  const std::string batch = batch_json(cfg);
+
+  serve::ServeOptions opts;
+  opts.jobs = 2;
+  StreamServer stream(opts);
+  serve::Client client = stream.client();
+
+  std::size_t cells_seen = 0, total_seen = 0;
+  const std::string envelope =
+      client.run("r1", cfg, /*jobs=*/0, [&](std::size_t done,
+                                            std::size_t total) {
+        cells_seen = done;
+        total_seen = total;
+      });
+  EXPECT_EQ(8u, cells_seen);   // every cell streamed before "done"
+  EXPECT_EQ(8u, total_seen);
+  EXPECT_EQ(batch, envelope);  // byte-identical, despite jobs=2 + streaming
+
+  // A second identical run rides the warm Session: same bytes again, and
+  // the stats request shows restores instead of builds.
+  EXPECT_EQ(batch, client.run("r2", cfg));
+  const std::string stats =
+      client.roundtrip(serve::simple_request_line("stats", "s1"));
+  const JsonValue parsed = JsonValue::parse(stats);
+  EXPECT_EQ("stats", parsed.at("type").as_string());
+  EXPECT_EQ("s1", parsed.at("id").as_string());
+  const JsonValue& session = parsed.at("session");
+  EXPECT_GT(session.at("image_hits").as_u64(), 0u);
+  EXPECT_GT(session.at("material_hits").as_u64(), 0u);
+  EXPECT_GT(session.at("resident_bytes").as_u64(), 0u);
+
+  EXPECT_EQ("bye",
+            type_of(client.roundtrip(serve::simple_request_line("shutdown",
+                                                                "z1"))));
+}
+
+// --- robustness -------------------------------------------------------------
+
+TEST(Serve, MalformedAndInvalidRequestsDontKillTheDaemon) {
+  StreamServer stream;
+  serve::Client client = stream.client();
+
+  // Not JSON at all: one error envelope (with the parser's position), and
+  // the connection stays up.
+  ASSERT_TRUE(client.send("this is not json"));
+  std::string reply;
+  ASSERT_EQ(serve::LineReader::Status::kLine, client.next(reply));
+  EXPECT_EQ("error", type_of(reply));
+
+  // Valid JSON, unknown op.
+  ASSERT_TRUE(client.send(R"({"op":"frobnicate","id":"q"})"));
+  ASSERT_EQ(serve::LineReader::Status::kLine, client.next(reply));
+  EXPECT_EQ("error", type_of(reply));
+  EXPECT_EQ("q", JsonValue::parse(reply).at("id").as_string());
+
+  // A run naming an unregistered mechanism: the RunConfig validator's
+  // message comes back as an error envelope; nothing ran.
+  ASSERT_TRUE(client.send(
+      R"({"op":"run","id":"bad","config":{"mechanisms":["nonsense"]}})"));
+  ASSERT_EQ(serve::LineReader::Status::kLine, client.next(reply));
+  EXPECT_EQ("error", type_of(reply));
+  EXPECT_NE(std::string::npos,
+            JsonValue::parse(reply).at("error").as_string().find("nonsense"));
+
+  // After all that abuse, a real run still works and still matches batch.
+  const RunConfig cfg = serve_grid();
+  EXPECT_EQ(batch_json(cfg), client.run("good", cfg));
+
+  EXPECT_EQ("bye",
+            type_of(client.roundtrip(serve::simple_request_line("shutdown",
+                                                                "z"))));
+}
+
+TEST(Serve, IdleTimeoutClosesTheConnection) {
+  serve::ServeOptions opts;
+  opts.idle_timeout_ms = 50;
+  StreamServer stream(opts);
+  serve::Client client = stream.client();
+
+  // Send nothing; the daemon gives up on us with an error envelope and
+  // closes its end.
+  std::string reply;
+  ASSERT_EQ(serve::LineReader::Status::kLine, client.next(reply, 5000));
+  EXPECT_EQ("error", type_of(reply));
+  EXPECT_EQ(serve::LineReader::Status::kEof, client.next(reply, 5000));
+}
+
+// --- concurrency + graceful shutdown ----------------------------------------
+
+TEST(Serve, ConcurrentClientsShareOneWarmSession) {
+  serve::ServeOptions opts;
+  opts.jobs = 2;
+  serve::Server server(opts);
+  const std::uint16_t port = server.start();
+  ASSERT_GT(port, 0u);
+
+  const RunConfig cfg = serve_grid();
+  const std::string batch = batch_json(cfg);
+
+  std::vector<std::string> envelopes(2);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&, i] {
+      serve::Client c = serve::Client::connect("127.0.0.1", port);
+      envelopes[i] = c.run("c" + std::to_string(i), cfg);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(batch, envelopes[0]);
+  EXPECT_EQ(batch, envelopes[1]);
+  // 16 cells total but only 4 distinct images / 8 distinct materials: the
+  // shared Session must have served hits across the two connections.
+  EXPECT_GT(server.session().stats().image_hits, 0u);
+
+  serve::Client closer = serve::Client::connect("127.0.0.1", port);
+  EXPECT_EQ("bye",
+            type_of(closer.roundtrip(serve::simple_request_line("shutdown",
+                                                                "zz"))));
+  server.wait();
+}
+
+TEST(Serve, ShutdownDrainsInFlightRuns) {
+  serve::ServeOptions opts;
+  opts.jobs = 1;
+  serve::Server server(opts);
+  const std::uint16_t port = server.start();
+
+  const RunConfig cfg = serve_grid();
+  const std::string batch = batch_json(cfg);
+
+  // Client A submits and reads nothing yet; client B orders a shutdown
+  // while A's run is (very likely) still in flight. The drain contract:
+  // A's run completes and streams everything, whenever the shutdown lands.
+  serve::Client a = serve::Client::connect("127.0.0.1", port);
+  ASSERT_TRUE(a.send(serve::run_request_line("inflight", cfg)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  serve::Client b = serve::Client::connect("127.0.0.1", port);
+  EXPECT_EQ("bye",
+            type_of(b.roundtrip(serve::simple_request_line("shutdown",
+                                                           "drain"))));
+
+  // A still gets its full stream: 8 cell envelopes, then the byte-exact
+  // terminal document.
+  std::string line;
+  std::size_t cells = 0;
+  std::string done_envelope;
+  while (a.next(line, 30000) == serve::LineReader::Status::kLine) {
+    const std::string type = type_of(line);
+    if (type == "cell") ++cells;
+    if (type == "done") {
+      done_envelope = std::string(raw_member(line, "envelope"));
+      break;
+    }
+    ASSERT_NE("error", type);
+    ASSERT_NE("cancelled", type);
+  }
+  EXPECT_EQ(8u, cells);
+  EXPECT_EQ(batch, done_envelope);
+  server.wait();
+}
+
+TEST(Serve, CancelStopsARunWithATerminalEnvelope) {
+  serve::ServeOptions opts;
+  opts.jobs = 1;
+  serve::Server server(opts);
+  const std::uint16_t port = server.start();
+
+  RunConfig cfg = serve_grid();
+  cfg.instructions = 40000;  // long enough that the cancel usually lands
+
+  serve::Client a = serve::Client::connect("127.0.0.1", port);
+  ASSERT_TRUE(a.send(serve::run_request_line("victim", cfg)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  serve::Client b = serve::Client::connect("127.0.0.1", port);
+  const std::string ack =
+      b.roundtrip(serve::cancel_request_line("killer", "victim"));
+  // "ok" when the cancel caught the run; "error" if the run already ended
+  // (scheduling-dependent) — both leave the daemon healthy.
+  EXPECT_TRUE(type_of(ack) == "ok" || type_of(ack) == "error");
+
+  // Either way the victim's stream ends in exactly one terminal envelope.
+  std::string line, terminal;
+  while (a.next(line, 30000) == serve::LineReader::Status::kLine) {
+    const std::string type = type_of(line);
+    if (type == "cancelled" || type == "done") {
+      terminal = type;
+      break;
+    }
+    ASSERT_EQ("cell", type);
+  }
+  EXPECT_TRUE(terminal == "cancelled" || terminal == "done") << terminal;
+  if (terminal == "cancelled") {
+    const JsonValue v = JsonValue::parse(line);
+    EXPECT_LT(v.at("completed").as_u64(), v.at("total").as_u64());
+  }
+
+  EXPECT_EQ("bye",
+            type_of(b.roundtrip(serve::simple_request_line("shutdown",
+                                                           "z"))));
+  server.wait();
+}
+
+// --- sharded sweeps ---------------------------------------------------------
+
+/// One golden grid, budget-reduced the way the golden suite does it so the
+/// full three-shard A/B stays fast.
+RunConfig golden_grid(const char* file) {
+  RunConfig cfg = RunConfig::load(std::string(NDP_SOURCE_DIR) + "/" + file);
+  cfg.instructions = 2000;
+  cfg.warmup = 150;
+  cfg.scale = 0.015625;
+  return cfg;
+}
+
+void expect_shard_merge_identity(const RunConfig& cfg) {
+  SweepOptions opts;
+  opts.jobs = 2;
+  const std::string unsharded = to_json(run_sweep(cfg, opts));
+
+  std::vector<std::string> envelopes;
+  for (unsigned i = 0; i < 3; ++i) {
+    SweepOptions shard_opts = opts;
+    shard_opts.shard_index = i;
+    shard_opts.shard_count = 3;
+    envelopes.push_back(to_json(run_sweep(cfg, shard_opts)));
+    // The slice serializes provenance instead of an aggregate.
+    EXPECT_NE(std::string::npos, envelopes.back().find("\"shard\":"));
+    EXPECT_EQ(std::string::npos, envelopes.back().find("\"aggregate\":"));
+  }
+  // Any input order merges to the same bytes as the single-process run.
+  std::swap(envelopes[0], envelopes[2]);
+  EXPECT_EQ(unsharded, merge_sharded_envelopes(envelopes));
+}
+
+TEST(ShardMerge, CiSmokeThreeWayMergeIsByteIdentical) {
+  expect_shard_merge_identity(golden_grid("experiments/ci_smoke.json"));
+}
+
+TEST(ShardMerge, AblationEchWaysThreeWayMergeIsByteIdentical) {
+  expect_shard_merge_identity(
+      golden_grid("experiments/ablation_ech_ways.json"));
+}
+
+TEST(ShardMerge, RejectsIncompleteAndMismatchedShardSets) {
+  const RunConfig cfg = serve_grid();
+  SweepOptions opts;
+  std::vector<std::string> shards;
+  for (unsigned i = 0; i < 2; ++i) {
+    SweepOptions so = opts;
+    so.shard_index = i;
+    so.shard_count = 2;
+    shards.push_back(to_json(run_sweep(cfg, so)));
+  }
+
+  // A complete, correct set merges.
+  EXPECT_NO_THROW(merge_sharded_envelopes(shards));
+
+  // Missing shard: only 1 of 2.
+  EXPECT_THROW(merge_sharded_envelopes({shards[0]}), std::invalid_argument);
+  // Duplicated shard.
+  EXPECT_THROW(merge_sharded_envelopes({shards[0], shards[0]}),
+               std::invalid_argument);
+  // Unsharded envelope (no "shard" block) is not mergeable input.
+  EXPECT_THROW(merge_sharded_envelopes({to_json(run_sweep(cfg, opts))}),
+               std::invalid_argument);
+
+  // A shard of a *different* grid: detected, not silently spliced.
+  RunConfig other = cfg;
+  other.name = "serve_tiny_other";
+  SweepOptions so = opts;
+  so.shard_index = 1;
+  so.shard_count = 2;
+  EXPECT_THROW(
+      merge_sharded_envelopes({shards[0], to_json(run_sweep(other, so))}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndp

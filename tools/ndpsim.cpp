@@ -18,6 +18,17 @@
 // results are deterministic regardless of the job count:
 //
 //   ndpsim --config experiments/fig06_core_scaling.json --jobs 4
+//
+// Grids also run resident (`--serve`: a daemon answering JSON-lines run/
+// stats requests over TCP or stdio, with one warm Session shared across
+// requests — drive it with `--client`) and distributed (`--shard i/N` runs
+// one deterministic slice; `sweep_merge` recombines the slices into the
+// document a single run would have written, byte for byte).
+//
+// Exit codes: 0 success, 1 run-time failure, 2 bad flags/usage, 3 a broken
+// experiment description (config parse/validation, unknown names).
+// Diagnostics go to stderr; stdout carries only results.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +39,8 @@
 
 #include "common/strings.h"
 #include "common/table.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "sim/run_config.h"
 #include "sim/sweep_runner.h"
 #include "workloads/workload_registry.h"
@@ -35,6 +48,13 @@
 using namespace ndp;
 
 namespace {
+
+// Exit-code policy (also documented in usage()): scripts — CI in
+// particular — branch on whether a failure is retryable (runtime), a
+// wrong invocation, or a broken checked-in experiment description.
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConfig = 3;
 
 int usage(const char* argv0, int code) {
   std::printf(
@@ -51,6 +71,28 @@ int usage(const char* argv0, int code) {
       "                           instead of restoring the session-shared\n"
       "                           image (results are identical; this is the\n"
       "                           A/B opt-out, see README)\n"
+      "  --shard=I/N              run only shard I of the config's grid\n"
+      "                           split N ways (cell k belongs to shard\n"
+      "                           k %% N); recombine the N JSON envelopes\n"
+      "                           with sweep_merge for the byte-identical\n"
+      "                           single-run document\n"
+      "\n"
+      "serving (see README \"Serving mode\"):\n"
+      "  --serve                  run as a resident daemon answering\n"
+      "                           JSON-lines requests (run/status/stats/\n"
+      "                           cancel/shutdown) over one warm Session\n"
+      "  --port=P                 daemon TCP port (0 = kernel-assigned,\n"
+      "                           printed to stderr; default 0)\n"
+      "  --stdio                  serve one connection on stdin/stdout\n"
+      "                           instead of TCP\n"
+      "  --max-conns=N            concurrent connection limit (default 16)\n"
+      "  --idle-timeout=MS        close a connection idle this long\n"
+      "  --request-timeout=MS     cancel a run running longer than this\n"
+      "  --client=[HOST:]PORT     drive a daemon: submit --config as a run\n"
+      "                           request and write the streamed envelope\n"
+      "                           (byte-identical to a batch run) to --json\n"
+      "  --op=run|stats|status|shutdown\n"
+      "                           client request kind (default run)\n"
       "\n"
       "selection (comma-separated values expand into a sweep):\n"
       "  --system=ndp|cpu         simulated system (default ndp)\n"
@@ -87,7 +129,10 @@ int usage(const char* argv0, int code) {
       "  --list-systems           list simulated systems and exit\n"
       "  --list-mechanisms        list registered mechanisms and exit\n"
       "  --list-workloads         list registered workloads and exit\n"
-      "  --help                   this text\n",
+      "  --help                   this text\n"
+      "\n"
+      "exit codes: 0 ok, 1 run-time failure, 2 bad flags/usage, 3 broken\n"
+      "experiment description (config parse or validation errors)\n",
       argv0);
   return code;
 }
@@ -101,7 +146,12 @@ struct KnownFlag {
 };
 constexpr KnownFlag kKnownFlags[] = {
     {"--config", true},        {"--jobs", true},
-    {"--fresh-systems", false}, {"--system", true},
+    {"--fresh-systems", false}, {"--shard", true},
+    {"--serve", false},        {"--port", true},
+    {"--stdio", false},        {"--max-conns", true},
+    {"--idle-timeout", true},  {"--request-timeout", true},
+    {"--client", true},        {"--op", true},
+    {"--system", true},
     {"--cores", true},         {"--mechanism", true},
     {"--workload", true},      {"--instructions", true},
     {"--warmup", true},        {"--scale", true},
@@ -252,17 +302,23 @@ void print_host_profile(const SweepResults& results) {
                Table::pct(total_ns > 0 ? merged.ns(p) / total_ns : 0.0)});
   }
   t.print(std::cout);
+  const SessionStats& sess = results.session;
   std::printf(
       "  %.1f cells/sec, %.1f host-ns per simulated instruction\n"
       "  engine: %llu events, %llu heap pushes, peak queue %llu\n"
-      "  session: %llu image builds, %llu image restores\n",
+      "  session: %llu image builds, %llu restores, %llu evictions; "
+      "%llu material builds, %llu material hits; ~%.1f MB resident\n",
       wall_s > 0 ? results.cells.size() / wall_s : 0.0,
       instrs ? static_cast<double>(results.host_wall_ns) / instrs : 0.0,
       static_cast<unsigned long long>(host.events),
       static_cast<unsigned long long>(host.heap_pushes),
       static_cast<unsigned long long>(host.heap_peak),
-      static_cast<unsigned long long>(host.image_builds),
-      static_cast<unsigned long long>(host.image_hits));
+      static_cast<unsigned long long>(sess.image_builds),
+      static_cast<unsigned long long>(sess.image_hits),
+      static_cast<unsigned long long>(sess.image_evictions),
+      static_cast<unsigned long long>(sess.material_builds),
+      static_cast<unsigned long long>(sess.material_hits),
+      static_cast<double>(sess.resident_bytes) / (1024.0 * 1024.0));
 }
 
 bool write_output(const std::string& path, const std::string& payload,
@@ -281,6 +337,111 @@ bool write_output(const std::string& path, const std::string& payload,
   return true;
 }
 
+// --- serving & client modes -------------------------------------------------
+
+serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  // request_shutdown is one write() to a pipe — async-signal-safe — and
+  // starts the graceful drain: in-flight runs finish, then the daemon exits.
+  if (g_server) g_server->request_shutdown();
+}
+
+int serve_main(const serve::ServeOptions& opts, bool stdio_mode) {
+  try {
+    serve::Server server(opts);
+    g_server = &server;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    if (stdio_mode) {
+      server.serve_stream(0, 1);
+    } else {
+      const std::uint16_t port = server.start();
+      std::fprintf(
+          stderr,
+          "ndpsim: serving on port %u (a shutdown request or SIGINT drains)\n",
+          port);
+    }
+    server.wait();
+    g_server = nullptr;
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    return 0;
+  } catch (const std::exception& e) {
+    g_server = nullptr;
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitRuntime;
+  }
+}
+
+int client_main(const std::string& addr, const std::string& op,
+                const std::string& config_path, const std::string& json_path,
+                unsigned jobs) {
+  std::string host = "127.0.0.1";
+  std::string port_str = addr;
+  const std::size_t colon = addr.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = addr.substr(0, colon);
+    port_str = addr.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port == 0 || port > 65535) {
+    std::fprintf(stderr, "--client takes [HOST:]PORT, got '%s'\n",
+                 addr.c_str());
+    return kExitUsage;
+  }
+
+  if (op == "run") {
+    if (config_path.empty()) {
+      std::fprintf(stderr, "--client needs --config=FILE for a run request\n");
+      return kExitUsage;
+    }
+    RunConfig config;
+    try {
+      config = RunConfig::load(config_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return kExitConfig;
+    }
+    try {
+      serve::Client client =
+          serve::Client::connect(host, static_cast<std::uint16_t>(port));
+      const std::string envelope = client.run(
+          config.name.empty() ? "run" : config.name, config, jobs,
+          [](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "[%zu/%zu] cell done\n", done, total);
+          });
+      // The daemon's envelope is the batch document, byte for byte; write
+      // it exactly where (and how) a batch run would have.
+      std::string out_path = !json_path.empty() ? json_path
+                             : !config.json_output.empty() ? config.json_output
+                                                           : "-";
+      if (!write_output(out_path, envelope, "JSON")) return kExitRuntime;
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return kExitRuntime;
+    }
+  }
+
+  if (op != "stats" && op != "status" && op != "shutdown") {
+    std::fprintf(stderr, "--op takes run|stats|status|shutdown, got '%s'\n",
+                 op.c_str());
+    return kExitUsage;
+  }
+  try {
+    serve::Client client =
+        serve::Client::connect(host, static_cast<std::uint16_t>(port));
+    std::printf("%s\n",
+                client.roundtrip(serve::simple_request_line(op, op)).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitRuntime;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -297,6 +458,10 @@ int main(int argc, char** argv) {
   bool dump_stats = false;
   bool profile = false;
   bool fresh_systems = false;
+  unsigned shard_index = 0, shard_count = 1;
+  bool serve_mode = false, stdio_mode = false;
+  serve::ServeOptions serve_opts;
+  std::string client_addr, client_op = "run";
   // Selection/run-parameter flags conflict with --config (the file is the
   // experiment); remember whether any was given explicitly.
   bool selection_flags_used = false;
@@ -330,6 +495,59 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (arg == "--fresh-systems") {
       fresh_systems = true;
+    } else if (arg == "--serve") {
+      serve_mode = true;
+    } else if (arg == "--stdio") {
+      stdio_mode = true;
+    } else if (const char* v = value_of("--shard")) {
+      char* end = nullptr;
+      shard_index = static_cast<unsigned>(std::strtoul(v, &end, 10));
+      if (end == v || *end != '/' ||
+          (shard_count = static_cast<unsigned>(std::strtoul(end + 1, &end, 10)),
+           *end != '\0') ||
+          shard_count == 0 || shard_index >= shard_count) {
+        std::fprintf(stderr,
+                     "--shard takes I/N with 0 <= I < N, got '%s'\n", v);
+        return kExitUsage;
+      }
+    } else if (const char* v = value_of("--port")) {
+      char* end = nullptr;
+      const unsigned long p = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || p > 65535) {
+        std::fprintf(stderr, "--port takes a port number, got '%s'\n", v);
+        return kExitUsage;
+      }
+      serve_opts.port = static_cast<std::uint16_t>(p);
+    } else if (const char* v = value_of("--max-conns")) {
+      char* end = nullptr;
+      serve_opts.max_connections =
+          static_cast<unsigned>(std::strtoul(v, &end, 10));
+      if (end == v || *end != '\0' || serve_opts.max_connections == 0) {
+        std::fprintf(stderr, "--max-conns takes a positive number, got '%s'\n",
+                     v);
+        return kExitUsage;
+      }
+    } else if (const char* v = value_of("--idle-timeout")) {
+      char* end = nullptr;
+      serve_opts.idle_timeout_ms = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || serve_opts.idle_timeout_ms <= 0) {
+        std::fprintf(stderr,
+                     "--idle-timeout takes milliseconds, got '%s'\n", v);
+        return kExitUsage;
+      }
+    } else if (const char* v = value_of("--request-timeout")) {
+      char* end = nullptr;
+      serve_opts.request_timeout_ms =
+          static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || serve_opts.request_timeout_ms <= 0) {
+        std::fprintf(stderr,
+                     "--request-timeout takes milliseconds, got '%s'\n", v);
+        return kExitUsage;
+      }
+    } else if (const char* v = value_of("--client")) {
+      client_addr = v;
+    } else if (const char* v = value_of("--op")) {
+      client_op = v;
     } else if (const char* v = value_of("--config")) {
       config_path = v;
     } else if (const char* v = value_of("--jobs")) {
@@ -340,7 +558,7 @@ int main(int argc, char** argv) {
       if (end == v || *end != '\0') {
         std::fprintf(stderr, "--jobs takes a number (0 = all cores), got '%s'\n",
                      v);
-        return 2;
+        return kExitUsage;
       }
     } else if (const char* v = value_of("--system")) {
       system = v;
@@ -373,7 +591,7 @@ int main(int argc, char** argv) {
       const std::string s = v;
       if (s != "on" && s != "off") {
         std::fprintf(stderr, "--bypass takes on|off, got '%s'\n", v);
-        return 2;
+        return kExitUsage;
       }
       overrides.bypass = s == "on";
       selection_flags_used = true;
@@ -397,7 +615,7 @@ int main(int argc, char** argv) {
       for (const KnownFlag& flag : kKnownFlags) {
         if (flag.takes_value && arg == flag.name) {
           std::fprintf(stderr, "option '%s' requires a value\n", flag.name);
-          return 2;
+          return kExitUsage;
         }
       }
       // Unknown: suggest the closest known flag ("--list-system" is a typo
@@ -409,10 +627,10 @@ int main(int argc, char** argv) {
       if (!suggestion.empty()) {
         std::fprintf(stderr, "unknown option '%s'; did you mean '%s'?\n",
                      arg.c_str(), suggestion.c_str());
-        return 2;
+        return kExitUsage;
       }
       std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
-      return usage(argv[0], 2);
+      return usage(argv[0], kExitUsage);
     }
   }
 
@@ -421,14 +639,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--config conflicts with selection/run-parameter flags; put "
                  "them in the config file\n");
-    return 2;
+    return kExitUsage;
+  }
+
+  // Serving / client modes branch off before any simulation setup.
+  if (serve_mode && !client_addr.empty()) {
+    std::fprintf(stderr, "--serve and --client are mutually exclusive\n");
+    return kExitUsage;
+  }
+  if (serve_mode) {
+    if (config_mode || selection_flags_used || shard_count > 1) {
+      std::fprintf(stderr,
+                   "--serve conflicts with --config/--shard/selection flags; "
+                   "submit experiments as run requests instead\n");
+      return kExitUsage;
+    }
+    serve_opts.jobs = jobs;
+    return serve_main(serve_opts, stdio_mode);
+  }
+  if (stdio_mode) {
+    std::fprintf(stderr, "--stdio requires --serve\n");
+    return kExitUsage;
+  }
+  if (!client_addr.empty()) {
+    if (selection_flags_used || shard_count > 1) {
+      std::fprintf(stderr,
+                   "--client conflicts with --shard/selection flags; the "
+                   "daemon runs the --config grid as submitted\n");
+      return kExitUsage;
+    }
+    return client_main(client_addr, client_op, config_path, json_path, jobs);
+  }
+  if (shard_count > 1 && !config_mode) {
+    std::fprintf(stderr,
+                 "--shard requires --config (the shards of a grid must agree "
+                 "on its expansion)\n");
+    return kExitUsage;
   }
 
   // An empty axis would silently fall back to RunSpec's defaults.
   if (mechanisms.empty() || workloads.empty() || cores.empty()) {
     std::fprintf(stderr,
                  "--mechanism/--workload/--cores need at least one value\n");
-    return 2;
+    return kExitUsage;
   }
 
   RunConfig config;
@@ -456,8 +709,11 @@ int main(int argc, char** argv) {
         baseline = MechanismRegistry::instance().resolve(baseline).canonical;
     }
   } catch (const std::exception& e) {
+    // Config parse/validation failures (malformed JSON with its line:col,
+    // unknown mechanism/workload names) — a broken experiment description,
+    // distinct from wrong flags (2) and from run-time failures (1).
     std::fprintf(stderr, "%s\n", e.what());
-    return 2;
+    return kExitConfig;
   }
 
   // A --baseline override (config files validate theirs at parse time) must
@@ -473,13 +729,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "--baseline '%s' is not one of the swept mechanisms\n",
                    effective_baseline.c_str());
-      return 2;
+      return kExitConfig;
     }
   }
 
   SweepOptions opts;
   opts.jobs = jobs;
   opts.share_images = !fresh_systems;
+  opts.shard_index = shard_index;
+  opts.shard_count = shard_count;
   if (specs.size() > 1) {
     // Progress to stderr (completion order): stdout/file output stays
     // byte-identical across job counts.
@@ -497,7 +755,7 @@ int main(int argc, char** argv) {
     results = run_sweep(specs, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+    return kExitRuntime;
   }
   if (config_mode) {
     results.name = config.name;
@@ -523,13 +781,15 @@ int main(int argc, char** argv) {
 
   summary_table(results).print(std::cout);
 
-  if (!results.baseline.empty()) {
+  // A shard sees only its slice, so baseline cells (and hence speedups)
+  // may be absent by construction; aggregation happens after sweep_merge.
+  if (!results.baseline.empty() && !results.shard) {
     try {
       std::printf("\nspeedup over %s\n", results.baseline.c_str());
       speedup_table(results, results.baseline).print(std::cout);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
-      return 1;
+      return kExitRuntime;
     }
   }
 
@@ -557,10 +817,10 @@ int main(int argc, char** argv) {
       }
       payload += ']';
     }
-    if (!write_output(out_json, payload, "JSON")) return 1;
+    if (!write_output(out_json, payload, "JSON")) return kExitRuntime;
   }
   if (!out_csv.empty() &&
       !write_output(out_csv, to_csv(results), "CSV"))
-    return 1;
+    return kExitRuntime;
   return 0;
 }

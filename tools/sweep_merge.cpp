@@ -1,0 +1,123 @@
+// sweep_merge — recombine sharded sweep envelopes into the single-process
+// document.
+//
+//   ndpsim --config grid.json --shard 0/3 --json s0.json
+//   ndpsim --config grid.json --shard 1/3 --json s1.json
+//   ndpsim --config grid.json --shard 2/3 --json s2.json
+//   sweep_merge --out merged.json s0.json s1.json s2.json
+//
+// merged.json is byte-identical to what one `ndpsim --config grid.json
+// --json merged.json` run writes (tests/serve_test.cpp pins this): the
+// per-cell result texts are spliced raw in global spec order, the
+// "aggregate" object is recomputed through the same code path the batch
+// writer uses, and the shard provenance blocks are dropped. Shard files
+// may be given in any order; envelopes from different grids, a missing or
+// duplicated shard, or a wrong shard count are hard errors, not guesses.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep_runner.h"
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--out=PATH] SHARD.json [SHARD.json ...]\n"
+               "\n"
+               "  Merge the JSON envelopes of `ndpsim --config G --shard i/N`\n"
+               "  runs (given in any order) into the document a single\n"
+               "  unsharded run of G would have written, byte for byte.\n"
+               "\n"
+               "  --out=PATH   write the merged envelope here (default '-',\n"
+               "               stdout)\n",
+               argv0);
+  return code;
+}
+
+bool read_all(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    *out = ss.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Envelopes on disk end with the '\n' write_output appended; the merge
+/// works on the bare document.
+void trim_trailing_ws(std::string* s) {
+  while (!s->empty() && (s->back() == '\n' || s->back() == '\r' ||
+                         s->back() == ' ' || s->back() == '\t'))
+    s->pop_back();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "-";
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out requires a value\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
+      return usage(argv[0], 2);
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (shard_paths.empty()) {
+    std::fprintf(stderr, "no shard files given\n\n");
+    return usage(argv[0], 2);
+  }
+
+  std::vector<std::string> envelopes(shard_paths.size());
+  for (std::size_t i = 0; i < shard_paths.size(); ++i) {
+    if (!read_all(shard_paths[i], &envelopes[i])) {
+      std::fprintf(stderr, "cannot read '%s'\n", shard_paths[i].c_str());
+      return 1;
+    }
+    trim_trailing_ws(&envelopes[i]);
+  }
+
+  std::string merged;
+  try {
+    merged = ndp::merge_sharded_envelopes(envelopes);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  if (out_path == "-") {
+    std::printf("%s\n", merged.c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << merged << '\n';
+  std::fprintf(stderr, "wrote %s (%zu shards merged)\n", out_path.c_str(),
+               shard_paths.size());
+  return 0;
+}
