@@ -1,0 +1,117 @@
+// Structured, leveled logging for every ndp tool and subsystem.
+//
+// One log call produces exactly one line, assembled in a private buffer and
+// emitted with a single write under one mutex — concurrent sweep workers
+// and serve connection threads can never interleave mid-line, which is the
+// whole reason this exists instead of scattered fprintf(stderr, ...).
+//
+//   obs::log(obs::LogLevel::kInfo, "serve.accept")
+//       .kv("conn", conn_id)
+//       .kv("fd", fd);
+//
+// renders (text format, the default):
+//
+//   2026-08-07T12:34:56.789Z INFO serve.accept conn=3 fd=7
+//
+// or, with the JSON-lines format selected (log shippers):
+//
+//   {"ts":"2026-08-07T12:34:56.789Z","level":"info","event":"serve.accept","conn":3,"fd":7}
+//
+// Control surface: `--log-level` on the CLIs, or the NDPSIM_LOG environment
+// variable ("debug", "warn", optionally with a format: "debug,json"). The
+// default is info. Disabled levels cost two relaxed atomic loads and no
+// formatting — logging below the threshold is free enough for per-request
+// paths (never put a log call in the simulation hot loop; that is what
+// obs/metrics.h counters are for).
+//
+// Output goes to stderr by default; tests retarget it with set_log_fd().
+// Results on stdout / JSON artifacts are never written through the logger,
+// so default tool output stays byte-identical with logging enabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ndp::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,  ///< threshold only — no log call takes kOff
+};
+
+enum class LogFormat : int {
+  kText,  ///< "TS LEVEL event k=v ..." (human-first)
+  kJson,  ///< one JSON object per line (shipper-first)
+};
+
+const char* to_string(LogLevel l);
+
+/// Parse "trace|debug|info|warn|error|off" (case-insensitive). False (and
+/// `out` untouched) on anything else.
+bool parse_log_level(std::string_view text, LogLevel& out);
+
+/// Current threshold: calls below it are dropped before formatting.
+LogLevel log_level();
+void set_log_level(LogLevel l);
+
+LogFormat log_format();
+void set_log_format(LogFormat f);
+
+/// Retarget the sink (default: fd 2). The fd is borrowed, never closed.
+void set_log_fd(int fd);
+
+/// Apply the NDPSIM_LOG environment variable ("LEVEL" or "LEVEL,json" /
+/// "LEVEL,text"); unset or unparsable input leaves the defaults. Called
+/// lazily before the first emitted line, so library users get env control
+/// without an init call; CLIs call it eagerly and then apply their flags
+/// on top (flags win).
+void init_log_from_env();
+
+/// True when a call at `l` would emit — guard any expensive field
+/// computation with this.
+inline bool log_enabled(LogLevel l) { return l >= log_level(); }
+
+/// One structured log line; emits on destruction (end of the full
+/// expression), or never if the level is below the threshold.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view event);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  LogLine& kv(std::string_view key, std::string_view value);
+  LogLine& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  LogLine& kv(std::string_view key, const std::string& value) {
+    return kv(key, std::string_view(value));
+  }
+  LogLine& kv(std::string_view key, std::uint64_t value);
+  LogLine& kv(std::string_view key, std::int64_t value);
+  LogLine& kv(std::string_view key, unsigned value) {
+    return kv(key, static_cast<std::uint64_t>(value));
+  }
+  LogLine& kv(std::string_view key, int value) {
+    return kv(key, static_cast<std::int64_t>(value));
+  }
+  LogLine& kv(std::string_view key, double value);
+  LogLine& kv(std::string_view key, bool value);
+
+ private:
+  bool enabled_;
+  LogFormat format_;
+  std::string line_;
+};
+
+/// Entry point: `log(level, "subsystem.event").kv(...)...`.
+inline LogLine log(LogLevel level, std::string_view event) {
+  return LogLine(level, event);
+}
+
+}  // namespace ndp::obs

@@ -1,0 +1,217 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ndp::obs {
+
+namespace {
+
+/// Prometheus renders integers bare and doubles with enough digits to
+/// round-trip; %.17g is exact, then trailing noise is trimmed via %g's
+/// shortest-form behaviour at lower precision when lossless.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "histogram bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop for the double sum — contended observes retry, which is fine
+  // for request-rate (not per-event) instrumentation.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::reset_for_test() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // +Inf bucket (or the first bucket): no finite width to interpolate
+      // over — clamp to the nearest finite bound.
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double into =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * (into < 0.0 ? 0.0 : into > 1.0 ? 1.0 : into);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> Histogram::latency_bounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+}
+
+Metrics& Metrics::instance() {
+  static Metrics* m = new Metrics();  // leaked: outlives every static user
+  return *m;
+}
+
+Metrics::Family& Metrics::family(std::string_view name, std::string_view help,
+                                 Type type) {
+  for (const auto& f : families_) {
+    if (f->name == name) {
+      if (f->type != type)
+        throw std::invalid_argument("metric '" + std::string(name) +
+                                    "' already registered as another type");
+      return *f;
+    }
+  }
+  auto f = std::make_unique<Family>();
+  f->name = std::string(name);
+  f->help = std::string(help);
+  f->type = type;
+  families_.push_back(std::move(f));
+  return *families_.back();
+}
+
+namespace {
+template <typename V, typename Make>
+V& child(std::vector<std::pair<std::string, std::unique_ptr<V>>>& children,
+         std::string_view labels, const Make& make) {
+  const auto pos = std::lower_bound(
+      children.begin(), children.end(), labels,
+      [](const auto& a, std::string_view b) { return a.first < b; });
+  if (pos != children.end() && pos->first == labels) return *pos->second;
+  return *children.emplace(pos, std::string(labels), make())->second;
+}
+}  // namespace
+
+Counter& Metrics::counter(std::string_view name, std::string_view help,
+                          std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return child(family(name, help, Type::kCounter).counters, labels,
+               [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Metrics::gauge(std::string_view name, std::string_view help,
+                      std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return child(family(name, help, Type::kGauge).gauges, labels,
+               [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& Metrics::histogram(std::string_view name, std::string_view help,
+                              std::string_view labels,
+                              std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& f = family(name, help, Type::kHistogram);
+  if (f.histograms.empty())
+    f.bounds = bounds.empty() ? Histogram::latency_bounds()
+                              : std::move(bounds);
+  return child(f.histograms, labels,
+               [&f] { return std::make_unique<Histogram>(f.bounds); });
+}
+
+std::string Metrics::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  auto name_with = [](const std::string& name, std::string_view suffix,
+                      const std::string& labels,
+                      std::string_view extra = {}) {
+    std::string s = name;
+    s += suffix;
+    if (!labels.empty() || !extra.empty()) {
+      s += '{';
+      s += labels;
+      if (!labels.empty() && !extra.empty()) s += ',';
+      s += extra;
+      s += '}';
+    }
+    return s;
+  };
+  for (const auto& f : families_) {
+    out += "# HELP " + f->name + ' ' + f->help + '\n';
+    out += "# TYPE " + f->name + ' ';
+    switch (f->type) {
+      case Type::kCounter: out += "counter"; break;
+      case Type::kGauge: out += "gauge"; break;
+      case Type::kHistogram: out += "histogram"; break;
+    }
+    out += '\n';
+    switch (f->type) {
+      case Type::kCounter:
+        for (const auto& [labels, c] : f->counters)
+          out += name_with(f->name, "", labels) + ' ' +
+                 std::to_string(c->value()) + '\n';
+        break;
+      case Type::kGauge:
+        for (const auto& [labels, g] : f->gauges)
+          out += name_with(f->name, "", labels) + ' ' +
+                 std::to_string(g->value()) + '\n';
+        break;
+      case Type::kHistogram:
+        for (const auto& [labels, h] : f->histograms) {
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+            cumulative += h->bucket_count(i);
+            out += name_with(f->name, "_bucket", labels,
+                             "le=\"" + format_double(h->bounds()[i]) +
+                                 "\"") +
+                   ' ' + std::to_string(cumulative) + '\n';
+          }
+          cumulative += h->bucket_count(h->bounds().size());
+          out += name_with(f->name, "_bucket", labels, "le=\"+Inf\"") + ' ' +
+                 std::to_string(cumulative) + '\n';
+          out += name_with(f->name, "_sum", labels) + ' ' +
+                 format_double(h->sum()) + '\n';
+          out += name_with(f->name, "_count", labels) + ' ' +
+                 std::to_string(h->count()) + '\n';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void Metrics::reset_values_for_test() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& f : families_) {
+    for (auto& [labels, c] : f->counters) c->reset_for_test();
+    for (auto& [labels, g] : f->gauges) g->reset_for_test();
+    for (auto& [labels, h] : f->histograms) h->reset_for_test();
+  }
+}
+
+}  // namespace ndp::obs

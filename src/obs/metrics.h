@@ -1,0 +1,148 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// latency histograms, exposed in Prometheus text-exposition format.
+//
+// Hot-path updates are single relaxed atomic RMWs — no locks, no
+// allocation — so instrumented paths (serve request handling, sweep cell
+// completion, Session cache hits) pay a few nanoseconds whether anything
+// ever scrapes. Registration (finding/creating a metric by family + label
+// set) takes a mutex and allocates; instrumented code therefore resolves
+// its metric handles once and keeps them:
+//
+//   static obs::Counter& hits = obs::Metrics::instance().counter(
+//       "ndpsim_session_image_hits_total",
+//       "Session image-cache hits (substrate restored)");
+//   hits.inc();
+//
+// Scraping surfaces:
+//   * the serve daemon's `metrics` wire op (serve/protocol.h) returns
+//     prometheus_text() — point a Prometheus scraper at a tiny sidecar
+//     that issues the request, or curl it ad hoc;
+//   * `ndpsim --metrics-dump=PATH` writes the same text after a batch run.
+//
+// Families render in registration order; labeled children render in label
+// order — scrape output is deterministic for a deterministic workload.
+// Nothing here touches simulated results: metrics live beside the run,
+// never in its output documents.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndp::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset_for_test() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset_for_test() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: cumulative `le` buckets on
+/// render, non-cumulative atomics underneath). observe() is two relaxed
+/// RMWs plus a branch scan over ~16 bounds.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bounds of the finite buckets, in
+  /// strictly increasing order; an implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  /// Upper bounds of the finite buckets (the +Inf bucket is implicit).
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i` (i == bounds().size() is +Inf).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// bucket that crosses the target rank; values beyond the last finite
+  /// bound clamp to it. 0.0 when empty. Good to bucket resolution — what a
+  /// latency trend needs, not a calibrated percentile.
+  double quantile(double q) const;
+
+  /// Zero every count and the sum, in place — handles stay valid.
+  void reset_for_test();
+
+  /// Default request-latency bounds: 100 µs .. 10 s, roughly log-spaced.
+  static std::vector<double> latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds + Inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The process-wide registry. Metric identity is (family name, label set):
+/// one family holds every labeled child and renders one # HELP/# TYPE
+/// header. Labels are passed pre-rendered ('op="run",outcome="ok"') —
+/// callers build them once, next to the handle they keep.
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  /// Find-or-create. Throws std::invalid_argument when `name` already
+  /// exists as a different metric type.
+  Counter& counter(std::string_view name, std::string_view help,
+                   std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               std::string_view labels = {});
+  /// `bounds` applies on first creation of the family; later calls for the
+  /// same family reuse its bounds (empty = Histogram::latency_bounds()).
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::string_view labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Prometheus text exposition of every registered metric.
+  std::string prometheus_text() const;
+
+  /// Zero every value (registrations stay — instrumented code keeps its
+  /// handles). Tests only; never called by tools.
+  void reset_values_for_test();
+
+ private:
+  Metrics() = default;
+
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type;
+    std::vector<double> bounds;  ///< histograms only
+    /// label-set → metric, kept sorted by label string for render order.
+    std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters;
+    std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges;
+    std::vector<std::pair<std::string, std::unique_ptr<Histogram>>>
+        histograms;
+  };
+
+  Family& family(std::string_view name, std::string_view help, Type type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;  ///< registration order
+};
+
+}  // namespace ndp::obs

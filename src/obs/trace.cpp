@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "common/json.h"
+
+namespace ndp::obs {
+
+TraceSink& TraceSink::instance() {
+  static TraceSink* sink = new TraceSink();  // leaked: outlives static users
+  return *sink;
+}
+
+void TraceSink::begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  thread_keys_.clear();
+  epoch_ = Clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::uint32_t TraceSink::tid_of_this_thread() {
+  const std::uint64_t key =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (std::size_t i = 0; i < thread_keys_.size(); ++i)
+    if (thread_keys_[i] == key) return static_cast<std::uint32_t>(i);
+  thread_keys_.push_back(key);
+  return static_cast<std::uint32_t>(thread_keys_.size() - 1);
+}
+
+void TraceSink::add_complete(std::string_view name, std::string_view category,
+                             Clock::time_point start, Clock::time_point end,
+                             std::string_view args_json) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.args_json = std::string(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto us = [this](Clock::time_point t) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_)
+            .count());
+  };
+  e.ts_us = us(start);
+  const std::uint64_t end_us = us(end);
+  e.dur_us = end_us > e.ts_us ? end_us - e.ts_us : 0;
+  e.tid = tid_of_this_thread();
+  events_.push_back(std::move(e));
+}
+
+std::string TraceSink::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i) out += ',';
+    out += "{\"name\":\"" + JsonWriter::escape(e.name) + "\",\"cat\":\"" +
+           JsonWriter::escape(e.category) + "\",\"ph\":\"X\",\"pid\":1,";
+    out += "\"tid\":" + std::to_string(e.tid);
+    out += ",\"ts\":" + std::to_string(e.ts_us);
+    out += ",\"dur\":" + std::to_string(e.dur_us);
+    if (!e.args_json.empty()) out += ",\"args\":" + e.args_json;
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceSink::end_to_file(const std::string& path, std::string* error) {
+  const std::string doc = json();
+  discard();
+  std::ofstream out(path);
+  if (!out) {
+    if (error) *error = "cannot write '" + path + "'";
+    return false;
+  }
+  out << doc << '\n';
+  if (!out.good()) {
+    if (error) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+void TraceSink::discard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  events_.clear();
+  thread_keys_.clear();
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+}  // namespace ndp::obs

@@ -1,0 +1,109 @@
+// Opt-in trace export in Chrome trace-event JSON (the "traceEvents"
+// format) — open the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing to see where a run's host wall time actually went:
+// per-cell spans on each sweep worker thread, the host phases
+// (build/install/prefault/warmup/run/collect) nested inside them, and
+// per-request serve spans.
+//
+// The sink is a process-wide singleton, disabled by default. When
+// disabled, instrumentation costs one relaxed atomic load per potential
+// span — nothing is recorded, nothing allocates, and the golden suite's
+// byte-identity holds trivially. `ndpsim --trace-out=FILE` enables it for
+// the process lifetime and writes the file at exit (serve mode: after the
+// drain).
+//
+//   obs::ScopedTraceSpan span("cell", "sweep");  // records only if enabled
+//   ... work ...
+//   // destructor emits a complete ("ph":"X") event
+//
+// Timestamps are microseconds since trace start (steady clock), tids are
+// small dense ints assigned per host thread in first-seen order.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndp::obs {
+
+/// One recorded event (always "ph":"X" complete events — begin/end pairs
+/// are collapsed by the RAII span, so a crash mid-span loses only that
+/// span, never unbalances the stream).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   ///< start, µs since trace start
+  std::uint64_t dur_us = 0;  ///< duration, µs
+  std::uint32_t tid = 0;     ///< dense per-thread id
+  /// Pre-rendered JSON object text for "args" ("" = omitted).
+  std::string args_json;
+};
+
+class TraceSink {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static TraceSink& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Start recording (idempotent; a second begin() clears prior events).
+  void begin();
+  /// Record one complete event. No-op while disabled.
+  void add_complete(std::string_view name, std::string_view category,
+                    Clock::time_point start, Clock::time_point end,
+                    std::string_view args_json = {});
+
+  /// The {"traceEvents":[...]} document for everything recorded so far.
+  std::string json() const;
+  /// json() to `path`, then disable and clear. False (with `error` set)
+  /// when the file cannot be written.
+  bool end_to_file(const std::string& path, std::string* error = nullptr);
+  /// Disable and drop everything recorded (tests).
+  void discard();
+
+  std::size_t event_count() const;
+
+ private:
+  TraceSink() = default;
+  std::uint32_t tid_of_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::uint64_t> thread_keys_;  ///< hashed ids, index = dense tid
+};
+
+/// RAII complete-event span. Checks enabled() once at construction; the
+/// destructor records through the sink only when it was enabled then.
+class ScopedTraceSpan {
+ public:
+  ScopedTraceSpan(std::string_view name, std::string_view category,
+                  std::string_view args_json = {})
+      : active_(TraceSink::instance().enabled()) {
+    if (!active_) return;
+    name_ = std::string(name);
+    category_ = std::string(category);
+    args_ = std::string(args_json);
+    start_ = TraceSink::Clock::now();
+  }
+  ~ScopedTraceSpan() {
+    if (!active_) return;
+    TraceSink::instance().add_complete(name_, category_, start_,
+                                       TraceSink::Clock::now(), args_);
+  }
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  bool active_;
+  std::string name_, category_, args_;
+  TraceSink::Clock::time_point start_;
+};
+
+}  // namespace ndp::obs

@@ -12,12 +12,28 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
+
 namespace ndp::serve {
 
 namespace {
 
 [[noreturn]] void sys_error(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Process-wide wire byte totals (obs/metrics.h) — every framed fd in the
+/// process (daemon connections, client sockets) accumulates here.
+obs::Counter& bytes_read_counter() {
+  static obs::Counter& c = obs::Metrics::instance().counter(
+      "ndpsim_bytes_read_total", "Bytes read from framed line streams");
+  return c;
+}
+
+obs::Counter& bytes_written_counter() {
+  static obs::Counter& c = obs::Metrics::instance().counter(
+      "ndpsim_bytes_written_total", "Bytes written to framed line streams");
+  return c;
 }
 
 }  // namespace
@@ -57,6 +73,7 @@ LineReader::Status LineReader::next(std::string& line, int timeout_ms,
       eof_ = true;
       return Status::kEof;
     }
+    bytes_read_counter().inc(static_cast<std::uint64_t>(n));
     buf_.append(chunk, static_cast<std::size_t>(n));
     if (take_line(line)) return Status::kLine;
   }
@@ -86,6 +103,7 @@ bool write_line(int fd, std::string_view payload) {
     }
     off += static_cast<std::size_t>(n);
   }
+  bytes_written_counter().inc(framed.size());
   return true;
 }
 

@@ -17,10 +17,11 @@ Request::Op op_of(const std::string& name) {
   if (name == "run") return Request::Op::kRun;
   if (name == "status") return Request::Op::kStatus;
   if (name == "stats") return Request::Op::kStats;
+  if (name == "metrics") return Request::Op::kMetrics;
   if (name == "cancel") return Request::Op::kCancel;
   if (name == "shutdown") return Request::Op::kShutdown;
   request_error("unknown op \"" + name +
-                "\" (known: run, status, stats, cancel, shutdown)");
+                "\" (known: run, status, stats, metrics, cancel, shutdown)");
 }
 
 bool key_allowed(Request::Op op, const std::string& key) {
@@ -152,6 +153,15 @@ std::string stats_envelope(std::string_view id, const SessionStats& stats) {
   write_session_stats(w, stats);
   out += w.str();
   out += '}';
+  return out;
+}
+
+std::string metrics_envelope(std::string_view id, std::string_view text) {
+  std::string out = envelope_head("metrics", id);
+  out += ",\"content_type\":\"text/plain; version=0.0.4\"";
+  out += ",\"text\":\"";
+  out += JsonWriter::escape(text);
+  out += "\"}";
   return out;
 }
 

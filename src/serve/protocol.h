@@ -5,6 +5,7 @@
 //   {"op":"run","id":"r1","config":{...RunConfig...},"jobs":2}
 //   {"op":"status","id":"s1"}
 //   {"op":"stats","id":"x1"}
+//   {"op":"metrics","id":"m1"}
 //   {"op":"cancel","id":"c1","target":"r1"}
 //   {"op":"shutdown","id":"z1"}
 //
@@ -38,7 +39,7 @@
 namespace ndp::serve {
 
 struct Request {
-  enum class Op { kRun, kStatus, kStats, kCancel, kShutdown };
+  enum class Op { kRun, kStatus, kStats, kMetrics, kCancel, kShutdown };
 
   Op op = Op::kStatus;
   std::string id;      ///< echoed on every response envelope ("" allowed)
@@ -77,6 +78,12 @@ std::string cancelled_envelope(std::string_view id, std::size_t completed,
                                std::size_t total);
 
 std::string stats_envelope(std::string_view id, const SessionStats& stats);
+
+/// Reply to the `metrics` op: the process-wide Prometheus text exposition
+/// (obs/metrics.h) carried as one JSON string member ("text"). A scraper
+/// sidecar (or `ndpsim --client --op=metrics`) unescapes "text" and has
+/// exactly what a /metrics HTTP endpoint would serve.
+std::string metrics_envelope(std::string_view id, std::string_view text);
 
 /// Generic success acknowledgement (e.g. a cancel that found its target).
 std::string ok_envelope(std::string_view id);

@@ -8,10 +8,74 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/framing.h"
 #include "sim/sweep_runner.h"
 
 namespace ndp::serve {
+
+namespace {
+
+const char* op_name(Request::Op op) {
+  switch (op) {
+    case Request::Op::kRun: return "run";
+    case Request::Op::kStatus: return "status";
+    case Request::Op::kStats: return "stats";
+    case Request::Op::kMetrics: return "metrics";
+    case Request::Op::kCancel: return "cancel";
+    case Request::Op::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// Daemon connection metrics (obs/metrics.h). Fixed handles, resolved once.
+struct ServeMetrics {
+  obs::Gauge& active_connections = obs::Metrics::instance().gauge(
+      "ndpsim_active_connections", "Currently open serve connections");
+  obs::Counter& connections = obs::Metrics::instance().counter(
+      "ndpsim_connections_total", "Connections served (TCP accepts + streams)");
+  obs::Counter& refused = obs::Metrics::instance().counter(
+      "ndpsim_connections_refused_total",
+      "Connections refused (drain in progress or connection limit)");
+
+  static ServeMetrics& get() {
+    static ServeMetrics m;
+    return m;
+  }
+};
+
+/// Per-op/outcome request accounting. Label children are found-or-created
+/// under the registry mutex per call — request dispatch is not a hot path
+/// (per-cell work is, and uses fixed handles in the sweep runner).
+void record_request(const char* op, const char* outcome, double seconds) {
+  std::string labels = "op=\"";
+  labels += op;
+  labels += "\",outcome=\"";
+  labels += outcome;
+  labels += '"';
+  obs::Metrics::instance()
+      .counter("ndpsim_requests_total",
+               "Requests dispatched, by op and outcome", labels)
+      .inc();
+  std::string op_label = "op=\"";
+  op_label += op;
+  op_label += '"';
+  obs::Metrics::instance()
+      .histogram("ndpsim_request_latency_seconds",
+                 "Wall seconds from request line to terminal envelope",
+                 op_label)
+      .observe(seconds);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 Server::Server(ServeOptions opts)
     : opts_(opts), session_(opts.session) {
@@ -32,6 +96,9 @@ Server::~Server() {
 std::uint16_t Server::start() {
   listen_fd_ = listen_tcp(opts_.port);
   const std::uint16_t port = local_port(listen_fd_);
+  obs::log(obs::LogLevel::kInfo, "serve.listen")
+      .kv("port", port)
+      .kv("max_connections", opts_.max_connections);
   accept_thread_ = std::thread([this] { accept_loop(); });
   return port;
 }
@@ -81,23 +148,39 @@ void Server::accept_loop() {
     if (fds[1].revents & POLLIN) {
       std::lock_guard<std::mutex> lock(mu_);
       draining_ = true;
+      obs::log(obs::LogLevel::kInfo, "serve.drain").kv("reason", "shutdown");
       break;
     }
     if (!(fds[0].revents & POLLIN)) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
+    if (conn < 0) {
+      obs::log(obs::LogLevel::kWarn, "serve.accept.error")
+          .kv("errno", errno);
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (draining_ || connections_ >= opts_.max_connections) {
         const char* why = draining_ ? "server is shutting down"
                                     : "connection limit reached";
+        ServeMetrics::get().refused.inc();
+        obs::log(obs::LogLevel::kWarn, "serve.refuse")
+            .kv("reason", why)
+            .kv("connections", connections_);
         write_line(conn, error_envelope("", why));
         ::close(conn);
         continue;
       }
       ++connections_;
-      conn_threads_.emplace_back(
-          [this, conn] { handle_connection(conn, conn, /*own_fds=*/true); });
+      const std::uint64_t conn_id =
+          next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+      obs::log(obs::LogLevel::kInfo, "serve.accept")
+          .kv("conn", conn_id)
+          .kv("fd", conn)
+          .kv("connections", connections_);
+      conn_threads_.emplace_back([this, conn, conn_id] {
+        handle_connection(conn, conn, /*own_fds=*/true, conn_id);
+      });
     }
   }
 }
@@ -107,75 +190,132 @@ void Server::serve_stream(int in_fd, int out_fd) {
     std::lock_guard<std::mutex> lock(mu_);
     ++connections_;
   }
-  handle_connection(in_fd, out_fd, /*own_fds=*/false);
+  const std::uint64_t conn_id =
+      next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::log(obs::LogLevel::kInfo, "serve.stream")
+      .kv("conn", conn_id)
+      .kv("in_fd", in_fd)
+      .kv("out_fd", out_fd);
+  handle_connection(in_fd, out_fd, /*own_fds=*/false, conn_id);
   // The fds belong to the caller, but a stream peer still deserves a clean
   // EOF: half-close sockets (socketpair tests); ENOTSOCK for stdio pipes
   // is fine — the caller exiting closes those.
   ::shutdown(out_fd, SHUT_WR);
 }
 
-void Server::handle_connection(int in_fd, int out_fd, bool own_fds) {
+void Server::handle_connection(int in_fd, int out_fd, bool own_fds,
+                               std::uint64_t conn_id) {
+  ServeMetrics::get().connections.inc();
+  ServeMetrics::get().active_connections.add(1);
   LineReader reader(in_fd);
   std::string line;
   bool open = true;
+  const char* close_reason = "eof";
   while (open) {
     const LineReader::Status st =
         reader.next(line, opts_.idle_timeout_ms, wake_rd_);
     switch (st) {
       case LineReader::Status::kLine:
-        open = dispatch(line, out_fd);
+        open = dispatch(line, out_fd, conn_id);
+        if (!open) close_reason = "bye";
         break;
       case LineReader::Status::kTimeout:
+        obs::log(obs::LogLevel::kWarn, "serve.idle_timeout")
+            .kv("conn", conn_id)
+            .kv("timeout_ms", opts_.idle_timeout_ms);
         write_line(out_fd, error_envelope("", "idle timeout, closing"));
         open = false;
+        close_reason = "idle_timeout";
         break;
       case LineReader::Status::kWake:
         // Drain in progress: this connection had no request in flight (one
         // being processed would hold us inside dispatch), so just close.
         open = false;
+        close_reason = "drain";
         break;
       case LineReader::Status::kEof:
-      case LineReader::Status::kError:
         open = false;
+        close_reason = "eof";
+        break;
+      case LineReader::Status::kError:
+        obs::log(obs::LogLevel::kWarn, "serve.read.error")
+            .kv("conn", conn_id)
+            .kv("errno", errno);
+        open = false;
+        close_reason = "read_error";
         break;
     }
   }
   if (own_fds) ::close(in_fd);  // in_fd == out_fd for TCP connections
+  obs::log(obs::LogLevel::kInfo, "serve.close")
+      .kv("conn", conn_id)
+      .kv("reason", close_reason);
+  ServeMetrics::get().active_connections.add(-1);
   std::lock_guard<std::mutex> lock(mu_);
   --connections_;
 }
 
-bool Server::dispatch(const std::string& line, int out_fd) {
+bool Server::dispatch(const std::string& line, int out_fd,
+                      std::uint64_t conn_id) {
+  const auto start = std::chrono::steady_clock::now();
   Request req;
   try {
     req = parse_request(line);
   } catch (const std::exception& e) {
     // The daemon's first duty: a bad request is that request's problem.
     // Reply with one error envelope (echoing the id when recoverable) and
-    // keep serving.
-    write_line(out_fd, error_envelope(request_id_of(line), e.what()));
+    // keep serving — and leave a log event carrying the connection and
+    // request ids, the daemon-side join key for the client's error line.
+    const std::string id = request_id_of(line);
+    obs::log(obs::LogLevel::kWarn, "serve.request.malformed")
+        .kv("conn", conn_id)
+        .kv("req", id)
+        .kv("error", e.what());
+    write_line(out_fd, error_envelope(id, e.what()));
+    record_request("invalid", "error", seconds_since(start));
     return true;
   }
+  const char* op = op_name(req.op);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++requests_accepted_;
     if (draining_ && req.op != Request::Op::kShutdown &&
         req.op != Request::Op::kStatus) {
+      obs::log(obs::LogLevel::kWarn, "serve.request.refused")
+          .kv("conn", conn_id)
+          .kv("req", req.id)
+          .kv("op", op)
+          .kv("reason", "draining");
       write_line(out_fd, error_envelope(req.id, "server is shutting down"));
+      record_request(op, "refused", seconds_since(start));
       return true;
     }
   }
+  obs::log(obs::LogLevel::kDebug, "serve.request")
+      .kv("conn", conn_id)
+      .kv("req", req.id)
+      .kv("op", op);
+  obs::ScopedTraceSpan span(std::string("req:") + op, "request");
 
+  const char* outcome = "ok";
+  bool keep_open = true;
   switch (req.op) {
     case Request::Op::kRun:
-      run_request(req, out_fd);
-      return true;
+      outcome = run_request(req, out_fd, conn_id);
+      break;
     case Request::Op::kStatus:
       write_line(out_fd, status_envelope(req.id, status()));
-      return true;
+      break;
     case Request::Op::kStats:
       write_line(out_fd, stats_envelope(req.id, session_.stats()));
-      return true;
+      break;
+    case Request::Op::kMetrics:
+      // Rendered before this request is itself recorded (below) — a scrape
+      // reflects everything that finished before it, deterministically.
+      write_line(out_fd,
+                 metrics_envelope(req.id,
+                                  obs::Metrics::instance().prometheus_text()));
+      break;
     case Request::Op::kCancel: {
       std::shared_ptr<ActiveRun> target;
       {
@@ -184,16 +324,28 @@ bool Server::dispatch(const std::string& line, int out_fd) {
         if (it != runs_.end()) target = it->second;
       }
       if (!target) {
+        obs::log(obs::LogLevel::kWarn, "serve.cancel.miss")
+            .kv("conn", conn_id)
+            .kv("req", req.id)
+            .kv("target", req.target);
         write_line(out_fd, error_envelope(
                                req.id, "no active run with id \"" +
                                            req.target + '"'));
-        return true;
+        outcome = "error";
+        break;
       }
       target->cancel.store(true);
+      obs::log(obs::LogLevel::kInfo, "serve.cancel")
+          .kv("conn", conn_id)
+          .kv("req", req.id)
+          .kv("target", req.target);
       write_line(out_fd, ok_envelope(req.id));
-      return true;
+      break;
     }
     case Request::Op::kShutdown: {
+      obs::log(obs::LogLevel::kInfo, "serve.shutdown")
+          .kv("conn", conn_id)
+          .kv("req", req.id);
       request_shutdown();
       // Drain: every in-flight run finishes and streams its envelopes on
       // its own connection; only then acknowledge and let the caller stop
@@ -203,23 +355,32 @@ bool Server::dispatch(const std::string& line, int out_fd) {
       draining_ = true;
       drain_cv_.wait(lock, [this] { return active_runs_ == 0; });
       lock.unlock();
+      obs::log(obs::LogLevel::kInfo, "serve.drained")
+          .kv("conn", conn_id)
+          .kv("req", req.id);
       write_line(out_fd, bye_envelope(req.id));
-      return false;
+      keep_open = false;
+      break;
     }
   }
-  return true;
+  record_request(op, outcome, seconds_since(start));
+  return keep_open;
 }
 
-void Server::run_request(const Request& req, int out_fd) {
+const char* Server::run_request(const Request& req, int out_fd,
+                                std::uint64_t conn_id) {
   auto active = std::make_shared<ActiveRun>();
   bool registered = false;
   if (!req.id.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!runs_.emplace(req.id, active).second) {
+      obs::log(obs::LogLevel::kWarn, "serve.run.duplicate")
+          .kv("conn", conn_id)
+          .kv("req", req.id);
       write_line(out_fd, error_envelope(
                              req.id, "a run with id \"" + req.id +
                                          "\" is already active"));
-      return;
+      return "error";
     }
     registered = true;
   }
@@ -231,8 +392,14 @@ void Server::run_request(const Request& req, int out_fd) {
   std::size_t total = 0;
   std::size_t completed = 0;
   bool write_failed = false;
+  const char* outcome = "ok";
   try {
     total = req.config.expand().size();
+    obs::log(obs::LogLevel::kInfo, "serve.run.start")
+        .kv("conn", conn_id)
+        .kv("req", req.id)
+        .kv("cells", total)
+        .kv("jobs", req.jobs ? req.jobs : opts_.jobs);
 
     SweepOptions opts;
     opts.jobs = req.jobs ? req.jobs : opts_.jobs;
@@ -277,12 +444,33 @@ void Server::run_request(const Request& req, int out_fd) {
       watchdog.join();
     }
 
-    if (completed < total)
+    if (completed < total) {
+      obs::log(obs::LogLevel::kInfo, "serve.run.cancelled")
+          .kv("conn", conn_id)
+          .kv("req", req.id)
+          .kv("completed", completed)
+          .kv("total", total);
       write_line(out_fd, cancelled_envelope(req.id, completed, total));
-    else if (!write_failed)
+      outcome = "cancelled";
+    } else if (!write_failed) {
+      obs::log(obs::LogLevel::kInfo, "serve.run.done")
+          .kv("conn", conn_id)
+          .kv("req", req.id)
+          .kv("cells", total);
       write_line(out_fd, done_envelope(req.id, results));
+    } else {
+      obs::log(obs::LogLevel::kWarn, "serve.run.client_gone")
+          .kv("conn", conn_id)
+          .kv("req", req.id)
+          .kv("cells", total);
+    }
   } catch (const std::exception& e) {
+    obs::log(obs::LogLevel::kWarn, "serve.run.error")
+        .kv("conn", conn_id)
+        .kv("req", req.id)
+        .kv("error", e.what());
     write_line(out_fd, error_envelope(req.id, e.what()));
+    outcome = "error";
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -290,6 +478,7 @@ void Server::run_request(const Request& req, int out_fd) {
   --active_runs_;
   ++runs_completed_;
   drain_cv_.notify_all();
+  return outcome;
 }
 
 }  // namespace ndp::serve

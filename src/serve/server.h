@@ -25,6 +25,7 @@
 // connections are refused, then everything winds down.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -88,11 +89,17 @@ class Server {
   };
 
   void accept_loop();
-  void handle_connection(int in_fd, int out_fd, bool own_fds);
+  /// `conn_id` tags every log line and error envelope of one connection —
+  /// the join key between a client-side failure and the daemon's log.
+  void handle_connection(int in_fd, int out_fd, bool own_fds,
+                         std::uint64_t conn_id);
   /// One request line → envelopes on out_fd. Returns false when the
   /// connection should end (shutdown acknowledged).
-  bool dispatch(const std::string& line, int out_fd);
-  void run_request(const Request& req, int out_fd);
+  bool dispatch(const std::string& line, int out_fd, std::uint64_t conn_id);
+  /// Returns the request's outcome for the metrics label: "ok", "cancelled",
+  /// or "error".
+  const char* run_request(const Request& req, int out_fd,
+                          std::uint64_t conn_id);
 
   ServeOptions opts_;
   Session session_;
@@ -110,6 +117,7 @@ class Server {
   std::uint64_t runs_completed_ = 0;
   std::uint64_t cells_completed_ = 0;
   std::map<std::string, std::shared_ptr<ActiveRun>> runs_;  ///< by request id
+  std::atomic<std::uint64_t> next_conn_id_{0};
 
   std::thread accept_thread_;
   std::vector<std::thread> conn_threads_;

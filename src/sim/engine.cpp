@@ -98,8 +98,7 @@ void Engine::prepare() {
   } else {
     for (const VmRegion& r : trace_.regions()) sys_.space().add_region(r);
   }
-  setup_profile_.add(ProfilePhase::kInstall, HostProfile::since_ns(t_phase));
-  t_phase = HostProfile::Clock::now();
+  t_phase = stamp_phase(setup_profile_, ProfilePhase::kInstall, t_phase);
   sys_.space().prefault_all();
   // Pre-touch the workload's steady-state-warm demand pages (e.g. the hot
   // part of a hash table built before the measured window).
@@ -108,7 +107,7 @@ void Engine::prepare() {
   } else {
     for (VirtAddr va : trace_.warm_pages()) sys_.space().touch_untimed(va);
   }
-  setup_profile_.add(ProfilePhase::kPrefault, HostProfile::since_ns(t_phase));
+  stamp_phase(setup_profile_, ProfilePhase::kPrefault, t_phase);
 }
 
 RunResult Engine::run() {
@@ -120,8 +119,7 @@ RunResult Engine::run() {
   out.host_profile.merge(setup_profile_);
   auto t_phase = HostProfile::Clock::now();
   auto end_phase = [&](ProfilePhase p) {
-    out.host_profile.add(p, HostProfile::since_ns(t_phase));
-    t_phase = HostProfile::Clock::now();
+    t_phase = stamp_phase(out.host_profile, p, t_phase);
   };
 
   std::vector<CoreCtx> ctx(ncores);

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace ndp {
 
 enum class ProfilePhase : unsigned {
@@ -63,11 +65,25 @@ class HostProfile {
 };
 
 /// RAII phase timer: charges the enclosed scope's wall time to one phase.
+/// When trace export is on (obs/trace.h, `ndpsim --trace-out`), the same
+/// scope is also recorded as a "phase" span — the finer-than-phase view of
+/// a cell in Perfetto costs one relaxed atomic load here when tracing is
+/// off (HostProfile::Clock and TraceSink::Clock are both steady_clock, so
+/// one pair of clock reads serves both).
 class ScopedPhaseTimer {
  public:
   ScopedPhaseTimer(HostProfile& profile, ProfilePhase phase)
       : profile_(profile), phase_(phase), start_(HostProfile::Clock::now()) {}
-  ~ScopedPhaseTimer() { profile_.add(phase_, HostProfile::since_ns(start_)); }
+  ~ScopedPhaseTimer() {
+    const auto end = HostProfile::Clock::now();
+    profile_.add(phase_, static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<
+                                 std::chrono::nanoseconds>(end - start_)
+                                 .count()));
+    if (obs::TraceSink::instance().enabled())
+      obs::TraceSink::instance().add_complete(to_string(phase_), "phase",
+                                              start_, end);
+  }
   ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
   ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
 
@@ -76,6 +92,23 @@ class ScopedPhaseTimer {
   ProfilePhase phase_;
   HostProfile::Clock::time_point start_;
 };
+
+/// Manual-stamp companion to ScopedPhaseTimer for code that times phases
+/// with explicit clock reads (the engine's chained phase boundaries):
+/// charges [start, now) to `p`, mirrors the interval as a trace span when
+/// export is on, and returns `now` so call sites chain into the next phase.
+inline HostProfile::Clock::time_point stamp_phase(
+    HostProfile& profile, ProfilePhase p,
+    HostProfile::Clock::time_point start) {
+  const auto end = HostProfile::Clock::now();
+  profile.add(p, static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         end - start)
+                         .count()));
+  if (obs::TraceSink::instance().enabled())
+    obs::TraceSink::instance().add_complete(to_string(p), "phase", start, end);
+  return end;
+}
 
 /// Host-side operation counters for one run — the deterministic complement
 /// to the wall-clock phases. CI's perf smoke test budgets these per

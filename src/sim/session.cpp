@@ -4,11 +4,41 @@
 #include <utility>
 
 #include "common/json.h"
+#include "obs/metrics.h"
 #include "workloads/workload_registry.h"
 
 namespace ndp {
 
 namespace {
+
+/// Process-wide cache-effectiveness metrics (obs/metrics.h), summed over
+/// every Session in the process — the scrapeable complement of the
+/// per-Session SessionStats snapshot. Handles resolve once.
+struct SessionMetrics {
+  obs::Counter& runs = obs::Metrics::instance().counter(
+      "ndpsim_session_runs_total", "Cells executed through a Session");
+  obs::Counter& image_hits = obs::Metrics::instance().counter(
+      "ndpsim_session_image_hits_total",
+      "System-image cache hits (substrate restored)");
+  obs::Counter& image_builds = obs::Metrics::instance().counter(
+      "ndpsim_session_image_builds_total",
+      "System-image cache misses (substrate built)");
+  obs::Counter& image_evictions = obs::Metrics::instance().counter(
+      "ndpsim_session_image_evictions_total",
+      "System images evicted past the LRU capacity");
+  obs::Counter& material_hits = obs::Metrics::instance().counter(
+      "ndpsim_session_material_hits_total", "Trace-material cache hits");
+  obs::Counter& material_builds = obs::Metrics::instance().counter(
+      "ndpsim_session_material_builds_total", "Trace-material cache misses");
+  obs::Gauge& resident_bytes = obs::Metrics::instance().gauge(
+      "ndpsim_session_resident_bytes",
+      "Host bytes held by Session caches (last Session to update wins)");
+
+  static SessionMetrics& get() {
+    static SessionMetrics m;
+    return m;
+  }
+};
 /// Bit-exact text of a double. Cache keys must distinguish *any* two
 /// values that could yield different build products; decimal formatting
 /// (std::to_string's fixed 6 digits) would alias close-but-distinct
@@ -59,6 +89,7 @@ std::shared_ptr<const SystemImage> Session::image_for(const SystemConfig& cfg,
     std::lock_guard<std::mutex> lock(mu_);
     if (auto hit = images_.find(key)) {
       ++stats_.image_hits;
+      SessionMetrics::get().image_hits.inc();
       if (built_out) *built_out = false;
       return hit;
     }
@@ -72,11 +103,17 @@ std::shared_ptr<const SystemImage> Session::image_for(const SystemConfig& cfg,
   std::lock_guard<std::mutex> lock(mu_);
   if (auto raced = images_.find(key)) {
     ++stats_.image_hits;
+    SessionMetrics::get().image_hits.inc();
     if (built_out) *built_out = false;
     return raced;
   }
   ++stats_.image_builds;
-  stats_.image_evictions += images_.insert(key, image, opts_.max_images);
+  SessionMetrics::get().image_builds.inc();
+  const std::size_t evicted = images_.insert(key, image, opts_.max_images);
+  stats_.image_evictions += evicted;
+  SessionMetrics::get().image_evictions.inc(evicted);
+  SessionMetrics::get().resident_bytes.set(
+      static_cast<std::int64_t>(images_.bytes + materials_.bytes));
   if (built_out) *built_out = true;
   return image;
 }
@@ -87,6 +124,7 @@ std::shared_ptr<const TraceMaterial> Session::material_for(
     std::lock_guard<std::mutex> lock(mu_);
     if (auto hit = materials_.find(key)) {
       ++stats_.material_hits;
+      SessionMetrics::get().material_hits.inc();
       return hit;
     }
   }
@@ -97,10 +135,14 @@ std::shared_ptr<const TraceMaterial> Session::material_for(
   std::lock_guard<std::mutex> lock(mu_);
   if (auto raced = materials_.find(key)) {
     ++stats_.material_hits;
+    SessionMetrics::get().material_hits.inc();
     return raced;
   }
   ++stats_.material_builds;
+  SessionMetrics::get().material_builds.inc();
   materials_.insert(key, material, opts_.max_materials);
+  SessionMetrics::get().resident_bytes.set(
+      static_cast<std::int64_t>(images_.bytes + materials_.bytes));
   return material;
 }
 
@@ -193,6 +235,7 @@ RunResult Session::run(const RunSpec& spec) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.runs;
   }
+  SessionMetrics::get().runs.inc();
   return result;
 }
 

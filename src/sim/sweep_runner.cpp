@@ -8,8 +8,34 @@
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ndp {
+
+namespace {
+
+/// Process-wide sweep-progress metrics (obs/metrics.h). Queue depth counts
+/// cells claimed-or-pending across every in-flight run_sweep in the
+/// process — the fleet-mode "how far behind is this worker" signal.
+struct SweepMetrics {
+  obs::Counter& cells_ok = obs::Metrics::instance().counter(
+      "ndpsim_sweep_cells_total", "Sweep cells finished, by outcome",
+      "outcome=\"ok\"");
+  obs::Counter& cells_failed = obs::Metrics::instance().counter(
+      "ndpsim_sweep_cells_total", "Sweep cells finished, by outcome",
+      "outcome=\"failed\"");
+  obs::Gauge& queue_depth = obs::Metrics::instance().gauge(
+      "ndpsim_sweep_queue_depth",
+      "Cells of in-flight sweeps not yet completed");
+
+  static SweepMetrics& get() {
+    static SweepMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 SweepResults run_sweep(const std::vector<RunSpec>& specs,
                        const SweepOptions& opts) {
@@ -59,9 +85,12 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
   // but cell i always lands in slot i, so the result set is deterministic.
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> finished{0};  ///< ok + failed (gauge accounting)
   std::atomic<bool> failed{false};
   std::mutex mu;  // guards progress callback + first_error
   std::exception_ptr first_error;
+
+  SweepMetrics::get().queue_depth.add(static_cast<std::int64_t>(total));
 
   auto worker = [&] {
     while (!failed.load(std::memory_order_relaxed) &&
@@ -70,13 +99,25 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
       if (i >= total) return;
       SweepCell& cell = out.cells[i];
       try {
+        // Perfetto view: one "cell" span per executed spec, with the host
+        // phases (build/prefault/run/...) nested inside it on this thread.
+        obs::ScopedTraceSpan span(
+            cell.spec.mechanism_label() + '/' + cell.spec.workload_label() +
+                '/' + std::to_string(cell.spec.cores) + 'c',
+            "cell");
         cell.result = session.run(cell.spec);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
+        SweepMetrics::get().cells_failed.inc();
+        SweepMetrics::get().queue_depth.add(-1);
+        finished.fetch_add(1, std::memory_order_relaxed);
         return;
       }
+      SweepMetrics::get().cells_ok.inc();
+      SweepMetrics::get().queue_depth.add(-1);
+      finished.fetch_add(1, std::memory_order_relaxed);
       const std::size_t completed =
           done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (opts.progress || opts.cell_done) {
@@ -95,6 +136,10 @@ SweepResults run_sweep(const std::vector<RunSpec>& specs,
     for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+  // Cells never claimed (cancellation, a failed sibling) leave the queue
+  // with the sweep — the gauge must not drift upward across runs.
+  SweepMetrics::get().queue_depth.add(-static_cast<std::int64_t>(
+      total - finished.load(std::memory_order_relaxed)));
   if (first_error) std::rethrow_exception(first_error);
   out.session = session.stats();
   out.host_wall_ns = HostProfile::since_ns(t_start);

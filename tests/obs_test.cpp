@@ -1,0 +1,419 @@
+// Observability layer contract (src/obs/): the metrics registry's bucket
+// math and Prometheus rendering, counter/histogram integrity under
+// concurrent hammering, the structured logger's level filtering and
+// single-write-per-line guarantee, trace export validity — and the
+// property the whole layer hangs on: simulated results are byte-identical
+// whether observability is on or off.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/run_config.h"
+#include "sim/sweep_runner.h"
+
+namespace ndp {
+namespace {
+
+// --- histogram bucket math --------------------------------------------------
+
+TEST(ObsHistogram, BucketAssignmentCountsAndSum) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 4.0, 5.0}) h.observe(v);
+
+  // Inclusive upper bounds: 1.0 lands in the first bucket, 4.0 in the
+  // third, 5.0 in the implicit +Inf bucket.
+  EXPECT_EQ(2u, h.bucket_count(0));
+  EXPECT_EQ(1u, h.bucket_count(1));
+  EXPECT_EQ(1u, h.bucket_count(2));
+  EXPECT_EQ(1u, h.bucket_count(3));  // +Inf
+  EXPECT_EQ(5u, h.count());
+  EXPECT_DOUBLE_EQ(12.0, h.sum());
+}
+
+TEST(ObsHistogram, QuantilesInterpolateAndClamp) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 4.0, 5.0}) h.observe(v);
+
+  // rank 2.5 crosses into the (1,2] bucket halfway through its single
+  // observation: 1 + 0.5 * (2-1).
+  EXPECT_DOUBLE_EQ(1.5, h.quantile(0.5));
+  // The +Inf bucket has no finite width; quantiles landing there clamp to
+  // the last finite bound.
+  EXPECT_DOUBLE_EQ(4.0, h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(0.0, h.quantile(0.0));
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.quantile(7.0));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(-1.0));
+}
+
+TEST(ObsHistogram, EmptyHistogramAndBadBounds) {
+  obs::Histogram empty({0.5});
+  EXPECT_EQ(0u, empty.count());
+  EXPECT_DOUBLE_EQ(0.0, empty.quantile(0.5));
+
+  const std::vector<double> decreasing{2.0, 1.0};
+  const std::vector<double> repeated{1.0, 1.0};
+  EXPECT_THROW(obs::Histogram{decreasing}, std::invalid_argument);
+  EXPECT_THROW(obs::Histogram{repeated}, std::invalid_argument);
+}
+
+TEST(ObsHistogram, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = obs::Histogram::latency_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(0.0001, bounds.front());  // 100 µs floor
+  EXPECT_DOUBLE_EQ(10.0, bounds.back());     // 10 s ceiling
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+// --- concurrent increments --------------------------------------------------
+
+TEST(ObsMetrics, ConcurrentIncrementsLoseNothing) {
+  obs::Counter& c = obs::Metrics::instance().counter(
+      "obs_test_concurrent_total", "obs_test concurrency counter");
+  obs::Histogram& h = obs::Metrics::instance().histogram(
+      "obs_test_concurrent_seconds", "obs_test concurrency histogram", {},
+      {0.5, 1.0});
+  c.reset_for_test();
+  h.reset_for_test();
+
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kPer = 10000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (unsigned i = 0; i < kPer; ++i) {
+        c.inc();
+        h.observe(1.0);  // one bucket, contended CAS on the sum
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(std::uint64_t{kThreads} * kPer, c.value());
+  EXPECT_EQ(std::uint64_t{kThreads} * kPer, h.count());
+  EXPECT_EQ(std::uint64_t{kThreads} * kPer, h.bucket_count(1));
+  // 1.0 + 1.0 + ... is exact in binary floating point, so the CAS loop
+  // must account for every single observation.
+  EXPECT_DOUBLE_EQ(static_cast<double>(kThreads) * kPer, h.sum());
+}
+
+// --- Prometheus rendering ---------------------------------------------------
+
+TEST(ObsMetrics, PrometheusTextRendersFamiliesChildrenAndCumulativeBuckets) {
+  obs::Metrics& m = obs::Metrics::instance();
+  obs::Counter& a =
+      m.counter("obs_test_render_total", "obs_test render counter", "k=\"a\"");
+  obs::Counter& b =
+      m.counter("obs_test_render_total", "obs_test render counter", "k=\"b\"");
+  obs::Gauge& g = m.gauge("obs_test_render_gauge", "obs_test render gauge");
+  obs::Histogram& h = m.histogram("obs_test_render_seconds",
+                                  "obs_test render histogram", {}, {0.5, 1.0});
+  a.reset_for_test();
+  b.reset_for_test();
+  h.reset_for_test();
+  a.inc(3);
+  b.inc(1);
+  g.set(-7);
+  h.observe(0.25);
+  h.observe(0.75);
+  h.observe(2.0);
+
+  const std::string text = m.prometheus_text();
+  const auto expect_block = [&](const std::string& block) {
+    EXPECT_NE(std::string::npos, text.find(block))
+        << "missing:\n" << block << "\nin:\n" << text;
+  };
+  // Children render in label order under one family header.
+  expect_block(
+      "# HELP obs_test_render_total obs_test render counter\n"
+      "# TYPE obs_test_render_total counter\n"
+      "obs_test_render_total{k=\"a\"} 3\n"
+      "obs_test_render_total{k=\"b\"} 1\n");
+  expect_block(
+      "# TYPE obs_test_render_gauge gauge\n"
+      "obs_test_render_gauge -7\n");
+  // Buckets render cumulatively with the implicit +Inf, then _sum/_count.
+  expect_block(
+      "# TYPE obs_test_render_seconds histogram\n"
+      "obs_test_render_seconds_bucket{le=\"0.5\"} 1\n"
+      "obs_test_render_seconds_bucket{le=\"1\"} 2\n"
+      "obs_test_render_seconds_bucket{le=\"+Inf\"} 3\n"
+      "obs_test_render_seconds_sum 3\n"
+      "obs_test_render_seconds_count 3\n");
+}
+
+TEST(ObsMetrics, NameCollisionAcrossTypesThrows) {
+  obs::Metrics& m = obs::Metrics::instance();
+  m.counter("obs_test_collision_total", "obs_test collision");
+  EXPECT_THROW(m.gauge("obs_test_collision_total", "other type"),
+               std::invalid_argument);
+  EXPECT_THROW(m.histogram("obs_test_collision_total", "other type"),
+               std::invalid_argument);
+}
+
+// --- structured logger ------------------------------------------------------
+
+/// Retargets the logger to a temp file for one test, restoring stderr (and
+/// the info/text defaults) on the way out.
+class LogCapture {
+ public:
+  LogCapture() {
+    std::snprintf(path_, sizeof path_, "/tmp/ndp_obs_log_XXXXXX");
+    fd_ = ::mkstemp(path_);
+    EXPECT_GE(fd_, 0);
+    obs::set_log_fd(fd_);
+  }
+  ~LogCapture() {
+    obs::set_log_fd(2);
+    obs::set_log_level(obs::LogLevel::kInfo);
+    obs::set_log_format(obs::LogFormat::kText);
+    ::close(fd_);
+    ::unlink(path_);
+  }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::ifstream in(path_);
+    EXPECT_TRUE(in.is_open());
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+ private:
+  char path_[64];
+  int fd_ = -1;
+};
+
+TEST(ObsLog, LevelFilteringAndTextShape) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kWarn);
+
+  obs::log(obs::LogLevel::kDebug, "dropped.event").kv("n", 1u);
+  obs::log(obs::LogLevel::kInfo, "dropped.too").kv("n", 2u);
+  obs::log(obs::LogLevel::kWarn, "kept.warn")
+      .kv("count", std::uint64_t{42})
+      .kv("name", "plain")
+      .kv("quoted", "two words")
+      .kv("neg", -5)
+      .kv("flag", true);
+  obs::log(obs::LogLevel::kError, "kept.error").kv("pi", 3.25);
+
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(2u, lines.size());
+  // "2026-08-07T12:34:56.789Z WARN kept.warn ..." — a 24-char RFC3339
+  // UTC-millisecond timestamp, then level, event, and k=v fields with
+  // quoting only where the value needs it.
+  ASSERT_GT(lines[0].size(), 24u);
+  EXPECT_EQ('T', lines[0][10]);
+  EXPECT_EQ('Z', lines[0][23]);
+  EXPECT_EQ(
+      " WARN kept.warn count=42 name=plain quoted=\"two words\" neg=-5 "
+      "flag=true",
+      lines[0].substr(24));
+  EXPECT_EQ(" ERROR kept.error pi=3.25", lines[1].substr(24));
+
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kWarn));
+}
+
+TEST(ObsLog, JsonFormatParsesAndEscapes) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kInfo);
+  obs::set_log_format(obs::LogFormat::kJson);
+
+  obs::log(obs::LogLevel::kInfo, "json.event")
+      .kv("text", "line\nbreak \"quoted\"")
+      .kv("n", std::uint64_t{7})
+      .kv("ok", false);
+
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(1u, lines.size());
+  const JsonValue doc = JsonValue::parse(lines[0]);
+  EXPECT_EQ("info", doc.at("level").as_string());
+  EXPECT_EQ("json.event", doc.at("event").as_string());
+  EXPECT_EQ("line\nbreak \"quoted\"", doc.at("text").as_string());
+  EXPECT_EQ(7u, doc.at("n").as_u64());
+  EXPECT_FALSE(doc.at("ok").as_bool());
+}
+
+TEST(ObsLog, ConcurrentWritersNeverInterleaveWithinALine) {
+  LogCapture capture;
+  obs::set_log_level(obs::LogLevel::kInfo);
+
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kLines = 200;
+  const std::string pad(32, 'x');
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([t, &pad] {
+      for (unsigned i = 0; i < kLines; ++i)
+        obs::log(obs::LogLevel::kInfo, "hammer")
+            .kv("thread", t)
+            .kv("i", i)
+            .kv("pad", pad);
+    });
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(std::size_t{kThreads} * kLines, lines.size());
+  // Single-write-per-line: every line is whole — one timestamp, one event,
+  // the full pad at the end — never spliced with another thread's bytes.
+  const std::string tail = " pad=" + pad;
+  for (const std::string& line : lines) {
+    ASSERT_GT(line.size(), 24u) << line;
+    EXPECT_EQ('Z', line[23]) << line;
+    EXPECT_NE(std::string::npos, line.find(" INFO hammer thread=", 23))
+        << line;
+    EXPECT_EQ(tail, line.substr(line.size() - tail.size())) << line;
+  }
+}
+
+TEST(ObsLog, ParseLevelAcceptsKnownNamesOnly) {
+  obs::LogLevel l = obs::LogLevel::kInfo;
+  EXPECT_TRUE(obs::parse_log_level("trace", l));
+  EXPECT_EQ(obs::LogLevel::kTrace, l);
+  EXPECT_TRUE(obs::parse_log_level("WARN", l));
+  EXPECT_EQ(obs::LogLevel::kWarn, l);
+  EXPECT_TRUE(obs::parse_log_level("off", l));
+  EXPECT_EQ(obs::LogLevel::kOff, l);
+  EXPECT_FALSE(obs::parse_log_level("verbose", l));
+  EXPECT_FALSE(obs::parse_log_level("", l));
+  EXPECT_EQ(obs::LogLevel::kOff, l);  // untouched on failure
+}
+
+// --- trace export -----------------------------------------------------------
+
+TEST(ObsTrace, DisabledSinkRecordsNothing) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.discard();
+  { obs::ScopedTraceSpan span("ignored", "test"); }
+  EXPECT_EQ(0u, sink.event_count());
+}
+
+TEST(ObsTrace, SpansProduceValidChromeTraceJson) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.begin();
+  {
+    obs::ScopedTraceSpan outer("outer", "test", "{\"k\":1}");
+    obs::ScopedTraceSpan inner("inner", "test");
+  }
+  EXPECT_EQ(2u, sink.event_count());
+
+  const JsonValue doc = JsonValue::parse(sink.json());
+  EXPECT_EQ("ms", doc.at("displayTimeUnit").as_string());
+  const std::vector<JsonValue>& events = doc.at("traceEvents").array();
+  ASSERT_EQ(2u, events.size());
+  // Inner closes first (reverse destruction order).
+  EXPECT_EQ("inner", events[0].at("name").as_string());
+  EXPECT_EQ("outer", events[1].at("name").as_string());
+  for (const JsonValue& e : events) {
+    EXPECT_EQ("X", e.at("ph").as_string());
+    EXPECT_EQ("test", e.at("cat").as_string());
+    EXPECT_EQ(1u, e.at("pid").as_u64());
+  }
+  EXPECT_EQ(nullptr, events[0].find("args"));  // empty args omitted
+  EXPECT_EQ(1u, events[1].at("args").at("k").as_u64());
+
+  // end_to_file writes the same document, then disables and clears.
+  char path[64];
+  std::snprintf(path, sizeof path, "/tmp/ndp_obs_trace_XXXXXX");
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  EXPECT_TRUE(sink.end_to_file(path));
+  EXPECT_FALSE(sink.enabled());
+  EXPECT_EQ(0u, sink.event_count());
+  std::ifstream in(path);
+  std::stringstream written;
+  written << in.rdbuf();
+  const JsonValue reread = JsonValue::parse(written.str());
+  EXPECT_EQ(2u, reread.at("traceEvents").array().size());
+  ::unlink(path);
+}
+
+TEST(ObsTrace, EndToFileFailsCleanlyOnUnwritablePath) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.begin();
+  std::string error;
+  EXPECT_FALSE(sink.end_to_file("/nonexistent-dir/trace.json", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(sink.enabled());  // still ends the recording session
+}
+
+TEST(ObsTrace, RunWithTracingRecordsCellAndPhaseSpans) {
+  obs::TraceSink& sink = obs::TraceSink::instance();
+  sink.begin();
+
+  const RunConfig cfg = RunConfig::from_json(R"json({
+    "name": "obs_trace_grid",
+    "mechanisms": ["ndpage"],
+    "workloads": ["RND"],
+    "cores": [1],
+    "instructions": 1000,
+    "warmup": 100,
+    "scale": 0.015625
+  })json");
+  SweepOptions opts;
+  run_sweep(cfg, opts);
+
+  const std::string json = sink.json();
+  sink.discard();
+  const JsonValue doc = JsonValue::parse(json);
+  bool saw_cell = false, saw_run_phase = false;
+  for (const JsonValue& e : doc.at("traceEvents").array()) {
+    if (e.at("cat").as_string() == "cell") saw_cell = true;
+    if (e.at("cat").as_string() == "phase" &&
+        e.at("name").as_string() == "run")
+      saw_run_phase = true;
+  }
+  EXPECT_TRUE(saw_cell);
+  EXPECT_TRUE(saw_run_phase);
+}
+
+// --- the golden property ----------------------------------------------------
+
+TEST(ObsGolden, SweepJsonIsByteIdenticalWithObservabilityOn) {
+  const RunConfig cfg = RunConfig::from_json(R"json({
+    "name": "obs_identity_grid",
+    "mechanisms": ["radix", "ndpage"],
+    "workloads": ["RND"],
+    "cores": [1, 2],
+    "instructions": 2000,
+    "warmup": 150,
+    "scale": 0.015625,
+    "baseline": "radix"
+  })json");
+  SweepOptions opts;
+  opts.jobs = 2;
+
+  const std::string off = to_json(run_sweep(cfg, opts));
+
+  // Everything on: trace recording, trace-level logging (to a temp file;
+  // metrics are always on). The serialized result document must not move
+  // by a byte.
+  {
+    LogCapture capture;
+    obs::set_log_level(obs::LogLevel::kTrace);
+    obs::TraceSink::instance().begin();
+    const std::string on = to_json(run_sweep(cfg, opts));
+    obs::TraceSink::instance().discard();
+    EXPECT_EQ(off, on);
+  }
+}
+
+}  // namespace
+}  // namespace ndp

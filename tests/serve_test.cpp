@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "sim/run_config.h"
@@ -158,6 +159,69 @@ TEST(Serve, MalformedAndInvalidRequestsDontKillTheDaemon) {
   // After all that abuse, a real run still works and still matches batch.
   const RunConfig cfg = serve_grid();
   EXPECT_EQ(batch_json(cfg), client.run("good", cfg));
+
+  EXPECT_EQ("bye",
+            type_of(client.roundtrip(serve::simple_request_line("shutdown",
+                                                                "z"))));
+}
+
+// --- metrics wire op --------------------------------------------------------
+
+TEST(Serve, MetricsOpReturnsPrometheusTextWithRequestLatencies) {
+  StreamServer stream;
+  serve::Client client = stream.client();
+
+  // Populate the request metrics through the daemon itself: one run, one
+  // status ping, one malformed line (which must also be counted).
+  const RunConfig cfg = serve_grid();
+  client.run("m-run", cfg);
+  client.roundtrip(serve::simple_request_line("status", "m-ping"));
+  ASSERT_TRUE(client.send("not json"));
+  std::string discard;
+  ASSERT_EQ(serve::LineReader::Status::kLine, client.next(discard));
+
+  const std::string reply =
+      client.roundtrip(serve::simple_request_line("metrics", "mx"));
+  const JsonValue parsed = JsonValue::parse(reply);
+  EXPECT_EQ("metrics", parsed.at("type").as_string());
+  EXPECT_EQ("mx", parsed.at("id").as_string());
+  const std::string text = parsed.at("text").as_string();
+
+  // Prometheus text exposition: request counters by op and outcome (the
+  // registry is process-wide, so values are cumulative across tests —
+  // presence plus the histogram count checks below are the stable
+  // assertions)…
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE ndpsim_requests_total counter"));
+  EXPECT_NE(std::string::npos,
+            text.find("ndpsim_requests_total{op=\"run\",outcome=\"ok\"}"));
+  EXPECT_NE(
+      std::string::npos,
+      text.find("ndpsim_requests_total{op=\"invalid\",outcome=\"error\"}"));
+  // …the request-latency histogram with labeled buckets…
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE ndpsim_request_latency_seconds histogram"));
+  EXPECT_NE(std::string::npos,
+            text.find("ndpsim_request_latency_seconds_bucket{op=\"run\","
+                      "le=\"+Inf\"}"));
+  EXPECT_NE(std::string::npos,
+            text.find("ndpsim_request_latency_seconds_count{op=\"status\"}"));
+  // …and the connection/session instrumentation around it.
+  EXPECT_NE(std::string::npos, text.find("ndpsim_active_connections"));
+  EXPECT_NE(std::string::npos, text.find("ndpsim_session_runs_total"));
+  EXPECT_NE(std::string::npos, text.find("ndpsim_bytes_written_total"));
+
+  // The histogram handles the daemon populated are reachable in-process;
+  // both ops must have nonzero observation counts by now.
+  EXPECT_GT(obs::Metrics::instance()
+                .histogram("ndpsim_request_latency_seconds", "", "op=\"run\"")
+                .count(),
+            0u);
+  EXPECT_GT(
+      obs::Metrics::instance()
+          .histogram("ndpsim_request_latency_seconds", "", "op=\"status\"")
+          .count(),
+      0u);
 
   EXPECT_EQ("bye",
             type_of(client.roundtrip(serve::simple_request_line("shutdown",

@@ -28,6 +28,7 @@
 // Exit codes: 0 success, 1 run-time failure, 2 bad flags/usage, 3 a broken
 // experiment description (config parse/validation, unknown names).
 // Diagnostics go to stderr; stdout carries only results.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -37,8 +38,12 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "sim/run_config.h"
@@ -91,8 +96,20 @@ int usage(const char* argv0, int code) {
       "  --client=[HOST:]PORT     drive a daemon: submit --config as a run\n"
       "                           request and write the streamed envelope\n"
       "                           (byte-identical to a batch run) to --json\n"
-      "  --op=run|stats|status|shutdown\n"
-      "                           client request kind (default run)\n"
+      "  --op=run|stats|status|metrics|shutdown\n"
+      "                           client request kind (default run; metrics\n"
+      "                           prints the daemon's Prometheus exposition)\n"
+      "\n"
+      "observability (see README \"Observability\"):\n"
+      "  --log-level=LEVEL        trace|debug|info|warn|error|off (default\n"
+      "                           info; the NDPSIM_LOG env variable sets the\n"
+      "                           same, flags win)\n"
+      "  --log-format=text|json   structured log line format (default text)\n"
+      "  --metrics-dump=PATH      write the process metrics as Prometheus\n"
+      "                           text exposition on exit ('-' = stdout)\n"
+      "  --trace-out=FILE         record a Chrome trace-event JSON timeline\n"
+      "                           (host phases, sweep cells, serve requests;\n"
+      "                           open in Perfetto or chrome://tracing)\n"
       "\n"
       "selection (comma-separated values expand into a sweep):\n"
       "  --system=ndp|cpu         simulated system (default ndp)\n"
@@ -151,6 +168,8 @@ constexpr KnownFlag kKnownFlags[] = {
     {"--stdio", false},        {"--max-conns", true},
     {"--idle-timeout", true},  {"--request-timeout", true},
     {"--client", true},        {"--op", true},
+    {"--log-level", true},     {"--log-format", true},
+    {"--metrics-dump", true},  {"--trace-out", true},
     {"--system", true},
     {"--cores", true},         {"--mechanism", true},
     {"--workload", true},      {"--instructions", true},
@@ -329,12 +348,42 @@ bool write_output(const std::string& path, const std::string& payload,
   }
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    obs::log(obs::LogLevel::kError, "output.error")
+        .kv("path", path)
+        .kv("error", "cannot open for writing");
     return false;
   }
   out << payload << '\n';
   std::printf("wrote %s (%s)\n", path.c_str(), what);
   return true;
+}
+
+/// Flush the opt-in observability artifacts (--metrics-dump, --trace-out)
+/// on the way out of any mode. Returns `code`, escalated to kExitRuntime
+/// when an artifact could not be written.
+int finish_obs(const std::string& metrics_path, const std::string& trace_path,
+               int code) {
+  if (!metrics_path.empty()) {
+    std::string text = obs::Metrics::instance().prometheus_text();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    if (!write_output(metrics_path, text, "metrics") && code == 0)
+      code = kExitRuntime;
+  }
+  if (!trace_path.empty()) {
+    const std::size_t events = obs::TraceSink::instance().event_count();
+    std::string error;
+    if (obs::TraceSink::instance().end_to_file(trace_path, &error)) {
+      obs::log(obs::LogLevel::kInfo, "trace.write")
+          .kv("path", trace_path)
+          .kv("events", events);
+    } else {
+      obs::log(obs::LogLevel::kError, "trace.write.error")
+          .kv("path", trace_path)
+          .kv("error", error);
+      if (code == 0) code = kExitRuntime;
+    }
+  }
+  return code;
 }
 
 // --- serving & client modes -------------------------------------------------
@@ -357,10 +406,11 @@ int serve_main(const serve::ServeOptions& opts, bool stdio_mode) {
       server.serve_stream(0, 1);
     } else {
       const std::uint16_t port = server.start();
-      std::fprintf(
-          stderr,
-          "ndpsim: serving on port %u (a shutdown request or SIGINT drains)\n",
-          port);
+      // The one line a launcher script greps for the kernel-assigned port;
+      // Server::start() already logged serve.listen with the same number.
+      obs::log(obs::LogLevel::kInfo, "serve.ready")
+          .kv("port", port)
+          .kv("hint", "a shutdown request or SIGINT drains");
     }
     server.wait();
     g_server = nullptr;
@@ -369,7 +419,7 @@ int serve_main(const serve::ServeOptions& opts, bool stdio_mode) {
     return 0;
   } catch (const std::exception& e) {
     g_server = nullptr;
-    std::fprintf(stderr, "%s\n", e.what());
+    obs::log(obs::LogLevel::kError, "serve.fatal").kv("error", e.what());
     return kExitRuntime;
   }
 }
@@ -410,7 +460,9 @@ int client_main(const std::string& addr, const std::string& op,
       const std::string envelope = client.run(
           config.name.empty() ? "run" : config.name, config, jobs,
           [](std::size_t done, std::size_t total) {
-            std::fprintf(stderr, "[%zu/%zu] cell done\n", done, total);
+            obs::log(obs::LogLevel::kInfo, "client.cell")
+                .kv("done", done)
+                .kv("total", total);
           });
       // The daemon's envelope is the batch document, byte for byte; write
       // it exactly where (and how) a batch run would have.
@@ -420,24 +472,37 @@ int client_main(const std::string& addr, const std::string& op,
       if (!write_output(out_path, envelope, "JSON")) return kExitRuntime;
       return 0;
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s\n", e.what());
+      obs::log(obs::LogLevel::kError, "client.error").kv("error", e.what());
       return kExitRuntime;
     }
   }
 
-  if (op != "stats" && op != "status" && op != "shutdown") {
-    std::fprintf(stderr, "--op takes run|stats|status|shutdown, got '%s'\n",
+  if (op != "stats" && op != "status" && op != "metrics" &&
+      op != "shutdown") {
+    std::fprintf(stderr,
+                 "--op takes run|stats|status|metrics|shutdown, got '%s'\n",
                  op.c_str());
     return kExitUsage;
   }
   try {
     serve::Client client =
         serve::Client::connect(host, static_cast<std::uint16_t>(port));
-    std::printf("%s\n",
-                client.roundtrip(serve::simple_request_line(op, op)).c_str());
+    const std::string reply =
+        client.roundtrip(serve::simple_request_line(op, op));
+    if (op == "metrics") {
+      // Unwrap the envelope: print the Prometheus text itself, so
+      // `ndpsim --client=PORT --op=metrics` pipes straight into a scrape
+      // file. Error envelopes (draining daemon) fall through verbatim.
+      const JsonValue doc = JsonValue::parse(reply);
+      if (const JsonValue* text = doc.find("text")) {
+        std::fputs(text->as_string().c_str(), stdout);
+        return 0;
+      }
+    }
+    std::printf("%s\n", reply.c_str());
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
+    obs::log(obs::LogLevel::kError, "client.error").kv("error", e.what());
     return kExitRuntime;
   }
 }
@@ -462,9 +527,13 @@ int main(int argc, char** argv) {
   bool serve_mode = false, stdio_mode = false;
   serve::ServeOptions serve_opts;
   std::string client_addr, client_op = "run";
+  std::string metrics_dump, trace_out;
   // Selection/run-parameter flags conflict with --config (the file is the
   // experiment); remember whether any was given explicitly.
   bool selection_flags_used = false;
+
+  // Environment first, flags on top (flags win).
+  obs::init_log_from_env();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -548,6 +617,28 @@ int main(int argc, char** argv) {
       client_addr = v;
     } else if (const char* v = value_of("--op")) {
       client_op = v;
+    } else if (const char* v = value_of("--log-level")) {
+      obs::LogLevel level;
+      if (!obs::parse_log_level(v, level)) {
+        std::fprintf(
+            stderr,
+            "--log-level takes trace|debug|info|warn|error|off, got '%s'\n",
+            v);
+        return kExitUsage;
+      }
+      obs::set_log_level(level);
+    } else if (const char* v = value_of("--log-format")) {
+      const std::string f = v;
+      if (f != "text" && f != "json") {
+        std::fprintf(stderr, "--log-format takes text|json, got '%s'\n", v);
+        return kExitUsage;
+      }
+      obs::set_log_format(f == "json" ? obs::LogFormat::kJson
+                                      : obs::LogFormat::kText);
+    } else if (const char* v = value_of("--metrics-dump")) {
+      metrics_dump = v;
+    } else if (const char* v = value_of("--trace-out")) {
+      trace_out = v;
     } else if (const char* v = value_of("--config")) {
       config_path = v;
     } else if (const char* v = value_of("--jobs")) {
@@ -634,6 +725,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_out.empty()) obs::TraceSink::instance().begin();
+
   const bool config_mode = !config_path.empty();
   if (config_mode && selection_flags_used) {
     std::fprintf(stderr,
@@ -655,7 +748,8 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     serve_opts.jobs = jobs;
-    return serve_main(serve_opts, stdio_mode);
+    return finish_obs(metrics_dump, trace_out,
+                      serve_main(serve_opts, stdio_mode));
   }
   if (stdio_mode) {
     std::fprintf(stderr, "--stdio requires --serve\n");
@@ -668,7 +762,9 @@ int main(int argc, char** argv) {
                    "daemon runs the --config grid as submitted\n");
       return kExitUsage;
     }
-    return client_main(client_addr, client_op, config_path, json_path, jobs);
+    return finish_obs(
+        metrics_dump, trace_out,
+        client_main(client_addr, client_op, config_path, json_path, jobs));
   }
   if (shard_count > 1 && !config_mode) {
     std::fprintf(stderr,
@@ -712,7 +808,7 @@ int main(int argc, char** argv) {
     // Config parse/validation failures (malformed JSON with its line:col,
     // unknown mechanism/workload names) — a broken experiment description,
     // distinct from wrong flags (2) and from run-time failures (1).
-    std::fprintf(stderr, "%s\n", e.what());
+    obs::log(obs::LogLevel::kError, "config.error").kv("error", e.what());
     return kExitConfig;
   }
 
@@ -739,14 +835,29 @@ int main(int argc, char** argv) {
   opts.shard_index = shard_index;
   opts.shard_count = shard_count;
   if (specs.size() > 1) {
-    // Progress to stderr (completion order): stdout/file output stays
-    // byte-identical across job counts.
-    opts.progress = [](std::size_t done, std::size_t total,
-                       const RunSpec& spec) {
-      std::fprintf(stderr, "[%zu/%zu] %s %uc %s %s\n", done, total,
-                   to_string(spec.system).c_str(), spec.cores,
-                   spec.mechanism_label().c_str(),
-                   spec.workload_label().c_str());
+    // Progress through the logger (completion order, stderr by default):
+    // stdout/file output stays byte-identical across job counts. Rate and
+    // ETA come from the wall clock since the sweep started — coarse, but a
+    // long grid answers "how much longer?" without a calculator.
+    const auto sweep_start = std::chrono::steady_clock::now();
+    opts.progress = [sweep_start](std::size_t done, std::size_t total,
+                                  const RunSpec& spec) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        sweep_start)
+              .count();
+      const double rate = elapsed > 0 ? static_cast<double>(done) / elapsed
+                                      : 0.0;
+      obs::log(obs::LogLevel::kInfo, "sweep.progress")
+          .kv("done", done)
+          .kv("total", total)
+          .kv("system", to_string(spec.system))
+          .kv("cores", spec.cores)
+          .kv("mechanism", spec.mechanism_label())
+          .kv("workload", spec.workload_label())
+          .kv("cells_per_sec", rate)
+          .kv("eta_s", rate > 0 ? static_cast<double>(total - done) / rate
+                                : 0.0);
     };
   }
 
@@ -754,8 +865,8 @@ int main(int argc, char** argv) {
   try {
     results = run_sweep(specs, opts);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return kExitRuntime;
+    obs::log(obs::LogLevel::kError, "sweep.error").kv("error", e.what());
+    return finish_obs(metrics_dump, trace_out, kExitRuntime);
   }
   if (config_mode) {
     results.name = config.name;
@@ -788,8 +899,8 @@ int main(int argc, char** argv) {
       std::printf("\nspeedup over %s\n", results.baseline.c_str());
       speedup_table(results, results.baseline).print(std::cout);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return kExitRuntime;
+      obs::log(obs::LogLevel::kError, "aggregate.error").kv("error", e.what());
+      return finish_obs(metrics_dump, trace_out, kExitRuntime);
     }
   }
 
@@ -817,10 +928,11 @@ int main(int argc, char** argv) {
       }
       payload += ']';
     }
-    if (!write_output(out_json, payload, "JSON")) return kExitRuntime;
+    if (!write_output(out_json, payload, "JSON"))
+      return finish_obs(metrics_dump, trace_out, kExitRuntime);
   }
   if (!out_csv.empty() &&
       !write_output(out_csv, to_csv(results), "CSV"))
-    return kExitRuntime;
-  return 0;
+    return finish_obs(metrics_dump, trace_out, kExitRuntime);
+  return finish_obs(metrics_dump, trace_out, 0);
 }

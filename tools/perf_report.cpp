@@ -21,6 +21,14 @@
 // CI runs this on the smoke grid with --check and uploads the artifact, so
 // every commit leaves a perf datapoint. Simulated results are untouched —
 // this tool only reports on the host side.
+//
+// `--serve-out=PATH` additionally benches the resident daemon: an
+// in-process server on a loopback TCP port runs the grid twice (cold, then
+// warm on the shared Session) and answers a burst of status pings; the
+// emitted BENCH_serve.json carries p50/p95/p99 round-trip latency straight
+// from the daemon's own request-latency histogram (obs/metrics.h) — the
+// same numbers the `metrics` wire op exposes to a scraper.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +38,9 @@
 #include <string>
 
 #include "common/json.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "sim/run_config.h"
 #include "sim/sweep_runner.h"
 
@@ -60,9 +71,98 @@ int usage(const char* argv0, int code) {
       "this run\n"
       "                  is more than %gx slower — a generous budget, so "
       "only\n"
-      "                  gross regressions fail CI, never runner noise\n",
+      "                  gross regressions fail CI, never runner noise\n"
+      "  --serve-out=PATH\n"
+      "                  also bench the resident daemon (warm drive-through "
+      "+\n"
+      "                  status pings over loopback TCP) and write "
+      "BENCH_serve\n"
+      "                  latency quantiles to PATH ('-' = stdout)\n"
+      "  --pings=N       status requests for the serve bench (default "
+      "200)\n",
       argv0, kCheckBudget);
   return code;
+}
+
+/// Resolve the daemon's request-latency histogram child for one op — the
+/// handle the server populates in record_request (serve/server.cpp).
+obs::Histogram& latency_of(const char* op_label) {
+  return obs::Metrics::instance().histogram(
+      "ndpsim_request_latency_seconds",
+      "Wall seconds from request line to terminal envelope", op_label);
+}
+
+/// The daemon round-trip bench behind --serve-out. Returns 0 on success.
+int serve_bench(const RunConfig& config, unsigned jobs, unsigned pings,
+                const std::string& out_path) {
+  double run_cold_s = 0.0, run_warm_s = 0.0;
+  try {
+    serve::ServeOptions sopts;
+    sopts.jobs = jobs;
+    serve::Server server(sopts);
+    const std::uint16_t port = server.start();
+    serve::Client client = serve::Client::connect("127.0.0.1", port);
+    const auto timed_run = [&](const char* id) {
+      const auto t0 = std::chrono::steady_clock::now();
+      client.run(id, config, jobs);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    // Cold, then warm: the second drive rides the shared Session's image
+    // and material caches — the latency a resident daemon actually serves.
+    run_cold_s = timed_run("bench-cold");
+    run_warm_s = timed_run("bench-warm");
+    for (unsigned i = 0; i < pings; ++i)
+      client.roundtrip(serve::simple_request_line("status", "ping"));
+    client.roundtrip(serve::simple_request_line("shutdown", "bye"));
+    server.wait();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve bench: %s\n", e.what());
+    return 1;
+  }
+
+  // The server ran in-process, so its histogram children are readable
+  // directly; a remote scraper gets the identical numbers via `metrics`.
+  const obs::Histogram& status_h = latency_of("op=\"status\"");
+  const obs::Histogram& run_h = latency_of("op=\"run\"");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("serve");
+  w.key("config").value(config.name);
+  w.key("jobs").value(jobs);
+  w.key("status_pings").value(pings);
+  w.key("status_p50_us").value(status_h.quantile(0.50) * 1e6);
+  w.key("status_p95_us").value(status_h.quantile(0.95) * 1e6);
+  w.key("status_p99_us").value(status_h.quantile(0.99) * 1e6);
+  w.key("status_observations").value(status_h.count());
+  w.key("run_requests").value(run_h.count());
+  w.key("run_p50_seconds").value(run_h.quantile(0.50));
+  w.key("run_cold_seconds").value(run_cold_s);
+  w.key("run_warm_seconds").value(run_warm_s);
+  w.end_object();
+
+  std::printf(
+      "serve: status p50=%.0f us p95=%.0f us p99=%.0f us over %llu pings; "
+      "run cold %.3f s, warm %.3f s\n",
+      status_h.quantile(0.50) * 1e6, status_h.quantile(0.95) * 1e6,
+      status_h.quantile(0.99) * 1e6,
+      static_cast<unsigned long long>(status_h.count()), run_cold_s,
+      run_warm_s);
+
+  if (out_path == "-") {
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << w.str() << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -71,8 +171,10 @@ int main(int argc, char** argv) {
   std::string config_path = "experiments/ci_smoke.json";
   std::string out_path = "BENCH_engine.json";
   std::string check_path;
+  std::string serve_out;
   unsigned jobs = 1;
   unsigned repeat = 1;
+  unsigned pings = 200;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +197,11 @@ int main(int argc, char** argv) {
       out_path = v;
     } else if (const char* v = value_of("--check")) {
       check_path = v;
+    } else if (const char* v = value_of("--serve-out")) {
+      serve_out = v;
+    } else if (const char* v = value_of("--pings")) {
+      pings = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (pings == 0) pings = 1;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
       return usage(argv[0], 2);
@@ -198,14 +305,19 @@ int main(int argc, char** argv) {
 
   if (out_path == "-") {
     std::printf("%s\n", w.str().c_str());
-    return check_status;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+    std::printf("wrote %s\n", out_path.c_str());
   }
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
-    return 1;
+
+  if (!serve_out.empty()) {
+    const int serve_status = serve_bench(config, jobs, pings, serve_out);
+    if (serve_status != 0) return serve_status;
   }
-  out << w.str() << '\n';
-  std::printf("wrote %s\n", out_path.c_str());
   return check_status;
 }
