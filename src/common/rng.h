@@ -58,6 +58,15 @@ class Rng {
   /// Bernoulli trial.
   bool chance(double p) { return uniform() < p; }
 
+  /// Raw xoshiro state words, for image serialization (sim/image_store.h):
+  /// a restored generator continues the stream bit-for-bit.
+  void save_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void load_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -40,6 +40,50 @@ void StatSet::clear() {
   for (auto& kv : averages_) kv.second = Sample{};
 }
 
+void StatSet::save_state(BlobWriter& out) const {
+  const auto live_counters = counters();
+  out.u64(live_counters.size());
+  for (const auto& [name, v] : live_counters) {
+    out.str(name);
+    out.u64(v);
+  }
+  const auto live_averages = averages();
+  out.u64(live_averages.size());
+  for (const auto& [name, a] : live_averages) {
+    out.str(name);
+    out.u64(a.count());
+    out.f64(a.sum());
+    out.f64(a.min());
+    out.f64(a.max());
+  }
+}
+
+bool StatSet::load_state(BlobReader& in) {
+  clear();
+  const std::uint64_t nc = in.u64();
+  for (std::uint64_t i = 0; i < nc && in.ok(); ++i) {
+    const std::string name = in.str();
+    const std::uint64_t v = in.u64();
+    if (!in.ok()) return false;
+    Counter& c = counters_[name];
+    c.value_ = v;
+    c.live_ = true;
+  }
+  const std::uint64_t na = in.u64();
+  for (std::uint64_t i = 0; i < na && in.ok(); ++i) {
+    const std::string name = in.str();
+    const std::uint64_t count = in.u64();
+    const double sum = in.f64();
+    const double mn = in.f64();
+    const double mx = in.f64();
+    if (!in.ok()) return false;
+    Sample& s = averages_[name];
+    s.avg_ = Average::from_parts(count, sum, mn, mx);
+    s.live_ = true;
+  }
+  return in.ok();
+}
+
 void StatSet::merge(const StatSet& other) {
   // A live-but-zero cell still materializes a key in the target, matching
   // the string-keyed `counters_[name] += v` behaviour this replaced.

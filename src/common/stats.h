@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/blob.h"
+
 namespace ndp {
 
 /// Running mean + extremes without storing samples.
@@ -45,6 +47,19 @@ class Average {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
   void reset() { *this = Average{}; }
+
+  /// Rebuild from serialized parts — the getters' inverse, for snapshot
+  /// restore (StatSet::load_state). count == 0 yields an empty Average.
+  static Average from_parts(std::uint64_t count, double sum, double mn,
+                            double mx) {
+    Average a;
+    if (count == 0) return a;
+    a.count_ = count;
+    a.sum_ = sum;
+    a.min_ = mn;
+    a.max_ = mx;
+    return a;
+  }
 
  private:
   std::uint64_t count_ = 0;
@@ -164,6 +179,14 @@ class StatSet {
   void clear();
   /// Merge another StatSet into this one (counter sums, exact sample merges).
   void merge(const StatSet& other);
+
+  /// Serialize the live cells — value *and* liveness, so a restored set
+  /// reports exactly the key set the original did (sim/image_store.h
+  /// post-prefault snapshots; byte-identical serialization depends on it).
+  void save_state(BlobWriter& out) const;
+  /// clear() and re-apply a saved snapshot. Resolved handles stay valid
+  /// (cells are written in place). Returns false on truncated input.
+  bool load_state(BlobReader& in);
 
  private:
   std::map<std::string, Counter> counters_;

@@ -149,4 +149,60 @@ std::uint64_t FlatPageTable::table_bytes() const {
          flat_nodes_.size() * (kFlatEntries * kPteSize);
 }
 
+bool FlatPageTable::save_state(BlobWriter& out) const {
+  out.str("NDPageFlat");
+  out.u64(root_.frame);
+  out.u64(root_.valid);
+  out.bytes(root_.child.data(), sizeof root_.child);
+  out.u64(l3_nodes_.size());
+  for (const auto& n : l3_nodes_) {
+    out.u64(n->frame);
+    out.u64(n->valid);
+    out.bytes(n->child.data(), sizeof n->child);
+  }
+  out.u64(flat_nodes_.size());
+  for (const auto& f : flat_nodes_) {
+    out.u64(f->base_frame);
+    out.u64(f->valid);
+    out.u64s(f->ent);
+  }
+  return true;
+}
+
+bool FlatPageTable::load_state(BlobReader& in) {
+  if (in.str() != "NDPageFlat") return false;
+  RadixNode root;
+  root.frame = in.u64();
+  root.valid = static_cast<std::uint32_t>(in.u64());
+  if (!in.bytes(root.child.data(), sizeof root.child)) return false;
+  const std::uint64_t n_l3 = in.u64();
+  if (!in.ok() || n_l3 > in.remaining()) return false;
+  std::vector<std::unique_ptr<RadixNode>> l3;
+  l3.reserve(n_l3);
+  for (std::uint64_t i = 0; i < n_l3 && in.ok(); ++i) {
+    auto n = std::make_unique<RadixNode>();
+    n->frame = in.u64();
+    n->valid = static_cast<std::uint32_t>(in.u64());
+    if (!in.bytes(n->child.data(), sizeof n->child)) return false;
+    l3.push_back(std::move(n));
+  }
+  const std::uint64_t n_flat = in.u64();
+  if (!in.ok() || n_flat > in.remaining()) return false;
+  std::vector<std::unique_ptr<FlatNode>> flat;
+  flat.reserve(n_flat);
+  for (std::uint64_t i = 0; i < n_flat && in.ok(); ++i) {
+    auto f = std::make_unique<FlatNode>();
+    f->base_frame = in.u64();
+    f->valid = in.u64();
+    f->ent = in.u64s();
+    if (f->ent.size() != kFlatEntries) return false;
+    flat.push_back(std::move(f));
+  }
+  if (!in.ok()) return false;
+  root_ = root;
+  l3_nodes_ = std::move(l3);
+  flat_nodes_ = std::move(flat);
+  return true;
+}
+
 }  // namespace ndp

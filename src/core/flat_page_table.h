@@ -40,6 +40,8 @@ class FlatPageTable : public PageTable {
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override { return "NDPageFlat"; }
   std::uint64_t table_bytes() const override;
+  bool save_state(BlobWriter& out) const override;
+  bool load_state(BlobReader& in) override;
 
   std::uint64_t flat_node_count() const { return flat_nodes_.size(); }
 

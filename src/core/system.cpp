@@ -161,6 +161,34 @@ void System::assemble(const SystemImage* image) {
   });
 }
 
+std::shared_ptr<const PreparedImage> System::snapshot_prepared(
+    std::shared_ptr<const SystemImage> base) const {
+  BlobWriter pt;
+  if (!space_->page_table().save_state(pt)) return nullptr;
+  BlobWriter sp;
+  space_->save_state(sp);
+  BlobWriter st;
+  phys_->stats().save_state(st);
+  return std::make_shared<const PreparedImage>(
+      PreparedImage{std::move(base), phys_->snapshot(), pt.take(), sp.take(),
+                    st.take()});
+}
+
+bool System::adopt_prepared(const PreparedImage& prep) {
+  if (!prep.base || !prep.base->compatible_with(cfg_)) return false;
+  // Pool first: page-table and space loads adopt frames the restored pool
+  // already accounts for (they never allocate or free). The constructor's
+  // own deterministic allocations are part of the snapshot's history, so
+  // dropping them without freeing is consistent with the restored bitmaps.
+  phys_->restore(prep.ready);
+  BlobReader pt(prep.pt_state);
+  if (!space_->page_table().load_state(pt)) return false;
+  BlobReader sp(prep.space_state);
+  if (!space_->load_state(sp)) return false;
+  BlobReader st(prep.stats_state);
+  return phys_->stats().load_state(st);
+}
+
 void System::reset_stats() {
   mem_->reset_stats();
   phys_->stats().clear();

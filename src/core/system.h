@@ -105,6 +105,27 @@ struct SystemImage {
   }
 };
 
+/// Post-prefault snapshot of a fully *prepared* System: the post-boot
+/// substrate image it was built from plus the serialized page-table,
+/// address-space, and OS-statistics state left behind by workload install
+/// and prefault. Restoring one skips install and prefault entirely — the
+/// expensive half of cell setup — and the on-disk image store
+/// (sim/image_store.h) persists these across processes.
+struct PreparedImage {
+  std::shared_ptr<const SystemImage> base;  ///< post-boot substrate image
+  PhysMemImage ready;  ///< pool state right after prefault
+  std::vector<std::uint64_t> pt_state;     ///< PageTable::save_state words
+  std::vector<std::uint64_t> space_state;  ///< AddressSpace::save_state words
+  std::vector<std::uint64_t> stats_state;  ///< post-prefault OS statistics
+
+  /// Host bytes one cache slot costs beyond the (shared) base image.
+  std::uint64_t resident_bytes() const {
+    return ready.resident_bytes() +
+           (pt_state.size() + space_state.size() + stats_state.size()) *
+               sizeof(std::uint64_t);
+  }
+};
+
 class System {
  public:
   explicit System(const SystemConfig& cfg);
@@ -123,6 +144,21 @@ class System {
   /// construction would leave them. Throws std::invalid_argument when the
   /// image is not compatible_with(config()).
   void reset_to(const SystemImage& image);
+
+  /// Capture this System's state as a PreparedImage over `base` (the image
+  /// this System was, or could have been, built from). Call right after
+  /// Engine::prepare(). Returns null when the page table does not support
+  /// snapshotting (a custom mechanism without save_state overrides); the
+  /// System itself is never modified.
+  std::shared_ptr<const PreparedImage> snapshot_prepared(
+      std::shared_ptr<const SystemImage> base) const;
+  /// Adopt a PreparedImage into a System freshly constructed from
+  /// prep.base with an equivalent config: restores the physical pool
+  /// wholesale, then overwrites page-table / address-space / statistics
+  /// state, leaving the System observably at the post-prefault point.
+  /// Returns false on a mismatched or malformed image — the System must
+  /// then be discarded (its state may be partially overwritten).
+  bool adopt_prepared(const PreparedImage& prep);
 
   const SystemConfig& config() const { return cfg_; }
   unsigned num_cores() const { return cfg_.num_cores; }

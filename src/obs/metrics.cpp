@@ -57,17 +57,40 @@ double Histogram::quantile(double q) const {
   if (n == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
+  // Bucket edges, with the two unbounded ends clamped to the nearest
+  // finite bound (bucket 0 has no finite floor; the +Inf bucket no finite
+  // ceiling).
+  auto lower_edge = [this](std::size_t i) {
+    return i == 0 ? 0.0 : bounds_[i - 1];
+  };
+  auto upper_edge = [this](std::size_t i) {
+    return i < bounds_.size() ? bounds_[i]
+                              : (bounds_.empty() ? 0.0 : bounds_.back());
+  };
+  std::size_t first = 0, last = 0;
+  bool seen = false;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    if (bucket_count(i) == 0) continue;
+    if (!seen) first = i;
+    last = i;
+    seen = true;
+  }
+  // The edge quantiles are resolved structurally, never through the
+  // floating-point rank below: q=0 is the lower edge of the first occupied
+  // bucket (the tightest minimum bound a histogram can state) and q=1 the
+  // upper edge of the last — rounding in q*n can therefore never report a
+  // quantile outside the occupied range.
+  if (q == 0.0) return lower_edge(first);
+  if (q == 1.0) return upper_edge(last);
   const double rank = q * static_cast<double>(n);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     const std::uint64_t in_bucket = bucket_count(i);
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= rank) {
-      // +Inf bucket (or the first bucket): no finite width to interpolate
-      // over — clamp to the nearest finite bound.
-      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      if (i >= bounds_.size()) return upper_edge(i);
       const double hi = bounds_[i];
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double lo = lower_edge(i);
       const double into =
           (rank - static_cast<double>(cumulative)) /
           static_cast<double>(in_bucket);
@@ -75,7 +98,9 @@ double Histogram::quantile(double q) const {
     }
     cumulative += in_bucket;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  // Rounded off the end of the scan: still never past the last occupied
+  // bucket.
+  return upper_edge(last);
 }
 
 std::vector<double> Histogram::latency_bounds() {

@@ -1,5 +1,6 @@
 #include "os/buddy.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ndp {
@@ -15,6 +16,49 @@ BuddyAllocator::BuddyAllocator(std::uint64_t num_frames)
     free_.emplace_back(num_frames_ >> o);
   for (Pfn base = 0; base < num_frames_; base += max_block)
     insert_free(base, kMaxOrder);
+}
+
+bool BitIndex::load_words(const std::vector<std::uint64_t>& w) {
+  if (w.size() != l0_.size()) return false;
+  l0_ = w;
+  std::fill(l1_.begin(), l1_.end(), 0);
+  std::fill(l2_.begin(), l2_.end(), 0);
+  count_ = 0;
+  for (std::uint64_t j = 0; j < l0_.size(); ++j) {
+    if (l0_[j] == 0) continue;
+    count_ += static_cast<std::uint64_t>(__builtin_popcountll(l0_[j]));
+    l1_[j >> 6] |= 1ull << (j & 63);
+    l2_[j >> 12] |= 1ull << ((j >> 6) & 63);
+  }
+  return true;
+}
+
+void BuddyAllocator::save_state(BlobWriter& out) const {
+  out.u64(num_frames_);
+  out.u64(free_frames_);
+  for (const BitIndex& order : free_) out.u64s(order.words());
+  // free_bit_ packed 64 per word (std::vector<bool> has no contiguous
+  // storage to bulk-copy from).
+  std::vector<std::uint64_t> packed((num_frames_ + 63) / 64, 0);
+  for (std::uint64_t f = 0; f < num_frames_; ++f)
+    if (free_bit_[f]) packed[f >> 6] |= 1ull << (f & 63);
+  out.u64s(packed);
+}
+
+bool BuddyAllocator::load_state(BlobReader& in) {
+  if (in.u64() != num_frames_) return false;
+  const std::uint64_t free_frames = in.u64();
+  std::vector<std::vector<std::uint64_t>> orders(free_.size());
+  for (auto& order : orders) order = in.u64s();
+  const std::vector<std::uint64_t> packed = in.u64s();
+  if (!in.ok() || packed.size() != (num_frames_ + 63) / 64) return false;
+  for (unsigned o = 0; o < free_.size(); ++o)
+    if (orders[o].size() != free_[o].words().size()) return false;
+  for (unsigned o = 0; o < free_.size(); ++o) free_[o].load_words(orders[o]);
+  for (std::uint64_t f = 0; f < num_frames_; ++f)
+    free_bit_[f] = (packed[f >> 6] >> (f & 63)) & 1ull;
+  free_frames_ = free_frames;
+  return true;
 }
 
 void BuddyAllocator::restore(const BuddyAllocator& snapshot) {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/blob.h"
 #include "common/types.h"
 
 namespace ndp {
@@ -58,6 +59,12 @@ class BitIndex {
   }
   bool any() const { return count_ != 0; }
   std::uint64_t count() const { return count_; }
+  /// The raw level-0 bit words — the only state serialization needs
+  /// (summaries and the population count are derived; see load_words()).
+  const std::vector<std::uint64_t>& words() const { return l0_; }
+  /// Adopt serialized level-0 words and rebuild summaries + count.
+  /// Returns false when the word count does not match this bitset's size.
+  bool load_words(const std::vector<std::uint64_t>& w);
   /// Host bytes of the bitmap storage (Session resident-size accounting).
   std::uint64_t resident_bytes() const {
     return (l0_.size() + l1_.size() + l2_.size()) * sizeof(std::uint64_t);
@@ -129,6 +136,13 @@ class BuddyAllocator {
     for (const BitIndex& order : free_) bytes += order.resident_bytes();
     return bytes;
   }
+
+  /// Serialize the complete allocator state (sim/image_store.h). The
+  /// geometry (num_frames) is included and verified by load_state.
+  void save_state(BlobWriter& out) const;
+  /// Restore state written by save_state into an allocator of the same
+  /// geometry. Returns false (state unchanged) on mismatch or truncation.
+  bool load_state(BlobReader& in);
 
  private:
   void insert_free(Pfn base, unsigned order) { free_[order].set(base >> order); }

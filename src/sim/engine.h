@@ -100,6 +100,11 @@ class Engine {
   /// event loop (perf smoke, profiling) can separate setup from simulation.
   void prepare();
 
+  /// Declare the System already prepared — it was restored from a
+  /// post-prefault PreparedImage, so install and prefault must not run
+  /// again (and report 0 ns in the profile). Call before run().
+  void mark_prepared() { prepared_ = true; }
+
   /// prepare() if needed, then warm up and run to the instruction budget.
   /// Throws std::runtime_error (diagnosed) if any core ends the run with no
   /// post-warmup instructions — see CoreStats::cycles().

@@ -11,6 +11,7 @@ const char* to_string(ProfilePhase p) {
     case ProfilePhase::kWarmup: return "warmup";
     case ProfilePhase::kRun: return "run";
     case ProfilePhase::kCollect: return "collect";
+    case ProfilePhase::kSnapshot: return "snapshot";
     case ProfilePhase::kCount_: break;
   }
   return "?";

@@ -31,6 +31,7 @@ enum class ProfilePhase : unsigned {
   kWarmup,    ///< event loop until every core finished warmup
   kRun,       ///< event loop after stats reset (the measured window)
   kCollect,   ///< stat snapshot/merge + result assembly
+  kSnapshot,  ///< prepared-image capture + on-disk store writes
   kCount_,
 };
 constexpr unsigned kNumProfilePhases =

@@ -261,6 +261,8 @@ void apply_members(const JsonValue& root, RunConfig& cfg) {
       } catch (const JsonError&) {
         config_error("\"share_images\" must be true or false");
       }
+    } else if (key == "image_store") {
+      cfg.image_store = string_field(value, key);
     } else if (key == "baseline") {
       cfg.baseline = string_field(value, key);
     } else if (key == "output") {
@@ -384,6 +386,7 @@ std::string RunConfig::to_json() const {
   if (scale > 0) w.key("scale").value(scale);
   w.key("seed").value(seed);
   if (!share_images) w.key("share_images").value(false);
+  if (!image_store.empty()) w.key("image_store").value(image_store);
   if (overrides.any()) {
     w.key("overrides").begin_object();
     if (overrides.bypass) w.key("bypass").value(*overrides.bypass);

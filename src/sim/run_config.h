@@ -21,6 +21,7 @@
 //     "scale": 0.75,                      // dataset scale fraction
 //     "seed": 42,
 //     "share_images": true,               // Session image reuse opt-out
+//     "image_store": ".ndpsim-store",     // persistent on-disk image store
 //     "overrides": {                      // ablations, all optional
 //       "bypass": true,
 //       "pwc_levels": [4, 3],             // or null to strip the PWCs
@@ -66,6 +67,11 @@ struct RunConfig {
   /// sim/session.h). Results are byte-identical either way; "share_images":
   /// false is the per-experiment opt-out for A/B-validating the sharing.
   bool share_images = true;
+  /// Directory of the persistent on-disk image store (sim/image_store.h):
+  /// post-boot and post-prefault snapshots survive the process, so warm
+  /// re-runs skip boot, install, and prefault. "" = disabled. The CLI's
+  /// --image-store flag overrides this.
+  std::string image_store;
   /// Mechanism name speedups are aggregated against ("" = no aggregation).
   std::string baseline;
   /// Default output paths, overridable from the CLI ("" = not requested,

@@ -14,6 +14,16 @@
 //   * trace material  (workloads/workload.h TraceMaterial), keyed by
 //                     (workload, cores, scale, seed): region layout + warm
 //                     pages, shared across cells running that workload.
+//   * prepared images (core/system.h PreparedImage), keyed by
+//                     (image key, mechanism, material key): post-prefault
+//                     snapshots — a hit skips workload install and prefault
+//                     entirely, the expensive half of cell setup.
+//
+// With SessionOptions::image_store set, all three also persist to an
+// on-disk store (sim/image_store.h): misses probe the directory, fresh
+// builds write back, and a warm process restart starts from disk instead
+// of from scratch. The store changes no result byte and no in-memory
+// build/hit total — only where a miss gets its data.
 //
 // Restored state is bit-identical to freshly built state, so results are
 // byte-identical whether a spec runs through a pooled Session, a one-shot
@@ -34,16 +44,20 @@
 // Session with sharing disabled, i.e. the historical build-everything path.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "core/system.h"
 #include "sim/experiment.h"
+#include "sim/image_store.h"
 
 namespace ndp {
 
@@ -60,6 +74,17 @@ struct SessionOptions {
   /// Trace-material cache capacity (entries are small: a region list plus
   /// warm-page addresses). 0 = unbounded.
   std::size_t max_materials = 64;
+  /// Prepared-image cache capacity. A PreparedImage is a post-prefault
+  /// snapshot (core/system.h) keyed by (image key, mechanism, material
+  /// key); a hit skips workload install and prefault entirely. Entries are
+  /// about the size of a system image. 0 = unbounded.
+  std::size_t max_prepared = 4;
+  /// Directory of the persistent on-disk image store (sim/image_store.h).
+  /// Non-empty: cache misses probe the directory before building, and
+  /// fresh builds are written back — a warm restart of the process skips
+  /// boot, install, and prefault. Empty: no disk I/O whatsoever. Ignored
+  /// (no store is opened) when share_images is false.
+  std::string image_store;
 };
 
 /// Cache effectiveness counters, cumulative over the Session's lifetime.
@@ -75,9 +100,27 @@ struct SessionStats {
   std::uint64_t image_evictions = 0;  ///< LRU evictions past max_images
   std::uint64_t material_builds = 0;
   std::uint64_t material_hits = 0;
-  /// Estimated host bytes held by the two caches right now (images +
-  /// trace material; entries checked out by in-flight runs but already
-  /// evicted are not counted — they die with the run).
+  std::uint64_t material_evictions = 0;  ///< LRU evictions past max_materials
+  // Prepared-image (post-prefault snapshot) cache. A build is any run that
+  // *captured* a snapshot — whether it came from the disk store or from
+  // running install+prefault — so with a store configured the totals are
+  // identical cold and warm, like image_builds. Without a store, capture
+  // is elided until a key misses twice (nobody could ever adopt a
+  // snapshot that is neither persisted nor re-requested), so a one-shot
+  // sweep of unique cells reports zero prepared activity.
+  std::uint64_t prepared_builds = 0;
+  std::uint64_t prepared_hits = 0;
+  std::uint64_t prepared_evictions = 0;
+  // On-disk image store (sim/image_store.h). Counted per probe/write across
+  // all three blob kinds; store_errors counts rejected blobs (corrupt,
+  // truncated, wrong version — rebuilt from scratch) and failed writes.
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
+  std::uint64_t store_writes = 0;
+  std::uint64_t store_errors = 0;
+  /// Estimated host bytes held by the caches right now (images + trace
+  /// material + prepared images; entries checked out by in-flight runs but
+  /// already evicted are not counted — they die with the run).
   std::uint64_t resident_bytes = 0;
 };
 
@@ -90,7 +133,10 @@ void write_session_stats(JsonWriter& w, const SessionStats& s);
 class Session {
  public:
   Session() = default;
-  explicit Session(SessionOptions opts) : opts_(opts) {}
+  explicit Session(SessionOptions opts) : opts_(std::move(opts)) {
+    if (opts_.share_images && !opts_.image_store.empty())
+      store_ = std::make_unique<ImageStore>(opts_.image_store);
+  }
 
   /// Execute one cell. Identical results to run_experiment(spec), cheaper
   /// when this Session has already run a spec with the same image key.
@@ -116,8 +162,13 @@ class Session {
   SessionStats stats() const;
 
  private:
+  /// White-box access for tests/session_test.cpp (LruCache invariants).
+  friend struct SessionTestPeer;
+
   std::shared_ptr<const TraceMaterial> material_for(const std::string& key,
                                                     const TraceSource& trace);
+  /// Refresh the process-wide resident-bytes gauge. Call with mu_ held.
+  void update_resident_gauge();
 
   /// Generic string-keyed LRU used by both caches (values are shared_ptr,
   /// so an evicted entry stays alive for any run still using it). Tracks
@@ -138,26 +189,53 @@ class Session {
       lru.splice(lru.begin(), lru, it->second);  // refresh recency
       return it->second->value;
     }
-    /// Inserts and returns the evicted count (0 or 1).
+    /// Inserts and returns the evicted count (0 or 1). Inserting a key that
+    /// is already present replaces the held value in place (recency
+    /// refreshed, byte total adjusted) — it must NOT push a second list
+    /// node, which would orphan the old one from the index (never evicted,
+    /// never counted out of `bytes`) and double-count the entry's size.
     std::size_t insert(const std::string& key, std::shared_ptr<const V> value,
                        std::size_t capacity) {
+      auto it = index.find(key);
+      if (it != index.end()) {
+        const std::uint64_t old_bytes = it->second->value->resident_bytes();
+        bytes = bytes > old_bytes ? bytes - old_bytes : 0;
+        bytes += value->resident_bytes();
+        it->second->value = std::move(value);
+        lru.splice(lru.begin(), lru, it->second);
+        assert(index.size() == lru.size());
+        return 0;
+      }
       bytes += value->resident_bytes();
       lru.push_front(Entry{key, std::move(value)});
       index[key] = lru.begin();
+      assert(index.size() == lru.size());
       if (capacity == 0 || lru.size() <= capacity) return 0;
       const Entry& victim = lru.back();
       const std::uint64_t victim_bytes = victim.value->resident_bytes();
       bytes = bytes > victim_bytes ? bytes - victim_bytes : 0;
       index.erase(victim.key);
       lru.pop_back();
+      assert(index.size() == lru.size());
       return 1;
     }
   };
 
   SessionOptions opts_;
-  mutable std::mutex mu_;  ///< guards both caches + stats_
+  mutable std::mutex mu_;  ///< guards the caches + stats_
   LruCache<SystemImage> images_;
   LruCache<TraceMaterial> materials_;
+  LruCache<PreparedImage> prepared_;
+  /// Prepared keys that have missed the memory cache at least once.
+  /// Capturing a snapshot costs a large copy, so without a store to
+  /// persist it a run only pays that on a key's *second* miss — proof the
+  /// grid revisits the design point. Grows with distinct design points
+  /// (small strings), never with runs.
+  std::set<std::string> prepared_missed_;
+  /// Engaged iff share_images and a store directory was configured. The
+  /// store itself is stateless (every call opens files), so it needs no
+  /// locking; only the counters folded back into stats_ take mu_.
+  std::unique_ptr<ImageStore> store_;
   SessionStats stats_;
 };
 

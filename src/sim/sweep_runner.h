@@ -48,6 +48,13 @@ struct SweepOptions {
   /// share_images, except that a RunConfig pinning "share_images": false
   /// still forces fresh builds. The Session must outlive the call.
   Session* session = nullptr;
+  /// Directory of the persistent on-disk image store (sim/image_store.h)
+  /// for the internal Session: snapshots survive the process, so a warm
+  /// re-run skips boot, install, and prefault. "" = disabled. Ignored when
+  /// `session` is set (a caller-owned Session brings its own options) or
+  /// when sharing is off. A RunConfig's "image_store" fills this when the
+  /// caller didn't (`ndpsim --image-store` wins over the config).
+  std::string image_store;
   /// Called after each cell completes (any order), under an internal lock —
   /// safe to print from. `done` counts completed cells.
   std::function<void(std::size_t done, std::size_t total, const RunSpec&)>

@@ -1,6 +1,8 @@
 #include "translate/address_space.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace ndp {
 
@@ -221,6 +223,94 @@ void AddressSpace::on_relocate(Pfn old_pfn, Pfn new_pfn) {
   // The frame moved under the translation: TLBs must not serve the old pa.
   if (shootdown_) shootdown_(vpn);
   c_relocated_frames_->add();
+}
+
+void AddressSpace::save_state(BlobWriter& out) const {
+  out.str("AddressSpace");
+  out.u64(huge_ ? 1 : 0);
+  out.u64(regions_.size());
+  for (const VmRegion& r : regions_) {
+    out.str(r.name);
+    out.u64(r.base);
+    out.u64(r.bytes);
+    out.u64(r.prefault ? 1 : 0);
+  }
+  // Hash maps serialize sorted by key so identical state always produces
+  // identical bytes (the store's byte-identity contract).
+  std::vector<std::pair<Pfn, Vpn>> owners(frame_owner_.begin(),
+                                          frame_owner_.end());
+  std::sort(owners.begin(), owners.end());
+  std::vector<std::uint64_t> opfns(owners.size()), ovpns(owners.size());
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    opfns[i] = owners[i].first;
+    ovpns[i] = owners[i].second;
+  }
+  out.u64s(opfns);
+  out.u64s(ovpns);
+  std::vector<std::pair<Vpn, Pfn>> huge(huge_blocks_.begin(),
+                                        huge_blocks_.end());
+  std::sort(huge.begin(), huge.end());
+  std::vector<std::uint64_t> hvpns(huge.size()), hpfns(huge.size());
+  for (std::size_t i = 0; i < huge.size(); ++i) {
+    hvpns[i] = huge[i].first;
+    hpfns[i] = huge[i].second;
+  }
+  out.u64s(hvpns);
+  out.u64s(hpfns);
+  out.u64s(std::vector<std::uint64_t>(fifo_4k_.begin(), fifo_4k_.end()));
+  out.u64s(std::vector<std::uint64_t>(fifo_2m_.begin(), fifo_2m_.end()));
+  out.u64(fault_lock_until_);
+  out.u64(mapped_4k_);
+  out.u64(mapped_2m_);
+  stats_.save_state(out);
+}
+
+bool AddressSpace::load_state(BlobReader& in) {
+  if (in.str() != "AddressSpace" || in.u64() != (huge_ ? 1u : 0u))
+    return false;
+  const std::uint64_t n_regions = in.u64();
+  if (!in.ok() || n_regions > in.remaining()) return false;
+  std::vector<VmRegion> regions;
+  regions.reserve(n_regions);
+  for (std::uint64_t i = 0; i < n_regions && in.ok(); ++i) {
+    VmRegion r;
+    r.name = in.str();
+    r.base = in.u64();
+    r.bytes = in.u64();
+    r.prefault = in.u64() != 0;
+    regions.push_back(std::move(r));
+  }
+  const std::vector<std::uint64_t> opfns = in.u64s();
+  const std::vector<std::uint64_t> ovpns = in.u64s();
+  const std::vector<std::uint64_t> hvpns = in.u64s();
+  const std::vector<std::uint64_t> hpfns = in.u64s();
+  const std::vector<std::uint64_t> f4 = in.u64s();
+  const std::vector<std::uint64_t> f2 = in.u64s();
+  const Cycle lock_until = in.u64();
+  const std::uint64_t m4 = in.u64();
+  const std::uint64_t m2 = in.u64();
+  if (!in.ok() || opfns.size() != ovpns.size() || hvpns.size() != hpfns.size())
+    return false;
+  if (!stats_.load_state(in)) return false;
+  regions_ = std::move(regions);
+  frame_owner_.clear();
+  frame_owner_.reserve(opfns.size());
+  for (std::size_t i = 0; i < opfns.size(); ++i)
+    frame_owner_.emplace(opfns[i], ovpns[i]);
+  huge_blocks_.clear();
+  huge_blocks_.reserve(hvpns.size());
+  for (std::size_t i = 0; i < hvpns.size(); ++i)
+    huge_blocks_.emplace(hvpns[i], hpfns[i]);
+  fifo_4k_.assign(f4.begin(), f4.end());
+  fifo_2m_.assign(f2.begin(), f2.end());
+  fault_lock_until_ = lock_until;
+  mapped_4k_ = m4;
+  mapped_2m_ = m2;
+  // PhysicalMemory::restore() cleared the relocate hook; this space owns
+  // the restored frames again, so compaction callbacks must reach it.
+  pm_.set_relocate_hook(
+      [this](Pfn oldf, Pfn newf) { on_relocate(oldf, newf); });
+  return true;
 }
 
 }  // namespace ndp

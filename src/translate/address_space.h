@@ -83,6 +83,17 @@ class AddressSpace {
   std::uint64_t mapped_pages() const { return mapped_4k_ + mapped_2m_ * 512; }
   std::uint64_t mapped_bytes() const { return mapped_pages() * kPageSize; }
 
+  /// Serialize the space's complete post-prefault state — regions, frame
+  /// ownership, reclaim FIFO order, lock horizon, and statistics. The page
+  /// table serializes separately (PageTable::save_state).
+  void save_state(BlobWriter& out) const;
+  /// Restore state written by save_state. The backing PhysicalMemory must
+  /// already be restored to the matching snapshot (ownership is adopted,
+  /// never re-allocated), and this re-registers the relocate hook that
+  /// PhysicalMemory::restore() cleared. Returns false on malformed input,
+  /// leaving the non-statistics members untouched.
+  bool load_state(BlobReader& in);
+
  private:
   Cycle fault_in_4k(Vpn vpn);
   Cycle fault_in_2m(Vpn vpn_aligned);

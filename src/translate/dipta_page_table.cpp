@@ -125,4 +125,53 @@ std::uint64_t DiptaPageTable::table_bytes() const {
   return tag_blocks_.size() * kBlockBytes;
 }
 
+bool DiptaPageTable::save_state(BlobWriter& out) const {
+  out.str("DIPTA");
+  out.u64(cfg_.ways);
+  out.u64(num_sets_);
+  const std::uint64_t n = ways_.size();
+  std::vector<std::uint64_t> vpns(n), pfns(n), lrus(n);
+  std::vector<std::uint64_t> valid((n + 63) / 64, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    vpns[i] = ways_[i].vpn;
+    pfns[i] = ways_[i].pfn;
+    lrus[i] = ways_[i].lru;
+    if (ways_[i].valid) valid[i >> 6] |= 1ull << (i & 63);
+  }
+  out.u64s(vpns);
+  out.u64s(pfns);
+  out.u64s(lrus);
+  out.u64s(valid);
+  out.u64s(tag_blocks_);
+  out.u64(tick_);
+  out.u64(live_);
+  out.u64(conflict_evictions_);
+  return true;
+}
+
+bool DiptaPageTable::load_state(BlobReader& in) {
+  if (in.str() != "DIPTA" || in.u64() != cfg_.ways || in.u64() != num_sets_)
+    return false;
+  const std::vector<std::uint64_t> vpns = in.u64s();
+  const std::vector<std::uint64_t> pfns = in.u64s();
+  const std::vector<std::uint64_t> lrus = in.u64s();
+  const std::vector<std::uint64_t> valid = in.u64s();
+  const std::vector<std::uint64_t> tags = in.u64s();
+  const std::uint64_t tick = in.u64();
+  const std::uint64_t live = in.u64();
+  const std::uint64_t conflicts = in.u64();
+  const std::uint64_t n = ways_.size();
+  if (!in.ok() || vpns.size() != n || pfns.size() != n || lrus.size() != n ||
+      valid.size() != (n + 63) / 64 || tags.size() != tag_blocks_.size())
+    return false;
+  for (std::uint64_t i = 0; i < n; ++i)
+    ways_[i] = Way{vpns[i], pfns[i], ((valid[i >> 6] >> (i & 63)) & 1ull) != 0,
+                   lrus[i]};
+  tag_blocks_ = tags;
+  tick_ = tick;
+  live_ = live;
+  conflict_evictions_ = conflicts;
+  return true;
+}
+
 }  // namespace ndp

@@ -43,6 +43,8 @@ class DiptaPageTable : public PageTable {
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override { return "DIPTA"; }
   std::uint64_t table_bytes() const override;
+  bool save_state(BlobWriter& out) const override;
+  bool load_state(BlobReader& in) override;
 
   /// Pages displaced because their set was full — the page-conflict
   /// pathology the paper's related-work section points at.

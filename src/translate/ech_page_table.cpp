@@ -224,4 +224,71 @@ double EchPageTable::load_factor() const {
                              entries_per_way_);
 }
 
+bool EchPageTable::save_state(BlobWriter& out) const {
+  out.str("ECH");
+  out.u64(cfg_.ways);
+  out.u64(entries_per_way_);
+  for (const Way& way : ways_) {
+    // Column encoding: vpn and pfn words bulk-copy; valid packs 64/word.
+    std::vector<std::uint64_t> vpns(way.slots.size()), pfns(way.slots.size());
+    std::vector<std::uint64_t> valid((way.slots.size() + 63) / 64, 0);
+    for (std::uint64_t i = 0; i < way.slots.size(); ++i) {
+      vpns[i] = way.slots[i].vpn;
+      pfns[i] = way.slots[i].pfn;
+      if (way.slots[i].valid) valid[i >> 6] |= 1ull << (i & 63);
+    }
+    out.u64s(vpns);
+    out.u64s(pfns);
+    out.u64s(valid);
+    out.u64s(way.blocks);
+  }
+  out.u64(pending_.vpn);
+  out.u64(pending_.pfn);
+  out.u64(pending_.valid ? 1 : 0);
+  out.u64(live_);
+  out.u64(resizes_);
+  std::uint64_t rs[4];
+  rng_.save_state(rs);
+  out.u64s(rs, 4);
+  return true;
+}
+
+bool EchPageTable::load_state(BlobReader& in) {
+  if (in.str() != "ECH" || in.u64() != cfg_.ways) return false;
+  const std::uint64_t epw = in.u64();
+  if (!in.ok() || epw == 0 || (epw & (epw - 1)) != 0) return false;
+  std::vector<Way> ways(cfg_.ways);
+  for (Way& way : ways) {
+    const std::vector<std::uint64_t> vpns = in.u64s();
+    const std::vector<std::uint64_t> pfns = in.u64s();
+    const std::vector<std::uint64_t> valid = in.u64s();
+    way.blocks = in.u64s();
+    if (!in.ok() || vpns.size() != epw || pfns.size() != epw ||
+        valid.size() != (epw + 63) / 64 || way.blocks.empty())
+      return false;
+    way.slots.resize(epw);
+    for (std::uint64_t i = 0; i < epw; ++i)
+      way.slots[i] =
+          Slot{vpns[i], pfns[i], ((valid[i >> 6] >> (i & 63)) & 1ull) != 0};
+  }
+  Slot pending;
+  pending.vpn = in.u64();
+  pending.pfn = in.u64();
+  pending.valid = in.u64() != 0;
+  const std::uint64_t live = in.u64();
+  const std::uint64_t resizes = in.u64();
+  const std::vector<std::uint64_t> rs = in.u64s();
+  if (!in.ok() || rs.size() != 4) return false;
+  // The snapshot's blocks replace the constructor's initial allocation
+  // wholesale: the restored PhysicalMemory pool already accounts for both
+  // (initial blocks freed by the snapshot-time resize, resized blocks live).
+  ways_ = std::move(ways);
+  entries_per_way_ = epw;
+  pending_ = pending;
+  live_ = live;
+  resizes_ = resizes;
+  rng_.load_state(rs.data());
+  return true;
+}
+
 }  // namespace ndp

@@ -50,6 +50,11 @@ class EchPageTable : public PageTable {
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override { return "ECH"; }
   std::uint64_t table_bytes() const override;
+  bool save_state(BlobWriter& out) const override;
+  /// ECH resizes during prefault: the blob's entries-per-way may be larger
+  /// than this table's initial geometry. load adopts the snapshot geometry;
+  /// the restored PhysicalMemory pool already owns the resized blocks.
+  bool load_state(BlobReader& in) override;
 
   std::uint64_t entries_per_way() const { return entries_per_way_; }
   std::uint64_t size() const { return live_; }

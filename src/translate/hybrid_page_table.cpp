@@ -131,4 +131,48 @@ std::uint64_t HybridPageTable::fallback_live() const {
   return live;
 }
 
+bool HybridPageTable::save_state(BlobWriter& out) const {
+  out.str("Hybrid");
+  out.u64(cfg_.flat_bits);
+  out.u64(block_order_);
+  const std::uint64_t n = slots_.size();
+  std::vector<std::uint64_t> vpns(n), pfns(n);
+  std::vector<std::uint64_t> valid((n + 63) / 64, 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    vpns[i] = slots_[i].vpn;
+    pfns[i] = slots_[i].pfn;
+    if (slots_[i].valid) valid[i >> 6] |= 1ull << (i & 63);
+  }
+  out.u64s(vpns);
+  out.u64s(pfns);
+  out.u64s(valid);
+  out.u64s(blocks_);
+  out.u64(flat_live_);
+  return fallback_.save_state(out);
+}
+
+bool HybridPageTable::load_state(BlobReader& in) {
+  if (in.str() != "Hybrid" || in.u64() != cfg_.flat_bits ||
+      in.u64() != block_order_)
+    return false;
+  const std::vector<std::uint64_t> vpns = in.u64s();
+  const std::vector<std::uint64_t> pfns = in.u64s();
+  const std::vector<std::uint64_t> valid = in.u64s();
+  const std::vector<std::uint64_t> blocks = in.u64s();
+  const std::uint64_t flat_live = in.u64();
+  const std::uint64_t n = slots_.size();
+  if (!in.ok() || vpns.size() != n || pfns.size() != n ||
+      valid.size() != (n + 63) / 64 || blocks.size() != blocks_.size())
+    return false;
+  // Restore the radix fallback first: it validates-then-commits itself, so
+  // a failure here leaves both halves untouched.
+  if (!fallback_.load_state(in)) return false;
+  for (std::uint64_t i = 0; i < n; ++i)
+    slots_[i] =
+        Slot{vpns[i], pfns[i], ((valid[i >> 6] >> (i & 63)) & 1ull) != 0};
+  blocks_ = blocks;
+  flat_live_ = flat_live;
+  return true;
+}
+
 }  // namespace ndp

@@ -48,6 +48,8 @@ class HybridPageTable : public PageTable {
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override { return "Hybrid"; }
   std::uint64_t table_bytes() const override;
+  bool save_state(BlobWriter& out) const override;
+  bool load_state(BlobReader& in) override;
 
   std::uint64_t flat_slots() const { return slots_.size(); }
   std::uint64_t flat_live() const { return flat_live_; }

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/blob.h"
 #include "common/types.h"
 
 namespace ndp {
@@ -112,6 +113,28 @@ class PageTable {
   virtual std::string name() const = 0;
   /// Bytes of physical memory consumed by table nodes.
   virtual std::uint64_t table_bytes() const = 0;
+
+  /// Serialize the table's complete functional state for a post-prefault
+  /// snapshot (sim/image_store.h). The first words must identify the
+  /// concrete structure and its shape so load_state can reject a blob from
+  /// a different mechanism or configuration. Returns false when the table
+  /// does not support snapshotting (the default — custom registry
+  /// mechanisms opt in by overriding both hooks); the Session then simply
+  /// skips prepared-image caching for that design point.
+  virtual bool save_state(BlobWriter& out) const {
+    (void)out;
+    return false;
+  }
+  /// Restore state written by save_state() into an identically-configured
+  /// table whose PhysicalMemory has already been restored to the matching
+  /// post-snapshot image — every frame the blob references is already
+  /// allocated and tagged there, so the load overwrites host-side members
+  /// wholesale and never allocates or frees frames. Returns false (leaving
+  /// the table untouched) on a tag/shape mismatch or truncated input.
+  virtual bool load_state(BlobReader& in) {
+    (void)in;
+    return false;
+  }
 };
 
 }  // namespace ndp

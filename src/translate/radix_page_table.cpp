@@ -1,5 +1,6 @@
 #include "translate/radix_page_table.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ndp {
@@ -204,6 +205,50 @@ std::string RadixPageTable::name() const {
 
 std::uint64_t RadixPageTable::table_bytes() const {
   return node_count() * kPageSize;
+}
+
+bool RadixPageTable::save_state(BlobWriter& out) const {
+  out.str("Radix");
+  out.u64(leaf_level_);
+  out.u64(root_);
+  out.u64(nodes_.size());
+  for (const Node& n : nodes_) {
+    out.u64(n.frame);
+    out.u64(n.level);
+    out.u64(n.valid);
+    out.u64s(n.ent.data(), n.ent.size());
+  }
+  out.u64s(std::vector<std::uint64_t>(free_nodes_.begin(), free_nodes_.end()));
+  return true;
+}
+
+bool RadixPageTable::load_state(BlobReader& in) {
+  if (in.str() != "Radix" || in.u64() != leaf_level_) return false;
+  const auto root = static_cast<std::uint32_t>(in.u64());
+  const std::uint64_t count = in.u64();
+  // Each node occupies > kPtesPerNode words, so `count <= remaining` is a
+  // safe allocation guard against a corrupt length prefix.
+  if (!in.ok() || count > in.remaining()) return false;
+  std::vector<Node> nodes;
+  nodes.reserve(count);
+  for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
+    Node n;
+    n.frame = in.u64();
+    n.level = static_cast<unsigned>(in.u64());
+    n.valid = static_cast<std::uint32_t>(in.u64());
+    const std::vector<std::uint64_t> ent = in.u64s();
+    if (ent.size() != n.ent.size()) return false;
+    std::copy(ent.begin(), ent.end(), n.ent.begin());
+    nodes.push_back(std::move(n));
+  }
+  const std::vector<std::uint64_t> free_ids = in.u64s();
+  if (!in.ok() || root >= count) return false;
+  for (std::uint64_t id : free_ids)
+    if (id >= count) return false;
+  nodes_ = std::move(nodes);
+  free_nodes_.assign(free_ids.begin(), free_ids.end());
+  root_ = root;
+  return true;
 }
 
 }  // namespace ndp

@@ -35,6 +35,8 @@ class RadixPageTable : public PageTable {
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override;
   std::uint64_t table_bytes() const override;
+  bool save_state(BlobWriter& out) const override;
+  bool load_state(BlobReader& in) override;
 
   unsigned preferred_leaf_level() const { return leaf_level_; }
   std::uint64_t node_count() const { return nodes_.size() - free_nodes_.size(); }

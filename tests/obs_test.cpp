@@ -59,6 +59,38 @@ TEST(ObsHistogram, QuantilesInterpolateAndClamp) {
   EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(-1.0));
 }
 
+TEST(ObsHistogram, EdgeQuantilesPinToOccupiedBuckets) {
+  // q=0 reports the lower edge of the *first occupied* bucket — the
+  // tightest lower bound on the observed minimum the histogram can state —
+  // not the floor of whichever bucket a floating-point rank of 0 lands in.
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(3.0);  // sole observation, in the (2,4] bucket
+  EXPECT_DOUBLE_EQ(2.0, h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(4.0, h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(3.0, h.quantile(0.5));  // interior interpolates inside it
+}
+
+TEST(ObsHistogram, MaxQuantileNeverPassesLastOccupiedBucket) {
+  // All mass in the first bucket: q=1 must report that bucket's upper edge,
+  // whatever rank rounding does — never an edge of a later, empty bucket.
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(0.7);
+  EXPECT_DOUBLE_EQ(0.0, h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(1.0, h.quantile(1.0));
+  EXPECT_LE(h.quantile(0.999), 1.0);
+}
+
+TEST(ObsHistogram, EdgeQuantilesSkipEmptyEndBuckets) {
+  // Occupied range is interior: both edges resolve structurally to the
+  // occupied buckets, skipping the empty first and +Inf buckets.
+  obs::Histogram h({1.0, 2.0, 4.0, 8.0});
+  h.observe(1.5);  // (1,2]
+  h.observe(5.0);  // (4,8]
+  EXPECT_DOUBLE_EQ(1.0, h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(8.0, h.quantile(1.0));
+}
+
 TEST(ObsHistogram, EmptyHistogramAndBadBounds) {
   obs::Histogram empty({0.5});
   EXPECT_EQ(0u, empty.count());

@@ -283,4 +283,63 @@ TEST(Session, PhysicalMemorySnapshotRestoreRoundTrips) {
 }
 
 }  // namespace
+
+// --- LRU cache invariants (white-box via the Session friend) ----------------
+
+/// Friended by Session: instantiates the private LruCache template with a
+/// value type whose size the test controls.
+struct SessionTestPeer {
+  struct Blob {
+    std::uint64_t size = 0;
+    std::uint64_t resident_bytes() const { return size; }
+  };
+  using Cache = Session::LruCache<Blob>;
+};
+
+namespace {
+
+TEST(Session, LruCacheDuplicateInsertReplacesInPlace) {
+  SessionTestPeer::Cache cache;
+  auto blob = [](std::uint64_t n) {
+    return std::make_shared<const SessionTestPeer::Blob>(
+        SessionTestPeer::Blob{n});
+  };
+  EXPECT_EQ(cache.insert("a", blob(10), 2), 0u);
+  EXPECT_EQ(cache.insert("b", blob(20), 2), 0u);
+  EXPECT_EQ(cache.bytes, 30u);
+
+  // Re-inserting a resident key replaces the value in place: no orphaned
+  // second list node, byte total swaps old size for new instead of
+  // double-counting.
+  EXPECT_EQ(cache.insert("a", blob(50), 2), 0u);
+  EXPECT_EQ(cache.lru.size(), 2u);
+  EXPECT_EQ(cache.index.size(), 2u);
+  EXPECT_EQ(cache.bytes, 70u);
+  EXPECT_EQ(cache.find("a")->size, 50u);
+
+  // The duplicate insert refreshed recency: the next eviction takes b.
+  EXPECT_EQ(cache.insert("c", blob(5), 2), 1u);
+  EXPECT_EQ(cache.find("b"), nullptr);
+  ASSERT_NE(cache.find("a"), nullptr);
+  EXPECT_EQ(cache.bytes, 55u);
+  EXPECT_EQ(cache.lru.size(), cache.index.size());
+}
+
+TEST(Session, MaterialEvictionsAreCounted) {
+  SessionOptions opts;
+  opts.max_materials = 1;
+  Session session(opts);
+  SweepOptions sweep;
+  sweep.session = &session;
+  sweep.jobs = 1;
+  run_sweep(tiny_grid(), sweep);  // 4 distinct (workload, cores) materials
+
+  const SessionStats stats = session.stats();
+  EXPECT_GE(stats.material_builds, 4u);
+  EXPECT_GT(stats.material_evictions, 0u);
+  // Every insert past the single-slot capacity evicts exactly one entry.
+  EXPECT_EQ(stats.material_evictions, stats.material_builds - 1);
+}
+
+}  // namespace
 }  // namespace ndp

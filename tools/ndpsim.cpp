@@ -76,6 +76,12 @@ int usage(const char* argv0, int code) {
       "                           instead of restoring the session-shared\n"
       "                           image (results are identical; this is the\n"
       "                           A/B opt-out, see README)\n"
+      "  --image-store=DIR        persist post-boot and post-prefault\n"
+      "                           snapshots in DIR so a warm re-run (batch\n"
+      "                           or daemon restart) skips boot, install,\n"
+      "                           and prefault; results are byte-identical\n"
+      "                           cold, warm, or disabled (wins over a\n"
+      "                           config's \"image_store\")\n"
       "  --shard=I/N              run only shard I of the config's grid\n"
       "                           split N ways (cell k belongs to shard\n"
       "                           k %% N); recombine the N JSON envelopes\n"
@@ -164,6 +170,7 @@ struct KnownFlag {
 constexpr KnownFlag kKnownFlags[] = {
     {"--config", true},        {"--jobs", true},
     {"--fresh-systems", false}, {"--shard", true},
+    {"--image-store", true},
     {"--serve", false},        {"--port", true},
     {"--stdio", false},        {"--max-conns", true},
     {"--idle-timeout", true},  {"--request-timeout", true},
@@ -326,7 +333,9 @@ void print_host_profile(const SweepResults& results) {
       "  %.1f cells/sec, %.1f host-ns per simulated instruction\n"
       "  engine: %llu events, %llu heap pushes, peak queue %llu\n"
       "  session: %llu image builds, %llu restores, %llu evictions; "
-      "%llu material builds, %llu material hits; ~%.1f MB resident\n",
+      "%llu material builds, %llu material hits; ~%.1f MB resident\n"
+      "  prepared: %llu builds, %llu hits, %llu evictions; "
+      "store: %llu hits, %llu misses, %llu writes, %llu errors\n",
       wall_s > 0 ? results.cells.size() / wall_s : 0.0,
       instrs ? static_cast<double>(results.host_wall_ns) / instrs : 0.0,
       static_cast<unsigned long long>(host.events),
@@ -337,7 +346,14 @@ void print_host_profile(const SweepResults& results) {
       static_cast<unsigned long long>(sess.image_evictions),
       static_cast<unsigned long long>(sess.material_builds),
       static_cast<unsigned long long>(sess.material_hits),
-      static_cast<double>(sess.resident_bytes) / (1024.0 * 1024.0));
+      static_cast<double>(sess.resident_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(sess.prepared_builds),
+      static_cast<unsigned long long>(sess.prepared_hits),
+      static_cast<unsigned long long>(sess.prepared_evictions),
+      static_cast<unsigned long long>(sess.store_hits),
+      static_cast<unsigned long long>(sess.store_misses),
+      static_cast<unsigned long long>(sess.store_writes),
+      static_cast<unsigned long long>(sess.store_errors));
 }
 
 bool write_output(const std::string& path, const std::string& payload,
@@ -523,6 +539,7 @@ int main(int argc, char** argv) {
   bool dump_stats = false;
   bool profile = false;
   bool fresh_systems = false;
+  std::string image_store;
   unsigned shard_index = 0, shard_count = 1;
   bool serve_mode = false, stdio_mode = false;
   serve::ServeOptions serve_opts;
@@ -564,6 +581,8 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (arg == "--fresh-systems") {
       fresh_systems = true;
+    } else if (const char* v = value_of("--image-store")) {
+      image_store = v;
     } else if (arg == "--serve") {
       serve_mode = true;
     } else if (arg == "--stdio") {
@@ -748,6 +767,10 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     serve_opts.jobs = jobs;
+    // The daemon's warm Session persists through the store: a restarted
+    // daemon restores snapshots the previous incarnation wrote.
+    serve_opts.session.image_store = image_store;
+    serve_opts.session.share_images = !fresh_systems;
     return finish_obs(metrics_dump, trace_out,
                       serve_main(serve_opts, stdio_mode));
   }
@@ -834,6 +857,13 @@ int main(int argc, char** argv) {
   opts.share_images = !fresh_systems;
   opts.shard_index = shard_index;
   opts.shard_count = shard_count;
+  opts.image_store = image_store;
+  if (config_mode) {
+    // The config's opt-out wins; its store directory fills in only when the
+    // flag didn't name one.
+    if (!config.share_images) opts.share_images = false;
+    if (opts.image_store.empty()) opts.image_store = config.image_store;
+  }
   if (specs.size() > 1) {
     // Progress through the logger (completion order, stderr by default):
     // stdout/file output stays byte-identical across job counts. Rate and
