@@ -10,52 +10,53 @@ Cache::Cache(CacheConfig cfg) : cfg_(std::move(cfg)), rng_(0xCACE5EEDull) {
   assert(num_lines % cfg_.ways == 0);
   num_sets_ = static_cast<unsigned>(num_lines / cfg_.ways);
   assert(num_sets_ > 0);
-  lines_.resize(num_lines);
+  ways_ = cfg_.ways;
+  tags_.assign(num_lines, kInvalidTag);
+  lru_.assign(num_lines, 0);
+  dirty_.assign(num_lines, 0);
+  cls_.assign(num_lines, static_cast<std::uint8_t>(AccessClass::kData));
+  rrpv_.assign(num_lines, 3);
 }
 
 bool Cache::probe(std::uint64_t line) const {
-  const unsigned set = set_of(line);
-  for (unsigned w = 0; w < cfg_.ways; ++w) {
-    const Line& l = lines_[static_cast<std::size_t>(set) * cfg_.ways + w];
-    if (l.valid && l.tag == line) return true;
-  }
+  const std::size_t base = base_of(line);
+  for (unsigned w = 0; w < ways_; ++w)
+    if (tags_[base + w] == line) return true;
   return false;
 }
 
 bool Cache::invalidate(std::uint64_t line) {
-  const unsigned set = set_of(line);
-  for (unsigned w = 0; w < cfg_.ways; ++w) {
-    Line& l = lines_[static_cast<std::size_t>(set) * cfg_.ways + w];
-    if (l.valid && l.tag == line) {
-      l.valid = false;
-      return l.dirty;
+  const std::size_t base = base_of(line);
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (tags_[base + w] == line) {
+      tags_[base + w] = kInvalidTag;
+      return dirty_[base + w] != 0;
     }
   }
   return false;
 }
 
-unsigned Cache::pick_victim(unsigned set) {
-  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+unsigned Cache::pick_victim(std::size_t base) {
   // Invalid way first, for every policy.
-  for (unsigned w = 0; w < cfg_.ways; ++w)
-    if (!base[w].valid) return w;
+  for (unsigned w = 0; w < ways_; ++w)
+    if (tags_[base + w] == kInvalidTag) return w;
 
   switch (cfg_.repl) {
     case ReplPolicy::kRandom:
-      return static_cast<unsigned>(rng_.below(cfg_.ways));
+      return static_cast<unsigned>(rng_.below(ways_));
     case ReplPolicy::kSrrip: {
       // Find a line with RRPV == max (3); age everyone until one appears.
       while (true) {
-        for (unsigned w = 0; w < cfg_.ways; ++w)
-          if (base[w].rrpv >= 3) return w;
-        for (unsigned w = 0; w < cfg_.ways; ++w) ++base[w].rrpv;
+        for (unsigned w = 0; w < ways_; ++w)
+          if (rrpv_[base + w] >= 3) return w;
+        for (unsigned w = 0; w < ways_; ++w) ++rrpv_[base + w];
       }
     }
     case ReplPolicy::kLru:
     default: {
       unsigned victim = 0;
-      for (unsigned w = 1; w < cfg_.ways; ++w)
-        if (base[w].lru < base[victim].lru) victim = w;
+      for (unsigned w = 1; w < ways_; ++w)
+        if (lru_[base + w] < lru_[base + victim]) victim = w;
       return victim;
     }
   }
@@ -69,30 +70,27 @@ CacheOutcome Cache::access(std::uint64_t line, AccessType type,
 
 CacheOutcome Cache::fill_miss(std::uint64_t line, AccessType type,
                               AccessClass cls) {
-  const unsigned set = set_of(line);
-  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+  const std::size_t base = base_of(line);
   ++counters_.miss[static_cast<int>(cls)];
 
-  const unsigned w = pick_victim(set);
-  Line& victim = base[w];
+  const std::size_t v = base + pick_victim(base);
   CacheOutcome out;
   out.hit = false;
-  if (victim.valid) {
+  if (tags_[v] != kInvalidTag) {
     out.evicted = true;
-    out.victim_dirty = victim.dirty;
-    out.victim_line = victim.tag;
-    out.victim_class = victim.cls;
+    out.victim_dirty = dirty_[v] != 0;
+    out.victim_line = tags_[v];
+    out.victim_class = static_cast<AccessClass>(cls_[v]);
     // Pollution accounting: a metadata fill displacing a data line is the
     // effect the paper's bypass mechanism removes.
-    if (cls == AccessClass::kMetadata && victim.cls == AccessClass::kData)
+    if (cls == AccessClass::kMetadata && out.victim_class == AccessClass::kData)
       ++counters_.pollution_victims;
   }
-  victim.tag = line;
-  victim.valid = true;
-  victim.dirty = (type == AccessType::kWrite);
-  victim.cls = cls;
-  victim.lru = tick_;
-  victim.rrpv = 2;  // SRRIP: insert at long re-reference
+  tags_[v] = line;
+  dirty_[v] = (type == AccessType::kWrite) ? 1 : 0;
+  cls_[v] = static_cast<std::uint8_t>(cls);
+  lru_[v] = tick_;
+  rrpv_[v] = 2;  // SRRIP: insert at long re-reference
   return out;
 }
 
@@ -114,10 +112,10 @@ double Cache::miss_rate(AccessClass cls) const {
 
 double Cache::metadata_occupancy() const {
   std::uint64_t valid = 0, meta = 0;
-  for (const Line& l : lines_) {
-    if (!l.valid) continue;
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] == kInvalidTag) continue;
     ++valid;
-    if (l.cls == AccessClass::kMetadata) ++meta;
+    if (static_cast<AccessClass>(cls_[i]) == AccessClass::kMetadata) ++meta;
   }
   return valid ? static_cast<double>(meta) / static_cast<double>(valid) : 0.0;
 }

@@ -6,6 +6,15 @@
 // lines show up as "pollution victims", and per-class hit/miss counters give
 // the metadata vs normal-data miss-rate split.
 //
+// Storage is structure-of-arrays (the same layout as translate/tlb.h): the
+// tag, LRU, dirty, class, and RRPV columns are parallel vectors, so the hit
+// probe — the single hottest scan in the simulator — reads one contiguous
+// run of eight tags (one host cache line) instead of striding across 24-byte
+// line objects, and the replacement columns are only touched on a hit or
+// fill. An empty way holds kInvalidTag in the tag column (a real tag is
+// pa >> 6 of a physical address and never all-ones), which removes the
+// per-way valid flag from the scan.
+//
 // Statistics are plain counters (the access path is the simulator's hottest
 // loop); snapshot() materializes them into a named StatSet for reporting.
 #pragma once
@@ -62,18 +71,15 @@ class Cache {
   /// records nothing and returns false — the caller completes the access
   /// with fill_miss() (which reuses the tick this probe advanced).
   bool access_hit(std::uint64_t line, AccessType type, AccessClass cls) {
-    const unsigned set = set_of(line);
-    Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+    const std::size_t base = base_of(line);
     ++tick_;
-    for (unsigned w = 0; w < cfg_.ways; ++w) {
-      Line& l = base[w];
-      if (l.valid && l.tag == line) {
-        l.lru = tick_;
-        l.rrpv = 0;
-        if (type == AccessType::kWrite) l.dirty = true;
-        ++counters_.hit[static_cast<int>(cls)];
-        return true;
-      }
+    for (unsigned w = 0; w < ways_; ++w) {
+      if (tags_[base + w] != line) continue;
+      lru_[base + w] = tick_;
+      rrpv_[base + w] = 0;
+      if (type == AccessType::kWrite) dirty_[base + w] = 1;
+      ++counters_.hit[static_cast<int>(cls)];
+      return true;
     }
     return false;
   }
@@ -98,23 +104,23 @@ class Cache {
   double metadata_occupancy() const;
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
-    bool valid = false;
-    bool dirty = false;
-    AccessClass cls = AccessClass::kData;
-    std::uint64_t lru = 0;   ///< higher == more recent
-    std::uint8_t rrpv = 3;   ///< SRRIP re-reference prediction value
-  };
+  /// Empty-way marker in the tag column: a tag is a 64 B line address
+  /// (pa >> 6) and physical memory tops out far below 2^64.
+  static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
 
-  unsigned set_of(std::uint64_t line) const {
-    return static_cast<unsigned>(line % num_sets_);
+  std::size_t base_of(std::uint64_t line) const {
+    return static_cast<std::size_t>(line % num_sets_) * ways_;
   }
-  unsigned pick_victim(unsigned set);
+  unsigned pick_victim(std::size_t base);
 
   CacheConfig cfg_;
   unsigned num_sets_;
-  std::vector<Line> lines_;  ///< num_sets_ x ways, row-major
+  unsigned ways_;
+  std::vector<std::uint64_t> tags_;   ///< num_sets_ x ways, row-major columns
+  std::vector<std::uint64_t> lru_;    ///< higher == more recent
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::uint8_t> cls_;     ///< AccessClass that filled the line
+  std::vector<std::uint8_t> rrpv_;    ///< SRRIP re-reference prediction value
   std::uint64_t tick_ = 0;   ///< LRU clock
   Rng rng_;                  ///< for kRandom replacement
   CacheCounters counters_;

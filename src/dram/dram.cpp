@@ -42,31 +42,24 @@ DramTiming DramTiming::hbm2() {
   return t;
 }
 
+namespace {
+bool is_pow2(std::uint64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+unsigned log2u(std::uint64_t x) {
+  return static_cast<unsigned>(__builtin_ctzll(x));
+}
+}  // namespace
+
 Dram::Dram(DramTiming timing) : timing_(std::move(timing)) {
   assert(timing_.channels > 0 && timing_.banks_per_channel > 0);
   channels_.resize(timing_.channels);
   for (auto& ch : channels_) ch.banks.resize(timing_.banks_per_channel);
-}
-
-unsigned Dram::channel_of(PhysAddr pa) const {
-  // Line interleaving across channels spreads sequential traffic; XOR-folding
-  // higher address bits (permutation-based interleaving, as in real memory
-  // controllers) breaks the bank/channel aliasing that power-of-2 strided
-  // access patterns would otherwise cause.
-  const std::uint64_t l = line_of(pa);
-  return static_cast<unsigned>((l ^ (l >> 11)) % timing_.channels);
-}
-
-unsigned Dram::bank_of(PhysAddr pa) const {
-  const std::uint64_t l = line_of(pa);
-  return static_cast<unsigned>(((l / timing_.channels) ^ (l >> 9) ^ (l >> 15)) %
-                               timing_.banks_per_channel);
-}
-
-std::uint64_t Dram::row_of(PhysAddr pa) const {
   const std::uint64_t lines_per_row = timing_.row_bytes / kCacheLineSize;
-  return (line_of(pa) / timing_.channels / timing_.banks_per_channel) /
-         lines_per_row;
+  channels_pow2_ = is_pow2(timing_.channels);
+  banks_pow2_ = is_pow2(timing_.banks_per_channel);
+  rows_pow2_ = lines_per_row > 0 && is_pow2(lines_per_row);
+  if (channels_pow2_) channel_shift_ = log2u(timing_.channels);
+  if (banks_pow2_) bank_shift_ = log2u(timing_.banks_per_channel);
+  if (rows_pow2_) row_shift_ = log2u(lines_per_row);
 }
 
 double Dram::random_capacity_per_cycle() const {

@@ -79,9 +79,37 @@ class Dram {
   StatSet snapshot() const;
   void reset_counters() { counters_ = Counters{}; }
 
-  unsigned channel_of(PhysAddr pa) const;
-  unsigned bank_of(PhysAddr pa) const;
-  std::uint64_t row_of(PhysAddr pa) const;
+  // The channel/bank/row index math runs on every DRAM access; the counts
+  // are configuration members, so without the precomputed shifts below each
+  // `/` and `%` would be a real 64-bit divide in the hot loop. Both presets
+  // use power-of-two channel/bank/row geometry, where the divides fold to
+  // shifts and masks (identical results); other geometries take the divide.
+  unsigned channel_of(PhysAddr pa) const {
+    // Line interleaving across channels spreads sequential traffic;
+    // XOR-folding higher address bits (permutation-based interleaving, as in
+    // real memory controllers) breaks the bank/channel aliasing that
+    // power-of-2 strided access patterns would otherwise cause.
+    const std::uint64_t l = line_of(pa);
+    const std::uint64_t x = l ^ (l >> 11);
+    return static_cast<unsigned>(
+        channels_pow2_ ? x & (timing_.channels - 1) : x % timing_.channels);
+  }
+  unsigned bank_of(PhysAddr pa) const {
+    const std::uint64_t l = line_of(pa);
+    const std::uint64_t per =
+        channels_pow2_ ? l >> channel_shift_ : l / timing_.channels;
+    const std::uint64_t x = per ^ (l >> 9) ^ (l >> 15);
+    return static_cast<unsigned>(banks_pow2_
+                                     ? x & (timing_.banks_per_channel - 1)
+                                     : x % timing_.banks_per_channel);
+  }
+  std::uint64_t row_of(PhysAddr pa) const {
+    const std::uint64_t l = line_of(pa);
+    if (channels_pow2_ && banks_pow2_ && rows_pow2_)
+      return l >> (channel_shift_ + bank_shift_ + row_shift_);
+    const std::uint64_t lines_per_row = timing_.row_bytes / kCacheLineSize;
+    return (l / timing_.channels / timing_.banks_per_channel) / lines_per_row;
+  }
 
   /// Peak random-access service rate in requests/cycle (banks / tRC summed
   /// over channels). Used by tests and capacity-planning asserts.
@@ -101,6 +129,9 @@ class Dram {
   DramTiming timing_;
   std::vector<Channel> channels_;
   Counters counters_;
+  // Power-of-two geometry shortcuts, set at construction (see channel_of).
+  bool channels_pow2_ = false, banks_pow2_ = false, rows_pow2_ = false;
+  unsigned channel_shift_ = 0, bank_shift_ = 0, row_shift_ = 0;
 };
 
 }  // namespace ndp

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/mmu.h"
+#include "sim/event_heap.h"
 
 namespace ndp {
 
@@ -25,46 +26,10 @@ Engine::Engine(System& system, TraceSource& trace, EngineConfig cfg)
 
 namespace {
 
-constexpr unsigned kIssueSlot = UINT32_MAX;
-
-struct Event {
-  Cycle time;
-  unsigned core;
-  unsigned slot;  ///< kIssueSlot = front-end issue, else op-slot index
-  bool operator>(const Event& o) const { return time > o.time; }
-};
-
-/// Time-ordered event queue: a binary min-heap over a flat, pre-reserved
-/// vector. Uses std::push_heap/pop_heap with the same comparator the old
-/// std::priority_queue used, so pop order (including time ties) is
-/// bit-for-bit identical — but the backing store never reallocates
-/// (capacity is bounded by cores x (mlp + 1) outstanding events) and every
-/// heap op is counted for the perf smoke budget.
-class EventHeap {
- public:
-  explicit EventHeap(std::size_t capacity) { heap_.reserve(capacity); }
-
-  bool empty() const { return heap_.empty(); }
-  const Event& top() const { return heap_.front(); }
-  void push(Event e) {
-    heap_.push_back(e);
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
-    ++pushes_;
-    if (heap_.size() > peak_) peak_ = heap_.size();
-  }
-  void pop() {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
-    heap_.pop_back();
-  }
-
-  std::uint64_t pushes() const { return pushes_; }
-  std::uint64_t peak() const { return peak_; }
-
- private:
-  std::vector<Event> heap_;
-  std::uint64_t pushes_ = 0;
-  std::size_t peak_ = 0;
-};
+// The event queue itself lives in sim/event_heap.h (unit-tested there);
+// kIssueSlot tags a front-end issue event vs an op-slot event.
+using Event = EngineEvent;
+constexpr unsigned kIssueSlot = EventHeap::kIssueSlot;
 
 struct Slot {
   MmuOp op;
@@ -149,6 +114,11 @@ RunResult Engine::run() {
   if (cores_warm == ncores) stats_reset_done = true;
   if (stats_reset_done) end_phase(ProfilePhase::kWarmup);  // no warmup window
 
+  // Pop-per-event on purpose: this loop pushes same-cycle events while
+  // processing (stage transitions return `now`; completions re-issue at
+  // `now`), and the golden-pinned tie order requires those pushes to land
+  // in the live heap among the remaining ties. EventHeap::drain_same_cycle
+  // documents why a pre-drained batch cannot reproduce that order.
   while (!pq.empty()) {
     const Event ev = pq.top();
     pq.pop();

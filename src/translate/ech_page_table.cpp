@@ -25,6 +25,9 @@ EchPageTable::EchPageTable(PhysicalMemory& pm, EchConfig cfg)
   while (n < entries_per_way_) n <<= 1;
   entries_per_way_ = n;
   ways_ = allocate_ways(entries_per_way_);
+  block_bytes_ = block_bytes_for(entries_per_way_);
+  block_shift_ = 0;
+  while ((1ull << block_shift_) < block_bytes_) ++block_shift_;
 }
 
 EchPageTable::~EchPageTable() { release_ways(ways_, entries_per_way_); }
@@ -47,7 +50,9 @@ std::vector<EchPageTable::Way> EchPageTable::allocate_ways(std::uint64_t epw) {
   const std::uint64_t bb = block_bytes_for(epw);
   const std::uint64_t blocks = (way_bytes + bb - 1) / bb;
   for (auto& way : ways) {
-    way.slots.assign(epw, Slot{});
+    way.vpns.assign(epw, 0);
+    way.pfns.assign(epw, 0);
+    way.valid.assign((epw + 63) / 64, 0);
     for (std::uint64_t b = 0; b < blocks; ++b)
       way.blocks.push_back(pm_.alloc_table_block(block_order_for(epw)));
   }
@@ -65,19 +70,27 @@ std::uint64_t EchPageTable::hash(unsigned way, Vpn vpn) const {
   return splitmix64(vpn ^ kWaySeed[way]) & (entries_per_way_ - 1);
 }
 
+void EchPageTable::hash_all(Vpn vpn, std::uint64_t* idx) const {
+  const std::uint64_t mask = entries_per_way_ - 1;
+  for (unsigned w = 0; w < cfg_.ways; ++w)
+    idx[w] = splitmix64(vpn ^ kWaySeed[w]) & mask;
+}
+
 PhysAddr EchPageTable::slot_addr(unsigned way, std::uint64_t idx) const {
   const Way& w = ways_[way];
   const std::uint64_t byte = idx * kPteSize;
-  const std::uint64_t bb = block_bytes_for(entries_per_way_);
-  return frame_base(w.blocks[byte / bb]) + (byte % bb);
+  return frame_base(w.blocks[byte >> block_shift_]) +
+         (byte & (block_bytes_ - 1));
 }
 
 bool EchPageTable::insert(Vpn vpn, Pfn pfn, unsigned depth_budget) {
   // Overwrite if present in any way.
+  std::uint64_t idx[8];
+  hash_all(vpn, idx);
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    Slot& s = ways_[w].slots[hash(w, vpn)];
-    if (s.valid && s.vpn == vpn) {
-      s.pfn = pfn;
+    Way& way = ways_[w];
+    if (way.is_valid(idx[w]) && way.vpns[idx[w]] == vpn) {
+      way.pfns[idx[w]] = pfn;
       return true;
     }
   }
@@ -86,18 +99,21 @@ bool EchPageTable::insert(Vpn vpn, Pfn pfn, unsigned depth_budget) {
   unsigned way = static_cast<unsigned>(rng_.below(cfg_.ways));
   for (unsigned d = 0; d < depth_budget; ++d) {
     // Prefer any empty candidate bucket first.
+    hash_all(cur_vpn, idx);
     for (unsigned w = 0; w < cfg_.ways; ++w) {
-      Slot& s = ways_[w].slots[hash(w, cur_vpn)];
-      if (!s.valid) {
-        s = Slot{cur_vpn, cur_pfn, true};
+      Way& wy = ways_[w];
+      if (!wy.is_valid(idx[w])) {
+        wy.vpns[idx[w]] = cur_vpn;
+        wy.pfns[idx[w]] = cur_pfn;
+        wy.set_valid(idx[w]);
         ++live_;
         return true;
       }
     }
     // Displace the occupant of a pseudo-random way and re-home it.
-    Slot& victim = ways_[way].slots[hash(way, cur_vpn)];
-    std::swap(cur_vpn, victim.vpn);
-    std::swap(cur_pfn, victim.pfn);
+    Way& vw = ways_[way];
+    std::swap(cur_vpn, vw.vpns[idx[way]]);
+    std::swap(cur_pfn, vw.pfns[idx[way]]);
     way = (way + 1 + static_cast<unsigned>(rng_.below(cfg_.ways - 1))) % cfg_.ways;
   }
   // Put the homeless entry back is unnecessary: the displaced chain keeps
@@ -117,9 +133,9 @@ void EchPageTable::resize() {
 
   std::vector<Slot> live;
   live.reserve(live_ + 1);
-  for (auto& way : ways_)
-    for (Slot& s : way.slots)
-      if (s.valid) live.push_back(s);
+  for (const Way& way : ways_)
+    for (std::uint64_t i = 0; i < entries_per_way_; ++i)
+      if (way.is_valid(i)) live.push_back(Slot{way.vpns[i], way.pfns[i], true});
   if (pending_.valid) {
     live.push_back(pending_);
     pending_.valid = false;
@@ -129,6 +145,9 @@ void EchPageTable::resize() {
   const std::uint64_t old_epw = entries_per_way_;
   ways_ = std::move(new_ways);
   entries_per_way_ = new_epw;
+  block_bytes_ = block_bytes_for(new_epw);
+  block_shift_ = 0;
+  while ((1ull << block_shift_) < block_bytes_) ++block_shift_;
   live_ = 0;
   for (const Slot& s : live) {
     const bool ok = insert(s.vpn, s.pfn, cfg_.max_displacements);
@@ -158,9 +177,10 @@ MapResult EchPageTable::map(Vpn vpn, Pfn pfn, unsigned page_shift) {
 
 bool EchPageTable::unmap(Vpn vpn) {
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    Slot& s = ways_[w].slots[hash(w, vpn)];
-    if (s.valid && s.vpn == vpn) {
-      s.valid = false;
+    Way& way = ways_[w];
+    const std::uint64_t i = hash(w, vpn);
+    if (way.is_valid(i) && way.vpns[i] == vpn) {
+      way.clear_valid(i);
       --live_;
       return true;
     }
@@ -169,18 +189,22 @@ bool EchPageTable::unmap(Vpn vpn) {
 }
 
 std::optional<Pfn> EchPageTable::lookup(Vpn vpn) const {
+  std::uint64_t idx[8];
+  hash_all(vpn, idx);
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    const Slot& s = ways_[w].slots[hash(w, vpn)];
-    if (s.valid && s.vpn == vpn) return s.pfn;
+    const Way& way = ways_[w];
+    if (way.is_valid(idx[w]) && way.vpns[idx[w]] == vpn)
+      return way.pfns[idx[w]];
   }
   return std::nullopt;
 }
 
 bool EchPageTable::remap(Vpn vpn, Pfn new_pfn) {
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    Slot& s = ways_[w].slots[hash(w, vpn)];
-    if (s.valid && s.vpn == vpn) {
-      s.pfn = new_pfn;
+    Way& way = ways_[w];
+    const std::uint64_t i = hash(w, vpn);
+    if (way.is_valid(i) && way.vpns[i] == vpn) {
+      way.pfns[i] = new_pfn;
       return true;
     }
   }
@@ -194,14 +218,22 @@ void EchPageTable::walk_into(Vpn vpn, WalkPath& path) const {
   const unsigned width = cfg_.probe_width && cfg_.probe_width < cfg_.ways
                              ? cfg_.probe_width
                              : cfg_.ways;
+  // One hash pass serves both the step layout and the functional lookup —
+  // the old code rehashed every way twice per walk.
+  std::uint64_t idx[8];
+  hash_all(vpn, idx);
   for (unsigned w = 0; w < cfg_.ways; ++w) {
     path.steps.push_back(
-        WalkStep{slot_addr(w, hash(w, vpn)), WalkStep::kHashLevel, w / width});
+        WalkStep{slot_addr(w, idx[w]), WalkStep::kHashLevel, w / width});
   }
-  if (auto pfn = lookup(vpn)) {
-    path.mapped = true;
-    path.pfn = *pfn;
-    path.page_shift = kPageShift;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    const Way& way = ways_[w];
+    if (way.is_valid(idx[w]) && way.vpns[idx[w]] == vpn) {
+      path.mapped = true;
+      path.pfn = way.pfns[idx[w]];
+      path.page_shift = kPageShift;
+      break;
+    }
   }
 }
 
@@ -229,17 +261,12 @@ bool EchPageTable::save_state(BlobWriter& out) const {
   out.u64(cfg_.ways);
   out.u64(entries_per_way_);
   for (const Way& way : ways_) {
-    // Column encoding: vpn and pfn words bulk-copy; valid packs 64/word.
-    std::vector<std::uint64_t> vpns(way.slots.size()), pfns(way.slots.size());
-    std::vector<std::uint64_t> valid((way.slots.size() + 63) / 64, 0);
-    for (std::uint64_t i = 0; i < way.slots.size(); ++i) {
-      vpns[i] = way.slots[i].vpn;
-      pfns[i] = way.slots[i].pfn;
-      if (way.slots[i].valid) valid[i >> 6] |= 1ull << (i & 63);
-    }
-    out.u64s(vpns);
-    out.u64s(pfns);
-    out.u64s(valid);
+    // Column encoding, unchanged since the AoS layout (which transposed on
+    // save): vpn and pfn words, valid packed 64/word. The SoA members *are*
+    // the columns, so this is three bulk copies.
+    out.u64s(way.vpns);
+    out.u64s(way.pfns);
+    out.u64s(way.valid);
     out.u64s(way.blocks);
   }
   out.u64(pending_.vpn);
@@ -259,17 +286,13 @@ bool EchPageTable::load_state(BlobReader& in) {
   if (!in.ok() || epw == 0 || (epw & (epw - 1)) != 0) return false;
   std::vector<Way> ways(cfg_.ways);
   for (Way& way : ways) {
-    const std::vector<std::uint64_t> vpns = in.u64s();
-    const std::vector<std::uint64_t> pfns = in.u64s();
-    const std::vector<std::uint64_t> valid = in.u64s();
+    way.vpns = in.u64s();
+    way.pfns = in.u64s();
+    way.valid = in.u64s();
     way.blocks = in.u64s();
-    if (!in.ok() || vpns.size() != epw || pfns.size() != epw ||
-        valid.size() != (epw + 63) / 64 || way.blocks.empty())
+    if (!in.ok() || way.vpns.size() != epw || way.pfns.size() != epw ||
+        way.valid.size() != (epw + 63) / 64 || way.blocks.empty())
       return false;
-    way.slots.resize(epw);
-    for (std::uint64_t i = 0; i < epw; ++i)
-      way.slots[i] =
-          Slot{vpns[i], pfns[i], ((valid[i >> 6] >> (i & 63)) & 1ull) != 0};
   }
   Slot pending;
   pending.vpn = in.u64();
@@ -284,6 +307,9 @@ bool EchPageTable::load_state(BlobReader& in) {
   // (initial blocks freed by the snapshot-time resize, resized blocks live).
   ways_ = std::move(ways);
   entries_per_way_ = epw;
+  block_bytes_ = block_bytes_for(epw);
+  block_shift_ = 0;
+  while ((1ull << block_shift_) < block_bytes_) ++block_shift_;
   pending_ = pending;
   live_ = live;
   resizes_ = resizes;

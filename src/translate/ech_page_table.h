@@ -67,12 +67,28 @@ class EchPageTable : public PageTable {
     Pfn pfn = 0;
     bool valid = false;
   };
+  /// Way storage is structure-of-arrays: vpn / pfn columns plus a packed
+  /// validity bitmap. A probe touches only the word it indexes in each
+  /// column (no Slot padding), the columns are exactly what save_state
+  /// serializes (a snapshot is three bulk copies per way), and invalid
+  /// slots keep their stale vpn/pfn words — the blob format pins that.
   struct Way {
-    std::vector<Slot> slots;
-    std::vector<Pfn> blocks;  ///< base PFN of each physical block
+    std::vector<std::uint64_t> vpns;
+    std::vector<std::uint64_t> pfns;
+    std::vector<std::uint64_t> valid;  ///< bit i: slot i holds a live entry
+    std::vector<Pfn> blocks;           ///< base PFN of each physical block
+
+    bool is_valid(std::uint64_t i) const {
+      return ((valid[i >> 6] >> (i & 63)) & 1ull) != 0;
+    }
+    void set_valid(std::uint64_t i) { valid[i >> 6] |= 1ull << (i & 63); }
+    void clear_valid(std::uint64_t i) { valid[i >> 6] &= ~(1ull << (i & 63)); }
   };
 
   std::uint64_t hash(unsigned way, Vpn vpn) const;
+  /// Compute every way's bucket index for vpn in one pass (the lanes are
+  /// independent, so the compiler can vectorize the splitmix64 mixes).
+  void hash_all(Vpn vpn, std::uint64_t* idx) const;
   PhysAddr slot_addr(unsigned way, std::uint64_t idx) const;
   /// Bytes of one physical block backing a way of `epw` entries (power of
   /// two, <= 2 MB).
@@ -89,6 +105,10 @@ class EchPageTable : public PageTable {
   PhysicalMemory& pm_;
   EchConfig cfg_;
   std::uint64_t entries_per_way_;
+  /// Cached geometry of the current physical backing blocks (power-of-two
+  /// bytes), so slot_addr splits an offset with shift/mask, not division.
+  std::uint64_t block_bytes_ = 0;
+  unsigned block_shift_ = 0;
   std::vector<Way> ways_;
   Slot pending_{};  ///< entry displaced out by a failed insert, re-homed on resize
   std::uint64_t live_ = 0;

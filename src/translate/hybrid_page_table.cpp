@@ -13,9 +13,12 @@ constexpr unsigned kMaxBlockOrder = 9;
 HybridPageTable::HybridPageTable(PhysicalMemory& pm, HybridConfig cfg)
     : pm_(pm), cfg_(cfg), fallback_(pm, /*preferred_leaf_level=*/1) {
   assert(cfg_.flat_bits >= 12 && cfg_.flat_bits <= 26);
-  slots_.assign(1ull << cfg_.flat_bits, Slot{});
+  const std::uint64_t n = 1ull << cfg_.flat_bits;
+  vpns_.assign(n, 0);
+  pfns_.assign(n, 0);
+  valid_.assign((n + 63) / 64, 0);
 
-  const std::uint64_t window_bytes = slots_.size() * kPteSize;
+  const std::uint64_t window_bytes = n * kPteSize;
   block_order_ = 0;
   while ((kPageSize << block_order_) < window_bytes &&
          block_order_ < kMaxBlockOrder)
@@ -41,17 +44,19 @@ MapResult HybridPageTable::map(Vpn vpn, Pfn pfn, unsigned page_shift) {
          "the hybrid flat window stores 4 KB translations");
   (void)page_shift;
   MapResult r;
-  Slot& s = slots_[index_of(vpn)];
-  if (s.valid && s.vpn == vpn) {
-    s.pfn = pfn;
+  const std::uint64_t i = index_of(vpn);
+  if (slot_valid(i) && vpns_[i] == vpn) {
+    pfns_[i] = pfn;
     r.replaced = true;
     return r;
   }
-  if (!s.valid) {
+  if (!slot_valid(i)) {
     // The slot is free — but the VPN may already live in the fallback from
     // an earlier conflict; keep it there so each VPN has exactly one home.
     if (fallback_.lookup(vpn)) return fallback_.map(vpn, pfn, kPageShift);
-    s = Slot{vpn, pfn, true};
+    vpns_[i] = vpn;
+    pfns_[i] = pfn;
+    valid_[i >> 6] |= 1ull << (i & 63);
     ++flat_live_;
     return r;
   }
@@ -61,9 +66,9 @@ MapResult HybridPageTable::map(Vpn vpn, Pfn pfn, unsigned page_shift) {
 }
 
 bool HybridPageTable::unmap(Vpn vpn) {
-  Slot& s = slots_[index_of(vpn)];
-  if (s.valid && s.vpn == vpn) {
-    s.valid = false;
+  const std::uint64_t i = index_of(vpn);
+  if (slot_valid(i) && vpns_[i] == vpn) {
+    valid_[i >> 6] &= ~(1ull << (i & 63));
     --flat_live_;
     return true;
   }
@@ -71,42 +76,48 @@ bool HybridPageTable::unmap(Vpn vpn) {
 }
 
 std::optional<Pfn> HybridPageTable::lookup(Vpn vpn) const {
-  const Slot& s = slots_[index_of(vpn)];
-  if (s.valid && s.vpn == vpn) return s.pfn;
+  const std::uint64_t i = index_of(vpn);
+  if (slot_valid(i) && vpns_[i] == vpn) return pfns_[i];
   return fallback_.lookup(vpn);
 }
 
 bool HybridPageTable::remap(Vpn vpn, Pfn new_pfn) {
-  Slot& s = slots_[index_of(vpn)];
-  if (s.valid && s.vpn == vpn) {
-    s.pfn = new_pfn;
+  const std::uint64_t i = index_of(vpn);
+  if (slot_valid(i) && vpns_[i] == vpn) {
+    pfns_[i] = new_pfn;
     return true;
   }
   return fallback_.remap(vpn, new_pfn);
 }
 
 void HybridPageTable::walk_into(Vpn vpn, WalkPath& path) const {
+  WalkPath scratch;
+  walk_into(vpn, path, scratch);
+}
+
+void HybridPageTable::walk_into(Vpn vpn, WalkPath& path,
+                                WalkPath& scratch) const {
   // Step 0: probe the flat slot. Tag hit -> done in one access.
   path.reset();
-  path.steps.push_back(
-      WalkStep{slot_addr(index_of(vpn)), WalkStep::kHybridLevel, 0});
-  const Slot& s = slots_[index_of(vpn)];
-  if (s.valid && s.vpn == vpn) {
+  const std::uint64_t i = index_of(vpn);
+  path.steps.push_back(WalkStep{slot_addr(i), WalkStep::kHybridLevel, 0});
+  if (slot_valid(i) && vpns_[i] == vpn) {
     path.mapped = true;
-    path.pfn = s.pfn;
+    path.pfn = pfns_[i];
     path.page_shift = kPageShift;
     return;
   }
-  // Tag miss: ordinary radix walk, serialized after the probe, reusing the
-  // scratch path so the fallback walk allocates nothing in steady state.
-  fallback_.walk_into(vpn, scratch_);
-  for (WalkStep step : scratch_.steps) {
+  // Tag miss: ordinary radix walk, serialized after the probe, built into
+  // the caller's scratch path so a steady-state fallback walk reuses its
+  // capacity instead of allocating.
+  fallback_.walk_into(vpn, scratch);
+  for (WalkStep step : scratch.steps) {
     step.group += 1;
     path.steps.push_back(step);
   }
-  path.mapped = scratch_.mapped;
-  path.pfn = scratch_.pfn;
-  path.page_shift = scratch_.page_shift;
+  path.mapped = scratch.mapped;
+  path.pfn = scratch.pfn;
+  path.page_shift = scratch.page_shift;
 }
 
 std::vector<LevelOccupancy> HybridPageTable::occupancy() const {
@@ -114,14 +125,14 @@ std::vector<LevelOccupancy> HybridPageTable::occupancy() const {
   flat.level = "FLAT";
   flat.nodes = blocks_.size();
   flat.valid = flat_live_;
-  flat.capacity = slots_.size();
+  flat.capacity = vpns_.size();
   std::vector<LevelOccupancy> out{flat};
   for (const LevelOccupancy& l : fallback_.occupancy()) out.push_back(l);
   return out;
 }
 
 std::uint64_t HybridPageTable::table_bytes() const {
-  return slots_.size() * kPteSize + fallback_.table_bytes();
+  return vpns_.size() * kPteSize + fallback_.table_bytes();
 }
 
 std::uint64_t HybridPageTable::fallback_live() const {
@@ -135,17 +146,11 @@ bool HybridPageTable::save_state(BlobWriter& out) const {
   out.str("Hybrid");
   out.u64(cfg_.flat_bits);
   out.u64(block_order_);
-  const std::uint64_t n = slots_.size();
-  std::vector<std::uint64_t> vpns(n), pfns(n);
-  std::vector<std::uint64_t> valid((n + 63) / 64, 0);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    vpns[i] = slots_[i].vpn;
-    pfns[i] = slots_[i].pfn;
-    if (slots_[i].valid) valid[i >> 6] |= 1ull << (i & 63);
-  }
-  out.u64s(vpns);
-  out.u64s(pfns);
-  out.u64s(valid);
+  // Column encoding, unchanged since the AoS layout (which transposed on
+  // save): the SoA members *are* the columns, so this bulk-copies.
+  out.u64s(vpns_);
+  out.u64s(pfns_);
+  out.u64s(valid_);
   out.u64s(blocks_);
   out.u64(flat_live_);
   return fallback_.save_state(out);
@@ -155,22 +160,22 @@ bool HybridPageTable::load_state(BlobReader& in) {
   if (in.str() != "Hybrid" || in.u64() != cfg_.flat_bits ||
       in.u64() != block_order_)
     return false;
-  const std::vector<std::uint64_t> vpns = in.u64s();
-  const std::vector<std::uint64_t> pfns = in.u64s();
-  const std::vector<std::uint64_t> valid = in.u64s();
-  const std::vector<std::uint64_t> blocks = in.u64s();
+  std::vector<std::uint64_t> vpns = in.u64s();
+  std::vector<std::uint64_t> pfns = in.u64s();
+  std::vector<std::uint64_t> valid = in.u64s();
+  std::vector<std::uint64_t> blocks = in.u64s();
   const std::uint64_t flat_live = in.u64();
-  const std::uint64_t n = slots_.size();
+  const std::uint64_t n = vpns_.size();
   if (!in.ok() || vpns.size() != n || pfns.size() != n ||
       valid.size() != (n + 63) / 64 || blocks.size() != blocks_.size())
     return false;
   // Restore the radix fallback first: it validates-then-commits itself, so
   // a failure here leaves both halves untouched.
   if (!fallback_.load_state(in)) return false;
-  for (std::uint64_t i = 0; i < n; ++i)
-    slots_[i] =
-        Slot{vpns[i], pfns[i], ((valid[i >> 6] >> (i & 63)) & 1ull) != 0};
-  blocks_ = blocks;
+  vpns_ = std::move(vpns);
+  pfns_ = std::move(pfns);
+  valid_ = std::move(valid);
+  blocks_ = std::move(blocks);
   flat_live_ = flat_live;
   return true;
 }

@@ -44,38 +44,43 @@ class HybridPageTable : public PageTable {
   bool unmap(Vpn vpn) override;
   std::optional<Pfn> lookup(Vpn vpn) const override;
   bool remap(Vpn vpn, Pfn new_pfn) override;
+  /// Compat path for direct callers (tests, PageTable::walk): builds its
+  /// own fallback scratch, so it may allocate. The engine's Walker uses the
+  /// scratch overload below, which is allocation-free in steady state.
   void walk_into(Vpn vpn, WalkPath& out) const override;
+  void walk_into(Vpn vpn, WalkPath& out, WalkPath& scratch) const override;
   std::vector<LevelOccupancy> occupancy() const override;
   std::string name() const override { return "Hybrid"; }
   std::uint64_t table_bytes() const override;
   bool save_state(BlobWriter& out) const override;
   bool load_state(BlobReader& in) override;
 
-  std::uint64_t flat_slots() const { return slots_.size(); }
+  std::uint64_t flat_slots() const { return vpns_.size(); }
   std::uint64_t flat_live() const { return flat_live_; }
   /// Translations that conflicted out of the window into the radix table.
   std::uint64_t fallback_live() const;
 
  private:
-  struct Slot {
-    Vpn vpn = 0;
-    Pfn pfn = 0;
-    bool valid = false;
-  };
-
-  std::uint64_t index_of(Vpn vpn) const { return vpn & (slots_.size() - 1); }
+  std::uint64_t index_of(Vpn vpn) const { return vpn & (vpns_.size() - 1); }
   PhysAddr slot_addr(std::uint64_t idx) const;
+  bool slot_valid(std::uint64_t i) const {
+    return ((valid_[i >> 6] >> (i & 63)) & 1ull) != 0;
+  }
 
   PhysicalMemory& pm_;
   HybridConfig cfg_;
-  std::vector<Slot> slots_;
+  /// Direct-mapped window in structure-of-arrays layout: vpn / pfn columns
+  /// plus a packed validity bitmap. A probe reads one vpn word and one
+  /// bitmap word (the pfn column only on a tag hit), and the columns match
+  /// the save_state blob format word-for-word, so snapshots bulk-copy.
+  /// Invalid slots keep their stale vpn/pfn words — the blob pins that.
+  std::vector<std::uint64_t> vpns_;
+  std::vector<std::uint64_t> pfns_;
+  std::vector<std::uint64_t> valid_;  ///< bit i: slot i holds a live entry
   std::vector<Pfn> blocks_;  ///< base PFN of each physical backing block
   unsigned block_order_ = 0;
   std::uint64_t flat_live_ = 0;
   RadixPageTable fallback_;
-  /// Reused fallback path so a tag-miss walk allocates nothing in steady
-  /// state (walk_into is logically const; this is scratch space only).
-  mutable WalkPath scratch_;
 };
 
 }  // namespace ndp

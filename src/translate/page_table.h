@@ -108,6 +108,16 @@ class PageTable {
   /// its steps capacity. This is the engine's per-TLB-miss path — a recycled
   /// WalkPath makes a walk allocation-free after the first few ops.
   virtual void walk_into(Vpn vpn, WalkPath& out) const = 0;
+  /// walk_into() with caller-provided scratch for mechanisms whose walk
+  /// composes a second path internally (Hybrid's radix fallback after a
+  /// flat-window tag miss). The default ignores `scratch`. The Walker calls
+  /// this overload with a per-core recycled scratch path, so a mechanism
+  /// never needs hidden mutable walk state to stay allocation-free in the
+  /// measured loop.
+  virtual void walk_into(Vpn vpn, WalkPath& out, WalkPath& scratch) const {
+    (void)scratch;
+    walk_into(vpn, out);
+  }
 
   virtual std::vector<LevelOccupancy> occupancy() const = 0;
   virtual std::string name() const = 0;

@@ -1,5 +1,6 @@
 #include "translate/pwc.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ndp {
@@ -7,23 +8,9 @@ namespace ndp {
 Pwc::Pwc(unsigned level, PwcConfig cfg) : level_(level), cfg_(cfg) {
   assert(cfg_.entries % cfg_.ways == 0);
   num_sets_ = cfg_.entries / cfg_.ways;
-  lines_.resize(cfg_.entries);
-}
-
-bool Pwc::lookup(Vpn vpn) {
-  ++tick_;
-  const std::uint64_t tag = prefix_of(vpn);
-  const unsigned set = static_cast<unsigned>(tag % num_sets_);
-  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
-  for (unsigned w = 0; w < cfg_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      base[w].lru = tick_;
-      ++counters_.hits;
-      return true;
-    }
-  }
-  ++counters_.misses;
-  return false;
+  ways_ = cfg_.ways;
+  tags_.assign(cfg_.entries, kInvalidTag);
+  lru_.assign(cfg_.entries, 0);
 }
 
 StatSet Pwc::snapshot() const {
@@ -33,75 +20,56 @@ StatSet Pwc::snapshot() const {
   return s;
 }
 
-void Pwc::insert(Vpn vpn) {
-  ++tick_;
-  const std::uint64_t tag = prefix_of(vpn);
-  const unsigned set = static_cast<unsigned>(tag % num_sets_);
-  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
-  Line* victim = base;
-  for (unsigned w = 0; w < cfg_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) {  // already present: refresh
-      base[w].lru = tick_;
-      return;
-    }
-    if (!base[w].valid) {
-      victim = &base[w];
-    } else if (victim->valid && base[w].lru < victim->lru) {
-      victim = &base[w];
-    }
-  }
-  *victim = Line{tag, true, tick_};
-}
-
 PwcSet::PwcSet(const std::vector<unsigned>& levels, PwcConfig cfg,
                const std::map<unsigned, unsigned>& entries_per_level)
     : cfg_(cfg) {
-  for (unsigned l : levels) {
+  // Ascending unique levels, matching the iteration order the previous
+  // std::map storage gave deepest_hit().
+  std::vector<unsigned> sorted = levels;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  caches_.reserve(sorted.size());
+  for (unsigned l : sorted) {
     PwcConfig level_cfg = cfg;
     const auto it = entries_per_level.find(l);
     if (it != entries_per_level.end()) level_cfg.entries = it->second;
-    caches_.emplace(l, Pwc(l, level_cfg));
+    caches_.emplace_back(l, level_cfg);
   }
-}
-
-unsigned PwcSet::deepest_hit(Vpn vpn) {
-  unsigned deepest = 0;
-  // std::map iterates levels ascending: the first hit is the deepest.
-  for (auto& [l, pwc] : caches_) {
-    if (pwc.lookup(vpn) && deepest == 0) deepest = l;
-  }
-  return deepest;
 }
 
 void PwcSet::fill(Vpn vpn, const std::vector<unsigned>& walked_levels) {
   for (unsigned l : walked_levels) {
-    auto it = caches_.find(l);
-    if (it != caches_.end()) it->second.insert(vpn);
+    for (Pwc& pwc : caches_) {
+      if (pwc.level() == l) {
+        pwc.insert(vpn);
+        break;
+      }
+    }
   }
 }
 
-void PwcSet::fill(Vpn vpn, const WalkPath& path) {
-  for (const WalkStep& s : path.steps) {
-    auto it = caches_.find(s.level);
-    if (it != caches_.end()) it->second.insert(vpn);
-  }
+bool PwcSet::has_level(unsigned level) const {
+  for (const Pwc& pwc : caches_)
+    if (pwc.level() == level) return true;
+  return false;
 }
-
-bool PwcSet::has_level(unsigned level) const { return caches_.count(level) > 0; }
 
 Pwc* PwcSet::level(unsigned l) {
-  auto it = caches_.find(l);
-  return it == caches_.end() ? nullptr : &it->second;
+  for (Pwc& pwc : caches_)
+    if (pwc.level() == l) return &pwc;
+  return nullptr;
 }
 
 const Pwc* PwcSet::level(unsigned l) const {
-  auto it = caches_.find(l);
-  return it == caches_.end() ? nullptr : &it->second;
+  for (const Pwc& pwc : caches_)
+    if (pwc.level() == l) return &pwc;
+  return nullptr;
 }
 
 std::vector<unsigned> PwcSet::levels() const {
   std::vector<unsigned> out;
-  for (const auto& [l, pwc] : caches_) out.push_back(l);
+  out.reserve(caches_.size());
+  for (const Pwc& pwc : caches_) out.push_back(pwc.level());
   return out;
 }
 

@@ -7,6 +7,14 @@
 // The paper's NDPage keeps PWCs for L4 and L3 only; the Radix baseline has
 // one per level (L4..L1) — the configuration lives with the mechanism
 // (core/mechanism.*), this file is the structure.
+//
+// Storage is structure-of-arrays, like the TLBs (translate/tlb.h): a probe
+// is a contiguous scan of a set's tag column with kInvalidTag marking empty
+// ways, and the PwcSet keeps its per-level caches in a flat level-sorted
+// vector — deepest_hit() and the per-step fill() are linear passes over at
+// most four elements instead of red-black-tree walks. lookup()/insert() sit
+// on every TLB-miss (once per level, 1-2 levels per mechanism) and are
+// defined inline here.
 #pragma once
 
 #include <cstdint>
@@ -36,8 +44,48 @@ class Pwc {
     return vpn >> (9u * (level_ - 1u));
   }
 
-  bool lookup(Vpn vpn);
-  void insert(Vpn vpn);
+  bool lookup(Vpn vpn) {
+    ++tick_;
+    const std::uint64_t tag = prefix_of(vpn);
+    const std::size_t base =
+        static_cast<std::size_t>(tag % num_sets_) * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == tag) {
+        lru_[base + w] = tick_;
+        ++counters_.hits;
+        return true;
+      }
+    }
+    ++counters_.misses;
+    return false;
+  }
+
+  void insert(Vpn vpn) {
+    ++tick_;
+    const std::uint64_t tag = prefix_of(vpn);
+    const std::size_t base =
+        static_cast<std::size_t>(tag % num_sets_) * ways_;
+    // Refresh / first-empty-way / strict-min LRU, in one pass with the same
+    // victim choice the per-way line scan made: an empty way always wins
+    // over any valid way, ties keep the earliest way.
+    unsigned victim = 0;
+    bool victim_empty = false;
+    for (unsigned w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == tag) {  // already present: refresh
+        lru_[base + w] = tick_;
+        return;
+      }
+      if (victim_empty) continue;
+      if (tags_[base + w] == kInvalidTag) {
+        victim = w;
+        victim_empty = true;
+      } else if (lru_[base + w] < lru_[base + victim]) {
+        victim = w;
+      }
+    }
+    tags_[base + victim] = tag;
+    lru_[base + victim] = tick_;
+  }
 
   struct Counters {
     std::uint64_t hits = 0, misses = 0;
@@ -53,16 +101,16 @@ class Pwc {
   }
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
-    bool valid = false;
-    std::uint64_t lru = 0;
-  };
+  /// Empty-way marker: a tag is vpn >> 9(level-1) for a canonical virtual
+  /// address, always far below 2^64.
+  static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
 
   unsigned level_;
   PwcConfig cfg_;
   unsigned num_sets_;
-  std::vector<Line> lines_;
+  unsigned ways_;
+  std::vector<std::uint64_t> tags_;  ///< per-set contiguous columns
+  std::vector<std::uint64_t> lru_;
   std::uint64_t tick_ = 0;
   Counters counters_;
 };
@@ -78,12 +126,28 @@ class PwcSet {
 
   /// Deepest (smallest) level with a hit for vpn, or 0 if none. Probes every
   /// level (hardware probes in parallel), so per-level stats stay honest.
-  unsigned deepest_hit(Vpn vpn);
+  unsigned deepest_hit(Vpn vpn) {
+    unsigned deepest = 0;
+    // caches_ is sorted by ascending level: the first hit is the deepest.
+    for (Pwc& pwc : caches_) {
+      if (pwc.lookup(vpn) && deepest == 0) deepest = pwc.level();
+    }
+    return deepest;
+  }
   /// Record the traversed levels of a completed walk.
   void fill(Vpn vpn, const std::vector<unsigned>& walked_levels);
   /// Refill from a walk path directly (the walker's hot path — no
   /// intermediate level list is materialized).
-  void fill(Vpn vpn, const WalkPath& path);
+  void fill(Vpn vpn, const WalkPath& path) {
+    for (const WalkStep& s : path.steps) {
+      for (Pwc& pwc : caches_) {
+        if (pwc.level() == s.level) {
+          pwc.insert(vpn);
+          break;
+        }
+      }
+    }
+  }
 
   bool has_level(unsigned level) const;
   Pwc* level(unsigned l);
@@ -93,7 +157,7 @@ class PwcSet {
 
  private:
   PwcConfig cfg_;
-  std::map<unsigned, Pwc> caches_;  ///< key: level
+  std::vector<Pwc> caches_;  ///< sorted by ascending level, unique levels
 };
 
 }  // namespace ndp

@@ -1,89 +1,37 @@
 #include "translate/tlb.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ndp {
 
 Tlb::Tlb(TlbConfig cfg) : cfg_(std::move(cfg)) {
   assert(cfg_.entries % cfg_.ways == 0);
-  num_sets_ = cfg_.entries / cfg_.ways;
-  lines_.resize(cfg_.entries);
+  small_.sets = cfg_.entries / cfg_.ways;
+  small_.ways = cfg_.ways;
+  small_.tags.assign(cfg_.entries, kInvalidTag);
+  small_.pfns.assign(cfg_.entries, 0);
+  small_.lru.assign(cfg_.entries, 0);
   if (cfg_.huge_entries > 0) {
     assert(cfg_.huge_entries % cfg_.huge_ways == 0);
-    num_huge_sets_ = cfg_.huge_entries / cfg_.huge_ways;
-    huge_lines_.resize(cfg_.huge_entries);
-  } else {
-    num_huge_sets_ = 1;  // unused
+    huge_.sets = cfg_.huge_entries / cfg_.huge_ways;
+    huge_.ways = cfg_.huge_ways;
+    huge_.tags.assign(cfg_.huge_entries, kInvalidTag);
+    huge_.pfns.assign(cfg_.huge_entries, 0);
+    huge_.lru.assign(cfg_.huge_entries, 0);
   }
-}
-
-Tlb::Line* Tlb::find(VirtAddr va, unsigned page_shift) {
-  std::vector<Line>& arr = array_for(page_shift);
-  if (arr.empty()) return nullptr;
-  const unsigned ways = ways_for(page_shift);
-  const unsigned set = set_of(va, page_shift);
-  const Vpn tag = va >> page_shift;
-  Line* base = &arr[static_cast<std::size_t>(set) * ways];
-  for (unsigned w = 0; w < ways; ++w) {
-    Line& l = base[w];
-    if (l.valid && l.page_shift == page_shift && l.tag == tag) return &l;
-  }
-  return nullptr;
-}
-
-std::optional<TlbEntry> Tlb::lookup(VirtAddr va) {
-  ++tick_;
-  for (unsigned shift : {kPageShift, kHugePageShift}) {
-    if (Line* l = find(va, shift)) {
-      l->lru = tick_;
-      ++counters_.hits;
-      return TlbEntry{l->pfn, l->page_shift};
-    }
-  }
-  ++counters_.misses;
-  return std::nullopt;
-}
-
-std::optional<TlbEntry> Tlb::peek(VirtAddr va) {
-  for (unsigned shift : {kPageShift, kHugePageShift}) {
-    if (Line* l = find(va, shift)) return TlbEntry{l->pfn, l->page_shift};
-  }
-  return std::nullopt;
-}
-
-void Tlb::insert(VirtAddr va, Pfn pfn, unsigned page_shift) {
-  ++tick_;
-  std::vector<Line>& arr = array_for(page_shift);
-  if (arr.empty()) return;  // this TLB does not cache this page size
-  if (Line* l = find(va, page_shift)) {  // refresh
-    l->pfn = pfn;
-    l->lru = tick_;
-    return;
-  }
-  const unsigned ways = ways_for(page_shift);
-  const unsigned set = set_of(va, page_shift);
-  Line* base = &arr[static_cast<std::size_t>(set) * ways];
-  Line* victim = base;
-  for (unsigned w = 0; w < ways; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
-      break;
-    }
-    if (base[w].lru < victim->lru) victim = &base[w];
-  }
-  if (victim->valid) ++counters_.evictions;
-  *victim = Line{va >> page_shift, pfn, page_shift, true, tick_};
 }
 
 void Tlb::invalidate(VirtAddr va) {
-  for (unsigned shift : {kPageShift, kHugePageShift}) {
-    if (Line* l = find(va, shift)) l->valid = false;
-  }
+  if (unsigned w = probe(small_, va, kPageShift); w != kNoWay)
+    small_.tags[small_.base_of(va, kPageShift) + w] = kInvalidTag;
+  if (unsigned w = probe(huge_, va, kHugePageShift); w != kNoWay)
+    huge_.tags[huge_.base_of(va, kHugePageShift) + w] = kInvalidTag;
 }
 
 void Tlb::flush() {
-  for (Line& l : lines_) l.valid = false;
-  for (Line& l : huge_lines_) l.valid = false;
+  std::fill(small_.tags.begin(), small_.tags.end(), kInvalidTag);
+  std::fill(huge_.tags.begin(), huge_.tags.end(), kInvalidTag);
   ++counters_.flushes;
 }
 

@@ -10,7 +10,7 @@ Walker::Walker(PageTable& pt, MemorySystem& mem, WalkerConfig cfg)
       pwcs_(cfg_.pwc_levels, cfg_.pwc, cfg_.pwc_entries) {}
 
 void Walker::plan_into(Vpn vpn, WalkPlan& p) {
-  pt_.walk_into(vpn, p.path);
+  pt_.walk_into(vpn, p.path, scratch_);
   p.first_step = 0;
   p.start_latency = 0;
   if (cfg_.pwc_levels.empty()) return;

@@ -102,6 +102,11 @@ class Walker {
   WalkerConfig cfg_;
   PwcSet pwcs_;
   Counters counters_;
+  /// Per-core walk scratch (each core owns one Walker): handed to the page
+  /// table's walk_into(vpn, out, scratch) overload so mechanisms that build
+  /// a secondary path (Hybrid's radix fallback) reuse its capacity instead
+  /// of keeping hidden mutable state or allocating per walk.
+  WalkPath scratch_;
 };
 
 }  // namespace ndp

@@ -149,6 +149,76 @@ TEST(EngineInvariants, MergedStatsEqualComponentSums) {
   EXPECT_EQ(again.counters(), r.stats.counters());
 }
 
+// A deterministic, gap-free page-striding stream. With mlp=1 and zero gaps
+// the engine strictly alternates issue/complete, so a run with warmup K and
+// budget N-K consumes exactly the same N references as a run with warmup 0
+// and budget N — only the counted window differs.
+class PageStrideTrace : public TraceSource {
+ public:
+  explicit PageStrideTrace(unsigned cores) : pos_(cores, 0) {}
+  std::string name() const override { return "page_stride"; }
+  std::string suite() const override { return "test"; }
+  std::uint64_t paper_dataset_bytes() const override { return kBytes; }
+  std::uint64_t dataset_bytes() const override { return kBytes; }
+  std::vector<VmRegion> regions() const override {
+    return {VmRegion{"stride", kBase, kBytes, true}};
+  }
+  MemRef next(unsigned core) override {
+    const std::uint64_t i = pos_[core]++;
+    const VirtAddr va = kBase + (i * 4096 + core * 64) % kBytes;
+    return MemRef{0, va, AccessType::kRead};
+  }
+
+ private:
+  static constexpr VirtAddr kBase = 0x10000000;
+  static constexpr std::uint64_t kBytes = 4ull << 20;
+  std::vector<std::uint64_t> pos_;
+};
+
+RunResult run_stride(std::uint64_t budget, std::uint64_t warmup) {
+  SystemConfig sc = SystemConfig::ndp(1, Mechanism::kRadix);
+  sc.mlp = 1;
+  System sys(sc);
+  PageStrideTrace trace(1);
+  EngineConfig ec;
+  ec.instructions_per_core = budget;
+  ec.warmup_refs_per_core = warmup;
+  Engine engine(sys, trace, ec);
+  return engine.run();
+}
+
+// Warmup and measured accesses share one access function: the warmup window
+// is the *same* issue/step/complete path with stat recording gated off, not
+// a separate untimed loop. Pinned observably: splitting an N-reference run
+// into warmup K + counted N-K leaves the absolute completion time of the
+// final reference unchanged (same event trajectory), and every system-level
+// flow counter splits exactly into prefix + suffix. If warmup ever grew its
+// own "fast" path, the timelines and the conservation sums would diverge.
+TEST(EngineInvariants, WarmupSharesTheMeasuredAccessPath) {
+  constexpr std::uint64_t kN = 2000, kK = 700;
+  const RunResult full = run_stride(kN, 0);        // refs 1..N, all counted
+  const RunResult split = run_stride(kN - kK, kK); // refs 1..N, count K+1..N
+  const RunResult prefix = run_stride(kK, 0);      // refs 1..K, all counted
+
+  ASSERT_EQ(full.cores.size(), 1u);
+  ASSERT_EQ(split.cores.size(), 1u);
+  // Identical timeline: the last reference finishes at the same absolute
+  // cycle whether the first K references were warmup or counted.
+  EXPECT_EQ(split.cores[0].end, full.cores[0].end);
+  EXPECT_EQ(split.cores[0].instructions, kN - kK);
+  EXPECT_EQ(split.cores[0].memrefs, full.cores[0].memrefs - kK);
+
+  // Flow conservation across the warmup reset: counters over refs 1..N
+  // equal counters over 1..K plus counters over K+1..N.
+  for (const char* key :
+       {"mem.access", "dram.access", "tlb.l1d.hit", "tlb.l1d.miss",
+        "tlb.l2.hit", "tlb.l2.miss", "mmu.walks", "walker.mem_accesses"}) {
+    SCOPED_TRACE(key);
+    EXPECT_EQ(full.stats.get(key),
+              prefix.stats.get(key) + split.stats.get(key));
+  }
+}
+
 // Zero-instruction runs are a diagnosed configuration error, not a silent
 // 0-cycle result poisoning geomean speedup tables downstream.
 TEST(EngineInvariants, ZeroInstructionBudgetIsDiagnosed) {
