@@ -1,0 +1,625 @@
+#include "fleet/coordinator.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/framing.h"
+#include "sim/sweep_runner.h"
+
+namespace ndp::fleet {
+
+namespace {
+
+/// Fleet-level metrics (obs/metrics.h). Fixed handles, resolved once;
+/// worker-labelled children are found per call (dispatch is not hot).
+struct FleetMetrics {
+  obs::Counter& failovers = obs::Metrics::instance().counter(
+      "ndpsim_fleet_failovers_total",
+      "Shards re-dispatched after a worker failure");
+
+  obs::Counter& dispatches(const std::string& worker) {
+    return obs::Metrics::instance().counter(
+        "ndpsim_fleet_dispatches_total", "Shard dispatches, by worker",
+        "worker=\"" + worker + "\"");
+  }
+
+  obs::Counter& runs(const char* outcome) {
+    return obs::Metrics::instance().counter(
+        "ndpsim_fleet_runs_total", "Fleet runs, by outcome",
+        std::string("outcome=\"") + outcome + "\"");
+  }
+
+  static FleetMetrics& get() {
+    static FleetMetrics m;
+    return m;
+  }
+};
+
+[[noreturn]] void config_error(const std::string& msg) {
+  throw std::invalid_argument("fleet config: " + msg);
+}
+
+int int_of(const JsonValue& v, const std::string& key) {
+  if (!v.is_number()) config_error("\"" + key + "\" must be a number");
+  const double d = v.as_double();
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d)
+    config_error("\"" + key + "\" must be an integer");
+  return i;
+}
+
+}  // namespace
+
+WorkerOptions parse_worker_endpoint(std::string_view endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == endpoint.size())
+    throw std::invalid_argument("worker endpoint \"" + std::string(endpoint) +
+                                "\" is not HOST:PORT");
+  WorkerOptions w;
+  w.host = std::string(endpoint.substr(0, colon));
+  const std::string port_text(endpoint.substr(colon + 1));
+  unsigned long port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stoul(port_text, &used);
+    if (used != port_text.size()) throw std::invalid_argument(port_text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("worker endpoint \"" + std::string(endpoint) +
+                                "\": bad port \"" + port_text + '"');
+  }
+  if (port == 0 || port > 65535)
+    throw std::invalid_argument("worker endpoint \"" + std::string(endpoint) +
+                                "\": port out of range");
+  w.port = static_cast<std::uint16_t>(port);
+  return w;
+}
+
+FleetOptions FleetOptions::from_json(std::string_view text) {
+  const JsonValue doc = JsonValue::parse(text);
+  if (!doc.is_object()) config_error("must be a JSON object");
+  FleetOptions opts;
+  std::vector<std::string> endpoints;
+  int connect_timeout_ms = 2000;
+  unsigned connect_retries = 2;
+  int backoff_ms = 100;
+  int backoff_max_ms = 2000;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "port") {
+      const std::uint64_t p = value.as_u64();
+      if (p > 65535) config_error("\"port\" out of range");
+      opts.port = static_cast<std::uint16_t>(p);
+    } else if (key == "workers") {
+      if (!value.is_array()) config_error("\"workers\" must be an array");
+      for (const JsonValue& w : value.array()) {
+        if (!w.is_string())
+          config_error("\"workers\" entries must be \"HOST:PORT\" strings");
+        endpoints.push_back(w.as_string());
+      }
+    } else if (key == "jobs") {
+      const std::uint64_t n = value.as_u64();
+      if (n > 1024) config_error("\"jobs\" out of range");
+      opts.jobs = static_cast<unsigned>(n);
+    } else if (key == "max_connections") {
+      opts.max_connections = static_cast<unsigned>(value.as_u64());
+    } else if (key == "idle_timeout_ms") {
+      opts.idle_timeout_ms = int_of(value, key);
+    } else if (key == "probe_interval_ms") {
+      opts.probe_interval_ms = int_of(value, key);
+    } else if (key == "request_timeout_ms") {
+      opts.request_timeout_ms = int_of(value, key);
+    } else if (key == "connect_timeout_ms") {
+      connect_timeout_ms = int_of(value, key);
+    } else if (key == "connect_retries") {
+      connect_retries = static_cast<unsigned>(value.as_u64());
+    } else if (key == "backoff_ms") {
+      backoff_ms = int_of(value, key);
+    } else if (key == "backoff_max_ms") {
+      backoff_max_ms = int_of(value, key);
+    } else if (key == "cache") {
+      if (!value.is_bool()) config_error("\"cache\" must be a bool");
+      opts.cache = value.as_bool();
+    } else if (key == "cache_capacity") {
+      opts.cache_capacity = static_cast<std::size_t>(value.as_u64());
+    } else {
+      config_error("unknown key \"" + key + '"');
+    }
+  }
+  if (endpoints.empty()) config_error("\"workers\" must name at least one");
+  for (const std::string& e : endpoints) {
+    WorkerOptions w = parse_worker_endpoint(e);
+    w.connect_timeout_ms = connect_timeout_ms;
+    w.connect_retries = connect_retries;
+    w.backoff_ms = backoff_ms;
+    w.backoff_max_ms = backoff_max_ms;
+    opts.workers.push_back(std::move(w));
+  }
+  return opts;
+}
+
+FleetOptions FleetOptions::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument(path + ": cannot open");
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return from_json(text.str());
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+Coordinator::Coordinator(FleetOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache ? opts_.cache_capacity : 0),
+      start_time_(std::chrono::steady_clock::now()) {
+  for (const WorkerOptions& w : opts_.workers)
+    workers_.push_back(std::make_unique<WorkerLink>(w));
+  int fds[2];
+  if (::pipe(fds) != 0) throw std::runtime_error("fleet: pipe failed");
+  wake_rd_ = fds[0];
+  wake_wr_ = fds[1];
+}
+
+Coordinator::~Coordinator() {
+  request_shutdown();
+  wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+}
+
+std::uint16_t Coordinator::start() {
+  listen_fd_ = serve::listen_tcp(opts_.port);
+  const std::uint16_t port = serve::local_port(listen_fd_);
+  obs::log(obs::LogLevel::kInfo, "fleet.listen")
+      .kv("port", port)
+      .kv("workers", workers_.size());
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (opts_.probe_interval_ms > 0)
+    probe_thread_ = std::thread([this] { probe_loop(); });
+  return port;
+}
+
+void Coordinator::request_shutdown() {
+  const char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(wake_wr_, &byte, 1);
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    probe_stop_ = true;
+  }
+  probe_cv_.notify_all();
+}
+
+void Coordinator::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+}
+
+std::size_t Coordinator::live_workers() {
+  std::size_t live = 0;
+  for (auto& w : workers_)
+    if (w->ensure_connected()) ++live;
+  return live;
+}
+
+void Coordinator::probe_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(probe_mu_);
+      probe_cv_.wait_for(lock,
+                         std::chrono::milliseconds(opts_.probe_interval_ms),
+                         [this] { return probe_stop_; });
+      if (probe_stop_) return;
+    }
+    for (auto& w : workers_) {
+      if (w->up())
+        w->probe();
+      else
+        w->ensure_connected();
+    }
+  }
+}
+
+void Coordinator::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_rd_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+      obs::log(obs::LogLevel::kInfo, "fleet.drain").kv("reason", "shutdown");
+      break;
+    }
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      obs::log(obs::LogLevel::kWarn, "fleet.accept.error").kv("errno", errno);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_ || connections_ >= opts_.max_connections) {
+        const char* why = draining_ ? "coordinator is shutting down"
+                                    : "connection limit reached";
+        obs::log(obs::LogLevel::kWarn, "fleet.refuse")
+            .kv("reason", why)
+            .kv("connections", connections_);
+        serve::write_line(conn, serve::error_envelope("", why));
+        ::close(conn);
+        continue;
+      }
+      ++connections_;
+      const std::uint64_t conn_id =
+          next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+      obs::log(obs::LogLevel::kInfo, "fleet.accept")
+          .kv("conn", conn_id)
+          .kv("connections", connections_);
+      conn_threads_.emplace_back([this, conn, conn_id] {
+        handle_connection(conn, conn, /*own_fds=*/true, conn_id);
+      });
+    }
+  }
+}
+
+void Coordinator::serve_stream(int in_fd, int out_fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++connections_;
+  }
+  const std::uint64_t conn_id =
+      next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::log(obs::LogLevel::kInfo, "fleet.stream").kv("conn", conn_id);
+  handle_connection(in_fd, out_fd, /*own_fds=*/false, conn_id);
+  ::shutdown(out_fd, SHUT_WR);
+}
+
+void Coordinator::handle_connection(int in_fd, int out_fd, bool own_fds,
+                                    std::uint64_t conn_id) {
+  serve::LineReader reader(in_fd);
+  std::string line;
+  bool open = true;
+  const char* close_reason = "eof";
+  while (open) {
+    const serve::LineReader::Status st =
+        reader.next(line, opts_.idle_timeout_ms, wake_rd_);
+    switch (st) {
+      case serve::LineReader::Status::kLine:
+        open = dispatch(line, out_fd, conn_id);
+        if (!open) close_reason = "bye";
+        break;
+      case serve::LineReader::Status::kTimeout:
+        serve::write_line(out_fd,
+                          serve::error_envelope("", "idle timeout, closing"));
+        open = false;
+        close_reason = "idle_timeout";
+        break;
+      case serve::LineReader::Status::kWake:
+        open = false;
+        close_reason = "drain";
+        break;
+      case serve::LineReader::Status::kEof:
+        open = false;
+        close_reason = "eof";
+        break;
+      case serve::LineReader::Status::kError:
+        open = false;
+        close_reason = "read_error";
+        break;
+    }
+  }
+  if (own_fds) ::close(in_fd);
+  obs::log(obs::LogLevel::kInfo, "fleet.close")
+      .kv("conn", conn_id)
+      .kv("reason", close_reason);
+  std::lock_guard<std::mutex> lock(mu_);
+  --connections_;
+}
+
+bool Coordinator::dispatch(const std::string& line, int out_fd,
+                           std::uint64_t conn_id) {
+  serve::Request req;
+  try {
+    req = serve::parse_request(line);
+  } catch (const std::exception& e) {
+    const std::string id = serve::request_id_of(line);
+    obs::log(obs::LogLevel::kWarn, "fleet.request.malformed")
+        .kv("conn", conn_id)
+        .kv("req", id)
+        .kv("error", e.what());
+    serve::write_line(out_fd, serve::error_envelope(id, e.what()));
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_accepted_;
+    if (draining_ && req.op != serve::Request::Op::kShutdown &&
+        req.op != serve::Request::Op::kStatus) {
+      serve::write_line(
+          out_fd,
+          serve::error_envelope(req.id, "coordinator is shutting down"));
+      return true;
+    }
+  }
+
+  switch (req.op) {
+    case serve::Request::Op::kRun: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++active_runs_;
+      }
+      const char* outcome = "ok";
+      try {
+        const RunOutcome out = run_grid(
+            req.config, req.use_cache, req.jobs,
+            [&](std::size_t index, std::size_t total,
+                std::string_view raw_result) {
+              serve::write_line(out_fd, serve::cell_envelope_raw(
+                                            req.id, index, total, raw_result));
+            });
+        serve::write_line(out_fd, serve::done_envelope_raw(
+                                      req.id, out.cells, out.envelope));
+        outcome = out.cache_hit ? "cache_hit" : "ok";
+      } catch (const std::exception& e) {
+        obs::log(obs::LogLevel::kWarn, "fleet.run.error")
+            .kv("conn", conn_id)
+            .kv("req", req.id)
+            .kv("error", e.what());
+        serve::write_line(out_fd, serve::error_envelope(req.id, e.what()));
+        outcome = "error";
+      }
+      FleetMetrics::get().runs(outcome).inc();
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_runs_;
+      ++runs_completed_;
+      drain_cv_.notify_all();
+      break;
+    }
+    case serve::Request::Op::kStatus:
+      serve::write_line(out_fd, status_envelope_json(req.id));
+      break;
+    case serve::Request::Op::kMetrics:
+      serve::write_line(out_fd,
+                        serve::metrics_envelope(
+                            req.id, obs::Metrics::instance().prometheus_text()));
+      break;
+    case serve::Request::Op::kStats:
+    case serve::Request::Op::kCancel:
+      // Worker-local ops: there is no one Session behind a fleet, and runs
+      // are not addressable mid-flight across workers. Explicit error
+      // beats silent acceptance.
+      serve::write_line(
+          out_fd,
+          serve::error_envelope(
+              req.id, "op not supported by the fleet coordinator"));
+      break;
+    case serve::Request::Op::kShutdown: {
+      obs::log(obs::LogLevel::kInfo, "fleet.shutdown")
+          .kv("conn", conn_id)
+          .kv("req", req.id);
+      request_shutdown();
+      std::unique_lock<std::mutex> lock(mu_);
+      draining_ = true;
+      drain_cv_.wait(lock, [this] { return active_runs_ == 0; });
+      lock.unlock();
+      serve::write_line(out_fd, serve::bye_envelope(req.id));
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Coordinator::status_envelope_json(std::string_view id) const {
+  std::string out = "{\"type\":\"status\",\"id\":\"";
+  out += JsonWriter::escape(id);
+  out += "\",\"role\":\"coordinator\"";
+  out += ",\"protocol_version\":" + std::to_string(serve::kProtocolVersion);
+  out += ",\"uptime_ms\":" +
+         std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - start_time_)
+                            .count());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out += ",\"connections\":" + std::to_string(connections_);
+    out += ",\"active_runs\":" + std::to_string(active_runs_);
+    out += ",\"requests_accepted\":" + std::to_string(requests_accepted_);
+    out += ",\"runs_completed\":" + std::to_string(runs_completed_);
+    out += ",\"draining\":";
+    out += draining_ ? "true" : "false";
+  }
+  const ResultCache::Stats cs = cache_.stats();
+  out += ",\"cache\":{\"entries\":" + std::to_string(cs.entries);
+  out += ",\"hits\":" + std::to_string(cs.hits);
+  out += ",\"misses\":" + std::to_string(cs.misses);
+  out += ",\"evictions\":" + std::to_string(cs.evictions);
+  out += '}';
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"worker\":\"" + JsonWriter::escape(workers_[i]->label());
+    out += "\",\"up\":";
+    out += workers_[i]->up() ? "true" : "false";
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Coordinator::RunOutcome Coordinator::run_grid(
+    const RunConfig& config, bool use_cache, unsigned jobs,
+    const std::function<void(std::size_t, std::size_t, std::string_view)>&
+        on_cell) {
+  const std::size_t total = config.expand().size();
+  const bool cache_on = opts_.cache && use_cache;
+  std::string key;
+  if (cache_on) {
+    key = ResultCache::key_of(config);
+    if (auto hit = cache_.lookup(key)) {
+      obs::log(obs::LogLevel::kInfo, "fleet.cache.hit")
+          .kv("key", key)
+          .kv("cells", hit->cells);
+      return RunOutcome{hit->cells, std::move(hit->envelope), true};
+    }
+  }
+
+  // The live worker set at dispatch time fixes N — this run's shard
+  // geometry. Failover re-dispatches the same k/N to a survivor, so the
+  // merged document's bytes never depend on who executed what.
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    if (workers_[i]->ensure_connected()) live.push_back(i);
+  if (live.empty()) throw std::runtime_error("fleet: no worker reachable");
+  const unsigned n = static_cast<unsigned>(
+      std::min<std::size_t>(live.size(), std::max<std::size_t>(total, 1)));
+
+  const std::uint64_t seq = run_seq_.fetch_add(1, std::memory_order_relaxed);
+  const unsigned worker_jobs = jobs ? jobs : opts_.jobs;
+  obs::log(obs::LogLevel::kInfo, "fleet.run.start")
+      .kv("run", seq)
+      .kv("cells", total)
+      .kv("shards", n)
+      .kv("workers", live.size());
+
+  std::vector<std::string> shard_envelopes(n);
+  std::vector<std::string> shard_errors(n);
+  std::mutex forward_mu;
+  std::vector<bool> streamed(total, false);
+
+  // Worker cell frames carry shard-local indices (position in the shard's
+  // result set, which keeps global spec order); global = k + local·N under
+  // round-robin slicing. The bitmap deduplicates re-streams after a
+  // failover, so the client sees each global index exactly once.
+  auto forward_cell = [&](unsigned k, const std::string& line) {
+    try {
+      const JsonValue frame = JsonValue::parse(line);
+      const std::size_t local = frame.at("index").as_u64();
+      const std::size_t global = k + local * n;
+      const std::string_view raw = raw_member(line, "result");
+      std::lock_guard<std::mutex> lock(forward_mu);
+      if (global < total && !streamed[global]) {
+        streamed[global] = true;
+        if (on_cell) on_cell(global, total, raw);
+      }
+    } catch (const std::exception& e) {
+      obs::log(obs::LogLevel::kWarn, "fleet.cell.bad")
+          .kv("shard", k)
+          .kv("error", e.what());
+    }
+  };
+
+  auto run_shard = [&](unsigned k) {
+    obs::ScopedTraceSpan span("fleet:shard" + std::to_string(k), "fleet");
+    std::size_t wi = live[k % live.size()];
+    const unsigned max_attempts =
+        static_cast<unsigned>(workers_.size()) * 2 + 1;
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+      WorkerLink& worker = *workers_[wi];
+      const std::string id = "f" + std::to_string(seq) + "-s" +
+                             std::to_string(k) + "a" + std::to_string(attempt);
+      FleetMetrics::get().dispatches(worker.label()).inc();
+      obs::log(obs::LogLevel::kInfo, "fleet.dispatch")
+          .kv("worker", worker.label())
+          .kv("req", id)
+          .kv("shard", std::to_string(k) + "/" + std::to_string(n));
+      try {
+        const std::string terminal = worker.exchange(
+            id,
+            serve::run_request_line(id, config, worker_jobs, k, n),
+            [&](const std::string& cell) { forward_cell(k, cell); },
+            opts_.request_timeout_ms);
+        const JsonValue frame = JsonValue::parse(terminal);
+        const std::string& type = frame.at("type").as_string();
+        if (type == "done") {
+          shard_envelopes[k] = std::string(raw_member(terminal, "envelope"));
+          return;
+        }
+        if (type == "error") {
+          // Deterministic failure (the config itself is bad, say): every
+          // worker would say the same, so it goes straight to the client.
+          shard_errors[k] = frame.at("error").as_string();
+          return;
+        }
+        // "cancelled" (a worker-local watchdog) and anything unexpected:
+        // retryable on another worker.
+        throw std::runtime_error("worker " + worker.label() +
+                                 " returned \"" + type + '"');
+      } catch (const std::exception& e) {
+        FleetMetrics::get().failovers.inc();
+        obs::log(obs::LogLevel::kWarn, "fleet.failover")
+            .kv("req", id)
+            .kv("shard", k)
+            .kv("worker", worker.label())
+            .kv("error", e.what());
+        // Move to the next connectable worker (wrapping; the failed one is
+        // usually down, but with a single worker left it may reconnect and
+        // retry — graceful degradation down to one).
+        bool found = false;
+        for (std::size_t step = 1; step <= workers_.size(); ++step) {
+          const std::size_t cand = (wi + step) % workers_.size();
+          if (workers_[cand]->ensure_connected()) {
+            wi = cand;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          shard_errors[k] = "shard " + std::to_string(k) + "/" +
+                            std::to_string(n) + ": no worker reachable (" +
+                            e.what() + ")";
+          return;
+        }
+      }
+    }
+    if (shard_errors[k].empty())
+      shard_errors[k] = "shard " + std::to_string(k) + "/" +
+                        std::to_string(n) + ": every re-dispatch failed";
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned k = 0; k < n; ++k)
+    threads.emplace_back([&run_shard, k] { run_shard(k); });
+  for (std::thread& t : threads) t.join();
+
+  for (unsigned k = 0; k < n; ++k)
+    if (!shard_errors[k].empty())
+      throw std::runtime_error("fleet: " + shard_errors[k]);
+
+  // One shard = the worker ran the whole grid; its envelope IS the batch
+  // document. Otherwise recombine — merge rejections (an envelope that
+  // doesn't belong to this grid) surface as std::invalid_argument.
+  std::string merged = n == 1 ? std::move(shard_envelopes[0])
+                              : merge_sharded_envelopes(shard_envelopes);
+  obs::log(obs::LogLevel::kInfo, "fleet.run.done")
+      .kv("run", seq)
+      .kv("cells", total)
+      .kv("shards", n)
+      .kv("bytes", merged.size());
+  if (cache_on) cache_.store(key, total, merged);
+  return RunOutcome{total, std::move(merged), false};
+}
+
+}  // namespace ndp::fleet

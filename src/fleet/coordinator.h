@@ -1,0 +1,190 @@
+// Fleet mode: a coordinator daemon that scales the serve layer across N
+// worker daemons while preserving the byte-identity contract every tier
+// already pins (served == batch == merged shards).
+//
+// Topology:
+//
+//   client ──run──▶ coordinator ──shard 0/N──▶ worker daemon A
+//                       │       ──shard 1/N──▶ worker daemon B
+//                       │       ──shard 2/N──▶ worker daemon C
+//                       ◀─cells/done── (merged via merge_sharded_envelopes)
+//
+// The coordinator speaks the same wire protocol as a worker
+// (serve/protocol.h) on both sides. A client `run` is sliced round-robin
+// into `--shard k/N` requests — N fixed at dispatch time as the number of
+// live workers (capped by the cell count) — and each shard rides one
+// multiplexed WorkerLink (fleet/worker.h). Streamed worker cells are
+// re-framed with their *global* index (global = k + local·N) and
+// forwarded; the N shard documents are recombined with
+// merge_sharded_envelopes() into the exact single-process batch document,
+// which the terminal "done" frame embeds raw.
+//
+// Failure semantics: a worker that dies mid-run fails its link; the shard
+// is re-dispatched to a survivor as the SAME k/N of the ORIGINAL N, so
+// the merged bytes are unchanged — degradation is graceful down to one
+// worker re-running every shard. Cells a dead worker already streamed are
+// deduplicated (a bitmap of forwarded global indices), so the client
+// never sees an index twice. Deterministic failures (a worker "error"
+// envelope — bad config and the like) are NOT failed over; they come
+// straight back as the client's error envelope, as does a merge
+// rejection.
+//
+// Repeated identical grids hit the coordinator's result cache
+// (fleet/result_cache.h) — keyed by a digest of the normalized RunConfig —
+// and are answered from memory without touching a worker; "cache":false
+// on the request bypasses both lookup and store.
+//
+// Observability: every dispatch/retry/failover/cache event counts into
+// ndpsim_fleet_* metrics (worker-labelled where meaningful), coordinator
+// logs carry worker + request ids, and each shard runs under a trace
+// span.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "fleet/result_cache.h"
+#include "fleet/worker.h"
+#include "serve/protocol.h"
+#include "sim/run_config.h"
+
+namespace ndp::fleet {
+
+/// Parse "host:port" (the `--worker` flag's element form) into a
+/// WorkerOptions with default health settings. Throws std::invalid_argument
+/// on a missing/garbled port.
+WorkerOptions parse_worker_endpoint(std::string_view endpoint);
+
+struct FleetOptions {
+  std::uint16_t port = 0;  ///< client-facing TCP port (0 = kernel-assigned)
+  std::vector<WorkerOptions> workers;
+  unsigned max_connections = 16;
+  int idle_timeout_ms = -1;   ///< client connections (-1 = never)
+  /// Background health-probe cadence over the worker set (<= 0 = no
+  /// probe thread; workers are still health-checked at dispatch).
+  int probe_interval_ms = 0;
+  int request_timeout_ms = -1;  ///< per shard exchange (-1 = none)
+  unsigned jobs = 0;            ///< forwarded to workers (0 = worker default)
+  bool cache = true;            ///< result cache master switch
+  std::size_t cache_capacity = 64;  ///< cached result documents (LRU)
+
+  /// Parse a fleet config document:
+  ///
+  ///   {
+  ///     "port": 7080,
+  ///     "workers": ["127.0.0.1:7071", "127.0.0.1:7072"],
+  ///     "jobs": 2,
+  ///     "probe_interval_ms": 2000,
+  ///     "request_timeout_ms": 0,        // -1/0 = none
+  ///     "connect_timeout_ms": 2000,     // per worker connect attempt
+  ///     "connect_retries": 2,
+  ///     "backoff_ms": 100,
+  ///     "backoff_max_ms": 2000,
+  ///     "idle_timeout_ms": -1,
+  ///     "max_connections": 16,
+  ///     "cache": true,
+  ///     "cache_capacity": 64
+  ///   }
+  ///
+  /// All keys optional except "workers"; unknown keys are errors (same
+  /// strictness as experiment configs). Throws std::invalid_argument.
+  static FleetOptions from_json(std::string_view text);
+
+  /// Load from a file; errors are prefixed with the path.
+  static FleetOptions load(const std::string& path);
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(FleetOptions opts);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Bind + listen for clients and start the accept loop (and, when
+  /// configured, the background probe thread). Returns the bound port.
+  std::uint16_t start();
+
+  /// Serve one client connection on an fd pair (stdio, socketpair tests);
+  /// blocks until it ends. Composes with start().
+  void serve_stream(int in_fd, int out_fd);
+
+  /// Graceful drain: stop accepting, let in-flight runs finish.
+  /// Async-signal-safe.
+  void request_shutdown();
+
+  /// Block until the accept loop and every connection thread finished.
+  void wait();
+
+  struct RunOutcome {
+    std::size_t cells = 0;
+    std::string envelope;    ///< the merged batch document, verbatim
+    bool cache_hit = false;
+  };
+
+  /// Run one grid across the fleet (the engine under the `run` op, also
+  /// driven directly by tools/perf_report). `on_cell(global_index,
+  /// total_cells, raw_result_json)` fires per forwarded cell, deduplicated
+  /// across failover re-streams; cache hits skip cells entirely. Throws
+  /// std::runtime_error when no worker is reachable or a shard exhausted
+  /// every worker, and std::invalid_argument on a merge rejection.
+  RunOutcome run_grid(
+      const RunConfig& config, bool use_cache = true, unsigned jobs = 0,
+      const std::function<void(std::size_t index, std::size_t total,
+                               std::string_view raw_result)>& on_cell = {});
+
+  /// Workers currently connectable (runs the reconnect path on each down
+  /// link) — what `--fleet` prints at startup.
+  std::size_t live_workers();
+
+  ResultCache& cache() { return cache_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int in_fd, int out_fd, bool own_fds,
+                         std::uint64_t conn_id);
+  bool dispatch(const std::string& line, int out_fd, std::uint64_t conn_id);
+  void probe_loop();
+  /// The coordinator's `status` reply: role, protocol/uptime, run
+  /// counters, cache stats, per-worker health.
+  std::string status_envelope_json(std::string_view id) const;
+
+  FleetOptions opts_;
+  std::vector<std::unique_ptr<WorkerLink>> workers_;
+  ResultCache cache_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;  ///< self-pipe, same discipline as serve/server.h
+  int wake_wr_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;
+  bool draining_ = false;
+  unsigned connections_ = 0;
+  unsigned active_runs_ = 0;
+  std::uint64_t requests_accepted_ = 0;
+  std::uint64_t runs_completed_ = 0;
+  std::atomic<std::uint64_t> next_conn_id_{0};
+  std::atomic<std::uint64_t> run_seq_{0};
+
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+
+  std::thread accept_thread_;
+  std::thread probe_thread_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace ndp::fleet

@@ -1,0 +1,89 @@
+#include "fleet/result_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "sim/image_store.h"
+
+namespace ndp::fleet {
+
+namespace {
+
+/// Fleet cache metrics (obs/metrics.h). Fixed handles, resolved once.
+struct CacheMetrics {
+  obs::Counter& hits = obs::Metrics::instance().counter(
+      "ndpsim_fleet_cache_hits_total", "Fleet result-cache hits");
+  obs::Counter& misses = obs::Metrics::instance().counter(
+      "ndpsim_fleet_cache_misses_total", "Fleet result-cache misses");
+  obs::Counter& evictions = obs::Metrics::instance().counter(
+      "ndpsim_fleet_cache_evictions_total",
+      "Fleet result-cache LRU evictions");
+  obs::Gauge& entries = obs::Metrics::instance().gauge(
+      "ndpsim_fleet_cache_entries", "Fleet result-cache resident entries");
+
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<ResultCache::Entry> ResultCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    CacheMetrics::get().misses.inc();
+    return std::nullopt;
+  }
+  ++hits_;
+  CacheMetrics::get().hits.inc();
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->entry;
+}
+
+void ResultCache::store(const std::string& key, std::size_t cells,
+                        std::string envelope) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->entry = Entry{cells, std::move(envelope)};
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, Entry{cells, std::move(envelope)}});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    CacheMetrics::get().evictions.inc();
+  }
+  CacheMetrics::get().entries.set(static_cast<double>(lru_.size()));
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, evictions_, lru_.size()};
+}
+
+std::string ResultCache::key_of(const RunConfig& config) {
+  // Clear every field that can't change the result document's bytes (the
+  // golden suite pins share_images/image_store invariance; output paths
+  // and the description never reach the document).
+  RunConfig normalized = config;
+  normalized.description.clear();
+  normalized.share_images = true;
+  normalized.image_store.clear();
+  normalized.json_output.clear();
+  normalized.csv_output.clear();
+  // Version-salt the key so a future normalization change can't collide
+  // with entries an older coordinator produced.
+  return ImageStore::digest("fleet-result|v1|" + normalized.to_json());
+}
+
+}  // namespace ndp::fleet

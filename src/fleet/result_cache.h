@@ -1,0 +1,75 @@
+// Coordinator-side result cache: merged batch documents keyed by a digest
+// of the canonical RunConfig, so a repeated identical grid is a cache hit
+// (the stored bytes go straight back out through done_envelope_raw), not a
+// fleet-wide re-simulation.
+//
+// Keying reuses the image store's dual-FNV-128 digest
+// (sim/image_store.h) over a *normalized* config serialization: fields
+// that provably don't change the result document's bytes — output paths,
+// image sharing/store knobs, the free-text description — are cleared
+// before digesting, so "same experiment, different output file" still
+// hits. Everything that does shape the document (name, grid, instruction
+// budget, seed, overrides, baseline) feeds the key.
+//
+// The cache is bounded LRU; hits/misses/evictions surface both through
+// stats() (the coordinator's status envelope) and the global
+// ndpsim_fleet_cache_* counters (obs/metrics.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/run_config.h"
+
+namespace ndp::fleet {
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity = 64);
+
+  struct Entry {
+    std::size_t cells = 0;    ///< cell count of the grid (the "done" count)
+    std::string envelope;     ///< the merged batch document, verbatim
+  };
+
+  /// Hit moves the entry to the LRU front. std::nullopt on miss.
+  std::optional<Entry> lookup(const std::string& key);
+
+  /// Insert (or refresh) `key`; evicts the least-recently-used entry when
+  /// the capacity is exceeded. Capacity 0 disables storing entirely.
+  void store(const std::string& key, std::size_t cells, std::string envelope);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  /// The digest key of a config: dual-FNV-128 over the normalized
+  /// serialization (see file comment). Two configs with equal keys produce
+  /// byte-identical batch documents.
+  static std::string key_of(const RunConfig& config);
+
+ private:
+  struct Node {
+    std::string key;
+    Entry entry;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Node> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ndp::fleet

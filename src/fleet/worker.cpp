@@ -1,0 +1,304 @@
+#include "fleet/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/framing.h"
+
+namespace ndp::fleet {
+
+namespace {
+
+obs::Counter& retries_counter() {
+  static obs::Counter& c = obs::Metrics::instance().counter(
+      "ndpsim_fleet_retries_total",
+      "Fleet worker connect retries (failures that were retried)");
+  return c;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+WorkerLink::WorkerLink(WorkerOptions opts)
+    : opts_(std::move(opts)),
+      label_(opts_.label.empty()
+                 ? opts_.host + ":" + std::to_string(opts_.port)
+                 : opts_.label) {}
+
+WorkerLink::~WorkerLink() {
+  close();
+  if (reader_.joinable()) reader_.join();
+}
+
+bool WorkerLink::up() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return up_;
+}
+
+void WorkerLink::set_up_gauge(bool up) {
+  obs::Metrics::instance()
+      .gauge("ndpsim_fleet_worker_up",
+             "1 when the fleet worker's link is connected, else 0",
+             "worker=\"" + label_ + "\"")
+      .set(up ? 1.0 : 0.0);
+}
+
+bool WorkerLink::connect_once(std::string* error) {
+  std::pair<int, int> fds;
+  try {
+    if (opts_.connect_fn) {
+      fds = opts_.connect_fn();
+    } else {
+      const int fd =
+          serve::connect_tcp(opts_.host, opts_.port, opts_.connect_timeout_ms);
+      fds = {fd, fd};
+    }
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_fd_ = fds.first;
+    out_fd_ = fds.second;
+    up_ = true;
+  }
+  reader_ = std::thread([this, fd = fds.first] { reader_loop(fd); });
+  set_up_gauge(true);
+  obs::log(obs::LogLevel::kInfo, "fleet.worker.connect").kv("worker", label_);
+  return true;
+}
+
+bool WorkerLink::ensure_connected() {
+  std::lock_guard<std::mutex> connect_lock(connect_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (up_) return true;
+  }
+  // A previous connection's reader has fully wound down once up_ is false;
+  // reap it so the thread handle is free for the next one.
+  if (reader_.joinable()) reader_.join();
+  int backoff = std::max(opts_.backoff_ms, 1);
+  for (unsigned attempt = 0;; ++attempt) {
+    std::string error;
+    if (connect_once(&error)) return true;
+    if (attempt >= opts_.connect_retries) {
+      obs::log(obs::LogLevel::kWarn, "fleet.worker.unreachable")
+          .kv("worker", label_)
+          .kv("attempts", attempt + 1)
+          .kv("error", error);
+      set_up_gauge(false);
+      return false;
+    }
+    retries_counter().inc();
+    obs::log(obs::LogLevel::kWarn, "fleet.worker.connect_retry")
+        .kv("worker", label_)
+        .kv("attempt", attempt + 1)
+        .kv("backoff_ms", backoff)
+        .kv("error", error);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min(backoff * 2, std::max(opts_.backoff_max_ms, 1));
+  }
+}
+
+void WorkerLink::close() {
+  std::lock_guard<std::mutex> connect_lock(connect_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Shutdown (not close) wakes the reader's poll with EOF; the reader
+    // owns the fds and closes them on its way out.
+    if (in_fd_ >= 0) ::shutdown(in_fd_, SHUT_RDWR);
+    if (out_fd_ >= 0 && out_fd_ != in_fd_) ::shutdown(out_fd_, SHUT_RDWR);
+  }
+  if (reader_.joinable()) reader_.join();
+}
+
+void WorkerLink::fail_all(const std::string& why) {
+  std::map<std::string, std::shared_ptr<Pending>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!up_ && pending_.empty()) return;
+    up_ = false;
+    pending.swap(pending_);
+    for (auto& [id, p] : pending) {
+      p->fail = why;
+      p->done = true;
+    }
+    cv_.notify_all();
+  }
+  set_up_gauge(false);
+  if (!pending.empty())
+    obs::log(obs::LogLevel::kWarn, "fleet.worker.failed_requests")
+        .kv("worker", label_)
+        .kv("reason", why)
+        .kv("requests", pending.size());
+}
+
+void WorkerLink::reader_loop(int fd) {
+  serve::LineReader reader(fd);
+  std::string line;
+  const char* reason = "worker closed the connection";
+  for (;;) {
+    const serve::LineReader::Status st = reader.next(line);
+    if (st == serve::LineReader::Status::kEof) break;
+    if (st != serve::LineReader::Status::kLine) {
+      reason = "worker connection read error";
+      break;
+    }
+    std::string id;
+    std::string type;
+    try {
+      const JsonValue frame = JsonValue::parse(line);
+      if (const JsonValue* v = frame.find("id"))
+        if (v->is_string()) id = v->as_string();
+      type = frame.at("type").as_string();
+    } catch (const std::exception& e) {
+      obs::log(obs::LogLevel::kWarn, "fleet.worker.bad_frame")
+          .kv("worker", label_)
+          .kv("error", e.what());
+      reason = "worker sent an unparseable frame";
+      break;
+    }
+    std::shared_ptr<Pending> p;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        if (type == "cell") {
+          p = it->second;  // callback runs outside the lock
+        } else {
+          it->second->terminal = line;
+          it->second->done = true;
+          pending_.erase(it);
+          cv_.notify_all();
+          continue;
+        }
+      }
+    }
+    if (p) {
+      if (p->on_cell) p->on_cell(line);
+    } else {
+      // Connection-level frames (an idle-timeout error with an empty id,
+      // say) and replies to exchanges that already timed out land here.
+      obs::log(obs::LogLevel::kDebug, "fleet.worker.orphan_frame")
+          .kv("worker", label_)
+          .kv("req", id)
+          .kv("frame_type", type);
+    }
+  }
+  fail_all(reason);
+  int a, b;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    a = in_fd_;
+    b = out_fd_;
+    in_fd_ = -1;
+    out_fd_ = -1;
+  }
+  if (a >= 0) ::close(a);
+  if (b >= 0 && b != a) ::close(b);
+  obs::log(obs::LogLevel::kInfo, "fleet.worker.disconnect")
+      .kv("worker", label_)
+      .kv("reason", reason);
+}
+
+std::string WorkerLink::exchange(
+    const std::string& id, const std::string& request_line,
+    const std::function<void(const std::string&)>& on_cell, int timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  auto p = std::make_shared<Pending>();
+  p->on_cell = on_cell;
+  int out_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!up_)
+      throw std::runtime_error("worker " + label_ + " is down");
+    if (!pending_.emplace(id, p).second)
+      throw std::runtime_error("worker " + label_ +
+                               ": request id \"" + id +
+                               "\" already in flight");
+    out_fd = out_fd_;
+  }
+  bool sent;
+  {
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    sent = serve::write_line(out_fd, request_line);
+  }
+  if (!sent) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(id);
+    }
+    close();
+    throw std::runtime_error("worker " + label_ + ": write failed");
+  }
+
+  const int deadline = timeout_ms >= 0 ? timeout_ms : opts_.request_timeout_ms;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (deadline >= 0) {
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(deadline),
+                        [&] { return p->done; })) {
+        pending_.erase(id);
+        lock.unlock();
+        // The worker may still stream frames for this id; there is no way
+        // to resync the stream around an abandoned request, so the link
+        // goes down and the worker gets a fresh connection later.
+        close();
+        throw std::runtime_error("worker " + label_ + ": request \"" + id +
+                                 "\" timed out after " +
+                                 std::to_string(deadline) + " ms");
+      }
+    } else {
+      cv_.wait(lock, [&] { return p->done; });
+    }
+  }
+  if (!p->fail.empty())
+    throw std::runtime_error("worker " + label_ + ": " + p->fail);
+  obs::Metrics::instance()
+      .histogram("ndpsim_fleet_worker_latency_seconds",
+                 "Fleet request round-trip seconds, by worker",
+                 "worker=\"" + label_ + "\"")
+      .observe(seconds_since(start));
+  return p->terminal;
+}
+
+bool WorkerLink::probe(std::string* reply, int timeout_ms) {
+  const std::string id =
+      "probe-" + std::to_string(probe_seq_.fetch_add(1) + 1);
+  try {
+    const std::string line = exchange(
+        id, serve::simple_request_line("status", id), {}, timeout_ms);
+    const JsonValue frame = JsonValue::parse(line);
+    if (frame.at("type").as_string() != "status") {
+      obs::log(obs::LogLevel::kWarn, "fleet.worker.probe_unexpected")
+          .kv("worker", label_)
+          .kv("frame_type", frame.at("type").as_string());
+      close();
+      return false;
+    }
+    if (reply) *reply = line;
+    set_up_gauge(true);
+    return true;
+  } catch (const std::exception& e) {
+    obs::log(obs::LogLevel::kWarn, "fleet.worker.probe_failed")
+        .kv("worker", label_)
+        .kv("error", e.what());
+    return false;
+  }
+}
+
+}  // namespace ndp::fleet

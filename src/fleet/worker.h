@@ -1,0 +1,119 @@
+// One coordinator→worker connection: a multiplexed JSON-lines link to a
+// `ndpsim --serve` daemon (serve/protocol.h), plus the health machinery a
+// fleet needs around it — bounded-backoff reconnects, per-request
+// deadlines, and `status`-op probes.
+//
+// The link holds exactly one socket per worker (the daemon multiplexes
+// requests within a connection) and runs one reader thread that
+// demultiplexes incoming envelopes by their "id": streamed "cell" frames
+// go to the issuing exchange()'s callback, terminal frames (done / error /
+// cancelled / status / ...) complete it. Several exchanges can therefore
+// be in flight at once — a failover re-dispatch lands on a worker that is
+// still running its own shard.
+//
+// Failure model: any read error, EOF, or per-request timeout poisons the
+// whole link (a half-consumed envelope stream can't be resynced), fails
+// every in-flight exchange with a link-level error, and marks the worker
+// down. ensure_connected() brings it back with bounded exponential
+// backoff; the coordinator decides what to do with the failed shards
+// (fleet/coordinator.h — failover).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace ndp::fleet {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Metrics/log label for this worker; "" = "host:port".
+  std::string label;
+  int connect_timeout_ms = 2000;  ///< per connect attempt (-1 = OS default)
+  unsigned connect_retries = 2;   ///< further attempts after a failure
+  int backoff_ms = 100;           ///< first retry delay, doubling per retry
+  int backoff_max_ms = 2000;      ///< backoff ceiling
+  /// Per-exchange deadline (-1 = none). A timed-out exchange closes the
+  /// link — mid-stream there is no way back to frame alignment.
+  int request_timeout_ms = -1;
+  /// Test hook: produce a connected (in_fd, out_fd) pair instead of
+  /// dialing TCP (socketpair ends backed by an in-process daemon). Throw
+  /// to simulate a connect failure.
+  std::function<std::pair<int, int>()> connect_fn;
+};
+
+class WorkerLink {
+ public:
+  explicit WorkerLink(WorkerOptions opts);
+  ~WorkerLink();
+
+  WorkerLink(const WorkerLink&) = delete;
+  WorkerLink& operator=(const WorkerLink&) = delete;
+
+  const std::string& label() const { return label_; }
+  bool up() const;
+
+  /// Connect if down, retrying opts.connect_retries times with bounded
+  /// exponential backoff (each retry counts into ndpsim_fleet_retries_total).
+  /// False when every attempt failed — the worker stays down.
+  bool ensure_connected();
+
+  /// Tear the connection down (fails in-flight exchanges). Idempotent.
+  void close();
+
+  /// Send `request_line` (whose "id" member must equal `id`) and block
+  /// until that id's terminal envelope arrives; returns the terminal line.
+  /// Streamed "cell" frames are handed to `on_cell` from the reader thread
+  /// as raw lines. `timeout_ms` overrides opts.request_timeout_ms when
+  /// >= 0. Throws std::runtime_error on a down link, write failure, link
+  /// death mid-exchange, or deadline (the last two close the link).
+  std::string exchange(
+      const std::string& id, const std::string& request_line,
+      const std::function<void(const std::string& cell_line)>& on_cell = {},
+      int timeout_ms = -1);
+
+  /// One `status` round-trip (bounded by `timeout_ms`): true and the raw
+  /// status envelope in `reply` when the worker answered; false marks the
+  /// probe failed (the link is closed/down). Updates the per-worker up
+  /// gauge and latency histogram.
+  bool probe(std::string* reply = nullptr, int timeout_ms = 2000);
+
+ private:
+  struct Pending {
+    std::function<void(const std::string&)> on_cell;
+    std::string terminal;  ///< the terminal envelope line, once done
+    std::string fail;      ///< non-empty: link-level failure message
+    bool done = false;
+  };
+
+  bool connect_once(std::string* error);
+  void reader_loop(int fd);
+  /// Fail every in-flight exchange and mark the link down (reader-thread
+  /// and close() path). Caller must not hold mu_.
+  void fail_all(const std::string& why);
+  void set_up_gauge(bool up);
+
+  WorkerOptions opts_;
+  std::string label_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signaled when any exchange completes
+  bool up_ = false;
+  int in_fd_ = -1;
+  int out_fd_ = -1;
+  std::map<std::string, std::shared_ptr<Pending>> pending_;  ///< by id
+  std::thread reader_;
+  std::mutex connect_mu_;  ///< serializes connect/close transitions
+  std::mutex write_mu_;    ///< serializes request lines onto the socket
+  std::atomic<std::uint64_t> probe_seq_{0};
+};
+
+}  // namespace ndp::fleet

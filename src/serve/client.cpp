@@ -1,16 +1,21 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include <unistd.h>
 
 #include "common/json.h"
+#include "obs/log.h"
 
 namespace ndp::serve {
 
 std::string run_request_line(std::string_view id, const RunConfig& config,
-                             unsigned jobs) {
+                             unsigned jobs, unsigned shard_index,
+                             unsigned shard_count, bool use_cache) {
   std::string out = "{\"op\":\"run\",\"id\":\"";
   out += JsonWriter::escape(id);
   // to_json() round-trips every RunConfig field, so the daemon re-parses
@@ -18,6 +23,11 @@ std::string run_request_line(std::string_view id, const RunConfig& config,
   // output paths included — the server ignores those).
   out += "\",\"config\":" + config.to_json();
   if (jobs) out += ",\"jobs\":" + std::to_string(jobs);
+  if (shard_count > 1) {
+    out += ",\"shard_index\":" + std::to_string(shard_index);
+    out += ",\"shard_count\":" + std::to_string(shard_count);
+  }
+  if (!use_cache) out += ",\"cache\":false";
   out += '}';
   return out;
 }
@@ -40,9 +50,25 @@ std::string cancel_request_line(std::string_view id, std::string_view target) {
   return out;
 }
 
-Client Client::connect(const std::string& host, std::uint16_t port) {
-  const int fd = connect_tcp(host, port);
-  return Client(fd, fd, /*own_fds=*/true);
+Client Client::connect(const std::string& host, std::uint16_t port,
+                       const ConnectRetry& retry) {
+  int backoff = retry.backoff_ms > 0 ? retry.backoff_ms : 1;
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      const int fd = connect_tcp(host, port, retry.timeout_ms);
+      return Client(fd, fd, /*own_fds=*/true);
+    } catch (const std::exception& e) {
+      if (attempt >= retry.retries) throw;
+      obs::log(obs::LogLevel::kWarn, "client.connect.retry")
+          .kv("host", host)
+          .kv("port", port)
+          .kv("attempt", attempt + 1)
+          .kv("backoff_ms", backoff)
+          .kv("error", e.what());
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, std::max(retry.backoff_max_ms, 1));
+    }
+  }
 }
 
 Client::Client(int in_fd, int out_fd, bool own_fds)
@@ -80,7 +106,13 @@ std::string Client::roundtrip(std::string_view request_line) {
 std::string Client::run(
     std::string_view id, const RunConfig& config, unsigned jobs,
     const std::function<void(std::size_t, std::size_t)>& on_cell) {
-  if (!send(run_request_line(id, config, jobs)))
+  return run_line(run_request_line(id, config, jobs), on_cell);
+}
+
+std::string Client::run_line(
+    std::string_view request_line,
+    const std::function<void(std::size_t, std::size_t)>& on_cell) {
+  if (!send(request_line))
     throw std::runtime_error("serve client: daemon is gone (write failed)");
   std::string line;
   std::size_t done = 0;

@@ -16,16 +16,34 @@
 namespace ndp::serve {
 
 // Request-line builders (the inverse of protocol.h's parse_request).
+// Non-default shard members emit "shard_index"/"shard_count" (the wire form
+// of `--shard i/N`); `use_cache` false emits "cache":false (a fleet
+// coordinator's cache-bypass knob — plain daemons ignore it).
 std::string run_request_line(std::string_view id, const RunConfig& config,
-                             unsigned jobs = 0);
+                             unsigned jobs = 0, unsigned shard_index = 0,
+                             unsigned shard_count = 1, bool use_cache = true);
 /// "status" | "stats" | "shutdown".
 std::string simple_request_line(std::string_view op, std::string_view id);
 std::string cancel_request_line(std::string_view id, std::string_view target);
 
+/// Retry policy for Client::connect: `retries` further attempts after a
+/// failed connect, sleeping `backoff_ms` before the first retry and
+/// doubling up to `backoff_max_ms` (bounded exponential backoff).
+/// `timeout_ms` >= 0 bounds each individual connect attempt.
+struct ConnectRetry {
+  unsigned retries = 0;
+  int backoff_ms = 200;
+  int backoff_max_ms = 5000;
+  int timeout_ms = -1;
+};
+
 class Client {
  public:
-  /// Connect to a daemon over TCP. Throws std::runtime_error on failure.
-  static Client connect(const std::string& host, std::uint16_t port);
+  /// Connect to a daemon over TCP. Throws std::runtime_error on failure
+  /// (after exhausting `retry.retries` additional attempts, each failure
+  /// logged; the thrown error is the last attempt's).
+  static Client connect(const std::string& host, std::uint16_t port,
+                        const ConnectRetry& retry = {});
 
   /// Wrap an existing fd pair (socketpair end, stdio). Closes the fds on
   /// destruction only when `own_fds`.
@@ -57,6 +75,14 @@ class Client {
                   unsigned jobs = 0,
                   const std::function<void(std::size_t done,
                                            std::size_t total)>& on_cell = {});
+
+  /// run() over a caller-built request line (run_request_line with shard
+  /// or cache members, say) — same envelope-stream handling and raw
+  /// "done" splice.
+  std::string run_line(std::string_view request_line,
+                       const std::function<void(std::size_t done,
+                                                std::size_t total)>& on_cell =
+                           {});
 
  private:
   int in_fd_;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -135,7 +136,41 @@ std::uint16_t local_port(int fd) {
   return ntohs(addr.sin_port);
 }
 
-int connect_tcp(const std::string& host, std::uint16_t port) {
+namespace {
+
+/// One bounded connect attempt: non-blocking connect, poll for
+/// writability, then read back SO_ERROR. Returns 0 on success, the
+/// connect errno otherwise (ETIMEDOUT when the deadline passed first).
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t len,
+                         int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return errno;
+  int err = 0;
+  if (::connect(fd, addr, len) != 0) {
+    if (errno != EINPROGRESS) {
+      err = errno;
+    } else {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready == 0) {
+        err = ETIMEDOUT;
+      } else if (ready < 0) {
+        err = errno;
+      } else {
+        socklen_t err_len = sizeof err;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0)
+          err = errno;
+      }
+    }
+  }
+  // Restore blocking mode; all framed I/O here is blocking + poll.
+  if (err == 0 && ::fcntl(fd, F_SETFL, flags) < 0) err = errno;
+  return err;
+}
+
+}  // namespace
+
+int connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -152,8 +187,15 @@ int connect_tcp(const std::string& host, std::uint16_t port) {
       saved_errno = errno;
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    saved_errno = errno;
+    if (timeout_ms < 0) {
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      saved_errno = errno;
+    } else {
+      const int err =
+          connect_with_timeout(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms);
+      if (err == 0) break;
+      saved_errno = err;
+    }
     ::close(fd);
     fd = -1;
   }

@@ -60,8 +60,12 @@ int listen_tcp(std::uint16_t port, int backlog = 16);
 /// The locally bound port of a socket (resolves port-0 binds).
 std::uint16_t local_port(int fd);
 
-/// Blocking connect to host:port ("127.0.0.1", "::1", or a hostname).
+/// Connect to host:port ("127.0.0.1", "::1", or a hostname). With
+/// `timeout_ms` >= 0 the connect itself is bounded (non-blocking connect +
+/// poll; the returned fd is blocking again) — the fleet coordinator uses
+/// this so one unreachable worker can't stall dispatch. -1 = OS default.
 /// Throws std::runtime_error with errno/resolver text on failure.
-int connect_tcp(const std::string& host, std::uint16_t port);
+int connect_tcp(const std::string& host, std::uint16_t port,
+                int timeout_ms = -1);
 
 }  // namespace ndp::serve

@@ -28,7 +28,8 @@ bool key_allowed(Request::Op op, const std::string& key) {
   if (key == "op" || key == "id") return true;
   switch (op) {
     case Request::Op::kRun:
-      return key == "config" || key == "jobs";
+      return key == "config" || key == "jobs" || key == "shard_index" ||
+             key == "shard_count" || key == "cache";
     case Request::Op::kCancel:
       return key == "target";
     default:
@@ -83,6 +84,21 @@ Request parse_request(std::string_view line) {
         if (n > 1024) request_error("\"jobs\" out of range");
         req.jobs = static_cast<unsigned>(n);
       }
+      if (const JsonValue* count = doc.find("shard_count")) {
+        const std::uint64_t n = count->as_u64();
+        if (n == 0 || n > 4096) request_error("\"shard_count\" out of range");
+        req.shard_count = static_cast<unsigned>(n);
+      }
+      if (const JsonValue* index = doc.find("shard_index")) {
+        const std::uint64_t i = index->as_u64();
+        if (i >= req.shard_count)
+          request_error("\"shard_index\" must be < \"shard_count\"");
+        req.shard_index = static_cast<unsigned>(i);
+      }
+      if (const JsonValue* cache = doc.find("cache")) {
+        if (!cache->is_bool()) request_error("\"cache\" must be a bool");
+        req.use_cache = cache->as_bool();
+      }
       break;
     }
     case Request::Op::kCancel: {
@@ -130,9 +146,26 @@ std::string cell_envelope(std::string_view id, std::size_t index,
 }
 
 std::string done_envelope(std::string_view id, const SweepResults& results) {
+  return done_envelope_raw(id, results.cells.size(), to_json(results));
+}
+
+std::string done_envelope_raw(std::string_view id, std::size_t cells,
+                              std::string_view envelope_json) {
   std::string out = envelope_head("done", id);
-  out += ",\"cells\":" + std::to_string(results.cells.size());
-  out += ",\"envelope\":" + to_json(results);
+  out += ",\"cells\":" + std::to_string(cells);
+  out += ",\"envelope\":";
+  out += envelope_json;
+  out += '}';
+  return out;
+}
+
+std::string cell_envelope_raw(std::string_view id, std::size_t index,
+                              std::size_t total, std::string_view result_json) {
+  std::string out = envelope_head("cell", id);
+  out += ",\"index\":" + std::to_string(index);
+  out += ",\"total\":" + std::to_string(total);
+  out += ",\"result\":";
+  out += result_json;
   out += '}';
   return out;
 }
@@ -171,8 +204,12 @@ std::string ok_envelope(std::string_view id) {
 
 std::string status_envelope(std::string_view id, const ServerStatus& status) {
   std::string out = envelope_head("status", id);
+  out += ",\"protocol_version\":" + std::to_string(kProtocolVersion);
+  out += ",\"uptime_ms\":" + std::to_string(status.uptime_ms);
   out += ",\"connections\":" + std::to_string(status.connections);
   out += ",\"active_runs\":" + std::to_string(status.active_runs);
+  out += ",\"in_flight_requests\":" +
+         std::to_string(status.in_flight_requests);
   out += ",\"requests_accepted\":" + std::to_string(status.requests_accepted);
   out += ",\"runs_completed\":" + std::to_string(status.runs_completed);
   out += ",\"cells_completed\":" + std::to_string(status.cells_completed);

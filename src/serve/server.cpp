@@ -75,10 +75,21 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Cells of the full `total`-cell grid that land in shard `index` of
+/// `count` under round-robin slicing — the denominator for this request's
+/// cell stream and cancelled envelope.
+std::size_t shard_cell_count(std::size_t total, unsigned index,
+                             unsigned count) {
+  if (total <= index) return 0;
+  return (total - index + count - 1) / count;
+}
+
 }  // namespace
 
 Server::Server(ServeOptions opts)
-    : opts_(opts), session_(opts.session) {
+    : opts_(opts),
+      session_(opts.session),
+      start_time_(std::chrono::steady_clock::now()) {
   int fds[2];
   if (::pipe(fds) != 0) throw std::runtime_error("serve: pipe failed");
   wake_rd_ = fds[0];
@@ -130,9 +141,14 @@ ServerStatus Server::status() const {
   ServerStatus s;
   s.connections = connections_;
   s.active_runs = active_runs_;
+  s.in_flight_requests = in_flight_requests_.load(std::memory_order_relaxed);
   s.requests_accepted = requests_accepted_;
   s.runs_completed = runs_completed_;
   s.cells_completed = cells_completed_;
+  s.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
   s.draining = draining_;
   return s;
 }
@@ -207,6 +223,9 @@ void Server::handle_connection(int in_fd, int out_fd, bool own_fds,
                                std::uint64_t conn_id) {
   ServeMetrics::get().connections.inc();
   ServeMetrics::get().active_connections.add(1);
+  ConnCtx ctx;
+  ctx.out_fd = out_fd;
+  ctx.conn_id = conn_id;
   LineReader reader(in_fd);
   std::string line;
   bool open = true;
@@ -216,20 +235,29 @@ void Server::handle_connection(int in_fd, int out_fd, bool own_fds,
         reader.next(line, opts_.idle_timeout_ms, wake_rd_);
     switch (st) {
       case LineReader::Status::kLine:
-        open = dispatch(line, out_fd, conn_id);
+        open = dispatch(line, ctx);
         if (!open) close_reason = "bye";
         break;
-      case LineReader::Status::kTimeout:
+      case LineReader::Status::kTimeout: {
+        // A run in flight on this connection means it isn't idle — the
+        // client is waiting on envelopes, not the other way round.
+        bool busy;
+        {
+          std::lock_guard<std::mutex> lock(ctx.mu);
+          busy = ctx.inflight_runs > 0;
+        }
+        if (busy) break;
         obs::log(obs::LogLevel::kWarn, "serve.idle_timeout")
             .kv("conn", conn_id)
             .kv("timeout_ms", opts_.idle_timeout_ms);
-        write_line(out_fd, error_envelope("", "idle timeout, closing"));
+        ctx.send(error_envelope("", "idle timeout, closing"));
         open = false;
         close_reason = "idle_timeout";
         break;
+      }
       case LineReader::Status::kWake:
-        // Drain in progress: this connection had no request in flight (one
-        // being processed would hold us inside dispatch), so just close.
+        // Drain in progress: stop reading. Runs already in flight on this
+        // connection finish on their own threads and are awaited below.
         open = false;
         close_reason = "drain";
         break;
@@ -246,6 +274,12 @@ void Server::handle_connection(int in_fd, int out_fd, bool own_fds,
         break;
     }
   }
+  // Run threads hold ctx (and stream to out_fd): wait them out before the
+  // fd can be closed or the stack frame unwound.
+  {
+    std::unique_lock<std::mutex> lock(ctx.mu);
+    ctx.cv.wait(lock, [&ctx] { return ctx.inflight_runs == 0; });
+  }
   if (own_fds) ::close(in_fd);  // in_fd == out_fd for TCP connections
   obs::log(obs::LogLevel::kInfo, "serve.close")
       .kv("conn", conn_id)
@@ -255,9 +289,9 @@ void Server::handle_connection(int in_fd, int out_fd, bool own_fds,
   --connections_;
 }
 
-bool Server::dispatch(const std::string& line, int out_fd,
-                      std::uint64_t conn_id) {
+bool Server::dispatch(const std::string& line, ConnCtx& conn) {
   const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t conn_id = conn.conn_id;
   Request req;
   try {
     req = parse_request(line);
@@ -271,7 +305,7 @@ bool Server::dispatch(const std::string& line, int out_fd,
         .kv("conn", conn_id)
         .kv("req", id)
         .kv("error", e.what());
-    write_line(out_fd, error_envelope(id, e.what()));
+    conn.send(error_envelope(id, e.what()));
     record_request("invalid", "error", seconds_since(start));
     return true;
   }
@@ -286,7 +320,7 @@ bool Server::dispatch(const std::string& line, int out_fd,
           .kv("req", req.id)
           .kv("op", op)
           .kv("reason", "draining");
-      write_line(out_fd, error_envelope(req.id, "server is shutting down"));
+      conn.send(error_envelope(req.id, "server is shutting down"));
       record_request(op, "refused", seconds_since(start));
       return true;
     }
@@ -295,26 +329,47 @@ bool Server::dispatch(const std::string& line, int out_fd,
       .kv("conn", conn_id)
       .kv("req", req.id)
       .kv("op", op);
-  obs::ScopedTraceSpan span(std::string("req:") + op, "request");
+  in_flight_requests_.fetch_add(1, std::memory_order_relaxed);
 
+  if (req.op == Request::Op::kRun) {
+    // Multiplex: the run executes on its own thread while this reader
+    // keeps consuming lines, so several runs (and quick ops) interleave on
+    // one connection. The thread detaches, but handle_connection waits for
+    // inflight_runs == 0 before unwinding, which bounds its lifetime.
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      ++conn.inflight_runs;
+    }
+    std::thread([this, &conn, req = std::move(req), start, op] {
+      obs::ScopedTraceSpan span(std::string("req:") + op, "request");
+      run_request(req, conn, start);
+      in_flight_requests_.fetch_sub(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(conn.mu);
+      --conn.inflight_runs;
+      // Notify under the lock: the waiter owns conn's stack frame and may
+      // destroy it the moment we release mu.
+      conn.cv.notify_all();
+    }).detach();
+    return true;
+  }
+
+  obs::ScopedTraceSpan span(std::string("req:") + op, "request");
   const char* outcome = "ok";
   bool keep_open = true;
   switch (req.op) {
     case Request::Op::kRun:
-      outcome = run_request(req, out_fd, conn_id);
-      break;
+      break;  // handled above
     case Request::Op::kStatus:
-      write_line(out_fd, status_envelope(req.id, status()));
+      conn.send(status_envelope(req.id, status()));
       break;
     case Request::Op::kStats:
-      write_line(out_fd, stats_envelope(req.id, session_.stats()));
+      conn.send(stats_envelope(req.id, session_.stats()));
       break;
     case Request::Op::kMetrics:
       // Rendered before this request is itself recorded (below) — a scrape
       // reflects everything that finished before it, deterministically.
-      write_line(out_fd,
-                 metrics_envelope(req.id,
-                                  obs::Metrics::instance().prometheus_text()));
+      conn.send(metrics_envelope(req.id,
+                                 obs::Metrics::instance().prometheus_text()));
       break;
     case Request::Op::kCancel: {
       std::shared_ptr<ActiveRun> target;
@@ -328,9 +383,8 @@ bool Server::dispatch(const std::string& line, int out_fd,
             .kv("conn", conn_id)
             .kv("req", req.id)
             .kv("target", req.target);
-        write_line(out_fd, error_envelope(
-                               req.id, "no active run with id \"" +
-                                           req.target + '"'));
+        conn.send(error_envelope(req.id, "no active run with id \"" +
+                                             req.target + '"'));
         outcome = "error";
         break;
       }
@@ -339,7 +393,7 @@ bool Server::dispatch(const std::string& line, int out_fd,
           .kv("conn", conn_id)
           .kv("req", req.id)
           .kv("target", req.target);
-      write_line(out_fd, ok_envelope(req.id));
+      conn.send(ok_envelope(req.id));
       break;
     }
     case Request::Op::kShutdown: {
@@ -349,8 +403,8 @@ bool Server::dispatch(const std::string& line, int out_fd,
       request_shutdown();
       // Drain: every in-flight run finishes and streams its envelopes on
       // its own connection; only then acknowledge and let the caller stop
-      // waiting. (This connection processes requests serially, so it has
-      // no run of its own in flight.)
+      // waiting. Runs multiplexed on *this* connection execute on their
+      // own threads, so they drain like any other — no self-deadlock.
       std::unique_lock<std::mutex> lock(mu_);
       draining_ = true;
       drain_cv_.wait(lock, [this] { return active_runs_ == 0; });
@@ -358,17 +412,25 @@ bool Server::dispatch(const std::string& line, int out_fd,
       obs::log(obs::LogLevel::kInfo, "serve.drained")
           .kv("conn", conn_id)
           .kv("req", req.id);
-      write_line(out_fd, bye_envelope(req.id));
+      conn.send(bye_envelope(req.id));
       keep_open = false;
       break;
     }
   }
   record_request(op, outcome, seconds_since(start));
+  in_flight_requests_.fetch_sub(1, std::memory_order_relaxed);
   return keep_open;
 }
 
-const char* Server::run_request(const Request& req, int out_fd,
-                                std::uint64_t conn_id) {
+void Server::run_request(const Request& req, ConnCtx& conn,
+                         std::chrono::steady_clock::time_point start) {
+  // Metrics are recorded before each terminal envelope goes out: the
+  // envelope is the client's signal that the request finished, so a
+  // metrics scrape it triggers must already include this run.
+  const auto record = [&](const char* outcome) {
+    record_request("run", outcome, seconds_since(start));
+  };
+  const std::uint64_t conn_id = conn.conn_id;
   auto active = std::make_shared<ActiveRun>();
   bool registered = false;
   if (!req.id.empty()) {
@@ -377,10 +439,10 @@ const char* Server::run_request(const Request& req, int out_fd,
       obs::log(obs::LogLevel::kWarn, "serve.run.duplicate")
           .kv("conn", conn_id)
           .kv("req", req.id);
-      write_line(out_fd, error_envelope(
-                             req.id, "a run with id \"" + req.id +
-                                         "\" is already active"));
-      return "error";
+      record("error");
+      conn.send(error_envelope(req.id, "a run with id \"" + req.id +
+                                           "\" is already active"));
+      return;
     }
     registered = true;
   }
@@ -392,25 +454,31 @@ const char* Server::run_request(const Request& req, int out_fd,
   std::size_t total = 0;
   std::size_t completed = 0;
   bool write_failed = false;
-  const char* outcome = "ok";
   try {
-    total = req.config.expand().size();
+    // The denominator this request streams against: its shard's cell
+    // count, which is the whole grid when shard_count is 1.
+    total = shard_cell_count(req.config.expand().size(), req.shard_index,
+                             req.shard_count);
     obs::log(obs::LogLevel::kInfo, "serve.run.start")
         .kv("conn", conn_id)
         .kv("req", req.id)
         .kv("cells", total)
+        .kv("shard_index", req.shard_index)
+        .kv("shard_count", req.shard_count)
         .kv("jobs", req.jobs ? req.jobs : opts_.jobs);
 
     SweepOptions opts;
     opts.jobs = req.jobs ? req.jobs : opts_.jobs;
     opts.session = &session_;
     opts.cancel = &active->cancel;
+    opts.shard_index = req.shard_index;
+    opts.shard_count = req.shard_count;
     // Stream each cell the moment it completes (the callback is serialized
     // by run_sweep's lock, so lines never interleave). A dead client just
     // turns writes into no-ops; the run finishes for the Session's benefit.
     opts.cell_done = [&](std::size_t index, const SweepCell& cell) {
       ++completed;
-      if (!write_line(out_fd, cell_envelope(req.id, index, total, cell)))
+      if (!conn.send(cell_envelope(req.id, index, total, cell)))
         write_failed = true;
       std::lock_guard<std::mutex> lock(mu_);
       ++cells_completed_;
@@ -450,27 +518,29 @@ const char* Server::run_request(const Request& req, int out_fd,
           .kv("req", req.id)
           .kv("completed", completed)
           .kv("total", total);
-      write_line(out_fd, cancelled_envelope(req.id, completed, total));
-      outcome = "cancelled";
+      record("cancelled");
+      conn.send(cancelled_envelope(req.id, completed, total));
     } else if (!write_failed) {
       obs::log(obs::LogLevel::kInfo, "serve.run.done")
           .kv("conn", conn_id)
           .kv("req", req.id)
           .kv("cells", total);
-      write_line(out_fd, done_envelope(req.id, results));
+      record("ok");
+      conn.send(done_envelope(req.id, results));
     } else {
       obs::log(obs::LogLevel::kWarn, "serve.run.client_gone")
           .kv("conn", conn_id)
           .kv("req", req.id)
           .kv("cells", total);
+      record("ok");
     }
   } catch (const std::exception& e) {
     obs::log(obs::LogLevel::kWarn, "serve.run.error")
         .kv("conn", conn_id)
         .kv("req", req.id)
         .kv("error", e.what());
-    write_line(out_fd, error_envelope(req.id, e.what()));
-    outcome = "error";
+    record("error");
+    conn.send(error_envelope(req.id, e.what()));
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -478,7 +548,6 @@ const char* Server::run_request(const Request& req, int out_fd,
   --active_runs_;
   ++runs_completed_;
   drain_cv_.notify_all();
-  return outcome;
 }
 
 }  // namespace ndp::serve

@@ -11,10 +11,15 @@
 //
 // Transport is JSON lines over fds (serve/framing.h): a TCP listener
 // (start()), or any in/out fd pair (serve_stream() — stdio for
-// `--serve --stdio`, socketpair ends in tests). Connections get a thread
-// each; a request is processed to completion before the next line of that
-// connection is read, while other connections proceed concurrently
-// (status/stats stay responsive during a long run, and can cancel it).
+// `--serve --stdio`, socketpair ends in tests). Connections get a reader
+// thread each, and requests multiplex *within* a connection too: a `run`
+// executes on its own thread while the reader keeps consuming lines, so
+// several runs can be in flight on one socket with their envelope streams
+// interleaved (each frame carries its request "id" — clients demultiplex
+// by it), and quick ops like status/cancel answer mid-run. Writes to a
+// connection are serialized by a per-connection mutex, so frames never
+// tear. This is what lets the fleet coordinator (src/fleet/) hold exactly
+// one connection per worker.
 //
 // Robustness contract: a request that fails — malformed JSON, unknown
 // mechanism/workload names, bad types — produces one error envelope on
@@ -26,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -35,6 +41,7 @@
 #include <vector>
 #include <condition_variable>
 
+#include "serve/framing.h"
 #include "serve/protocol.h"
 #include "sim/session.h"
 
@@ -44,7 +51,9 @@ struct ServeOptions {
   std::uint16_t port = 0;       ///< TCP port (0 = kernel-assigned)
   unsigned jobs = 0;            ///< default worker threads per run request
   unsigned max_connections = 16;
-  /// Close a connection after this long with no request (-1 = never).
+  /// Close a connection after this long with no request (-1 = never). The
+  /// clock only runs while the connection is quiet — a run in flight on it
+  /// suppresses the timeout.
   int idle_timeout_ms = -1;
   /// Cancel a run request after this long (-1 = never). The client gets
   /// the cells completed so far plus a "cancelled" terminal envelope.
@@ -88,21 +97,45 @@ class Server {
     std::atomic<bool> cancel{false};
   };
 
+  /// Per-connection state shared between the reader thread and the run
+  /// threads it spawns. Lives on the reader's stack: handle_connection
+  /// waits for `inflight_runs` to hit zero before returning, which bounds
+  /// every run thread's lifetime.
+  struct ConnCtx {
+    int out_fd = -1;
+    std::uint64_t conn_id = 0;
+    std::mutex write_mu;  ///< serializes frames (write_line handles partial
+                          ///< writes, so interleaving must be excluded here)
+    std::mutex mu;
+    std::condition_variable cv;      ///< signaled when a run thread finishes
+    unsigned inflight_runs = 0;      ///< runs of *this* connection in flight
+
+    /// One framed envelope out, atomically w.r.t. concurrent runs.
+    bool send(std::string_view payload) {
+      std::lock_guard<std::mutex> lock(write_mu);
+      return write_line(out_fd, payload);
+    }
+  };
+
   void accept_loop();
   /// `conn_id` tags every log line and error envelope of one connection —
   /// the join key between a client-side failure and the daemon's log.
   void handle_connection(int in_fd, int out_fd, bool own_fds,
                          std::uint64_t conn_id);
-  /// One request line → envelopes on out_fd. Returns false when the
-  /// connection should end (shutdown acknowledged).
-  bool dispatch(const std::string& line, int out_fd, std::uint64_t conn_id);
-  /// Returns the request's outcome for the metrics label: "ok", "cancelled",
-  /// or "error".
-  const char* run_request(const Request& req, int out_fd,
-                          std::uint64_t conn_id);
+  /// One request line → envelopes on the connection. Run requests are
+  /// handed to their own thread and this returns immediately; other ops
+  /// complete inline. Returns false when the connection should end
+  /// (shutdown acknowledged).
+  bool dispatch(const std::string& line, ConnCtx& conn);
+  /// Records the request's metrics (labelled "ok", "cancelled", or "error")
+  /// before sending the terminal envelope, so a scrape issued after the
+  /// client reads that envelope always reflects this run.
+  void run_request(const Request& req, ConnCtx& conn,
+                   std::chrono::steady_clock::time_point start);
 
   ServeOptions opts_;
   Session session_;
+  std::chrono::steady_clock::time_point start_time_;
 
   int listen_fd_ = -1;
   int wake_rd_ = -1;  ///< self-pipe: written once on shutdown, never drained,
@@ -118,6 +151,7 @@ class Server {
   std::uint64_t cells_completed_ = 0;
   std::map<std::string, std::shared_ptr<ActiveRun>> runs_;  ///< by request id
   std::atomic<std::uint64_t> next_conn_id_{0};
+  std::atomic<unsigned> in_flight_requests_{0};
 
   std::thread accept_thread_;
   std::vector<std::thread> conn_threads_;

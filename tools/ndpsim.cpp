@@ -41,6 +41,7 @@
 #include "common/json.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "fleet/coordinator.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -105,6 +106,24 @@ int usage(const char* argv0, int code) {
       "  --op=run|stats|status|metrics|shutdown\n"
       "                           client request kind (default run; metrics\n"
       "                           prints the daemon's Prometheus exposition)\n"
+      "  --connect-retries=N      retry a refused --client connect N times\n"
+      "                           with exponential backoff (default 0)\n"
+      "  --no-cache               ask a fleet coordinator to bypass its\n"
+      "                           result cache for this run request\n"
+      "\n"
+      "fleet mode (see README \"Fleet mode\"):\n"
+      "  --fleet                  run as a coordinator that shards each run\n"
+      "                           request across worker daemons (--shard\n"
+      "                           semantics on the wire), merges the shard\n"
+      "                           envelopes byte-identically, fails shards\n"
+      "                           over when a worker dies, and caches\n"
+      "                           results by config digest\n"
+      "  --worker=HOST:PORT,...   the worker daemons (each `ndpsim --serve`)\n"
+      "  --fleet-config=FILE      JSON fleet description (workers, probe\n"
+      "                           cadence, backoff, cache size; flags win)\n"
+      "  --fleet-cache=on|off     coordinator result cache (default on)\n"
+      "                           (--port/--max-conns/--idle-timeout/\n"
+      "                           --request-timeout/--jobs apply here too)\n"
       "\n"
       "observability (see README \"Observability\"):\n"
       "  --log-level=LEVEL        trace|debug|info|warn|error|off (default\n"
@@ -175,6 +194,9 @@ constexpr KnownFlag kKnownFlags[] = {
     {"--stdio", false},        {"--max-conns", true},
     {"--idle-timeout", true},  {"--request-timeout", true},
     {"--client", true},        {"--op", true},
+    {"--connect-retries", true}, {"--no-cache", false},
+    {"--fleet", false},        {"--worker", true},
+    {"--fleet-config", true},  {"--fleet-cache", true},
     {"--log-level", true},     {"--log-format", true},
     {"--metrics-dump", true},  {"--trace-out", true},
     {"--system", true},
@@ -411,11 +433,13 @@ int finish_obs(const std::string& metrics_path, const std::string& trace_path,
 // --- serving & client modes -------------------------------------------------
 
 serve::Server* g_server = nullptr;
+fleet::Coordinator* g_coordinator = nullptr;
 
 void on_signal(int) {
   // request_shutdown is one write() to a pipe — async-signal-safe — and
   // starts the graceful drain: in-flight runs finish, then the daemon exits.
   if (g_server) g_server->request_shutdown();
+  if (g_coordinator) g_coordinator->request_shutdown();
 }
 
 int serve_main(const serve::ServeOptions& opts, bool stdio_mode) {
@@ -446,9 +470,34 @@ int serve_main(const serve::ServeOptions& opts, bool stdio_mode) {
   }
 }
 
+int fleet_main(fleet::FleetOptions opts) {
+  try {
+    fleet::Coordinator coordinator(std::move(opts));
+    g_coordinator = &coordinator;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    const std::uint16_t port = coordinator.start();
+    // Workers may still be booting; the count is informational, and every
+    // dispatch re-checks connectivity (with retries) anyway.
+    obs::log(obs::LogLevel::kInfo, "fleet.ready")
+        .kv("port", port)
+        .kv("workers_live", coordinator.live_workers())
+        .kv("hint", "a shutdown request or SIGINT drains");
+    coordinator.wait();
+    g_coordinator = nullptr;
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    return 0;
+  } catch (const std::exception& e) {
+    g_coordinator = nullptr;
+    obs::log(obs::LogLevel::kError, "fleet.fatal").kv("error", e.what());
+    return kExitRuntime;
+  }
+}
+
 int client_main(const std::string& addr, const std::string& op,
                 const std::string& config_path, const std::string& json_path,
-                unsigned jobs) {
+                unsigned jobs, unsigned connect_retries, bool no_cache) {
   std::string host = "127.0.0.1";
   std::string port_str = addr;
   const std::size_t colon = addr.rfind(':');
@@ -477,10 +526,13 @@ int client_main(const std::string& addr, const std::string& op,
       return kExitConfig;
     }
     try {
-      serve::Client client =
-          serve::Client::connect(host, static_cast<std::uint16_t>(port));
-      const std::string envelope = client.run(
-          config.name.empty() ? "run" : config.name, config, jobs,
+      serve::ConnectRetry retry;
+      retry.retries = connect_retries;
+      serve::Client client = serve::Client::connect(
+          host, static_cast<std::uint16_t>(port), retry);
+      const std::string envelope = client.run_line(
+          serve::run_request_line(config.name.empty() ? "run" : config.name,
+                                  config, jobs, 0, 1, !no_cache),
           [](std::size_t done, std::size_t total) {
             obs::log(obs::LogLevel::kInfo, "client.cell")
                 .kv("done", done)
@@ -507,8 +559,10 @@ int client_main(const std::string& addr, const std::string& op,
     return kExitUsage;
   }
   try {
+    serve::ConnectRetry retry;
+    retry.retries = connect_retries;
     serve::Client client =
-        serve::Client::connect(host, static_cast<std::uint16_t>(port));
+        serve::Client::connect(host, static_cast<std::uint16_t>(port), retry);
     const std::string reply =
         client.roundtrip(serve::simple_request_line(op, op));
     if (op == "metrics") {
@@ -550,7 +604,12 @@ int main(int argc, char** argv) {
   bool serve_mode = false, stdio_mode = false;
   serve::ServeOptions serve_opts;
   std::string client_addr, client_op = "run";
+  unsigned connect_retries = 0;
+  bool no_cache = false;
+  bool fleet_mode = false;
+  std::string worker_list, fleet_config_path, fleet_cache;
   std::string metrics_dump, trace_out;
+  bool jobs_given = false;
   // Selection/run-parameter flags conflict with --config (the file is the
   // experiment); remember whether any was given explicitly.
   bool selection_flags_used = false;
@@ -642,6 +701,27 @@ int main(int argc, char** argv) {
       client_addr = v;
     } else if (const char* v = value_of("--op")) {
       client_op = v;
+    } else if (const char* v = value_of("--connect-retries")) {
+      char* end = nullptr;
+      connect_retries = static_cast<unsigned>(std::strtoul(v, &end, 10));
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--connect-retries takes a number, got '%s'\n", v);
+        return kExitUsage;
+      }
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--fleet") {
+      fleet_mode = true;
+    } else if (const char* v = value_of("--worker")) {
+      worker_list = v;
+    } else if (const char* v = value_of("--fleet-config")) {
+      fleet_config_path = v;
+    } else if (const char* v = value_of("--fleet-cache")) {
+      fleet_cache = v;
+      if (fleet_cache != "on" && fleet_cache != "off") {
+        std::fprintf(stderr, "--fleet-cache takes on|off, got '%s'\n", v);
+        return kExitUsage;
+      }
     } else if (const char* v = value_of("--log-level")) {
       obs::LogLevel level;
       if (!obs::parse_log_level(v, level)) {
@@ -669,6 +749,7 @@ int main(int argc, char** argv) {
     } else if (const char* v = value_of("--jobs")) {
       char* end = nullptr;
       jobs = static_cast<unsigned>(std::strtoul(v, &end, 10));
+      jobs_given = true;
       // 0 legitimately means "all host cores", so a parse failure must not
       // silently become 0.
       if (end == v || *end != '\0') {
@@ -760,10 +841,72 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
-  // Serving / client modes branch off before any simulation setup.
-  if (serve_mode && !client_addr.empty()) {
-    std::fprintf(stderr, "--serve and --client are mutually exclusive\n");
+  // Serving / client / fleet modes branch off before any simulation setup.
+  if ((serve_mode ? 1 : 0) + (client_addr.empty() ? 0 : 1) +
+          (fleet_mode ? 1 : 0) >
+      1) {
+    std::fprintf(stderr,
+                 "--serve, --client and --fleet are mutually exclusive\n");
     return kExitUsage;
+  }
+  if (!fleet_mode &&
+      (!worker_list.empty() || !fleet_config_path.empty() ||
+       !fleet_cache.empty())) {
+    std::fprintf(stderr,
+                 "--worker/--fleet-config/--fleet-cache require --fleet\n");
+    return kExitUsage;
+  }
+  if (client_addr.empty() && (connect_retries != 0 || no_cache)) {
+    std::fprintf(stderr, "--connect-retries/--no-cache require --client\n");
+    return kExitUsage;
+  }
+  if (fleet_mode) {
+    if (config_mode || selection_flags_used || shard_count > 1 || stdio_mode) {
+      std::fprintf(stderr,
+                   "--fleet conflicts with --config/--shard/--stdio/selection "
+                   "flags; submit experiments as run requests instead\n");
+      return kExitUsage;
+    }
+    fleet::FleetOptions fleet_opts;
+    try {
+      if (!fleet_config_path.empty())
+        fleet_opts = fleet::FleetOptions::load(fleet_config_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return kExitConfig;
+    }
+    // --worker on the command line replaces the config's worker set. A
+    // malformed endpoint is a flag error (exit 2), not a config error.
+    if (!worker_list.empty()) {
+      fleet_opts.workers.clear();
+      try {
+        for (const std::string& w : split_csv(worker_list))
+          fleet_opts.workers.push_back(fleet::parse_worker_endpoint(w));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return kExitUsage;
+      }
+    }
+    if (fleet_opts.workers.empty()) {
+      std::fprintf(stderr,
+                   "--fleet needs workers: --worker=HOST:PORT,... or a "
+                   "--fleet-config file with a \"workers\" array\n");
+      return kExitUsage;
+    }
+    // Shared daemon flags layer on top of the config file (flags win); an
+    // untouched flag leaves the config (or FleetOptions default) in place.
+    const serve::ServeOptions daemon_defaults;
+    if (serve_opts.port != daemon_defaults.port)
+      fleet_opts.port = serve_opts.port;
+    if (serve_opts.max_connections != daemon_defaults.max_connections)
+      fleet_opts.max_connections = serve_opts.max_connections;
+    if (serve_opts.idle_timeout_ms != daemon_defaults.idle_timeout_ms)
+      fleet_opts.idle_timeout_ms = serve_opts.idle_timeout_ms;
+    if (serve_opts.request_timeout_ms != daemon_defaults.request_timeout_ms)
+      fleet_opts.request_timeout_ms = serve_opts.request_timeout_ms;
+    if (jobs_given) fleet_opts.jobs = jobs;
+    if (!fleet_cache.empty()) fleet_opts.cache = fleet_cache == "on";
+    return finish_obs(metrics_dump, trace_out, fleet_main(std::move(fleet_opts)));
   }
   if (serve_mode) {
     if (config_mode || selection_flags_used || shard_count > 1) {
@@ -791,9 +934,9 @@ int main(int argc, char** argv) {
                    "daemon runs the --config grid as submitted\n");
       return kExitUsage;
     }
-    return finish_obs(
-        metrics_dump, trace_out,
-        client_main(client_addr, client_op, config_path, json_path, jobs));
+    return finish_obs(metrics_dump, trace_out,
+                      client_main(client_addr, client_op, config_path,
+                                  json_path, jobs, connect_retries, no_cache));
   }
   if (shard_count > 1 && !config_mode) {
     std::fprintf(stderr,

@@ -34,10 +34,13 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
+#include "fleet/coordinator.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -79,7 +82,15 @@ int usage(const char* argv0, int code) {
       "BENCH_serve\n"
       "                  latency quantiles to PATH ('-' = stdout)\n"
       "  --pings=N       status requests for the serve bench (default "
-      "200)\n",
+      "200)\n"
+      "  --fleet-out=PATH\n"
+      "                  also bench fleet mode (a coordinator sharding the "
+      "grid\n"
+      "                  across in-process worker daemons) and write "
+      "BENCH_fleet\n"
+      "                  round-trip numbers to PATH ('-' = stdout)\n"
+      "  --fleet-workers=N\n"
+      "                  worker daemons for the fleet bench (default 2)\n",
       argv0, kCheckBudget);
   return code;
 }
@@ -165,6 +176,87 @@ int serve_bench(const RunConfig& config, unsigned jobs, unsigned pings,
   return 0;
 }
 
+/// The fleet round-trip bench behind --fleet-out: a coordinator over
+/// `workers` in-process daemons runs the grid three ways — cold (shards
+/// fan out to freshly-started workers), warm (cache bypassed, so the
+/// shards ride the workers' warm Sessions), and cached (answered from the
+/// coordinator's result cache without touching a worker). Returns 0 on
+/// success.
+int fleet_bench(const RunConfig& config, unsigned jobs, unsigned workers,
+                const std::string& out_path) {
+  double cold_s = 0.0, warm_s = 0.0, cached_s = 0.0;
+  std::size_t cells = 0;
+  bool cached_hit = false;
+  try {
+    std::vector<std::unique_ptr<serve::Server>> daemons;
+    fleet::FleetOptions fopts;
+    fopts.jobs = jobs;
+    for (unsigned i = 0; i < workers; ++i) {
+      serve::ServeOptions sopts;
+      sopts.jobs = jobs;
+      daemons.push_back(std::make_unique<serve::Server>(sopts));
+      fleet::WorkerOptions w;
+      w.port = daemons.back()->start();
+      w.label = "bench-w" + std::to_string(i);
+      fopts.workers.push_back(std::move(w));
+    }
+    fleet::Coordinator coordinator(std::move(fopts));
+    const auto timed_run = [&](bool use_cache, bool* hit) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const fleet::Coordinator::RunOutcome out =
+          coordinator.run_grid(config, use_cache, jobs);
+      cells = out.cells;
+      if (hit) *hit = out.cache_hit;
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    cold_s = timed_run(true, nullptr);
+    warm_s = timed_run(false, nullptr);
+    cached_s = timed_run(true, &cached_hit);
+    for (auto& d : daemons) {
+      d->request_shutdown();
+      d->wait();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet bench: %s\n", e.what());
+    return 1;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("fleet");
+  w.key("config").value(config.name);
+  w.key("jobs").value(jobs);
+  w.key("workers").value(workers);
+  w.key("cells").value(static_cast<std::uint64_t>(cells));
+  w.key("run_cold_seconds").value(cold_s);
+  w.key("run_warm_seconds").value(warm_s);
+  w.key("run_cached_seconds").value(cached_s);
+  w.key("cached_run_was_cache_hit").value(cached_hit);
+  w.key("cells_per_sec_warm")
+      .value(warm_s > 0 ? static_cast<double>(cells) / warm_s : 0.0);
+  w.end_object();
+
+  std::printf(
+      "fleet: %zu cells over %u workers — cold %.3f s, warm %.3f s, cached "
+      "%.3f s (hit=%s)\n",
+      cells, workers, cold_s, warm_s, cached_s, cached_hit ? "yes" : "no");
+
+  if (out_path == "-") {
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << w.str() << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,9 +264,11 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_engine.json";
   std::string check_path;
   std::string serve_out;
+  std::string fleet_out;
   unsigned jobs = 1;
   unsigned repeat = 1;
   unsigned pings = 200;
+  unsigned fleet_workers = 2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -202,6 +296,11 @@ int main(int argc, char** argv) {
     } else if (const char* v = value_of("--pings")) {
       pings = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
       if (pings == 0) pings = 1;
+    } else if (const char* v = value_of("--fleet-out")) {
+      fleet_out = v;
+    } else if (const char* v = value_of("--fleet-workers")) {
+      fleet_workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (fleet_workers == 0) fleet_workers = 1;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n\n", arg.c_str());
       return usage(argv[0], 2);
@@ -348,6 +447,11 @@ int main(int argc, char** argv) {
   if (!serve_out.empty()) {
     const int serve_status = serve_bench(config, jobs, pings, serve_out);
     if (serve_status != 0) return serve_status;
+  }
+  if (!fleet_out.empty()) {
+    const int fleet_status =
+        fleet_bench(config, jobs, fleet_workers, fleet_out);
+    if (fleet_status != 0) return fleet_status;
   }
   return check_status;
 }
